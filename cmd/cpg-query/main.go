@@ -1,0 +1,185 @@
+// Command cpg-query runs provenance queries against a Concurrent
+// Provenance Graph saved by inspector-run (gob format).
+//
+// Usage:
+//
+//	cpg-query -cpg run.gob stats
+//	cpg-query -cpg run.gob verify
+//	cpg-query -cpg run.gob slice T1.3
+//	cpg-query -cpg run.gob taint T0.0
+//	cpg-query -cpg run.gob lineage <page> T1.3
+//	cpg-query -cpg run.gob edges [control|sync|data]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/repro/inspector/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cpg-query:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cpg-query", flag.ContinueOnError)
+	cpgPath := fs.String("cpg", "", "CPG gob file written by inspector-run -cpg")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *cpgPath == "" || fs.NArg() < 1 {
+		return errors.New("usage: cpg-query -cpg file.gob <stats|verify|slice|taint|lineage|edges> [args]")
+	}
+	f, err := os.Open(*cpgPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	g, err := core.DecodeGob(f)
+	if err != nil {
+		return err
+	}
+	a := g.Analyze()
+
+	switch cmd := fs.Arg(0); cmd {
+	case "stats":
+		return stats(g, a)
+	case "verify":
+		if err := a.Verify(); err != nil {
+			return err
+		}
+		fmt.Println("CPG is a valid happens-before DAG")
+		return nil
+	case "slice":
+		id, err := parseSubID(fs.Arg(1))
+		if err != nil {
+			return err
+		}
+		for _, anc := range a.Slice(id) {
+			fmt.Println(anc)
+		}
+		return nil
+	case "taint":
+		id, err := parseSubID(fs.Arg(1))
+		if err != nil {
+			return err
+		}
+		for _, d := range a.TaintedBy(id) {
+			fmt.Println(d)
+		}
+		return nil
+	case "lineage":
+		if fs.NArg() < 3 {
+			return errors.New("usage: cpg-query lineage <page> <subID>")
+		}
+		page, err := strconv.ParseUint(fs.Arg(1), 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad page %q: %w", fs.Arg(1), err)
+		}
+		id, err := parseSubID(fs.Arg(2))
+		if err != nil {
+			return err
+		}
+		lins := a.PageLineage(page, id)
+		if len(lins) == 0 {
+			fmt.Println("no recorded writer for that page at that vertex")
+			return nil
+		}
+		for _, l := range lins {
+			fmt.Printf("page %d read by %v was written by %v", l.Page, id, l.Writer)
+			if len(l.Upstream) > 0 {
+				ups := make([]string, len(l.Upstream))
+				for i, u := range l.Upstream {
+					ups[i] = u.String()
+				}
+				fmt.Printf(" (upstream sources: %s)", strings.Join(ups, ", "))
+			}
+			fmt.Println()
+		}
+		return nil
+	case "edges":
+		kinds := map[string]core.EdgeKind{
+			"control": core.EdgeControl, "sync": core.EdgeSync, "data": core.EdgeData,
+		}
+		var filter core.EdgeKind
+		if fs.NArg() > 1 {
+			k, ok := kinds[fs.Arg(1)]
+			if !ok {
+				return fmt.Errorf("unknown edge kind %q", fs.Arg(1))
+			}
+			filter = k
+		}
+		for _, e := range a.Edges() {
+			if filter != 0 && e.Kind != filter {
+				continue
+			}
+			switch e.Kind {
+			case core.EdgeSync:
+				fmt.Printf("%v -> %v [%v via %s]\n", e.From, e.To, e.Kind, e.Object)
+			case core.EdgeData:
+				fmt.Printf("%v -> %v [%v pages=%v]\n", e.From, e.To, e.Kind, e.Pages)
+			default:
+				fmt.Printf("%v -> %v [%v]\n", e.From, e.To, e.Kind)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func stats(g *core.Graph, a *core.Analysis) error {
+	subs := g.Subs()
+	threads := map[int]int{}
+	var thunks, reads, writes int
+	for _, sc := range subs {
+		threads[sc.ID.Thread]++
+		thunks += len(sc.Thunks)
+		reads += sc.ReadSet.Len()
+		writes += sc.WriteSet.Len()
+	}
+	var ctrl, syncE, data int
+	for _, e := range a.Edges() {
+		switch e.Kind {
+		case core.EdgeControl:
+			ctrl++
+		case core.EdgeSync:
+			syncE++
+		case core.EdgeData:
+			data++
+		}
+	}
+	fmt.Printf("sub-computations: %d across %d threads\n", len(subs), len(threads))
+	fmt.Printf("thunks:           %d\n", thunks)
+	fmt.Printf("read-set pages:   %d   write-set pages: %d\n", reads, writes)
+	fmt.Printf("edges:            %d control, %d sync, %d data\n", ctrl, syncE, data)
+	return nil
+}
+
+// parseSubID parses "T<thread>.<alpha>".
+func parseSubID(s string) (core.SubID, error) {
+	if !strings.HasPrefix(s, "T") {
+		return core.SubID{}, fmt.Errorf("bad sub-computation id %q (want T<thread>.<alpha>)", s)
+	}
+	parts := strings.SplitN(s[1:], ".", 2)
+	if len(parts) != 2 {
+		return core.SubID{}, fmt.Errorf("bad sub-computation id %q", s)
+	}
+	th, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return core.SubID{}, fmt.Errorf("bad thread in %q: %w", s, err)
+	}
+	alpha, err := strconv.ParseUint(parts[1], 10, 64)
+	if err != nil {
+		return core.SubID{}, fmt.Errorf("bad alpha in %q: %w", s, err)
+	}
+	return core.SubID{Thread: th, Alpha: alpha}, nil
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/repro/inspector/internal/core"
+)
+
+func TestParseSubID(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    core.SubID
+		wantErr bool
+	}{
+		{"T0.0", core.SubID{Thread: 0, Alpha: 0}, false},
+		{"T3.17", core.SubID{Thread: 3, Alpha: 17}, false},
+		{"T12.9999", core.SubID{Thread: 12, Alpha: 9999}, false},
+		{"3.17", core.SubID{}, true},
+		{"T3", core.SubID{}, true},
+		{"Tx.1", core.SubID{}, true},
+		{"T1.x", core.SubID{}, true},
+		{"", core.SubID{}, true},
+	}
+	for _, tt := range tests {
+		got, err := parseSubID(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parseSubID(%q) err = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if !tt.wantErr && got != tt.want {
+			t.Errorf("parseSubID(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestRunRequiresArgs(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no args accepted")
+	}
+	if err := run([]string{"-cpg", "/nonexistent/file.gob", "stats"}); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/repro/inspector/internal/workloads"
+)
+
+func TestParseSize(t *testing.T) {
+	for in, want := range map[string]workloads.Size{
+		"small": workloads.Small, "medium": workloads.Medium, "large": workloads.Large,
+	} {
+		got, err := parseSize(in)
+		if err != nil || got != want {
+			t.Errorf("parseSize(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseSize("huge"); err == nil {
+		t.Error("bad size accepted")
+	}
+}
+
+func TestParseThreads(t *testing.T) {
+	got, err := parseThreads("2, 4,8")
+	if err != nil || len(got) != 3 || got[0] != 2 || got[1] != 4 || got[2] != 8 {
+		t.Errorf("parseThreads = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "a", "0", "-1", "2,,4"} {
+		if _, err := parseThreads(bad); err == nil {
+			t.Errorf("parseThreads(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-experiment", "fig99"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-size", "zzz"}); err == nil {
+		t.Error("bad size accepted")
+	}
+}
+
+func TestRunSingleAppTable7(t *testing.T) {
+	// Smallest possible end-to-end CLI run.
+	err := run([]string{"-experiment", "table7", "-size", "small", "-apps", "histogram", "-breakdown", "2", "-threads", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,162 @@
+// Command inspector-run executes one of the twelve benchmark workloads
+// under INSPECTOR (or natively) and reports the run: timing, work, fault
+// and trace statistics, and optionally the recorded Concurrent Provenance
+// Graph as a gob file, JSON, or Graphviz DOT.
+//
+// It is the equivalent of the paper's LD_PRELOAD deployment: the same
+// program runs unmodified in either mode, and in INSPECTOR mode the CPG
+// and the per-process PT traces fall out as artifacts.
+//
+// Usage:
+//
+//	inspector-run -app histogram [-native] [-threads 4] [-size medium]
+//	              [-cpg out.gob] [-dot out.dot] [-json out.json]
+//	              [-decode] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/repro/inspector/internal/threading"
+	"github.com/repro/inspector/internal/workloads"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "inspector-run:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("inspector-run", flag.ContinueOnError)
+	app := fs.String("app", "", "workload to run (see -list)")
+	list := fs.Bool("list", false, "list available workloads")
+	native := fs.Bool("native", false, "run the pthreads baseline instead of INSPECTOR")
+	threads := fs.Int("threads", 4, "worker thread count")
+	sizeFlag := fs.String("size", "medium", "input size: small|medium|large")
+	seed := fs.Int64("seed", 1, "input generation seed")
+	cpgOut := fs.String("cpg", "", "write the CPG (gob) to this file")
+	dotOut := fs.String("dot", "", "write the CPG (Graphviz DOT) to this file")
+	jsonOut := fs.String("json", "", "write the CPG (JSON) to this file")
+	perfOut := fs.String("perfdata", "", "write the perf session (for pt-dump) to this file")
+	decode := fs.Bool("decode", false, "decode all PT traces and report event counts")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, name := range workloads.Names() {
+			fmt.Println(name)
+		}
+		return nil
+	}
+	if *app == "" {
+		return fmt.Errorf("missing -app (use -list to see workloads)")
+	}
+	w, err := workloads.Get(*app)
+	if err != nil {
+		return err
+	}
+	var size workloads.Size
+	switch *sizeFlag {
+	case "small":
+		size = workloads.Small
+	case "medium":
+		size = workloads.Medium
+	case "large":
+		size = workloads.Large
+	default:
+		return fmt.Errorf("unknown size %q", *sizeFlag)
+	}
+	mode := threading.ModeInspector
+	if *native {
+		mode = threading.ModeNative
+	}
+	cfg := workloads.Config{Size: size, Threads: *threads, Seed: *seed}
+	rt, err := threading.NewRuntime(threading.Options{
+		AppName:    *app,
+		Mode:       mode,
+		MaxThreads: w.MaxThreads(cfg),
+	})
+	if err != nil {
+		return err
+	}
+	if err := w.Run(rt, cfg); err != nil {
+		return err
+	}
+	rep := rt.LastReport()
+
+	fmt.Printf("app:              %s (%v, %d threads, %v input)\n", rep.App, rep.Mode, *threads, size)
+	fmt.Printf("time:             %v (%.3f ms simulated)\n", rep.Time, rep.Time.Seconds()*1e3)
+	fmt.Printf("work:             %v\n", rep.Work)
+	fmt.Printf("instructions:     %d loads, %d stores, %d branches, %d alu\n",
+		rep.Loads, rep.Stores, rep.Branches, rep.ALU)
+	if mode == threading.ModeInspector {
+		fmt.Printf("page faults:      %d (%d read, %d write; %.3g/sec)\n",
+			rep.Faults(), rep.ReadFaults, rep.WriteFaults, rep.FaultsPerSec())
+		fmt.Printf("commits:          %d pages, %d bytes published, %d twins\n",
+			rep.CommittedPages, rep.CommittedBytes, rep.TwinCopies)
+		fmt.Printf("pt trace:         %d bytes (%d lost), %.2f MB/s, %d TNT bits, %d TIPs, %d FUPs\n",
+			rep.TraceBytes, rep.LostTraceBytes, rep.TraceBandwidthMBps(),
+			rep.PT.TNTBits, rep.PT.TIPs, rep.PT.FUPs)
+		fmt.Printf("processes:        %d spawned\n", rep.ProcessesSpawned)
+		fmt.Printf("CPG:              %d sub-computations, %d sync edges\n",
+			rep.SubComputations, len(rt.Graph().SyncEdges()))
+		fmt.Printf("breakdown:        app=%v threading=%v pt=%v\n",
+			rep.AppCycles, rep.ThreadingCycles, rep.PTCycles)
+	}
+
+	if *decode && mode == threading.ModeInspector {
+		counts, err := rt.DecodeTraces()
+		if err != nil {
+			return fmt.Errorf("decode traces: %w", err)
+		}
+		total := 0
+		for _, n := range counts {
+			total += n
+		}
+		fmt.Printf("decoded branches: %d events across %d traces\n", total, len(counts))
+	}
+
+	if *cpgOut != "" {
+		if err := writeFile(*cpgOut, rt.Graph().EncodeGob); err != nil {
+			return err
+		}
+		fmt.Printf("wrote CPG:        %s\n", *cpgOut)
+	}
+	if *dotOut != "" {
+		if err := writeFile(*dotOut, rt.Graph().WriteDOT); err != nil {
+			return err
+		}
+		fmt.Printf("wrote DOT:        %s\n", *dotOut)
+	}
+	if *jsonOut != "" {
+		if err := writeFile(*jsonOut, rt.Graph().EncodeJSON); err != nil {
+			return err
+		}
+		fmt.Printf("wrote JSON:       %s\n", *jsonOut)
+	}
+	if *perfOut != "" && mode == threading.ModeInspector {
+		if err := writeFile(*perfOut, rt.Session().Serialize); err != nil {
+			return err
+		}
+		fmt.Printf("wrote perf data:  %s\n", *perfOut)
+	}
+	return nil
+}
+
+func writeFile(path string, enc func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := enc(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunEndToEndWithArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	cpg := filepath.Join(dir, "run.gob")
+	dot := filepath.Join(dir, "run.dot")
+	jsn := filepath.Join(dir, "run.json")
+	perfdata := filepath.Join(dir, "run.perfdata")
+
+	err := run([]string{
+		"-app", "histogram", "-threads", "2", "-size", "small", "-decode",
+		"-cpg", cpg, "-dot", dot, "-json", jsn, "-perfdata", perfdata,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpg, dot, jsn, perfdata} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("artifact %s: %v", p, err)
+			continue
+		}
+		if st.Size() == 0 {
+			t.Errorf("artifact %s is empty", p)
+		}
+	}
+}
+
+func TestRunNative(t *testing.T) {
+	if err := run([]string{"-app", "histogram", "-threads", "2", "-size", "small", "-native"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing -app accepted")
+	}
+	if err := run([]string{"-app", "nope"}); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if err := run([]string{"-app", "histogram", "-size", "giant"}); err == nil {
+		t.Error("bad size accepted")
+	}
+}

@@ -1,0 +1,104 @@
+// Command pt-dump decodes a perf session file produced by the INSPECTOR
+// runtime (perf.Session.Serialize) and prints its records, including a
+// packet-level dump of each AUX trace — the equivalent of
+// `perf script --dump` plus the Intel PT packet decoder.
+//
+// Usage:
+//
+//	pt-dump [-packets] [-max N] file.perfdata
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/repro/inspector/internal/perf"
+	"github.com/repro/inspector/internal/pt"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pt-dump:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pt-dump", flag.ContinueOnError)
+	packets := fs.Bool("packets", false, "dump individual PT packets of AUX records")
+	maxPkts := fs.Int("max", 64, "maximum packets to dump per AUX record")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return errors.New("usage: pt-dump [-packets] file.perfdata")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	records, err := perf.ReadRecords(f)
+	if err != nil {
+		return err
+	}
+	for i, rec := range records {
+		switch rec.Type {
+		case perf.RecordMMAP:
+			fmt.Printf("%4d %-12s pid=%d time=%d addr=%#x len=%d file=%s\n",
+				i, rec.Type, rec.PID, rec.Time, rec.Addr, rec.MapLen, rec.Filename)
+		case perf.RecordCOMM:
+			fmt.Printf("%4d %-12s pid=%d time=%d comm=%s\n", i, rec.Type, rec.PID, rec.Time, rec.Comm)
+		case perf.RecordLOST:
+			fmt.Printf("%4d %-12s pid=%d time=%d lost=%d bytes\n", i, rec.Type, rec.PID, rec.Time, rec.LostBytes)
+		case perf.RecordAUX:
+			fmt.Printf("%4d %-12s pid=%d time=%d size=%d bytes\n", i, rec.Type, rec.PID, rec.Time, len(rec.Data))
+			if *packets {
+				dumpPackets(rec.Data, *maxPkts)
+			}
+		default:
+			fmt.Printf("%4d %-12s pid=%d time=%d\n", i, rec.Type, rec.PID, rec.Time)
+		}
+	}
+	return nil
+}
+
+// dumpPackets walks the raw packet stream, printing each packet.
+func dumpPackets(data []byte, limit int) {
+	var lastIP uint64
+	off := 0
+	count := 0
+	for off < len(data) && count < limit {
+		p, ip, err := pt.DecodePacket(data[off:], lastIP)
+		if err != nil {
+			fmt.Printf("       %06x: decode error: %v (skipping to end)\n", off, err)
+			return
+		}
+		lastIP = ip
+		switch p.Type {
+		case pt.PktTNT:
+			bits := make([]byte, len(p.TNTBits))
+			for i, b := range p.TNTBits {
+				if b {
+					bits[i] = 'T'
+				} else {
+					bits[i] = 'N'
+				}
+			}
+			fmt.Printf("       %06x: %-8s %s\n", off, p.Type, bits)
+		case pt.PktTIP, pt.PktTIPPGE, pt.PktTIPPGD, pt.PktFUP:
+			fmt.Printf("       %06x: %-8s ip=%#x\n", off, p.Type, p.IP)
+		case pt.PktTSC:
+			fmt.Printf("       %06x: %-8s tsc=%d\n", off, p.Type, p.TSC)
+		default:
+			fmt.Printf("       %06x: %-8s\n", off, p.Type)
+		}
+		off += p.Len
+		count++
+	}
+	if off < len(data) {
+		fmt.Printf("       ... %d more bytes\n", len(data)-off)
+	}
+}

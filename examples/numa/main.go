@@ -1,0 +1,129 @@
+// NUMA case study (paper §VIII, "Efficiency"): derive memory-placement
+// advice from the CPG. The read/write sets record which thread touches
+// which pages; aggregating them yields a page-affinity map, from which a
+// NUMA-aware allocator could pin pages next to their dominant consumer —
+// the MemProf-style optimization the paper proposes building on
+// INSPECTOR.
+//
+// Run with: go run ./examples/numa
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	inspector "github.com/repro/inspector"
+)
+
+// nodeOf models a two-socket machine: even thread slots on node 0, odd
+// on node 1.
+func nodeOf(thread int) int { return thread % 2 }
+
+func main() {
+	rt, err := inspector.New(inspector.Options{AppName: "numa"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const threads = 4
+	const pagesPerThread = 8
+	bar := rt.NewBarrier("phase", threads)
+
+	_, err = rt.Run(func(main *inspector.Thread) {
+		// Each worker owns a private region but also polls one shared
+		// page — the classic mixed-affinity layout.
+		shared := main.Malloc(8)
+		regions := make([]inspector.Addr, threads)
+		for i := range regions {
+			regions[i] = main.Malloc(pagesPerThread * 4096)
+		}
+		var ws []*inspector.Thread
+		for i := 1; i < threads; i++ {
+			i := i
+			ws = append(ws, main.Spawn(func(w *inspector.Thread) {
+				work(w, regions[i], shared, bar)
+			}))
+		}
+		work(main, regions[0], shared, bar)
+		for _, w := range ws {
+			main.Join(w)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Aggregate page affinity from the CPG's access sets.
+	type affinity struct {
+		touches map[int]int // thread -> touch count
+	}
+	pages := map[uint64]*affinity{}
+	for _, sc := range rt.CPG().Subs() {
+		for _, set := range []inspector.SubID{} {
+			_ = set
+		}
+		record := func(p uint64) {
+			a := pages[p]
+			if a == nil {
+				a = &affinity{touches: map[int]int{}}
+				pages[p] = a
+			}
+			a.touches[sc.ID.Thread]++
+		}
+		for _, p := range sc.ReadSet.Sorted() {
+			record(p)
+		}
+		for _, p := range sc.WriteSet.Sorted() {
+			record(p)
+		}
+	}
+
+	var ids []uint64
+	for p := range pages {
+		ids = append(ids, p)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	fmt.Println("page      dominant-thread  node  advice")
+	var local, remote, contended int
+	for _, p := range ids {
+		a := pages[p]
+		best, bestN, total := -1, 0, 0
+		for th, n := range a.touches {
+			total += n
+			if n > bestN {
+				best, bestN = th, n
+			}
+		}
+		switch {
+		case bestN*2 > total && len(a.touches) == 1:
+			local++
+			fmt.Printf("%-9d T%-15d %-5d bind to node %d (exclusive)\n", p, best, nodeOf(best), nodeOf(best))
+		case bestN*2 > total:
+			remote++
+			fmt.Printf("%-9d T%-15d %-5d bind to node %d (dominant: %d/%d touches)\n",
+				p, best, nodeOf(best), nodeOf(best), bestN, total)
+		default:
+			contended++
+			fmt.Printf("%-9d -%-15s %-5s interleave (no dominant consumer)\n", p, "", "-")
+		}
+	}
+	fmt.Printf("\nsummary: %d exclusive pages, %d dominant pages, %d contended pages\n",
+		local, remote, contended)
+}
+
+// work touches the private region heavily and the shared page lightly.
+func work(w *inspector.Thread, region, shared inspector.Addr, bar *inspector.Barrier) {
+	for round := 0; round < 3; round++ {
+		for p := 0; p < pagesPerThreadConst; p++ {
+			addr := region + inspector.Addr(p*4096)
+			w.Store64(addr, w.Load64(addr)+1)
+			w.Branch("numa.page", p+1 < pagesPerThreadConst)
+		}
+		_ = w.Load64(shared)
+		bar.Wait(w)
+	}
+}
+
+const pagesPerThreadConst = 8

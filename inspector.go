@@ -1,0 +1,224 @@
+// Package inspector is a data-provenance library for shared-memory
+// multithreaded programs, reproducing the system described in
+//
+//	Thalheim, Bhatotia, Fetzer.
+//	"INSPECTOR: Data Provenance using Intel Processor Trace (PT)".
+//	ICDCS 2016.
+//
+// INSPECTOR records the lineage of a multithreaded execution as a
+// Concurrent Provenance Graph (CPG): a DAG of sub-computations (the
+// instruction runs between synchronization calls) connected by control,
+// synchronization, and data-dependence edges. The original system is a
+// drop-in pthreads replacement that tracks data flow with MMU page
+// protections over forked processes and control flow with Intel PT; this
+// reproduction runs workloads on a faithful software substrate (see
+// DESIGN.md for the substitution table) and exposes the same concepts:
+//
+//	rt, err := inspector.New(inspector.Options{AppName: "demo"})
+//	if err != nil { ... }
+//	m := rt.NewMutex("state")
+//	report, err := rt.Run(func(main *inspector.Thread) {
+//	    addr := main.Malloc(64)
+//	    child := main.Spawn(func(w *inspector.Thread) {
+//	        m.Lock(w)
+//	        w.Store64(addr, 42)
+//	        m.Unlock(w)
+//	    })
+//	    main.Join(child)
+//	    m.Lock(main)
+//	    _ = main.Load64(addr)
+//	    m.Unlock(main)
+//	})
+//	cpg := rt.CPG()            // query the provenance graph
+//	_ = cpg.Analyze().Verify() // it is a valid happens-before DAG
+//
+// Threads spawned through the library are isolated like processes
+// (release consistency: writes propagate at synchronization points), all
+// branches announced through Thread.Branch are traced into per-thread
+// Intel-PT-style packet streams, and the runtime's virtual-time cost
+// model reports the time/work metrics the paper's evaluation uses.
+package inspector
+
+import (
+	"io"
+
+	"github.com/repro/inspector/internal/core"
+	"github.com/repro/inspector/internal/mem"
+	"github.com/repro/inspector/internal/perf"
+	"github.com/repro/inspector/internal/snapshot"
+	"github.com/repro/inspector/internal/threading"
+)
+
+// Re-exported fundamental types. Aliases keep one implementation while
+// giving users a single import.
+type (
+	// Thread is one application thread (a forked process under
+	// INSPECTOR). All memory, branch, and sync operations hang off it.
+	Thread = threading.Thread
+	// Mutex is the pthread_mutex replacement.
+	Mutex = threading.Mutex
+	// Barrier is the pthread_barrier replacement.
+	Barrier = threading.Barrier
+	// Semaphore is the sem_t replacement.
+	Semaphore = threading.Semaphore
+	// Cond is the pthread_cond replacement.
+	Cond = threading.Cond
+	// Report carries the run's statistics (time, work, faults, trace
+	// sizes, overhead breakdown).
+	Report = threading.Report
+	// Addr is a simulated virtual address in the tracked address space.
+	Addr = mem.Addr
+	// CPG is the Concurrent Provenance Graph.
+	CPG = core.Graph
+	// SubID identifies one sub-computation vertex.
+	SubID = core.SubID
+	// Edge is one CPG edge (control, sync, or data).
+	Edge = core.Edge
+	// Analysis is a queryable view over a completed CPG.
+	Analysis = core.Analysis
+	// Snapshot is one consistent-cut capture.
+	Snapshot = snapshot.Snapshot
+)
+
+// Edge kinds, re-exported for query filters.
+const (
+	EdgeControl = core.EdgeControl
+	EdgeSync    = core.EdgeSync
+	EdgeData    = core.EdgeData
+)
+
+// Options configure a runtime.
+type Options struct {
+	// AppName names the application in reports and perf records.
+	AppName string
+	// Native disables all provenance machinery, running the workload as
+	// a plain pthreads program — the evaluation baseline.
+	Native bool
+	// MaxThreads bounds concurrent thread slots (default 64). Vector
+	// clocks are this wide, so workloads that spawn hundreds of threads
+	// pay proportionally (kmeans in Figure 5).
+	MaxThreads int
+	// PageSize is the data-provenance tracking granularity (default
+	// 4096, the paper's choice; the ablation benchmarks vary it).
+	PageSize int
+	// SnapshotMode bounds trace space with an overwriting AUX ring and
+	// enables the live snapshot facility (§VI). Without it the full
+	// trace is retained.
+	SnapshotMode bool
+	// SnapshotEverySyncs takes an automatic consistent cut each N
+	// synchronization boundaries when SnapshotMode is set (default 64).
+	SnapshotEverySyncs uint64
+	// SnapshotSlots is the snapshot ring capacity (default 4).
+	SnapshotSlots int
+}
+
+// Runtime is one provenance-recording execution context.
+type Runtime struct {
+	rt    *threading.Runtime
+	snaps *snapshot.Snapshotter
+}
+
+// New creates a runtime.
+func New(opts Options) (*Runtime, error) {
+	mode := threading.ModeInspector
+	if opts.Native {
+		mode = threading.ModeNative
+	}
+	traceMode := perf.ModeFullTrace
+	if opts.SnapshotMode {
+		traceMode = perf.ModeSnapshot
+	}
+	inner, err := threading.NewRuntime(threading.Options{
+		AppName:    opts.AppName,
+		Mode:       mode,
+		MaxThreads: opts.MaxThreads,
+		PageSize:   opts.PageSize,
+		TraceMode:  traceMode,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rt := &Runtime{rt: inner}
+	if opts.SnapshotMode && !opts.Native {
+		every := opts.SnapshotEverySyncs
+		if every == 0 {
+			every = 64
+		}
+		s, err := snapshot.New(inner, snapshot.Options{
+			Slots:      opts.SnapshotSlots,
+			EverySyncs: every,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rt.snaps = s
+		inner.RegisterSnapshotHook(s.Hook())
+	}
+	return rt, nil
+}
+
+// Run executes main as the program's first thread and returns the run
+// report. Run may be called once per Runtime.
+func (r *Runtime) Run(main func(*Thread)) (*Report, error) {
+	return r.rt.Run(main)
+}
+
+// MapInput maps input data into the tracked address space (the mmap'd
+// input file of the paper's input shim) and returns its base address.
+func (r *Runtime) MapInput(name string, data []byte) (Addr, error) {
+	return r.rt.MapInput(name, data)
+}
+
+// NewMutex creates a named mutex.
+func (r *Runtime) NewMutex(name string) *Mutex { return r.rt.NewMutex(name) }
+
+// NewBarrier creates a named barrier for n participants.
+func (r *Runtime) NewBarrier(name string, n int) *Barrier { return r.rt.NewBarrier(name, n) }
+
+// NewSemaphore creates a named counting semaphore.
+func (r *Runtime) NewSemaphore(name string, initial int) *Semaphore {
+	return r.rt.NewSemaphore(name, initial)
+}
+
+// NewCond creates a condition variable tied to m.
+func (r *Runtime) NewCond(name string, m *Mutex) *Cond { return r.rt.NewCond(name, m) }
+
+// GlobalsBase returns the base address of the shared globals region.
+func (r *Runtime) GlobalsBase() Addr { return r.rt.GlobalsBase() }
+
+// CPG returns the recorded Concurrent Provenance Graph.
+func (r *Runtime) CPG() *CPG { return r.rt.Graph() }
+
+// WriteDOT renders the CPG in Graphviz form.
+func (r *Runtime) WriteDOT(w io.Writer) error { return r.rt.Graph().WriteDOT(w) }
+
+// WriteCPG serializes the CPG (gob) for offline analysis with cpg-query.
+func (r *Runtime) WriteCPG(w io.Writer) error { return r.rt.Graph().EncodeGob(w) }
+
+// DecodeTraces decodes every thread's PT trace against the program image,
+// returning per-PID reconstructed branch-event counts. It fails if any
+// trace does not reconstruct — the end-to-end check that the compressed
+// packet streams carry the full control flow.
+func (r *Runtime) DecodeTraces() (map[int32]int, error) { return r.rt.DecodeTraces() }
+
+// Snapshots returns the retained consistent-cut snapshots, oldest first
+// (empty unless SnapshotMode was set).
+func (r *Runtime) Snapshots() []*Snapshot {
+	if r.snaps == nil {
+		return nil
+	}
+	return r.snaps.Snapshots()
+}
+
+// TakeSnapshot forces an immediate consistent cut (the SIGUSR2 trigger of
+// the paper's perf integration). Returns nil unless SnapshotMode is set.
+func (r *Runtime) TakeSnapshot() *Snapshot {
+	if r.snaps == nil {
+		return nil
+	}
+	return r.snaps.TakeSnapshot()
+}
+
+// Unwrap exposes the underlying threading runtime for advanced use
+// (harnesses, benchmarks).
+func (r *Runtime) Unwrap() *threading.Runtime { return r.rt }

@@ -1,0 +1,151 @@
+package inspector_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	inspector "github.com/repro/inspector"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	rt, err := inspector.New(inspector.Options{AppName: "api-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input, err := rt.MapInput("data.txt", []byte("hello provenance"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rt.NewMutex("m")
+
+	rep, err := rt.Run(func(main *inspector.Thread) {
+		out := main.Malloc(8)
+		child := main.Spawn(func(w *inspector.Thread) {
+			m.Lock(w)
+			v := uint64(w.Load8(input))
+			w.Store64(out, v*2)
+			m.Unlock(w)
+		})
+		main.Join(child)
+		m.Lock(main)
+		if got := main.Load64(out); got != uint64('h')*2 {
+			t.Errorf("out = %d", got)
+		}
+		m.Unlock(main)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Faults() == 0 || rep.TraceBytes == 0 || rep.SubComputations == 0 {
+		t.Errorf("report looks empty: %+v", rep)
+	}
+
+	cpg := rt.CPG()
+	analysis := cpg.Analyze()
+	if err := analysis.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// The child read the input page: provenance from input must exist.
+	inputPage := uint64(input) / 4096
+	var sawInputRead bool
+	for _, sc := range cpg.Subs() {
+		if sc.ID.Thread == 1 && sc.ReadSet.Contains(inputPage) {
+			sawInputRead = true
+		}
+	}
+	if !sawInputRead {
+		t.Error("input page missing from child's read set")
+	}
+	// And a cross-thread data edge child -> main.
+	var sawFlow bool
+	for _, e := range analysis.Edges() {
+		if e.Kind == inspector.EdgeData && e.From.Thread == 1 && e.To.Thread == 0 {
+			sawFlow = true
+		}
+	}
+	if !sawFlow {
+		t.Error("no data edge from child to main")
+	}
+
+	if _, err := rt.DecodeTraces(); err != nil {
+		t.Errorf("DecodeTraces: %v", err)
+	}
+
+	var dot bytes.Buffer
+	if err := rt.WriteDOT(&dot); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dot.String(), "digraph CPG") {
+		t.Error("DOT output malformed")
+	}
+	var gob bytes.Buffer
+	if err := rt.WriteCPG(&gob); err != nil {
+		t.Fatal(err)
+	}
+	if gob.Len() == 0 {
+		t.Error("empty CPG serialization")
+	}
+}
+
+func TestPublicAPINativeMode(t *testing.T) {
+	rt, err := inspector.New(inspector.Options{AppName: "native-test", Native: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := rt.Run(func(main *inspector.Thread) {
+		a := main.Malloc(8)
+		main.Store64(a, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TraceBytes != 0 || rep.SubComputations != 0 {
+		t.Errorf("native mode recorded provenance: %+v", rep)
+	}
+	if rt.TakeSnapshot() != nil {
+		t.Error("native mode produced a snapshot")
+	}
+	if rt.Snapshots() != nil {
+		t.Error("native mode has snapshot ring")
+	}
+}
+
+func TestPublicAPISnapshotMode(t *testing.T) {
+	rt, err := inspector.New(inspector.Options{
+		AppName:            "snap-test",
+		SnapshotMode:       true,
+		SnapshotEverySyncs: 2,
+		SnapshotSlots:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rt.NewMutex("m")
+	if _, err := rt.Run(func(main *inspector.Thread) {
+		addr := main.Malloc(8)
+		for i := 0; i < 20; i++ {
+			m.Lock(main)
+			main.Store64(addr, uint64(i))
+			m.Unlock(main)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	snaps := rt.Snapshots()
+	if len(snaps) == 0 {
+		t.Fatal("no snapshots captured")
+	}
+	if len(snaps) > 3 {
+		t.Errorf("ring exceeded slots: %d", len(snaps))
+	}
+	for i, s := range snaps {
+		if err := s.Cut.Validate(rt.CPG()); err != nil {
+			t.Errorf("snapshot %d: %v", i, err)
+		}
+	}
+	// Manual snapshot on top.
+	if s := rt.TakeSnapshot(); s == nil {
+		t.Error("manual snapshot failed")
+	}
+}

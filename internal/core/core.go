@@ -1,0 +1,413 @@
+// Package core implements the paper's central contribution: the Concurrent
+// Provenance Graph (CPG, §IV-A) and the parallel provenance algorithm that
+// builds it (§IV-B, Algorithms 1 and 2).
+//
+// The CPG is a DAG whose vertices are sub-computations — the instruction
+// sequences a thread executes between two pthreads synchronization calls —
+// and whose edges record three dependency kinds:
+//
+//   - control edges: intra-thread program order, refined within each
+//     sub-computation by thunks (branch-delimited instruction runs);
+//   - synchronization edges: inter-thread happens-before derived from the
+//     acquire/release ordering of synchronization operations;
+//   - data edges: update-use relationships derived from per-sub-computation
+//     page-granularity read/write sets combined with the happens-before
+//     partial order.
+//
+// The algorithm is fully decentralized: each thread maintains a vector
+// clock, synchronization objects carry clocks between releasers and
+// acquirers, and every completed sub-computation is stamped with its
+// thread's clock. Standard vector-clock comparison over those stamps is
+// the happens-before relation.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/repro/inspector/internal/vclock"
+	"github.com/repro/inspector/internal/vtime"
+)
+
+// SubID names a sub-computation vertex: thread slot t and index α in the
+// thread's execution sequence Lt.
+type SubID struct {
+	Thread int
+	Alpha  uint64
+}
+
+// String renders like "T2.5".
+func (id SubID) String() string { return fmt.Sprintf("T%d.%d", id.Thread, id.Alpha) }
+
+// Less orders SubIDs lexicographically (thread, then alpha).
+func (id SubID) Less(other SubID) bool {
+	if id.Thread != other.Thread {
+		return id.Thread < other.Thread
+	}
+	return id.Alpha < other.Alpha
+}
+
+// Thunk is one branch-delimited instruction run within a sub-computation
+// (Lt[α].∆[β]). It records the control-path decision that terminated it.
+type Thunk struct {
+	// Index is β, the thunk counter within the sub-computation.
+	Index uint64
+	// Site labels the branch site that ended the thunk.
+	Site string
+	// Taken is the conditional outcome (conditional sites).
+	Taken bool
+	// Indirect marks an indirect transfer; Target names its destination.
+	Indirect bool
+	Target   string
+	// Instructions counts instructions retired within the thunk.
+	Instructions uint64
+}
+
+// SyncOpKind classifies the synchronization operation that ended a
+// sub-computation, in the acquire/release model of §IV.
+type SyncOpKind uint8
+
+// Synchronization operation kinds.
+const (
+	// SyncNone marks sub-computations ended by thread termination.
+	SyncNone SyncOpKind = iota
+	// SyncAcquire is lock(), sem_wait(), cond_wait() wake-up, barrier
+	// departure, or thread start.
+	SyncAcquire
+	// SyncRelease is unlock(), sem_post(), cond_signal(), barrier
+	// arrival, or thread exit.
+	SyncRelease
+)
+
+// String names the kind.
+func (k SyncOpKind) String() string {
+	switch k {
+	case SyncAcquire:
+		return "acquire"
+	case SyncRelease:
+		return "release"
+	default:
+		return "none"
+	}
+}
+
+// SyncEvent describes the synchronization call at a sub-computation
+// boundary.
+type SyncEvent struct {
+	Kind   SyncOpKind
+	Object string
+}
+
+// SubComputation is a CPG vertex.
+type SubComputation struct {
+	ID SubID
+	// Clock is Lt[α].C: the thread clock captured when the
+	// sub-computation started, positioning it in the partial order.
+	Clock vclock.Clock
+	// ReadSet and WriteSet are the page-granularity access sets.
+	ReadSet  PageSet
+	WriteSet PageSet
+	// Thunks is the recorded control path (∆).
+	Thunks []Thunk
+	// End is the synchronization event that terminated it.
+	End SyncEvent
+	// Start and Finish are virtual times bounding the execution.
+	Start, Finish vtime.Cycles
+	// Instructions counts instructions retired.
+	Instructions uint64
+}
+
+// EdgeKind classifies CPG edges.
+type EdgeKind uint8
+
+// Edge kinds.
+const (
+	// EdgeControl is intra-thread program order.
+	EdgeControl EdgeKind = iota + 1
+	// EdgeSync is a release -> acquire schedule dependency.
+	EdgeSync
+	// EdgeData is an update-use data dependency.
+	EdgeData
+)
+
+// String names the edge kind.
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeControl:
+		return "control"
+	case EdgeSync:
+		return "sync"
+	case EdgeData:
+		return "data"
+	default:
+		return "unknown"
+	}
+}
+
+// Edge is one CPG edge.
+type Edge struct {
+	From, To SubID
+	Kind     EdgeKind
+	// Object names the synchronization object for sync edges.
+	Object string
+	// Pages lists the shared pages for data edges.
+	Pages []uint64
+}
+
+// Graph is the Concurrent Provenance Graph under construction or analysis.
+// Methods are safe for concurrent use by the recording threads.
+type Graph struct {
+	mu        sync.RWMutex
+	threads   int
+	seqs      map[int][]*SubComputation
+	syncEdges []Edge
+}
+
+// NewGraph creates an empty CPG for up to threads thread slots.
+func NewGraph(threads int) *Graph {
+	return &Graph{
+		threads: threads,
+		seqs:    make(map[int][]*SubComputation),
+	}
+}
+
+// Threads returns the thread-slot capacity.
+func (g *Graph) Threads() int { return g.threads }
+
+// add appends a completed sub-computation to its thread sequence. The
+// recorder guarantees alphas are dense per thread.
+func (g *Graph) add(sc *SubComputation) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	seq := g.seqs[sc.ID.Thread]
+	if uint64(len(seq)) != sc.ID.Alpha {
+		return fmt.Errorf("core: thread %d alpha %d out of order (have %d)",
+			sc.ID.Thread, sc.ID.Alpha, len(seq))
+	}
+	g.seqs[sc.ID.Thread] = append(seq, sc)
+	return nil
+}
+
+// addSyncEdge records a release -> acquire schedule dependency.
+func (g *Graph) addSyncEdge(from, to SubID, object string) {
+	g.mu.Lock()
+	g.syncEdges = append(g.syncEdges, Edge{From: from, To: to, Kind: EdgeSync, Object: object})
+	g.mu.Unlock()
+}
+
+// Sub returns the vertex with the given ID.
+func (g *Graph) Sub(id SubID) (*SubComputation, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	seq := g.seqs[id.Thread]
+	if id.Alpha >= uint64(len(seq)) {
+		return nil, false
+	}
+	return seq[id.Alpha], true
+}
+
+// ThreadSeq returns thread t's sub-computation sequence Lt.
+func (g *Graph) ThreadSeq(t int) []*SubComputation {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]*SubComputation, len(g.seqs[t]))
+	copy(out, g.seqs[t])
+	return out
+}
+
+// Subs returns every vertex, ordered by (thread, alpha).
+func (g *Graph) Subs() []*SubComputation {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []*SubComputation
+	threads := make([]int, 0, len(g.seqs))
+	for t := range g.seqs {
+		threads = append(threads, t)
+	}
+	sort.Ints(threads)
+	for _, t := range threads {
+		out = append(out, g.seqs[t]...)
+	}
+	return out
+}
+
+// NumSubs returns the vertex count.
+func (g *Graph) NumSubs() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n := 0
+	for _, seq := range g.seqs {
+		n += len(seq)
+	}
+	return n
+}
+
+// ControlEdges derives the intra-thread program-order edges.
+func (g *Graph) ControlEdges() []Edge {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []Edge
+	for t, seq := range g.seqs {
+		for i := 1; i < len(seq); i++ {
+			out = append(out, Edge{
+				From: SubID{Thread: t, Alpha: uint64(i - 1)},
+				To:   SubID{Thread: t, Alpha: uint64(i)},
+				Kind: EdgeControl,
+			})
+		}
+	}
+	sortEdges(out)
+	return out
+}
+
+// SyncEdges returns the recorded schedule-dependency edges.
+func (g *Graph) SyncEdges() []Edge {
+	g.mu.RLock()
+	out := make([]Edge, len(g.syncEdges))
+	copy(out, g.syncEdges)
+	g.mu.RUnlock()
+	sortEdges(out)
+	return out
+}
+
+// HappensBefore reports whether a happens-before b using the recorded
+// vector clocks (same-thread order included).
+func (g *Graph) HappensBefore(a, b SubID) bool {
+	if a.Thread == b.Thread {
+		return a.Alpha < b.Alpha
+	}
+	sa, ok := g.Sub(a)
+	if !ok {
+		return false
+	}
+	sb, ok := g.Sub(b)
+	if !ok {
+		return false
+	}
+	switch sa.Clock.Compare(sb.Clock) {
+	case vclock.Before:
+		return true
+	case vclock.Equal:
+		// Equal clocks across threads can only happen for initial
+		// zero-clock subs; order them by thread slot for determinism.
+		return false
+	default:
+		return false
+	}
+}
+
+// Concurrent reports whether neither vertex happens-before the other.
+func (g *Graph) Concurrent(a, b SubID) bool {
+	return !g.HappensBefore(a, b) && !g.HappensBefore(b, a) && a != b
+}
+
+// DataEdges derives the update-use edges (§IV-A III): for every reader n
+// and page p in its read set, an edge from each maximal writer m (under
+// happens-before) with p in its write set and m -> n. Writers hidden by a
+// later writer of the same page that still precedes the reader are
+// excluded, so each edge names a write that may actually have produced
+// the value read.
+//
+// Two structural facts keep this tractable on sync-heavy executions with
+// tens of thousands of vertices: (1) a thread's writers of a page are
+// totally ordered by program order, so at most the *latest* one that
+// happens-before n can be maximal — earlier ones are hidden by it; and
+// (2) "happens-before n" is monotone along a thread's sequence (if a
+// later sub-computation precedes n, so do all earlier ones), so the
+// latest qualifying writer per thread is found by binary search. The
+// maximal filter then runs over at most one candidate per thread.
+func (g *Graph) DataEdges() []Edge {
+	subs := g.Subs()
+	hb := func(a, b *SubComputation) bool {
+		if a.ID.Thread == b.ID.Thread {
+			return a.ID.Alpha < b.ID.Alpha
+		}
+		return a.Clock.Compare(b.Clock) == vclock.Before
+	}
+	// writersByPage[p][t] = thread t's writers of p in program order
+	// (Subs() is (thread, alpha)-sorted, so appends preserve order).
+	writersByPage := make(map[uint64]map[int][]*SubComputation)
+	for _, sc := range subs {
+		for p := range sc.WriteSet {
+			byT := writersByPage[p]
+			if byT == nil {
+				byT = make(map[int][]*SubComputation)
+				writersByPage[p] = byT
+			}
+			byT[sc.ID.Thread] = append(byT[sc.ID.Thread], sc)
+		}
+	}
+	type key struct {
+		from, to SubID
+	}
+	pages := make(map[key][]uint64)
+	var cands []*SubComputation
+	for _, n := range subs {
+		for p := range n.ReadSet {
+			byT := writersByPage[p]
+			if byT == nil {
+				continue
+			}
+			cands = cands[:0]
+			for _, seq := range byT {
+				// Binary search for the first writer NOT before n; the
+				// candidate is its predecessor. n itself never
+				// satisfies hb(n, n), so self-writes are excluded.
+				lo, hi := 0, len(seq)
+				for lo < hi {
+					mid := (lo + hi) / 2
+					if hb(seq[mid], n) {
+						lo = mid + 1
+					} else {
+						hi = mid
+					}
+				}
+				if lo > 0 {
+					cands = append(cands, seq[lo-1])
+				}
+			}
+			for _, m := range cands {
+				hidden := false
+				for _, m2 := range cands {
+					if m2 != m && hb(m, m2) {
+						hidden = true
+						break
+					}
+				}
+				if !hidden {
+					k := key{from: m.ID, to: n.ID}
+					pages[k] = append(pages[k], p)
+				}
+			}
+		}
+	}
+	out := make([]Edge, 0, len(pages))
+	for k, ps := range pages {
+		sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+		out = append(out, Edge{From: k.from, To: k.to, Kind: EdgeData, Pages: ps})
+	}
+	sortEdges(out)
+	return out
+}
+
+// Edges returns control, sync, and data edges combined.
+func (g *Graph) Edges() []Edge {
+	out := g.ControlEdges()
+	out = append(out, g.SyncEdges()...)
+	out = append(out, g.DataEdges()...)
+	return out
+}
+
+func sortEdges(edges []Edge) {
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		if a.From != b.From {
+			return a.From.Less(b.From)
+		}
+		if a.To != b.To {
+			return a.To.Less(b.To)
+		}
+		return a.Kind < b.Kind
+	})
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// MarshalJSON renders a PageSet as a sorted array of page IDs.
+func (s PageSet) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.Sorted())
+}
+
+// UnmarshalJSON reads the array form back into a set.
+func (s *PageSet) UnmarshalJSON(data []byte) error {
+	var pages []uint64
+	if err := json.Unmarshal(data, &pages); err != nil {
+		return err
+	}
+	out := NewPageSet()
+	for _, p := range pages {
+		out.Add(p)
+	}
+	*s = out
+	return nil
+}
+
+// Dump is the serializable form of a Graph.
+type Dump struct {
+	Threads   int
+	Subs      []*SubComputation
+	SyncEdges []Edge
+}
+
+// Dump extracts the graph's full state.
+func (g *Graph) Dump() *Dump {
+	return &Dump{
+		Threads:   g.Threads(),
+		Subs:      g.Subs(),
+		SyncEdges: g.SyncEdges(),
+	}
+}
+
+// FromDump reconstructs a Graph.
+func FromDump(d *Dump) (*Graph, error) {
+	g := NewGraph(d.Threads)
+	subs := make([]*SubComputation, len(d.Subs))
+	copy(subs, d.Subs)
+	sort.Slice(subs, func(i, j int) bool { return subs[i].ID.Less(subs[j].ID) })
+	for _, sc := range subs {
+		if err := g.add(sc); err != nil {
+			return nil, err
+		}
+	}
+	g.mu.Lock()
+	g.syncEdges = append(g.syncEdges, d.SyncEdges...)
+	g.mu.Unlock()
+	return g, nil
+}
+
+// EncodeGob serializes the graph in gob format.
+func (g *Graph) EncodeGob(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(g.Dump()); err != nil {
+		return fmt.Errorf("core: encode CPG: %w", err)
+	}
+	return nil
+}
+
+// DecodeGob reads a graph serialized by EncodeGob.
+func DecodeGob(r io.Reader) (*Graph, error) {
+	var d Dump
+	if err := gob.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("core: decode CPG: %w", err)
+	}
+	return FromDump(&d)
+}
+
+// EncodeJSON serializes the graph as JSON (for cpg-query and debugging).
+func (g *Graph) EncodeJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(g.Dump()); err != nil {
+		return fmt.Errorf("core: encode CPG json: %w", err)
+	}
+	return nil
+}
+
+// DecodeJSON reads a graph serialized by EncodeJSON.
+func DecodeJSON(r io.Reader) (*Graph, error) {
+	var d Dump
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("core: decode CPG json: %w", err)
+	}
+	return FromDump(&d)
+}
+
+// WriteDOT renders the CPG in Graphviz DOT form: one cluster per thread,
+// solid edges for program order, dashed for schedule dependencies,
+// bold for data dependencies.
+func (g *Graph) WriteDOT(w io.Writer) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("digraph CPG {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n")
+	threads := make(map[int][]*SubComputation)
+	for _, sc := range g.Subs() {
+		threads[sc.ID.Thread] = append(threads[sc.ID.Thread], sc)
+	}
+	var order []int
+	for t := range threads {
+		order = append(order, t)
+	}
+	sort.Ints(order)
+	for _, t := range order {
+		p("  subgraph cluster_t%d {\n    label=\"thread %d\";\n", t, t)
+		for _, sc := range threads[t] {
+			p("    %q [label=\"%s\\nR:%d W:%d\\nend:%s %s\"];\n",
+				sc.ID.String(), sc.ID.String(),
+				sc.ReadSet.Len(), sc.WriteSet.Len(),
+				sc.End.Kind, sc.End.Object)
+		}
+		p("  }\n")
+	}
+	for _, e := range g.Edges() {
+		switch e.Kind {
+		case EdgeControl:
+			p("  %q -> %q;\n", e.From.String(), e.To.String())
+		case EdgeSync:
+			p("  %q -> %q [style=dashed, label=%q];\n", e.From.String(), e.To.String(), e.Object)
+		case EdgeData:
+			p("  %q -> %q [style=bold, color=blue, label=\"%d pages\"];\n",
+				e.From.String(), e.To.String(), len(e.Pages))
+		}
+	}
+	p("}\n")
+	if err != nil {
+		return fmt.Errorf("core: write DOT: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package core
+
+import "sort"
+
+// PageSet is a set of page IDs — the representation of a sub-computation's
+// read set (Lt[α].R) and write set (Lt[α].W). INSPECTOR tracks data flow
+// at memory-page granularity (§V-A): per-word tracking would require
+// instrumenting every load/store, which the paper rejects as "extremely
+// inefficient with current hardware".
+type PageSet map[uint64]struct{}
+
+// NewPageSet returns an empty set.
+func NewPageSet() PageSet { return make(PageSet) }
+
+// Add inserts page p.
+func (s PageSet) Add(p uint64) { s[p] = struct{}{} }
+
+// Contains reports membership.
+func (s PageSet) Contains(p uint64) bool {
+	_, ok := s[p]
+	return ok
+}
+
+// Len returns the set size.
+func (s PageSet) Len() int { return len(s) }
+
+// Intersect returns the pages present in both sets.
+func (s PageSet) Intersect(other PageSet) []uint64 {
+	small, large := s, other
+	if len(other) < len(s) {
+		small, large = other, s
+	}
+	var out []uint64
+	for p := range small {
+		if large.Contains(p) {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Intersects reports whether the sets share any page.
+func (s PageSet) Intersects(other PageSet) bool {
+	small, large := s, other
+	if len(other) < len(s) {
+		small, large = other, s
+	}
+	for p := range small {
+		if large.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Sorted returns the pages in ascending order.
+func (s PageSet) Sorted() []uint64 {
+	out := make([]uint64, 0, len(s))
+	for p := range s {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clone returns an independent copy.
+func (s PageSet) Clone() PageSet {
+	out := make(PageSet, len(s))
+	for p := range s {
+		out[p] = struct{}{}
+	}
+	return out
+}

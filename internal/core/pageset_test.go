@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestPageSetBasics(t *testing.T) {
+	s := NewPageSet()
+	if s.Len() != 0 || s.Contains(1) {
+		t.Fatal("new set not empty")
+	}
+	s.Add(5)
+	s.Add(5)
+	s.Add(3)
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+	if !s.Contains(5) || !s.Contains(3) || s.Contains(4) {
+		t.Error("membership wrong")
+	}
+	got := s.Sorted()
+	if len(got) != 2 || got[0] != 3 || got[1] != 5 {
+		t.Errorf("Sorted = %v", got)
+	}
+}
+
+func TestPageSetIntersect(t *testing.T) {
+	a := NewPageSet()
+	b := NewPageSet()
+	for _, p := range []uint64{1, 2, 3, 4} {
+		a.Add(p)
+	}
+	for _, p := range []uint64{3, 4, 5} {
+		b.Add(p)
+	}
+	got := a.Intersect(b)
+	if len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Errorf("Intersect = %v", got)
+	}
+	// Symmetric.
+	got2 := b.Intersect(a)
+	if len(got2) != len(got) {
+		t.Error("intersection not symmetric")
+	}
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Error("Intersects = false")
+	}
+	c := NewPageSet()
+	c.Add(99)
+	if a.Intersects(c) {
+		t.Error("disjoint sets intersect")
+	}
+	if got := a.Intersect(c); len(got) != 0 {
+		t.Errorf("disjoint Intersect = %v", got)
+	}
+}
+
+func TestPageSetClone(t *testing.T) {
+	a := NewPageSet()
+	a.Add(1)
+	b := a.Clone()
+	b.Add(2)
+	if a.Contains(2) {
+		t.Error("clone aliases original")
+	}
+	if !b.Contains(1) {
+		t.Error("clone missing original member")
+	}
+}

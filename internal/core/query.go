@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/repro/inspector/internal/vclock"
+)
+
+// Analysis is a queryable view of a completed CPG with precomputed edges
+// and adjacency. Build one with Graph.Analyze after recording finishes.
+type Analysis struct {
+	g     *Graph
+	edges []Edge
+	preds map[SubID][]Edge
+	succs map[SubID][]Edge
+}
+
+// Analyze derives all edges and builds adjacency indexes.
+func (g *Graph) Analyze() *Analysis {
+	a := &Analysis{
+		g:     g,
+		edges: g.Edges(),
+		preds: make(map[SubID][]Edge),
+		succs: make(map[SubID][]Edge),
+	}
+	for _, e := range a.edges {
+		a.preds[e.To] = append(a.preds[e.To], e)
+		a.succs[e.From] = append(a.succs[e.From], e)
+	}
+	return a
+}
+
+// Graph returns the underlying CPG.
+func (a *Analysis) Graph() *Graph { return a.g }
+
+// Edges returns all derived edges.
+func (a *Analysis) Edges() []Edge { return a.edges }
+
+// kindIn reports whether k is in kinds (empty kinds means all).
+func kindIn(k EdgeKind, kinds []EdgeKind) bool {
+	if len(kinds) == 0 {
+		return true
+	}
+	for _, want := range kinds {
+		if k == want {
+			return true
+		}
+	}
+	return false
+}
+
+// Ancestors returns the backward closure of id over the selected edge
+// kinds (all kinds if none given), excluding id itself, ordered by
+// (thread, alpha).
+func (a *Analysis) Ancestors(id SubID, kinds ...EdgeKind) []SubID {
+	seen := map[SubID]bool{id: true}
+	stack := []SubID{id}
+	var out []SubID
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range a.preds[cur] {
+			if !kindIn(e.Kind, kinds) || seen[e.From] {
+				continue
+			}
+			seen[e.From] = true
+			out = append(out, e.From)
+			stack = append(stack, e.From)
+		}
+	}
+	sortSubIDs(out)
+	return out
+}
+
+// Descendants returns the forward closure of id over the selected edge
+// kinds, excluding id itself.
+func (a *Analysis) Descendants(id SubID, kinds ...EdgeKind) []SubID {
+	seen := map[SubID]bool{id: true}
+	stack := []SubID{id}
+	var out []SubID
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range a.succs[cur] {
+			if !kindIn(e.Kind, kinds) || seen[e.To] {
+				continue
+			}
+			seen[e.To] = true
+			out = append(out, e.To)
+			stack = append(stack, e.To)
+		}
+	}
+	sortSubIDs(out)
+	return out
+}
+
+// Slice returns the backward program slice of id: every sub-computation
+// whose execution may have affected id, through any dependency kind. This
+// is the query the paper's debugging case study builds on (§VIII).
+func (a *Analysis) Slice(id SubID) []SubID {
+	return a.Ancestors(id)
+}
+
+// PageLineage explains where the contents of page p seen by reader `at`
+// may have come from: the maximal writers of p that happen-before `at`,
+// each paired with its own data-dependency ancestors.
+func (a *Analysis) PageLineage(p uint64, at SubID) []Lineage {
+	var out []Lineage
+	for _, e := range a.preds[at] {
+		if e.Kind != EdgeData {
+			continue
+		}
+		for _, page := range e.Pages {
+			if page == p {
+				out = append(out, Lineage{
+					Writer:    e.From,
+					Page:      p,
+					Upstream:  a.Ancestors(e.From, EdgeData),
+					ViaObject: e.Object,
+				})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Lineage is one provenance explanation for a page read.
+type Lineage struct {
+	// Writer is the sub-computation whose write may be the source.
+	Writer SubID
+	// Page is the page in question.
+	Page uint64
+	// Upstream lists Writer's own transitive data-dependency sources.
+	Upstream []SubID
+	// ViaObject names the sync object on the edge, if any.
+	ViaObject string
+}
+
+// TaintedBy computes forward information flow: all sub-computations that
+// transitively consumed data written by source (the DIFT case study's
+// primitive, §VIII). Flow propagates over data edges.
+func (a *Analysis) TaintedBy(source SubID) []SubID {
+	return a.Descendants(source, EdgeData)
+}
+
+// Verify checks structural invariants of the recorded CPG:
+//
+//  1. every edge agrees with the vector-clock happens-before order;
+//  2. the combined edge relation is acyclic;
+//  3. read/write sets only appear on recorded vertices.
+//
+// It returns nil if the graph is a valid CPG.
+func (a *Analysis) Verify() error {
+	for _, e := range a.edges {
+		sa, ok := a.g.Sub(e.From)
+		if !ok {
+			return fmt.Errorf("core: edge from unknown vertex %v", e.From)
+		}
+		sb, ok := a.g.Sub(e.To)
+		if !ok {
+			return fmt.Errorf("core: edge to unknown vertex %v", e.To)
+		}
+		if e.From.Thread == e.To.Thread {
+			if e.From.Alpha >= e.To.Alpha {
+				return fmt.Errorf("core: intra-thread edge %v -> %v against program order", e.From, e.To)
+			}
+			continue
+		}
+		if ord := sa.Clock.Compare(sb.Clock); ord != vclock.Before {
+			return fmt.Errorf("core: %s edge %v -> %v has clock order %v, want ->",
+				e.Kind, e.From, e.To, ord)
+		}
+	}
+	return a.checkAcyclic()
+}
+
+// checkAcyclic runs Kahn's algorithm over the explicit edge set.
+func (a *Analysis) checkAcyclic() error {
+	indeg := make(map[SubID]int)
+	for _, sc := range a.g.Subs() {
+		indeg[sc.ID] = 0
+	}
+	for _, e := range a.edges {
+		indeg[e.To]++
+	}
+	var queue []SubID
+	for id, d := range indeg {
+		if d == 0 {
+			queue = append(queue, id)
+		}
+	}
+	removed := 0
+	for len(queue) > 0 {
+		cur := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		removed++
+		for _, e := range a.succs[cur] {
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	if removed != len(indeg) {
+		return fmt.Errorf("core: CPG contains a cycle (%d of %d vertices sorted)", removed, len(indeg))
+	}
+	return nil
+}
+
+func sortSubIDs(ids []SubID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j].Less(ids[j-1]); j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

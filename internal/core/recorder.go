@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/repro/inspector/internal/vclock"
+	"github.com/repro/inspector/internal/vtime"
+)
+
+// SyncObject is the provenance-side state of one synchronization object S:
+// its vector clock CS (the "messaging medium" of Algorithm 2) plus the set
+// of releaser sub-computations whose releases the next acquire observes
+// (for explicit schedule edges). The actual blocking behaviour lives in
+// the threading library; this object only records causality.
+type SyncObject struct {
+	name string
+
+	mu        sync.Mutex
+	clock     vclock.Clock
+	releasers []SubID
+	// accumulate keeps earlier releasers in the set (barriers, condition
+	// variables, semaphores); mutexes replace, since an acquire of a
+	// mutex synchronizes only with the previous release.
+	accumulate bool
+}
+
+// NewSyncObject creates the provenance state for object name with the
+// given vector-clock width. accumulate selects whether successive releases
+// pile up (barrier/cond/sem semantics) or replace (mutex semantics).
+func NewSyncObject(name string, threads int, accumulate bool) *SyncObject {
+	return &SyncObject{
+		name:       name,
+		clock:      vclock.New(threads),
+		accumulate: accumulate,
+	}
+}
+
+// Name returns the object's name.
+func (s *SyncObject) Name() string { return s.name }
+
+// release folds the releasing thread's clock into CS and records the
+// releasing sub-computation: ∀i: CS[i] <- max(CS[i], Ct[i]).
+func (s *SyncObject) release(threadClock vclock.Clock, from SubID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.clock.Merge(threadClock)
+	if s.accumulate {
+		s.releasers = append(s.releasers, from)
+	} else {
+		s.releasers = s.releasers[:0]
+		s.releasers = append(s.releasers, from)
+	}
+}
+
+// acquire folds CS into the acquiring thread's clock and returns the
+// releasers the acquire synchronizes with: ∀i: Ct[i] <- max(CS[i], Ct[i]).
+func (s *SyncObject) acquire(threadClock vclock.Clock) []SubID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	threadClock.Merge(s.clock)
+	out := make([]SubID, len(s.releasers))
+	copy(out, s.releasers)
+	return out
+}
+
+// ResetReleasers clears the releaser set (barrier generation roll-over).
+func (s *SyncObject) ResetReleasers() {
+	s.mu.Lock()
+	s.releasers = s.releasers[:0]
+	s.mu.Unlock()
+}
+
+// Recorder is the per-thread state of the provenance algorithm: the thread
+// clock Ct, the sub-computation counter α, the thunk counter β, and the
+// in-progress sub-computation. A Recorder is owned by one thread; only the
+// SyncObject interactions synchronize with other threads — the algorithm's
+// decentralization property (§IV-B).
+type Recorder struct {
+	graph  *Graph
+	thread int
+	clock  vclock.Clock
+	alpha  uint64
+	beta   uint64
+
+	cur          *SubComputation
+	instructions uint64 // current thunk's instruction count
+}
+
+// NewRecorder initializes a thread recorder (initThread(t) in Algorithm 2:
+// α <- 0, Ct <- 0) and opens the first sub-computation at virtual time
+// now.
+func NewRecorder(g *Graph, thread int, now vtime.Cycles) (*Recorder, error) {
+	if thread < 0 || thread >= g.Threads() {
+		return nil, fmt.Errorf("core: thread slot %d out of range [0,%d)", thread, g.Threads())
+	}
+	r := &Recorder{
+		graph:  g,
+		thread: thread,
+		clock:  vclock.New(g.Threads()),
+	}
+	r.startSub(now)
+	return r, nil
+}
+
+// Thread returns the recorder's thread slot.
+func (r *Recorder) Thread() int { return r.thread }
+
+// Alpha returns the current sub-computation counter.
+func (r *Recorder) Alpha() uint64 { return r.alpha }
+
+// Clock returns the thread's current vector clock (not a copy; callers
+// must not mutate it).
+func (r *Recorder) Clock() vclock.Clock { return r.clock }
+
+// Current returns the in-progress sub-computation's ID.
+func (r *Recorder) Current() SubID {
+	return SubID{Thread: r.thread, Alpha: r.alpha}
+}
+
+// startSub opens sub-computation Lt[α] (startSub-computation() in
+// Algorithm 2): β <- 0, Ct[t] <- α+1, Lt[α].C <- Ct.
+//
+// Deviation from the paper's literal "Ct[t] <- α": slots here are 1-based.
+// With 0-based slots a thread's first sub-computation carries an all-zero
+// clock, which the component-wise comparison orders before *every* other
+// sub-computation — including ones it never synchronized with. Using α+1
+// restores the standard vector-clock theorem (V_e < V_f iff e
+// happens-before f), which TestQuickHappensBeforeMatchesEdgeReachability
+// verifies against explicit edge reachability.
+func (r *Recorder) startSub(now vtime.Cycles) {
+	r.beta = 0
+	r.instructions = 0
+	r.clock.Set(r.thread, r.alpha+1)
+	r.cur = &SubComputation{
+		ID:       SubID{Thread: r.thread, Alpha: r.alpha},
+		Clock:    r.clock.Copy(),
+		ReadSet:  NewPageSet(),
+		WriteSet: NewPageSet(),
+		Start:    now,
+	}
+}
+
+// OnRead records a load's page into the read set (onMemoryAccess).
+func (r *Recorder) OnRead(page uint64) { r.cur.ReadSet.Add(page) }
+
+// OnWrite records a store's page into the write set (onMemoryAccess).
+func (r *Recorder) OnWrite(page uint64) { r.cur.WriteSet.Add(page) }
+
+// OnInstructions counts instructions retired in the current thunk.
+func (r *Recorder) OnInstructions(n uint64) {
+	r.instructions += n
+	r.cur.Instructions += n
+}
+
+// OnBranch closes the current thunk with the branch that terminated it
+// and opens thunk β+1 (onBranchAccess in Algorithm 2).
+func (r *Recorder) OnBranch(site string, taken bool) {
+	r.cur.Thunks = append(r.cur.Thunks, Thunk{
+		Index:        r.beta,
+		Site:         site,
+		Taken:        taken,
+		Instructions: r.instructions,
+	})
+	r.beta++
+	r.instructions = 0
+}
+
+// OnIndirect is OnBranch for indirect transfers.
+func (r *Recorder) OnIndirect(site, target string) {
+	r.cur.Thunks = append(r.cur.Thunks, Thunk{
+		Index:        r.beta,
+		Site:         site,
+		Indirect:     true,
+		Target:       target,
+		Instructions: r.instructions,
+	})
+	r.beta++
+	r.instructions = 0
+}
+
+// EndSub closes the current sub-computation at a synchronization point
+// (the α <- α+1 step of Algorithm 1) and returns it after adding it to
+// the graph.
+func (r *Recorder) EndSub(ev SyncEvent, now vtime.Cycles) (*SubComputation, error) {
+	r.cur.End = ev
+	r.cur.Finish = now
+	done := r.cur
+	if err := r.graph.add(done); err != nil {
+		return nil, err
+	}
+	r.alpha++
+	r.startSub(now)
+	return done, nil
+}
+
+// Release performs the provenance side of a release operation on S
+// (case release(S) in onSynchronization): the *completed* sub-computation
+// from is what the next acquirer synchronizes with, and it is from's
+// stamped clock — not the thread's current clock — that folds into CS.
+//
+// Algorithm 1 orders the steps as: α <- α+1, then onSynchronization(S),
+// then startSub-computation (which bumps Ct[t]). EndSub here opens the
+// next sub-computation eagerly, so by the time Release runs the thread
+// clock already carries the *next* sub's slot value; publishing it would
+// falsely order the releaser's next sub-computation before the acquirer.
+// Using the completed sub's stamp reproduces the algorithm's ordering
+// exactly (the clock never changes during a sub-computation's execution).
+func (r *Recorder) Release(s *SyncObject, from *SubComputation) {
+	s.release(from.Clock, from.ID)
+}
+
+// Acquire performs the provenance side of an acquire operation on S,
+// merging CS into Ct and adding schedule edges from the releasers it
+// synchronizes with to the thread's current (fresh) sub-computation.
+func (r *Recorder) Acquire(s *SyncObject) {
+	releasers := s.acquire(r.clock)
+	// The acquire binds to the sub-computation that starts after the
+	// synchronization call; its clock must reflect the merge.
+	r.cur.Clock = r.clock.Copy()
+	to := r.Current()
+	for _, from := range releasers {
+		if from.Thread == to.Thread && from.Alpha+1 == to.Alpha {
+			// Program order already covers this edge.
+			continue
+		}
+		r.graph.addSyncEdge(from, to, s.Name())
+	}
+}
+
+// MergeAcquire folds S's clock into the thread clock without touching the
+// releaser bookkeeping. Barriers use it together with AddScheduleEdge:
+// the barrier implementation tracks per-generation arrival sets itself, so
+// edges come from the captured generation rather than the object's
+// accumulated releaser list.
+func (r *Recorder) MergeAcquire(s *SyncObject) {
+	s.acquire(r.clock)
+	r.cur.Clock = r.clock.Copy()
+}
+
+// AddScheduleEdge records an explicit release -> acquire edge from a
+// known releaser to the recorder's current sub-computation, skipping
+// edges already implied by program order.
+func (r *Recorder) AddScheduleEdge(from SubID, object string) {
+	to := r.Current()
+	if from.Thread == to.Thread && from.Alpha+1 == to.Alpha {
+		return
+	}
+	r.graph.addSyncEdge(from, to, object)
+}

@@ -1,0 +1,387 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"github.com/repro/inspector/internal/threading"
+	"github.com/repro/inspector/internal/workloads"
+)
+
+// paperParams reproduces Table 7's dataset/parameter column for context.
+var paperParams = map[string]string{
+	"blackscholes":      "16 in_64K.txt prices.txt",
+	"canneal":           "15 10000 2000 100000.nets 32",
+	"histogram":         "large.bmp",
+	"kmeans":            "-d 3 -c 500 -p 50000 -s 500",
+	"linear_regression": "key_file_500MB.txt",
+	"matrix_multiply":   "2000 2000",
+	"pca":               "-r 4000 -c 4000 -s 100",
+	"reverse_index":     "datafiles",
+	"streamcluster":     "2 5 1 10 10 5 none output.txt 16",
+	"string_match":      "key_file_500MB.txt",
+	"swaptions":         "-ns 128 -sm 50000 -nt 16",
+	"word_count":        "word_100MB.txt",
+}
+
+// Fig5Row is one application's overhead curve (Figure 5).
+type Fig5Row struct {
+	App string
+	// Overhead maps thread count -> inspector time / native time.
+	Overhead map[int]float64
+	// WorkOverhead maps thread count -> inspector work / native work
+	// (the companion work-measurement plot the paper links).
+	WorkOverhead map[int]float64
+}
+
+// Figure5 measures provenance overhead against native execution across
+// the thread sweep.
+func (h *Harness) Figure5() ([]Fig5Row, error) {
+	apps, err := h.apps()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig5Row, 0, len(apps))
+	for _, w := range apps {
+		row := Fig5Row{
+			App:          w.Name(),
+			Overhead:     make(map[int]float64),
+			WorkOverhead: make(map[int]float64),
+		}
+		for _, th := range h.opts.Threads {
+			nat, err := h.run(w.Name(), threading.ModeNative, th, h.opts.Size)
+			if err != nil {
+				return nil, err
+			}
+			insp, err := h.run(w.Name(), threading.ModeInspector, th, h.opts.Size)
+			if err != nil {
+				return nil, err
+			}
+			row.Overhead[th] = ratio(float64(insp.rep.Time), float64(nat.rep.Time))
+			row.WorkOverhead[th] = ratio(float64(insp.rep.Work), float64(nat.rep.Work))
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Fig6Row is one application's overhead breakdown (Figure 6).
+type Fig6Row struct {
+	App string
+	// Total is the end-to-end overhead factor at the breakdown thread
+	// count.
+	Total float64
+	// ThreadingLib and OSSupport split the overhead above 1x between
+	// the threading library (faults, commits, clocks, spawns) and the
+	// OS support for Intel PT, proportionally to measured cycles.
+	ThreadingLib float64
+	OSSupport    float64
+	// DominantComponent names which side dominates, the qualitative
+	// claim of §VII-B.
+	DominantComponent string
+}
+
+// Figure6 computes the overhead breakdown at BreakdownThreads.
+func (h *Harness) Figure6() ([]Fig6Row, error) {
+	apps, err := h.apps()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig6Row, 0, len(apps))
+	for _, w := range apps {
+		th := h.opts.BreakdownThreads
+		nat, err := h.run(w.Name(), threading.ModeNative, th, h.opts.Size)
+		if err != nil {
+			return nil, err
+		}
+		insp, err := h.run(w.Name(), threading.ModeInspector, th, h.opts.Size)
+		if err != nil {
+			return nil, err
+		}
+		total := ratio(float64(insp.rep.Time), float64(nat.rep.Time))
+		extra := total - 1
+		if extra < 0 {
+			extra = 0
+		}
+		tc := float64(insp.rep.ThreadingCycles)
+		pc := float64(insp.rep.PTCycles)
+		row := Fig6Row{App: w.Name(), Total: total}
+		if tc+pc > 0 {
+			row.ThreadingLib = extra * tc / (tc + pc)
+			row.OSSupport = extra * pc / (tc + pc)
+		}
+		row.DominantComponent = "pt"
+		if row.ThreadingLib > row.OSSupport {
+			row.DominantComponent = "threading"
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Table7Row is one application's runtime statistics (the paper's
+// Figure 7 table).
+type Table7Row struct {
+	App          string
+	Params       string
+	PageFaults   uint64
+	FaultsPerSec float64
+}
+
+// Table7 gathers fault statistics at BreakdownThreads.
+func (h *Harness) Table7() ([]Table7Row, error) {
+	apps, err := h.apps()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Table7Row, 0, len(apps))
+	for _, w := range apps {
+		insp, err := h.run(w.Name(), threading.ModeInspector, h.opts.BreakdownThreads, h.opts.Size)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Table7Row{
+			App:          w.Name(),
+			Params:       paperParams[w.Name()],
+			PageFaults:   insp.rep.Faults(),
+			FaultsPerSec: insp.rep.FaultsPerSec(),
+		})
+	}
+	return out, nil
+}
+
+// Fig8Point is one (size, overhead) sample of the input-scaling curve.
+type Fig8Point struct {
+	Size     workloads.Size
+	Overhead float64
+	InputMB  float64
+}
+
+// Fig8Row is one application's input-scaling behaviour (Figure 8).
+type Fig8Row struct {
+	App    string
+	Points []Fig8Point
+}
+
+// Fig8Apps are the four applications the paper sweeps in Figure 8.
+var Fig8Apps = []string{"histogram", "linear_regression", "string_match", "word_count"}
+
+// Figure8 sweeps input sizes at BreakdownThreads for the four Figure 8
+// applications.
+func (h *Harness) Figure8() ([]Fig8Row, error) {
+	out := make([]Fig8Row, 0, len(Fig8Apps))
+	for _, app := range Fig8Apps {
+		row := Fig8Row{App: app}
+		for _, size := range []workloads.Size{workloads.Small, workloads.Medium, workloads.Large} {
+			nat, err := h.run(app, threading.ModeNative, h.opts.BreakdownThreads, size)
+			if err != nil {
+				return nil, err
+			}
+			insp, err := h.run(app, threading.ModeInspector, h.opts.BreakdownThreads, size)
+			if err != nil {
+				return nil, err
+			}
+			row.Points = append(row.Points, Fig8Point{
+				Size:     size,
+				Overhead: ratio(float64(insp.rep.Time), float64(nat.rep.Time)),
+				InputMB:  float64(insp.inputBytes) / 1e6,
+			})
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Table9Row is one application's provenance-log statistics (the paper's
+// Figure 9 table).
+type Table9Row struct {
+	App            string
+	SizeMB         float64
+	CompressedMB   float64
+	Ratio          float64
+	BandwidthMBps  float64
+	BranchesPerSec float64
+}
+
+// Table9 gathers space-overhead statistics at BreakdownThreads.
+func (h *Harness) Table9() ([]Table9Row, error) {
+	apps, err := h.apps()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Table9Row, 0, len(apps))
+	for _, w := range apps {
+		insp, err := h.run(w.Name(), threading.ModeInspector, h.opts.BreakdownThreads, h.opts.Size)
+		if err != nil {
+			return nil, err
+		}
+		row := Table9Row{
+			App:            w.Name(),
+			SizeMB:         float64(insp.rep.TraceBytes) / 1e6,
+			CompressedMB:   float64(insp.compressed) / 1e6,
+			BandwidthMBps:  insp.rep.TraceBandwidthMBps(),
+			BranchesPerSec: insp.rep.BranchesPerSec(),
+		}
+		if insp.compressed > 0 {
+			row.Ratio = float64(insp.rep.TraceBytes) / float64(insp.compressed)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Results bundles every experiment.
+type Results struct {
+	Fig5   []Fig5Row
+	Fig6   []Fig6Row
+	Table7 []Table7Row
+	Fig8   []Fig8Row
+	Table9 []Table9Row
+}
+
+// All runs every experiment.
+func (h *Harness) All() (*Results, error) {
+	var (
+		res Results
+		err error
+	)
+	if res.Fig5, err = h.Figure5(); err != nil {
+		return nil, err
+	}
+	if res.Fig6, err = h.Figure6(); err != nil {
+		return nil, err
+	}
+	if res.Table7, err = h.Table7(); err != nil {
+		return nil, err
+	}
+	if res.Fig8, err = h.Figure8(); err != nil {
+		return nil, err
+	}
+	if res.Table9, err = h.Table9(); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+func ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// WriteFigure5 renders Figure 5 as text.
+func (h *Harness) WriteFigure5(w io.Writer, rows []Fig5Row) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Figure 5: provenance overhead w.r.t. native execution (size=%v)\n", h.opts.Size)
+	fmt.Fprint(tw, "application")
+	for _, th := range h.opts.Threads {
+		fmt.Fprintf(tw, "\t%dT", th)
+	}
+	fmt.Fprintln(tw)
+	for _, r := range rows {
+		fmt.Fprint(tw, r.App)
+		for _, th := range h.opts.Threads {
+			fmt.Fprintf(tw, "\t%.2fx", r.Overhead[th])
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// WriteWork renders the companion work-overhead measurement the paper
+// publishes alongside Figure 5 ("the corresponding work measurement plot
+// is available here: web-link"): total CPU work of INSPECTOR relative to
+// native, per thread count.
+func (h *Harness) WriteWork(w io.Writer, rows []Fig5Row) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Work overhead w.r.t. native execution (size=%v)\n", h.opts.Size)
+	fmt.Fprint(tw, "application")
+	for _, th := range h.opts.Threads {
+		fmt.Fprintf(tw, "\t%dT", th)
+	}
+	fmt.Fprintln(tw)
+	for _, r := range rows {
+		fmt.Fprint(tw, r.App)
+		for _, th := range h.opts.Threads {
+			fmt.Fprintf(tw, "\t%.2fx", r.WorkOverhead[th])
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// WriteFigure6 renders Figure 6 as text.
+func (h *Harness) WriteFigure6(w io.Writer, rows []Fig6Row) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Figure 6: overhead breakdown at %d threads\n", h.opts.BreakdownThreads)
+	fmt.Fprintln(tw, "application\ttotal\tthreading-lib\tOS/PT support\tdominant")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.2fx\t+%.2f\t+%.2f\t%s\n",
+			r.App, r.Total, r.ThreadingLib, r.OSSupport, r.DominantComponent)
+	}
+	return tw.Flush()
+}
+
+// WriteTable7 renders Table 7 as text.
+func (h *Harness) WriteTable7(w io.Writer, rows []Table7Row) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Table 7: runtime statistics at %d threads\n", h.opts.BreakdownThreads)
+	fmt.Fprintln(tw, "application\tdataset/params (paper)\tpage faults\tfaults/sec")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%.2E\t%.2E\n", r.App, r.Params, float64(r.PageFaults), r.FaultsPerSec)
+	}
+	return tw.Flush()
+}
+
+// WriteFigure8 renders Figure 8 as text.
+func (h *Harness) WriteFigure8(w io.Writer, rows []Fig8Row) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Figure 8: overhead vs input size at %d threads\n", h.opts.BreakdownThreads)
+	fmt.Fprintln(tw, "application\tsmall\tmedium\tlarge\tinput MB (S/M/L)")
+	for _, r := range rows {
+		var o [3]float64
+		var mb [3]float64
+		for i, p := range r.Points {
+			o[i] = p.Overhead
+			mb[i] = p.InputMB
+		}
+		fmt.Fprintf(tw, "%s\t%.2fx\t%.2fx\t%.2fx\t%.1f/%.1f/%.1f\n",
+			r.App, o[0], o[1], o[2], mb[0], mb[1], mb[2])
+	}
+	return tw.Flush()
+}
+
+// WriteTable9 renders Table 9 as text.
+func (h *Harness) WriteTable9(w io.Writer, rows []Table9Row) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Table 9: provenance log space overheads at %d threads\n", h.opts.BreakdownThreads)
+	fmt.Fprintln(tw, "application\tsize MB\tcompressed MB\tratio\tMB/sec\tbranch instr/sec")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%.1fx\t%.1f\t%.2E\n",
+			r.App, r.SizeMB, r.CompressedMB, r.Ratio, r.BandwidthMBps, r.BranchesPerSec)
+	}
+	return tw.Flush()
+}
+
+// WriteAll renders every experiment.
+func (h *Harness) WriteAll(w io.Writer, res *Results) error {
+	if err := h.WriteFigure5(w, res.Fig5); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	if err := h.WriteFigure6(w, res.Fig6); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	if err := h.WriteTable7(w, res.Table7); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	if err := h.WriteFigure8(w, res.Fig8); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return h.WriteTable9(w, res.Table9)
+}

@@ -1,0 +1,158 @@
+// Package harness regenerates the paper's evaluation section (§VII):
+// every table and figure is produced by one method of Harness, running
+// the twelve benchmark applications natively (the pthreads baseline) and
+// under INSPECTOR on the deterministic virtual-time substrate.
+//
+//	Figure 5  — provenance overhead vs native, threads in {2,4,8,16}
+//	Figure 6  — overhead breakdown: threading library vs OS/PT support
+//	Table 7   — runtime statistics: page faults, faults/sec (Figure 7 in
+//	            the paper's numbering, rendered as a table)
+//	Figure 8  — overhead scaling with input size (S/M/L), 16 threads
+//	Table 9   — provenance log: size, lz4-compressed size, ratio,
+//	            bandwidth, branch rate (Figure 9 in the paper)
+//
+// Reports are memoized per (app, mode, threads, size) so figures sharing
+// configurations do not rerun workloads.
+package harness
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/repro/inspector/internal/lz4"
+	"github.com/repro/inspector/internal/threading"
+	"github.com/repro/inspector/internal/workloads"
+)
+
+// Options configure a harness.
+type Options struct {
+	// Size is the input scale for Figures 5-6 and the tables (Figure 8
+	// always sweeps S/M/L). Default Medium.
+	Size workloads.Size
+	// Threads is the Figure 5 sweep. Default {2, 4, 8, 16}.
+	Threads []int
+	// BreakdownThreads is the thread count for Figure 6 and the tables
+	// (the paper uses 16). Default 16.
+	BreakdownThreads int
+	// Seed makes input generation deterministic. Default 1.
+	Seed int64
+	// Apps restricts the workload set (nil = all twelve).
+	Apps []string
+}
+
+func (o Options) normalize() Options {
+	if o.Size == 0 {
+		o.Size = workloads.Medium
+	}
+	if len(o.Threads) == 0 {
+		o.Threads = []int{2, 4, 8, 16}
+	}
+	if o.BreakdownThreads == 0 {
+		o.BreakdownThreads = 16
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// runKey identifies one memoized execution.
+type runKey struct {
+	app     string
+	mode    threading.Mode
+	threads int
+	size    workloads.Size
+}
+
+// runValue is a memoized result.
+type runValue struct {
+	rep *threading.Report
+	// compressed is the lz4-compressed trace size (inspector runs).
+	compressed uint64
+	// inputBytes is the mapped input size.
+	inputBytes uint64
+}
+
+// Harness runs experiments with memoized results.
+type Harness struct {
+	opts Options
+
+	mu    sync.Mutex
+	cache map[runKey]*runValue
+}
+
+// New creates a harness.
+func New(opts Options) *Harness {
+	return &Harness{opts: opts.normalize(), cache: make(map[runKey]*runValue)}
+}
+
+// apps resolves the workload set.
+func (h *Harness) apps() ([]workloads.Workload, error) {
+	if len(h.opts.Apps) == 0 {
+		return workloads.All(), nil
+	}
+	out := make([]workloads.Workload, 0, len(h.opts.Apps))
+	for _, name := range h.opts.Apps {
+		w, err := workloads.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+// run executes (or recalls) one configuration.
+func (h *Harness) run(app string, mode threading.Mode, threads int, size workloads.Size) (*runValue, error) {
+	key := runKey{app: app, mode: mode, threads: threads, size: size}
+	h.mu.Lock()
+	if v, ok := h.cache[key]; ok {
+		h.mu.Unlock()
+		return v, nil
+	}
+	h.mu.Unlock()
+
+	w, err := workloads.Get(app)
+	if err != nil {
+		return nil, err
+	}
+	cfg := workloads.Config{Size: size, Threads: threads, Seed: h.opts.Seed}
+	rt, err := threading.NewRuntime(threading.Options{
+		AppName:    app,
+		Mode:       mode,
+		MaxThreads: w.MaxThreads(cfg),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s: %w", app, err)
+	}
+	if err := w.Run(rt, cfg); err != nil {
+		return nil, fmt.Errorf("harness: %s [%v t=%d %v]: %w", app, mode, threads, size, err)
+	}
+	// Assemble the report through the runtime's last main thread: Run
+	// already returned it, but workloads own the Run call; rerun the
+	// aggregation through the session/graph surfaces instead.
+	rep := rt.LastReport()
+	v := &runValue{rep: rep, inputBytes: rt.InputBytes()}
+	if mode == threading.ModeInspector {
+		v.compressed = compressTraces(rt)
+	}
+	h.mu.Lock()
+	h.cache[key] = v
+	h.mu.Unlock()
+	return v, nil
+}
+
+// compressTraces lz4-compresses every stream's stored trace and returns
+// the total compressed size (Table 9's "Compressed" column).
+func compressTraces(rt *threading.Runtime) uint64 {
+	var total uint64
+	for _, pid := range rt.Session().PIDs() {
+		stream, ok := rt.Session().Stream(pid)
+		if !ok {
+			continue
+		}
+		c := lz4.Compress(nil, stream.Trace())
+		total += uint64(len(c))
+	}
+	return total
+}

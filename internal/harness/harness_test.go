@@ -1,0 +1,195 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/repro/inspector/internal/threading"
+	"github.com/repro/inspector/internal/workloads"
+)
+
+// fastHarness restricts to three representative apps at small size so the
+// test suite stays quick: one well-behaved app, one threading-dominated
+// outlier, and the false-sharing case.
+func fastHarness() *Harness {
+	return New(Options{
+		Size:             workloads.Small,
+		Threads:          []int{2, 4},
+		BreakdownThreads: 4,
+		Apps:             []string{"histogram", "reverse_index", "linear_regression"},
+	})
+}
+
+func TestOptionsNormalize(t *testing.T) {
+	o := Options{}.normalize()
+	if o.Size != workloads.Medium || len(o.Threads) != 4 || o.BreakdownThreads != 16 || o.Seed != 1 {
+		t.Errorf("defaults = %+v", o)
+	}
+}
+
+func TestRunMemoizes(t *testing.T) {
+	h := fastHarness()
+	a, err := h.run("histogram", threading.ModeNative, 2, workloads.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.run("histogram", threading.ModeNative, 2, workloads.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("identical configs were re-run")
+	}
+}
+
+func TestRunUnknownApp(t *testing.T) {
+	h := New(Options{Apps: []string{"nope"}})
+	if _, err := h.Figure5(); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	h := fastHarness()
+	rows, err := h.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byApp := map[string]Fig5Row{}
+	for _, r := range rows {
+		byApp[r.App] = r
+		for _, th := range []int{2, 4} {
+			if r.Overhead[th] <= 0 {
+				t.Errorf("%s overhead[%d] = %f", r.App, th, r.Overhead[th])
+			}
+		}
+	}
+	// The paper's headline shape: reverse_index is an outlier while
+	// histogram stays low, and linear_regression beats native.
+	if byApp["reverse_index"].Overhead[4] < 3*byApp["histogram"].Overhead[4] {
+		t.Errorf("reverse_index (%.1fx) not clearly above histogram (%.1fx)",
+			byApp["reverse_index"].Overhead[4], byApp["histogram"].Overhead[4])
+	}
+	if byApp["linear_regression"].Overhead[2] >= 1.1 {
+		t.Errorf("linear_regression overhead %.2fx; expected near/below native",
+			byApp["linear_regression"].Overhead[2])
+	}
+}
+
+func TestFigure6Breakdown(t *testing.T) {
+	h := fastHarness()
+	rows, err := h.Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Total <= 0 {
+			t.Errorf("%s total = %f", r.App, r.Total)
+		}
+		// Components must sum to the overhead above 1x (within float
+		// tolerance), except when the app beats native.
+		if r.Total > 1 {
+			sum := r.ThreadingLib + r.OSSupport
+			if diff := sum - (r.Total - 1); diff > 0.01 || diff < -0.01 {
+				t.Errorf("%s: components %.3f vs extra %.3f", r.App, sum, r.Total-1)
+			}
+		}
+		if r.App == "reverse_index" && r.DominantComponent != "threading" {
+			t.Errorf("reverse_index dominant = %s, want threading (§VII-B)", r.DominantComponent)
+		}
+	}
+}
+
+func TestTable7Faults(t *testing.T) {
+	h := fastHarness()
+	rows, err := h.Table7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byApp := map[string]Table7Row{}
+	for _, r := range rows {
+		byApp[r.App] = r
+		if r.PageFaults == 0 || r.FaultsPerSec <= 0 {
+			t.Errorf("%s: faults=%d rate=%f", r.App, r.PageFaults, r.FaultsPerSec)
+		}
+		if r.Params == "" {
+			t.Errorf("%s: missing paper params", r.App)
+		}
+	}
+	// The allocator-churning app must out-fault the streaming scan.
+	if byApp["reverse_index"].PageFaults <= byApp["histogram"].PageFaults {
+		t.Errorf("reverse_index faults (%d) not above histogram (%d)",
+			byApp["reverse_index"].PageFaults, byApp["histogram"].PageFaults)
+	}
+}
+
+func TestFigure8InputScaling(t *testing.T) {
+	h := New(Options{
+		Size:             workloads.Small,
+		Threads:          []int{4},
+		BreakdownThreads: 8,
+	})
+	rows, err := h.Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Fig8Apps) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(Fig8Apps))
+	}
+	for _, r := range rows {
+		if len(r.Points) != 3 {
+			t.Fatalf("%s: %d points", r.App, len(r.Points))
+		}
+		// Input sizes must grow S < M < L.
+		if !(r.Points[0].InputMB < r.Points[1].InputMB && r.Points[1].InputMB < r.Points[2].InputMB) {
+			t.Errorf("%s input sizes not increasing: %+v", r.App, r.Points)
+		}
+		// The paper's claim: the gap narrows with bigger inputs. Allow
+		// slack but L must not exceed S by more than 15%.
+		if r.Points[2].Overhead > r.Points[0].Overhead*1.15 {
+			t.Errorf("%s overhead grows with input: S=%.2f L=%.2f",
+				r.App, r.Points[0].Overhead, r.Points[2].Overhead)
+		}
+	}
+}
+
+func TestTable9Space(t *testing.T) {
+	h := fastHarness()
+	rows, err := h.Table9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.SizeMB <= 0 {
+			t.Errorf("%s: empty trace", r.App)
+		}
+		if r.Ratio < 1 {
+			t.Errorf("%s: compression ratio %.2f < 1", r.App, r.Ratio)
+		}
+		if r.BandwidthMBps <= 0 || r.BranchesPerSec <= 0 {
+			t.Errorf("%s: rates %f %f", r.App, r.BandwidthMBps, r.BranchesPerSec)
+		}
+	}
+}
+
+func TestAllAndWriters(t *testing.T) {
+	h := fastHarness()
+	res, err := h.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := h.WriteAll(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 5", "Figure 6", "Table 7", "Figure 8", "Table 9", "histogram", "reverse_index"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

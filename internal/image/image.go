@@ -1,0 +1,205 @@
+// Package image models the program binary image that Intel PT decoding
+// requires. A hardware PT decoder cannot interpret the trace alone: TNT
+// packets carry only taken/not-taken bits, so the decoder must walk the
+// program's control-flow graph (the executable and its libraries) to know
+// *which* branch each bit belongs to. The paper (§V-B) tracks mmap events
+// for exactly this reason: "to map the trace onto binaries, it needs
+// access to executables and linked libraries of the application".
+//
+// In this reproduction, workloads execute through a virtual CPU that
+// announces labelled branch sites. The Image assigns each label a stable
+// synthetic instruction address and records the control-flow edges the
+// execution reveals. The PT decoder (internal/pt) then reconstructs the
+// exact executed path from the packet stream plus this image, never from
+// side channels: any successor the CFG cannot predict is carried in the
+// trace itself as a TIP/FUP packet, just as real PT carries indirect
+// branch targets.
+package image
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// CodeBase is the synthetic text-segment base address. Branch sites are
+// laid out every 16 bytes above it, emulating instruction spacing.
+const CodeBase = 0x40_0000
+
+// SiteSpacing is the synthetic distance between consecutive branch sites.
+const SiteSpacing = 16
+
+// SiteID densely identifies a branch site within one image.
+type SiteID uint32
+
+// NoSite is the sentinel for "no such site".
+const NoSite SiteID = ^SiteID(0)
+
+// SiteKind classifies a branch site the way PT packet generation does:
+// conditional branches produce TNT bits; indirect transfers (indirect
+// jumps, calls through pointers, returns) produce TIP packets.
+type SiteKind uint8
+
+// Site kinds.
+const (
+	// Conditional sites produce one TNT bit per execution.
+	Conditional SiteKind = iota + 1
+	// Indirect sites produce a TIP packet carrying the target.
+	Indirect
+)
+
+// String names the kind.
+func (k SiteKind) String() string {
+	switch k {
+	case Conditional:
+		return "cond"
+	case Indirect:
+		return "indirect"
+	default:
+		return "unknown"
+	}
+}
+
+// Site is one branch instruction in the synthetic program.
+type Site struct {
+	ID    SiteID
+	Label string
+	Kind  SiteKind
+}
+
+// Addr returns the site's synthetic instruction address.
+func (s *Site) Addr() uint64 {
+	return CodeBase + uint64(s.ID)*SiteSpacing
+}
+
+// Image is the synthetic binary image: the set of branch sites and the
+// address mapping a PT decoder needs. It is shared by all threads of a
+// run and safe for concurrent use.
+type Image struct {
+	mu      sync.RWMutex
+	sites   []*Site
+	byLabel map[string]SiteID
+}
+
+// New returns an empty image.
+func New() *Image {
+	return &Image{byLabel: make(map[string]SiteID)}
+}
+
+// Site returns the site for label, registering it on first use. Kind must
+// be consistent across registrations of the same label.
+func (im *Image) Site(label string, kind SiteKind) (*Site, error) {
+	im.mu.RLock()
+	if id, ok := im.byLabel[label]; ok {
+		s := im.sites[id]
+		im.mu.RUnlock()
+		if s.Kind != kind {
+			return nil, fmt.Errorf("image: site %q registered as %v, requested %v", label, s.Kind, kind)
+		}
+		return s, nil
+	}
+	im.mu.RUnlock()
+
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	if id, ok := im.byLabel[label]; ok {
+		s := im.sites[id]
+		if s.Kind != kind {
+			return nil, fmt.Errorf("image: site %q registered as %v, requested %v", label, s.Kind, kind)
+		}
+		return s, nil
+	}
+	s := &Site{ID: SiteID(len(im.sites)), Label: label, Kind: kind}
+	im.sites = append(im.sites, s)
+	im.byLabel[label] = s.ID
+	return s, nil
+}
+
+// MustSite is Site but panics on kind conflicts; for use at workload setup
+// where a conflict is a programming error in the workload itself.
+func (im *Image) MustSite(label string, kind SiteKind) *Site {
+	s, err := im.Site(label, kind)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ByID returns the site with the given ID, or nil.
+func (im *Image) ByID(id SiteID) *Site {
+	im.mu.RLock()
+	defer im.mu.RUnlock()
+	if int(id) >= len(im.sites) {
+		return nil
+	}
+	return im.sites[id]
+}
+
+// ByAddr returns the site whose synthetic address is addr, or nil.
+func (im *Image) ByAddr(addr uint64) *Site {
+	if addr < CodeBase || (addr-CodeBase)%SiteSpacing != 0 {
+		return nil
+	}
+	return im.ByID(SiteID((addr - CodeBase) / SiteSpacing))
+}
+
+// ByLabel returns the site registered under label, or nil.
+func (im *Image) ByLabel(label string) *Site {
+	im.mu.RLock()
+	defer im.mu.RUnlock()
+	if id, ok := im.byLabel[label]; ok {
+		return im.sites[id]
+	}
+	return nil
+}
+
+// Len returns the number of registered sites.
+func (im *Image) Len() int {
+	im.mu.RLock()
+	defer im.mu.RUnlock()
+	return len(im.sites)
+}
+
+// Labels returns all registered labels in sorted order.
+func (im *Image) Labels() []string {
+	im.mu.RLock()
+	out := make([]string, 0, len(im.byLabel))
+	for l := range im.byLabel {
+		out = append(out, l)
+	}
+	im.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// EdgeKey identifies one outcome of a conditional site for CFG-edge
+// tables: (site, taken) -> successor.
+type EdgeKey struct {
+	Site  SiteID
+	Taken bool
+}
+
+// EdgeTable is a per-trace control-flow-edge cache. Both the PT encoder
+// and decoder maintain one incrementally and identically, which is what
+// makes the compressed trace self-describing: a successor present in the
+// table is elided from the trace (a bare TNT bit suffices); a missing or
+// deviating successor is carried in-band by a FUP packet.
+type EdgeTable map[EdgeKey]SiteID
+
+// Lookup returns the recorded successor, if any.
+func (t EdgeTable) Lookup(site SiteID, taken bool) (SiteID, bool) {
+	id, ok := t[EdgeKey{Site: site, Taken: taken}]
+	return id, ok
+}
+
+// Record stores successor for (site, taken) and reports whether the entry
+// changed (was absent or held a different successor).
+func (t EdgeTable) Record(site SiteID, taken bool, succ SiteID) bool {
+	k := EdgeKey{Site: site, Taken: taken}
+	old, ok := t[k]
+	if ok && old == succ {
+		return false
+	}
+	t[k] = succ
+	return true
+}

@@ -1,0 +1,68 @@
+package mem
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Typed accessors over a Space. All multi-byte values use little-endian
+// layout, matching the x86 target of the original system. Each accessor
+// reuses a small on-stack buffer; the Space methods never retain it.
+
+// LoadU8 reads one byte.
+func (s *Space) LoadU8(a Addr) (uint8, error) {
+	var buf [1]byte
+	if err := s.Read(a, buf[:]); err != nil {
+		return 0, err
+	}
+	return buf[0], nil
+}
+
+// StoreU8 writes one byte.
+func (s *Space) StoreU8(a Addr, v uint8) (int, error) {
+	buf := [1]byte{v}
+	return s.Write(a, buf[:])
+}
+
+// LoadU32 reads a little-endian uint32.
+func (s *Space) LoadU32(a Addr) (uint32, error) {
+	var buf [4]byte
+	if err := s.Read(a, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(buf[:]), nil
+}
+
+// StoreU32 writes a little-endian uint32.
+func (s *Space) StoreU32(a Addr, v uint32) (int, error) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	return s.Write(a, buf[:])
+}
+
+// LoadU64 reads a little-endian uint64.
+func (s *Space) LoadU64(a Addr) (uint64, error) {
+	var buf [8]byte
+	if err := s.Read(a, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}
+
+// StoreU64 writes a little-endian uint64.
+func (s *Space) StoreU64(a Addr, v uint64) (int, error) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	return s.Write(a, buf[:])
+}
+
+// LoadF64 reads a little-endian float64.
+func (s *Space) LoadF64(a Addr) (float64, error) {
+	v, err := s.LoadU64(a)
+	return math.Float64frombits(v), err
+}
+
+// StoreF64 writes a little-endian float64.
+func (s *Space) StoreF64(a Addr, v float64) (int, error) {
+	return s.StoreU64(a, math.Float64bits(v))
+}

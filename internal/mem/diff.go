@@ -1,0 +1,62 @@
+package mem
+
+// DiffRange is one contiguous run of changed bytes within a page.
+type DiffRange struct {
+	Off int
+	Len int
+}
+
+// Diff compares a dirty private page against its twin (the copy taken at
+// the first write fault) and returns the changed byte ranges — the
+// byte-level comparison of paper §V-A. Adjacent changed bytes coalesce
+// into one range; runs of unchanged bytes shorter than minGap do not split
+// a range (real DSM systems coalesce to reduce per-range bookkeeping).
+func Diff(priv, twin []byte, minGap int) []DiffRange {
+	if len(priv) != len(twin) {
+		// Caller bug; diffing different-sized buffers has no meaning.
+		// Treat everything as changed to stay safe.
+		n := len(priv)
+		if len(twin) < n {
+			n = len(twin)
+		}
+		if n == 0 {
+			return nil
+		}
+		return []DiffRange{{Off: 0, Len: n}}
+	}
+	var out []DiffRange
+	i := 0
+	n := len(priv)
+	for i < n {
+		if priv[i] == twin[i] {
+			i++
+			continue
+		}
+		start := i
+		end := i + 1
+		gap := 0
+		for j := end; j < n; j++ {
+			if priv[j] != twin[j] {
+				end = j + 1
+				gap = 0
+				continue
+			}
+			gap++
+			if gap >= minGap {
+				break
+			}
+		}
+		out = append(out, DiffRange{Off: start, Len: end - start})
+		i = end + gap
+	}
+	return out
+}
+
+// DiffBytes returns the total changed bytes across ranges.
+func DiffBytes(ranges []DiffRange) int {
+	total := 0
+	for _, r := range ranges {
+		total += r.Len
+	}
+	return total
+}

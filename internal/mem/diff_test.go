@@ -1,0 +1,162 @@
+package mem
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDiffIdentical(t *testing.T) {
+	a := bytes.Repeat([]byte{7}, 256)
+	b := bytes.Repeat([]byte{7}, 256)
+	if got := Diff(a, b, 8); len(got) != 0 {
+		t.Errorf("identical pages diff = %v", got)
+	}
+}
+
+func TestDiffSingleByte(t *testing.T) {
+	a := make([]byte, 128)
+	b := make([]byte, 128)
+	a[64] = 1
+	got := Diff(a, b, 8)
+	if len(got) != 1 || got[0].Off != 64 || got[0].Len != 1 {
+		t.Errorf("diff = %v, want one range at 64 len 1", got)
+	}
+}
+
+func TestDiffCoalescesNearbyRuns(t *testing.T) {
+	a := make([]byte, 128)
+	b := make([]byte, 128)
+	a[10] = 1
+	a[14] = 1 // gap of 3 < minGap 8: must coalesce
+	got := Diff(a, b, 8)
+	if len(got) != 1 {
+		t.Fatalf("diff = %v, want single coalesced range", got)
+	}
+	if got[0].Off != 10 || got[0].Len != 5 {
+		t.Errorf("coalesced range = %+v, want {10 5}", got[0])
+	}
+}
+
+func TestDiffSplitsDistantRuns(t *testing.T) {
+	a := make([]byte, 128)
+	b := make([]byte, 128)
+	a[0] = 1
+	a[100] = 1
+	got := Diff(a, b, 8)
+	if len(got) != 2 {
+		t.Fatalf("diff = %v, want two ranges", got)
+	}
+}
+
+func TestDiffWholePage(t *testing.T) {
+	a := bytes.Repeat([]byte{1}, 64)
+	b := make([]byte, 64)
+	got := Diff(a, b, 8)
+	if len(got) != 1 || got[0].Off != 0 || got[0].Len != 64 {
+		t.Errorf("diff = %v", got)
+	}
+	if DiffBytes(got) != 64 {
+		t.Errorf("DiffBytes = %d, want 64", DiffBytes(got))
+	}
+}
+
+func TestDiffMismatchedSizes(t *testing.T) {
+	got := Diff(make([]byte, 10), make([]byte, 5), 8)
+	if len(got) != 1 || got[0].Len != 5 {
+		t.Errorf("mismatched sizes diff = %v", got)
+	}
+	if got := Diff(nil, nil, 8); got != nil {
+		t.Errorf("nil diff = %v", got)
+	}
+	if got := Diff(make([]byte, 3), nil, 8); len(got) != 0 {
+		t.Errorf("empty twin diff = %v", got)
+	}
+}
+
+func TestDiffTrailingChange(t *testing.T) {
+	a := make([]byte, 32)
+	b := make([]byte, 32)
+	a[31] = 9
+	got := Diff(a, b, 4)
+	if len(got) != 1 || got[0].Off != 31 || got[0].Len != 1 {
+		t.Errorf("trailing diff = %v", got)
+	}
+}
+
+// applyRanges replays diff ranges from priv onto base, as Backing.ApplyDiff
+// does, so the property test can verify reconstruction.
+func applyRanges(base, priv []byte, ranges []DiffRange) {
+	for _, r := range ranges {
+		copy(base[r.Off:r.Off+r.Len], priv[r.Off:r.Off+r.Len])
+	}
+}
+
+func TestQuickDiffReconstructs(t *testing.T) {
+	// For any twin and any set of mutations: applying Diff(priv, twin)
+	// ranges onto a copy of twin must reproduce priv exactly, for any
+	// coalescing gap.
+	f := func(seed int64, gap8 uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		gap := int(gap8%16) + 1
+		twin := make([]byte, 256)
+		r.Read(twin)
+		priv := make([]byte, 256)
+		copy(priv, twin)
+		for i := 0; i < r.Intn(40); i++ {
+			priv[r.Intn(len(priv))] = byte(r.Intn(256))
+		}
+		ranges := Diff(priv, twin, gap)
+		rebuilt := make([]byte, len(twin))
+		copy(rebuilt, twin)
+		applyRanges(rebuilt, priv, ranges)
+		return bytes.Equal(rebuilt, priv)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDiffRangesSortedDisjoint(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		twin := make([]byte, 128)
+		priv := make([]byte, 128)
+		r.Read(priv)
+		ranges := Diff(priv, twin, 8)
+		last := -1
+		for _, rg := range ranges {
+			if rg.Off <= last || rg.Len <= 0 || rg.Off+rg.Len > len(priv) {
+				return false
+			}
+			last = rg.Off + rg.Len - 1
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDiffSparse(b *testing.B) {
+	priv := make([]byte, 4096)
+	twin := make([]byte, 4096)
+	priv[100] = 1
+	priv[3000] = 2
+	b.ReportAllocs()
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		Diff(priv, twin, 8)
+	}
+}
+
+func BenchmarkDiffDense(b *testing.B) {
+	priv := bytes.Repeat([]byte{1}, 4096)
+	twin := make([]byte, 4096)
+	b.ReportAllocs()
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		Diff(priv, twin, 8)
+	}
+}

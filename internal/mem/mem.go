@@ -1,0 +1,155 @@
+// Package mem simulates the virtual-memory machinery INSPECTOR builds on:
+// paged address spaces with per-page protection bits, protection faults
+// delivered to a user handler (the mprotect(PROT_NONE) + SIGSEGV discipline
+// of paper §V-A), private copy-on-write views per process
+// (threads-as-processes), twin pages, byte-level diffs, and the shared
+// memory commit of the Release Consistency model (TreadMarks/Munin style).
+//
+// The real system protects pages with mprotect and fields SIGSEGV; here
+// every tracked access performs an explicit protection check and calls the
+// registered FaultHandler on the first read and first write of each page in
+// each sub-computation. The handler records the access in the current
+// sub-computation's read/write set and upgrades the page protection so
+// subsequent accesses proceed without faulting — exactly the paper's
+// first-touch discipline, with identical fault-count behaviour.
+package mem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DefaultPageSize is the simulated page size. The paper tracks read/write
+// sets at 4 KiB page granularity; the ablation benchmarks vary this.
+const DefaultPageSize = 4096
+
+// CacheLineSize is used by the false-sharing model for native executions.
+const CacheLineSize = 64
+
+// Addr is a simulated virtual address.
+type Addr uint64
+
+// PageID identifies a page globally: addr / pageSize.
+type PageID uint64
+
+// Prot is a page protection bit set, mirroring PROT_NONE/READ/WRITE.
+type Prot uint8
+
+// Protection bits. ProtNone is the zero value: all access faults.
+const (
+	ProtNone  Prot = 0
+	ProtRead  Prot = 1 << 0
+	ProtWrite Prot = 1 << 1
+)
+
+// String renders the protection like "r-", "rw", "--".
+func (p Prot) String() string {
+	b := [2]byte{'-', '-'}
+	if p&ProtRead != 0 {
+		b[0] = 'r'
+	}
+	if p&ProtWrite != 0 {
+		b[1] = 'w'
+	}
+	return string(b[:])
+}
+
+// AccessKind distinguishes read from write faults and accesses.
+type AccessKind uint8
+
+// Access kinds.
+const (
+	AccessRead AccessKind = iota + 1
+	AccessWrite
+)
+
+// String returns "read" or "write".
+func (k AccessKind) String() string {
+	switch k {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	default:
+		return "unknown"
+	}
+}
+
+// Fault describes one protection fault delivered to the handler.
+type Fault struct {
+	// Page is the faulting page.
+	Page PageID
+	// Addr is the exact faulting address.
+	Addr Addr
+	// Kind is the access kind that faulted.
+	Kind AccessKind
+}
+
+// FaultHandler receives protection faults. The handler runs on the
+// faulting thread (as a signal handler does) and typically records the
+// access into the current sub-computation's read or write set. After the
+// handler returns, the space upgrades the page protection and retries the
+// access.
+type FaultHandler interface {
+	OnFault(f Fault)
+}
+
+// FaultHandlerFunc adapts a function to the FaultHandler interface.
+type FaultHandlerFunc func(f Fault)
+
+// OnFault calls fn(f).
+func (fn FaultHandlerFunc) OnFault(f Fault) { fn(f) }
+
+// Errors reported by address-space operations. A failed mapping lookup is
+// the simulated equivalent of SIGSEGV with no handler installed.
+var (
+	ErrUnmapped     = errors.New("mem: access to unmapped address")
+	ErrCrossRegion  = errors.New("mem: access crosses region boundary")
+	ErrRegionFull   = errors.New("mem: region exhausted")
+	ErrBadRegion    = errors.New("mem: invalid region definition")
+	ErrMisalignment = errors.New("mem: page size must be a power of two >= 64")
+)
+
+// SegfaultError wraps ErrUnmapped with the faulting address.
+type SegfaultError struct {
+	Addr Addr
+	Kind AccessKind
+}
+
+// Error implements error.
+func (e *SegfaultError) Error() string {
+	return fmt.Sprintf("mem: segmentation fault: %s at 0x%x", e.Kind, uint64(e.Addr))
+}
+
+// Unwrap lets errors.Is(err, ErrUnmapped) match.
+func (e *SegfaultError) Unwrap() error { return ErrUnmapped }
+
+// Layout defines the canonical simulated address-space layout used by the
+// runtime: a globals region, a heap region, and an input-mapping region,
+// mirroring the regions the paper backs with memory-mapped files.
+type Layout struct {
+	GlobalsBase Addr
+	GlobalsSize int
+	HeapBase    Addr
+	HeapSize    int
+	InputBase   Addr
+	InputSize   int
+}
+
+// DefaultLayout returns the layout used by the INSPECTOR runtime. Sizes are
+// generous: the regions are sparse (pages materialize on demand), so large
+// sizes cost nothing until touched.
+func DefaultLayout() Layout {
+	return Layout{
+		GlobalsBase: 0x1000_0000,
+		GlobalsSize: 64 << 20,
+		HeapBase:    0x4000_0000,
+		HeapSize:    1 << 30,
+		InputBase:   0x1_0000_0000,
+		InputSize:   1 << 30,
+	}
+}
+
+func validPageSize(ps int) bool {
+	return ps >= 64 && ps&(ps-1) == 0
+}

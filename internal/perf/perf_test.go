@@ -1,0 +1,317 @@
+package perf
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/repro/inspector/internal/cgroup"
+)
+
+func TestAuxFullTraceBasic(t *testing.T) {
+	b := NewAuxBuffer(16, ModeFullTrace)
+	if n := b.WriteTrace([]byte("hello")); n != 5 {
+		t.Fatalf("write = %d", n)
+	}
+	if b.Len() != 5 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if got := b.Read(-1); string(got) != "hello" {
+		t.Fatalf("read = %q", got)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("Len after drain = %d", b.Len())
+	}
+}
+
+func TestAuxFullTraceOverrunLoses(t *testing.T) {
+	b := NewAuxBuffer(8, ModeFullTrace)
+	if n := b.WriteTrace([]byte("12345678")); n != 8 {
+		t.Fatalf("first write = %d", n)
+	}
+	// Ring full, consumer behind: new data must be dropped, old kept.
+	if n := b.WriteTrace([]byte("ABCD")); n != 0 {
+		t.Fatalf("overrun write accepted %d bytes", n)
+	}
+	if b.Lost() != 4 {
+		t.Fatalf("Lost = %d, want 4", b.Lost())
+	}
+	if got := b.Read(-1); string(got) != "12345678" {
+		t.Fatalf("read = %q, old data must be preserved", got)
+	}
+}
+
+func TestAuxFullTracePartialAccept(t *testing.T) {
+	b := NewAuxBuffer(8, ModeFullTrace)
+	b.WriteTrace([]byte("123456"))
+	if n := b.WriteTrace([]byte("ABCD")); n != 2 {
+		t.Fatalf("partial write = %d, want 2", n)
+	}
+	if got := b.Read(-1); string(got) != "123456AB" {
+		t.Fatalf("read = %q", got)
+	}
+}
+
+func TestAuxWrapAround(t *testing.T) {
+	b := NewAuxBuffer(8, ModeFullTrace)
+	b.WriteTrace([]byte("abcdef"))
+	if got := b.Read(4); string(got) != "abcd" {
+		t.Fatalf("read = %q", got)
+	}
+	b.WriteTrace([]byte("ghij")) // wraps
+	if got := b.Read(-1); string(got) != "efghij" {
+		t.Fatalf("wrapped read = %q", got)
+	}
+}
+
+func TestAuxSnapshotOverwrites(t *testing.T) {
+	b := NewAuxBuffer(8, ModeSnapshot)
+	for i := 0; i < 4; i++ {
+		if n := b.WriteTrace([]byte("0123")); n != 4 {
+			t.Fatalf("snapshot write = %d", n)
+		}
+	}
+	if b.Lost() != 0 {
+		t.Fatalf("snapshot mode lost = %d", b.Lost())
+	}
+	win := b.SnapshotWindow()
+	if len(win) != 8 {
+		t.Fatalf("window = %d bytes, want 8", len(win))
+	}
+	if string(win) != "01230123" {
+		t.Fatalf("window = %q", win)
+	}
+}
+
+func TestAuxSnapshotWindowSmallerThanRing(t *testing.T) {
+	b := NewAuxBuffer(64, ModeSnapshot)
+	b.WriteTrace([]byte("xyz"))
+	win := b.SnapshotWindow()
+	if string(win) != "xyz" {
+		t.Fatalf("window = %q", win)
+	}
+	// Window capture does not consume.
+	if string(b.SnapshotWindow()) != "xyz" {
+		t.Fatal("second capture differs")
+	}
+}
+
+func TestQuickAuxFullTraceNeverCorrupts(t *testing.T) {
+	// Whatever the write/read interleaving, the consumer must read back
+	// exactly the accepted prefix of the produced stream.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := NewAuxBuffer(32+r.Intn(64), ModeFullTrace)
+		var produced, accepted, consumed []byte
+		for i := 0; i < 50; i++ {
+			if r.Intn(2) == 0 {
+				chunk := make([]byte, r.Intn(24))
+				r.Read(chunk)
+				n := b.WriteTrace(chunk)
+				produced = append(produced, chunk...)
+				accepted = append(accepted, chunk[:n]...)
+			} else {
+				consumed = append(consumed, b.Read(r.Intn(40))...)
+			}
+		}
+		consumed = append(consumed, b.Read(-1)...)
+		return bytes.Equal(consumed, accepted)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Type: RecordCOMM, PID: 1, Time: 10, Comm: "blackscholes"},
+		{Type: RecordMMAP, PID: 1, Time: 20, Addr: 0x400000, MapLen: 4096, Filename: "/app/bin"},
+		{Type: RecordITraceStart, PID: 2, Time: 30},
+		{Type: RecordAUX, PID: 2, Time: 40, Data: []byte{1, 2, 3, 4}},
+		{Type: RecordLOST, PID: 2, Time: 50, LostBytes: 999},
+		{Type: RecordExit, PID: 2, Time: 60},
+	}
+	var buf bytes.Buffer
+	if err := WriteRecords(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		a, b := recs[i], got[i]
+		if a.Type != b.Type || a.PID != b.PID || a.Time != b.Time ||
+			a.Addr != b.Addr || a.MapLen != b.MapLen || a.Filename != b.Filename ||
+			a.Comm != b.Comm || a.LostBytes != b.LostBytes || !bytes.Equal(a.Data, b.Data) {
+			t.Errorf("record %d mismatch:\n got %+v\nwant %+v", i, b, a)
+		}
+	}
+}
+
+func TestReadRecordsBadMagic(t *testing.T) {
+	if _, err := ReadRecords(bytes.NewReader([]byte("NOTPERF0xxxx"))); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: %v", err)
+	}
+}
+
+func TestReadRecordsTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRecords(&buf, []Record{{Type: RecordCOMM, PID: 1, Comm: "x"}}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadRecords(bytes.NewReader(data[:len(data)-1])); err == nil {
+		t.Error("truncated file parsed successfully")
+	}
+}
+
+func TestRecordTypeString(t *testing.T) {
+	for _, ty := range []RecordType{RecordMMAP, RecordCOMM, RecordAUX, RecordLOST, RecordITraceStart, RecordExit} {
+		if ty.String() == "UNKNOWN" {
+			t.Errorf("type %d renders UNKNOWN", ty)
+		}
+	}
+	if RecordType(200).String() != "UNKNOWN" {
+		t.Error("unknown type must render UNKNOWN")
+	}
+	if ModeFullTrace.String() != "full-trace" || ModeSnapshot.String() != "snapshot" || Mode(0).String() != "unknown" {
+		t.Error("mode strings wrong")
+	}
+}
+
+func TestSessionCgroupFilter(t *testing.T) {
+	h := cgroup.NewHierarchy()
+	g, err := h.Create("/inspector")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.AddProcess(100)
+	h.Fork(100, 101) // forked thread inherits the group
+
+	s := NewSession(SessionOptions{Filter: g, AutoDrain: true})
+	if _, ok := s.Attach(100); !ok {
+		t.Error("group member rejected")
+	}
+	if _, ok := s.Attach(101); !ok {
+		t.Error("forked child rejected — cgroup inheritance broken")
+	}
+	if _, ok := s.Attach(999); ok {
+		t.Error("outsider attached despite filter")
+	}
+	if got := len(s.PIDs()); got != 2 {
+		t.Errorf("PIDs = %d, want 2", got)
+	}
+}
+
+func TestSessionStreamStoreAndDrain(t *testing.T) {
+	s := NewSession(SessionOptions{AuxSize: 64, AutoDrain: true})
+	st, ok := s.Attach(1)
+	if !ok {
+		t.Fatal("attach failed")
+	}
+	// Write more than the ring size: auto-drain must prevent loss.
+	var want []byte
+	for i := 0; i < 50; i++ {
+		chunk := []byte{byte(i), byte(i + 1), byte(i + 2)}
+		if n := st.WriteTrace(chunk); n != 3 {
+			t.Fatalf("write %d accepted %d", i, n)
+		}
+		want = append(want, chunk...)
+	}
+	if got := st.Trace(); !bytes.Equal(got, want) {
+		t.Fatalf("trace mismatch: %d vs %d bytes", len(got), len(want))
+	}
+	if st.Lost() != 0 {
+		t.Errorf("lost = %d with auto-drain", st.Lost())
+	}
+	if s.TotalTraceBytes() != uint64(len(want)) {
+		t.Errorf("TotalTraceBytes = %d, want %d", s.TotalTraceBytes(), len(want))
+	}
+}
+
+func TestSessionNoAutoDrainOverruns(t *testing.T) {
+	s := NewSession(SessionOptions{AuxSize: 16, AutoDrain: false})
+	st, _ := s.Attach(1)
+	for i := 0; i < 10; i++ {
+		st.WriteTrace([]byte("abcdefgh"))
+	}
+	if st.Lost() == 0 {
+		t.Error("expected ring overrun without auto-drain")
+	}
+	if s.TotalLost() != st.Lost() {
+		t.Errorf("TotalLost = %d, stream lost = %d", s.TotalLost(), st.Lost())
+	}
+}
+
+func TestSessionAttachIdempotent(t *testing.T) {
+	s := NewSession(SessionOptions{})
+	a, _ := s.Attach(5)
+	b, _ := s.Attach(5)
+	if a != b {
+		t.Error("re-attach returned a different stream")
+	}
+	got, ok := s.Stream(5)
+	if !ok || got != a {
+		t.Error("Stream lookup failed")
+	}
+	if _, ok := s.Stream(6); ok {
+		t.Error("unknown pid stream lookup succeeded")
+	}
+}
+
+func TestSessionRecordsAndSerialize(t *testing.T) {
+	var now uint64
+	s := NewSession(SessionOptions{AutoDrain: true, Clock: func() uint64 { now += 5; return now }})
+	st, _ := s.Attach(1)
+	s.RecordComm(1, "histogram")
+	s.RecordMMAP(1, 0x400000, 8192, "histogram.bin")
+	st.WriteTrace([]byte{0xAA, 0xBB})
+	s.RecordExit(1)
+
+	var buf bytes.Buffer
+	if err := s.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var haveAux, haveComm, haveMmap, haveExit bool
+	for _, r := range recs {
+		switch r.Type {
+		case RecordAUX:
+			haveAux = bytes.Equal(r.Data, []byte{0xAA, 0xBB})
+		case RecordCOMM:
+			haveComm = r.Comm == "histogram"
+		case RecordMMAP:
+			haveMmap = r.Filename == "histogram.bin" && r.MapLen == 8192
+		case RecordExit:
+			haveExit = true
+		}
+	}
+	if !haveAux || !haveComm || !haveMmap || !haveExit {
+		t.Errorf("missing records: aux=%v comm=%v mmap=%v exit=%v", haveAux, haveComm, haveMmap, haveExit)
+	}
+	// Timestamps must be monotonically increasing via the clock.
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Time < recs[i-1].Time {
+			t.Errorf("timestamps not monotone: %d then %d", recs[i-1].Time, recs[i].Time)
+		}
+	}
+}
+
+func BenchmarkAuxWrite(b *testing.B) {
+	buf := NewAuxBuffer(1<<20, ModeSnapshot)
+	chunk := make([]byte, 64)
+	b.SetBytes(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.WriteTrace(chunk)
+	}
+}

@@ -1,0 +1,246 @@
+package perf
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// RecordType enumerates the perf event record kinds this model emits,
+// mirroring the PERF_RECORD_* constants that matter to PT decoding.
+type RecordType uint8
+
+// Record types.
+const (
+	// RecordMMAP announces a loadable mapping; the decoder needs these
+	// to map trace IPs onto binaries (paper §V-B: "we track mmap events
+	// to know the location of each loadable during the execution").
+	RecordMMAP RecordType = iota + 1
+	// RecordCOMM names a process.
+	RecordCOMM
+	// RecordAUX carries a chunk of PT trace data.
+	RecordAUX
+	// RecordLOST reports dropped trace bytes (ring overrun).
+	RecordLOST
+	// RecordITraceStart marks the start of instruction tracing for a
+	// process.
+	RecordITraceStart
+	// RecordExit marks process exit.
+	RecordExit
+)
+
+// String names the record type like perf report does.
+func (t RecordType) String() string {
+	switch t {
+	case RecordMMAP:
+		return "MMAP"
+	case RecordCOMM:
+		return "COMM"
+	case RecordAUX:
+		return "AUX"
+	case RecordLOST:
+		return "LOST"
+	case RecordITraceStart:
+		return "ITRACE_START"
+	case RecordExit:
+		return "EXIT"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Record is one perf event record. Only the fields relevant to the record
+// type are populated.
+type Record struct {
+	Type RecordType
+	PID  int32
+	Time uint64 // virtual cycles
+
+	// MMAP fields.
+	Addr     uint64
+	MapLen   uint64
+	Filename string
+
+	// COMM field.
+	Comm string
+
+	// AUX fields.
+	Data []byte
+
+	// LOST field.
+	LostBytes uint64
+}
+
+// File format constants.
+var fileMagic = [8]byte{'P', 'E', 'R', 'F', 'S', 'I', 'M', 1}
+
+// Errors for the file layer.
+var (
+	ErrBadMagic  = errors.New("perf: bad file magic")
+	ErrBadRecord = errors.New("perf: malformed record")
+)
+
+// WriteRecords serializes records in a compact perf.data-like layout.
+func WriteRecords(w io.Writer, records []Record) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(fileMagic[:]); err != nil {
+		return fmt.Errorf("perf: write magic: %w", err)
+	}
+	var scratch [8]byte
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(records)))
+	if _, err := bw.Write(scratch[:4]); err != nil {
+		return fmt.Errorf("perf: write count: %w", err)
+	}
+	for i := range records {
+		if err := writeRecord(bw, &records[i]); err != nil {
+			return fmt.Errorf("perf: record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeString(w io.Writer, s string) error {
+	var n [2]byte
+	if len(s) > 0xFFFF {
+		return fmt.Errorf("%w: string too long", ErrBadRecord)
+	}
+	binary.LittleEndian.PutUint16(n[:], uint16(len(s)))
+	if _, err := w.Write(n[:]); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func writeBytes(w io.Writer, b []byte) error {
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(b)))
+	if _, err := w.Write(n[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+func writeRecord(w io.Writer, r *Record) error {
+	var hdr [13]byte
+	hdr[0] = byte(r.Type)
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(r.PID))
+	binary.LittleEndian.PutUint64(hdr[5:13], r.Time)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	var scratch [16]byte
+	switch r.Type {
+	case RecordMMAP:
+		binary.LittleEndian.PutUint64(scratch[:8], r.Addr)
+		binary.LittleEndian.PutUint64(scratch[8:16], r.MapLen)
+		if _, err := w.Write(scratch[:16]); err != nil {
+			return err
+		}
+		return writeString(w, r.Filename)
+	case RecordCOMM:
+		return writeString(w, r.Comm)
+	case RecordAUX:
+		return writeBytes(w, r.Data)
+	case RecordLOST:
+		binary.LittleEndian.PutUint64(scratch[:8], r.LostBytes)
+		_, err := w.Write(scratch[:8])
+		return err
+	case RecordITraceStart, RecordExit:
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown type %d", ErrBadRecord, r.Type)
+	}
+}
+
+// ReadRecords parses a stream produced by WriteRecords.
+func ReadRecords(r io.Reader) ([]Record, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("perf: read magic: %w", err)
+	}
+	if magic != fileMagic {
+		return nil, ErrBadMagic
+	}
+	var cnt [4]byte
+	if _, err := io.ReadFull(br, cnt[:]); err != nil {
+		return nil, fmt.Errorf("perf: read count: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(cnt[:])
+	out := make([]Record, 0, n)
+	for i := uint32(0); i < n; i++ {
+		rec, err := readRecord(br)
+		if err != nil {
+			return nil, fmt.Errorf("perf: record %d: %w", i, err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+func readString(r io.Reader) (string, error) {
+	var n [2]byte
+	if _, err := io.ReadFull(r, n[:]); err != nil {
+		return "", err
+	}
+	buf := make([]byte, binary.LittleEndian.Uint16(n[:]))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func readBytes(r io.Reader) ([]byte, error) {
+	var n [4]byte
+	if _, err := io.ReadFull(r, n[:]); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, binary.LittleEndian.Uint32(n[:]))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func readRecord(r io.Reader) (Record, error) {
+	var hdr [13]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Record{}, err
+	}
+	rec := Record{
+		Type: RecordType(hdr[0]),
+		PID:  int32(binary.LittleEndian.Uint32(hdr[1:5])),
+		Time: binary.LittleEndian.Uint64(hdr[5:13]),
+	}
+	var scratch [16]byte
+	var err error
+	switch rec.Type {
+	case RecordMMAP:
+		if _, err = io.ReadFull(r, scratch[:16]); err != nil {
+			return Record{}, err
+		}
+		rec.Addr = binary.LittleEndian.Uint64(scratch[:8])
+		rec.MapLen = binary.LittleEndian.Uint64(scratch[8:16])
+		rec.Filename, err = readString(r)
+	case RecordCOMM:
+		rec.Comm, err = readString(r)
+	case RecordAUX:
+		rec.Data, err = readBytes(r)
+	case RecordLOST:
+		if _, err = io.ReadFull(r, scratch[:8]); err != nil {
+			return Record{}, err
+		}
+		rec.LostBytes = binary.LittleEndian.Uint64(scratch[:8])
+	case RecordITraceStart, RecordExit:
+	default:
+		return Record{}, fmt.Errorf("%w: type %d", ErrBadRecord, hdr[0])
+	}
+	if err != nil {
+		return Record{}, err
+	}
+	return rec, nil
+}

@@ -1,0 +1,245 @@
+package perf
+
+import (
+	"io"
+	"sync"
+
+	"github.com/repro/inspector/internal/cgroup"
+)
+
+// SessionOptions configure a trace session.
+type SessionOptions struct {
+	// Filter restricts tracing to processes inside this cgroup (and its
+	// descendants). Nil traces everything, but INSPECTOR always filters:
+	// the threading library forks processes whose PIDs are unknown in
+	// advance, so the paper creates a dedicated cgroup for the app.
+	Filter *cgroup.Group
+	// Mode selects full-trace or snapshot AUX buffers.
+	Mode Mode
+	// AuxSize is the per-process AUX ring size in bytes (default 4 MiB,
+	// the slot size used by the paper's snapshot ring).
+	AuxSize int
+	// AutoDrain makes full-trace streams move ring contents into the
+	// session store when the ring is half full, emulating the perf
+	// tool's periodic reads. Disable in tests that exercise overruns.
+	AutoDrain bool
+	// Clock supplies timestamps for records (virtual cycles).
+	Clock func() uint64
+}
+
+// DefaultAuxSize is the default per-process AUX ring size.
+const DefaultAuxSize = 4 << 20
+
+// Session is one perf tracing session over a set of processes, the
+// equivalent of a `perf record -e intel_pt//` invocation scoped to a
+// cgroup.
+type Session struct {
+	opts SessionOptions
+
+	mu      sync.Mutex
+	streams map[int32]*Stream
+	records []Record
+}
+
+// Stream is the per-process trace: an AUX ring plus the drained store.
+// It implements pt.ByteSink, so a pt.Encoder can write directly into it.
+type Stream struct {
+	sess *Session
+	pid  int32
+	aux  *AuxBuffer
+
+	mu    sync.Mutex
+	store []byte
+}
+
+// NewSession creates a session.
+func NewSession(opts SessionOptions) *Session {
+	if opts.AuxSize <= 0 {
+		opts.AuxSize = DefaultAuxSize
+	}
+	if opts.Mode == 0 {
+		opts.Mode = ModeFullTrace
+	}
+	return &Session{
+		opts:    opts,
+		streams: make(map[int32]*Stream),
+	}
+}
+
+// now returns the session timestamp.
+func (s *Session) now() uint64 {
+	if s.opts.Clock != nil {
+		return s.opts.Clock()
+	}
+	return 0
+}
+
+// Attach creates (or returns) the trace stream for pid. It returns false
+// if the session's cgroup filter excludes the process — the event simply
+// does not count for it, as with real cgroup-scoped perf events.
+func (s *Session) Attach(pid int32) (*Stream, bool) {
+	if s.opts.Filter != nil && !s.opts.Filter.Contains(pid) {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.streams[pid]; ok {
+		return st, true
+	}
+	st := &Stream{
+		sess: s,
+		pid:  pid,
+		aux:  NewAuxBuffer(s.opts.AuxSize, s.opts.Mode),
+	}
+	s.streams[pid] = st
+	s.records = append(s.records, Record{Type: RecordITraceStart, PID: pid, Time: s.now()})
+	return st, true
+}
+
+// Stream returns the stream for pid if attached.
+func (s *Session) Stream(pid int32) (*Stream, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.streams[pid]
+	return st, ok
+}
+
+// PIDs returns the attached process IDs (unordered).
+func (s *Session) PIDs() []int32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int32, 0, len(s.streams))
+	for pid := range s.streams {
+		out = append(out, pid)
+	}
+	return out
+}
+
+// RecordMMAP logs a loadable mapping event.
+func (s *Session) RecordMMAP(pid int32, addr, length uint64, filename string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.records = append(s.records, Record{
+		Type: RecordMMAP, PID: pid, Time: s.now(),
+		Addr: addr, MapLen: length, Filename: filename,
+	})
+}
+
+// RecordComm logs a process-name event.
+func (s *Session) RecordComm(pid int32, comm string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.records = append(s.records, Record{Type: RecordCOMM, PID: pid, Time: s.now(), Comm: comm})
+}
+
+// RecordExit logs process exit.
+func (s *Session) RecordExit(pid int32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.records = append(s.records, Record{Type: RecordExit, PID: pid, Time: s.now()})
+}
+
+// Records returns a copy of the non-AUX record stream.
+func (s *Session) Records() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Record, len(s.records))
+	copy(out, s.records)
+	return out
+}
+
+// WriteTrace implements pt.ByteSink for the process's PT encoder.
+func (st *Stream) WriteTrace(p []byte) int {
+	n := st.aux.WriteTrace(p)
+	if st.sess.opts.AutoDrain && st.aux.Mode() == ModeFullTrace && st.aux.Len() >= st.aux.Size()/2 {
+		st.Drain()
+	}
+	return n
+}
+
+// Drain moves unread ring contents into the stream's store (the perf
+// tool reading the AUX mmap and appending to perf.data).
+func (st *Stream) Drain() {
+	data := st.aux.Read(-1)
+	if len(data) == 0 {
+		return
+	}
+	st.mu.Lock()
+	st.store = append(st.store, data...)
+	st.mu.Unlock()
+}
+
+// Trace drains the ring and returns the complete stored trace.
+func (st *Stream) Trace() []byte {
+	st.Drain()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]byte, len(st.store))
+	copy(out, st.store)
+	return out
+}
+
+// StoredBytes returns the bytes accumulated in the store plus unread ring
+// contents, without consuming anything.
+func (st *Stream) StoredBytes() int {
+	st.mu.Lock()
+	n := len(st.store)
+	st.mu.Unlock()
+	return n + st.aux.Len()
+}
+
+// Lost returns trace bytes dropped by ring overrun.
+func (st *Stream) Lost() uint64 { return st.aux.Lost() }
+
+// Aux exposes the underlying ring (snapshot capture needs it).
+func (st *Stream) Aux() *AuxBuffer { return st.aux }
+
+// PID returns the traced process id.
+func (st *Stream) PID() int32 { return st.pid }
+
+// TotalTraceBytes sums stored trace bytes over all streams — the size of
+// the provenance log perf would have written (Table 9's "Size" column).
+func (s *Session) TotalTraceBytes() uint64 {
+	s.mu.Lock()
+	streams := make([]*Stream, 0, len(s.streams))
+	for _, st := range s.streams {
+		streams = append(streams, st)
+	}
+	s.mu.Unlock()
+	var total uint64
+	for _, st := range streams {
+		total += uint64(st.StoredBytes())
+	}
+	return total
+}
+
+// TotalLost sums dropped bytes over all streams.
+func (s *Session) TotalLost() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total uint64
+	for _, st := range s.streams {
+		total += st.aux.Lost()
+	}
+	return total
+}
+
+// Serialize writes the session — meta records followed by one AUX
+// record per stream (plus LOST records where the ring overran) — in the
+// perf.data-like format.
+func (s *Session) Serialize(w io.Writer) error {
+	recs := s.Records()
+	s.mu.Lock()
+	streams := make([]*Stream, 0, len(s.streams))
+	for _, st := range s.streams {
+		streams = append(streams, st)
+	}
+	s.mu.Unlock()
+	for _, st := range streams {
+		recs = append(recs, Record{Type: RecordAUX, PID: st.pid, Time: s.now(), Data: st.Trace()})
+		if lost := st.Lost(); lost > 0 {
+			recs = append(recs, Record{Type: RecordLOST, PID: st.pid, Time: s.now(), LostBytes: lost})
+		}
+	}
+	return WriteRecords(w, recs)
+}

@@ -1,0 +1,358 @@
+package pt
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/repro/inspector/internal/image"
+)
+
+// Event is one reconstructed control-flow transfer.
+type Event struct {
+	// Site is the branch site that executed.
+	Site *image.Site
+	// Taken is the outcome for conditional sites.
+	Taken bool
+	// Target is the destination for indirect sites.
+	Target *image.Site
+}
+
+// String renders the event for debugging and pt-dump.
+func (ev Event) String() string {
+	if ev.Site == nil {
+		return "<nil>"
+	}
+	if ev.Site.Kind == image.Conditional {
+		tn := "nt"
+		if ev.Taken {
+			tn = "t"
+		}
+		return fmt.Sprintf("%s:%s", ev.Site.Label, tn)
+	}
+	if ev.Target == nil {
+		return ev.Site.Label + "->?"
+	}
+	return ev.Site.Label + "->" + ev.Target.Label
+}
+
+// Decoder reconstructs the executed path from one thread's packet stream
+// plus the program image, mirroring the Intel Processor Decoder Library
+// integration the paper uses through `perf script`. It maintains the same
+// incremental edge table as the Encoder, so the compressed stream is
+// sufficient: TNT bits resolve through the table, deviations arrive as
+// FUPs, indirect targets as TIPs.
+type Decoder struct {
+	im   *image.Image
+	data []byte
+	pos  int
+
+	lastIP uint64
+	edges  image.EdgeTable
+	bitq   []bool
+	cur    *image.Site
+	in     bool
+	done   bool
+
+	// Gaps counts lost-data regions skipped by PSB resynchronization.
+	Gaps int
+	// LastTSC is the most recent TSC payload observed.
+	LastTSC uint64
+}
+
+// ErrDesync reports that the decoder lost CFG state (usually after a trace
+// gap) and could not resolve a successor.
+var ErrDesync = errors.New("pt: decoder desynchronized")
+
+// NewDecoder creates a decoder over a complete trace buffer.
+func NewDecoder(im *image.Image, data []byte) *Decoder {
+	return &Decoder{im: im, data: data, edges: make(image.EdgeTable)}
+}
+
+// peek decodes the packet at the cursor without consuming it.
+func (d *Decoder) peek() (Packet, error) {
+	if d.pos >= len(d.data) {
+		return Packet{}, io.ErrUnexpectedEOF
+	}
+	p, _, err := DecodePacket(d.data[d.pos:], d.lastIP)
+	return p, err
+}
+
+// consume advances past the packet at the cursor, updating lastIP.
+func (d *Decoder) consume() (Packet, error) {
+	if d.pos >= len(d.data) {
+		return Packet{}, io.ErrUnexpectedEOF
+	}
+	p, ip, err := DecodePacket(d.data[d.pos:], d.lastIP)
+	if err != nil {
+		return Packet{}, err
+	}
+	d.lastIP = ip
+	d.pos += p.Len
+	if p.Type == PktTSC {
+		d.LastTSC = p.TSC
+	}
+	return p, nil
+}
+
+// resync scans forward for the next PSB boundary after data loss, then
+// re-anchors from the bundle's FUP. Returns io.EOF if no PSB remains.
+func (d *Decoder) resync() error {
+	d.Gaps++
+	d.bitq = d.bitq[:0]
+	for d.pos+psbLen <= len(d.data) {
+		if d.isPSBAt(d.pos) {
+			d.lastIP = 0
+			return nil
+		}
+		d.pos++
+	}
+	d.pos = len(d.data)
+	return io.EOF
+}
+
+// isPSBAt reports whether a full PSB pattern starts at offset off.
+func (d *Decoder) isPSBAt(off int) bool {
+	for i := 0; i < psbLen; i += 2 {
+		if d.data[off+i] != opExt || d.data[off+i+1] != extPSB {
+			return false
+		}
+	}
+	return true
+}
+
+// handlePSBBundle consumes TSC/FUP/PSBEND following a PSB, re-anchoring
+// the current site from the FUP.
+func (d *Decoder) handlePSBBundle() error {
+	for {
+		p, err := d.consume()
+		if err != nil {
+			return err
+		}
+		switch p.Type {
+		case PktTSC, PktPAD:
+			// informational
+		case PktFUP:
+			s := d.im.ByAddr(p.IP)
+			if s == nil {
+				return fmt.Errorf("%w: PSB FUP to unknown address %#x", ErrDesync, p.IP)
+			}
+			d.cur = s
+			d.in = true
+		case PktPSBEND:
+			return nil
+		default:
+			return fmt.Errorf("%w: unexpected %v inside PSB bundle", ErrBadPacket, p.Type)
+		}
+	}
+}
+
+// nextMeaningful consumes packets until one that drives decoding (TNT,
+// TIP, TIP.PGE, TIP.PGD, FUP) arrives, transparently processing PAD, PSB
+// bundles, and OVF (which forces a resync).
+func (d *Decoder) nextMeaningful() (Packet, error) {
+	for {
+		p, err := d.consume()
+		if err != nil {
+			if errors.Is(err, ErrBadPacket) {
+				if rerr := d.resync(); rerr != nil {
+					return Packet{}, rerr
+				}
+				continue
+			}
+			return Packet{}, err
+		}
+		switch p.Type {
+		case PktPAD:
+			continue
+		case PktPSB:
+			if err := d.handlePSBBundle(); err != nil {
+				return Packet{}, err
+			}
+			continue
+		case PktOVF:
+			if err := d.resync(); err != nil {
+				return Packet{}, err
+			}
+			continue
+		default:
+			return p, nil
+		}
+	}
+}
+
+// nextBit returns the next TNT bit, pulling TNT packets as needed.
+// A TIP.PGD encountered while waiting for bits ends the trace.
+func (d *Decoder) nextBit() (bool, bool, error) {
+	for len(d.bitq) == 0 {
+		p, err := d.nextMeaningful()
+		if err != nil {
+			return false, false, err
+		}
+		switch p.Type {
+		case PktTNT:
+			d.bitq = append(d.bitq, p.TNTBits...)
+		case PktTIPPGD:
+			return false, true, nil
+		default:
+			return false, false, fmt.Errorf("%w: wanted TNT, got %v", ErrDesync, p.Type)
+		}
+	}
+	b := d.bitq[0]
+	d.bitq = d.bitq[:copy(d.bitq, d.bitq[1:])]
+	return b, false, nil
+}
+
+// siteAt resolves an IP to a site or reports desync.
+func (d *Decoder) siteAt(ip uint64) (*image.Site, error) {
+	s := d.im.ByAddr(ip)
+	if s == nil {
+		return nil, fmt.Errorf("%w: no site at %#x", ErrDesync, ip)
+	}
+	return s, nil
+}
+
+// Next returns the next reconstructed event, or io.EOF at end of trace.
+// On ErrDesync the caller may call Next again: the decoder will have
+// resynchronized at the following PSB if one exists.
+func (d *Decoder) Next() (Event, error) {
+	if d.done {
+		return Event{}, io.EOF
+	}
+	for !d.in {
+		p, err := d.nextMeaningful()
+		if err != nil {
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				d.done = true
+				return Event{}, io.EOF
+			}
+			return Event{}, err
+		}
+		if p.Type == PktTIPPGE {
+			s, err := d.siteAt(p.IP)
+			if err != nil {
+				return Event{}, err
+			}
+			d.cur = s
+			d.in = true
+		}
+	}
+
+	switch d.cur.Kind {
+	case image.Conditional:
+		taken, end, err := d.nextBit()
+		if err != nil {
+			if derr := d.maybeResyncAfter(err); derr != nil {
+				return Event{}, derr
+			}
+			return Event{}, err
+		}
+		if end {
+			d.done = true
+			return Event{}, io.EOF
+		}
+		ev := Event{Site: d.cur, Taken: taken}
+		succ, err := d.condSuccessor(taken)
+		if err != nil {
+			if derr := d.maybeResyncAfter(err); derr != nil {
+				return Event{}, derr
+			}
+			return Event{}, err
+		}
+		d.cur = succ
+		return ev, nil
+
+	case image.Indirect:
+		p, err := d.nextMeaningful()
+		if err != nil {
+			return Event{}, err
+		}
+		switch p.Type {
+		case PktTIPPGD:
+			d.done = true
+			return Event{}, io.EOF
+		case PktTIP:
+			tgt, err := d.siteAt(p.IP)
+			if err != nil {
+				return Event{}, err
+			}
+			ev := Event{Site: d.cur, Target: tgt}
+			d.cur = tgt
+			return ev, nil
+		default:
+			return Event{}, fmt.Errorf("%w: wanted TIP at indirect site %s, got %v", ErrDesync, d.cur.Label, p.Type)
+		}
+
+	default:
+		return Event{}, fmt.Errorf("%w: site %s has unknown kind", ErrBadPacket, d.cur.Label)
+	}
+}
+
+// condSuccessor resolves the successor of the conditional branch just
+// decoded: a FUP immediately following a drained TNT queue binds a new or
+// deviating edge; otherwise the edge table must already hold it.
+func (d *Decoder) condSuccessor(taken bool) (*image.Site, error) {
+	if len(d.bitq) == 0 {
+		if p, err := d.peek(); err == nil && p.Type == PktFUP {
+			if _, err := d.consume(); err != nil {
+				return nil, err
+			}
+			s, err := d.siteAt(p.IP)
+			if err != nil {
+				return nil, err
+			}
+			d.edges.Record(d.cur.ID, taken, s.ID)
+			return s, nil
+		}
+	}
+	id, ok := d.edges.Lookup(d.cur.ID, taken)
+	if !ok {
+		return nil, fmt.Errorf("%w: no edge for %s taken=%v", ErrDesync, d.cur.Label, taken)
+	}
+	s := d.im.ByID(id)
+	if s == nil {
+		return nil, fmt.Errorf("%w: edge to unknown site %d", ErrDesync, id)
+	}
+	return s, nil
+}
+
+// maybeResyncAfter converts a desync error into a resynchronization
+// attempt: after it returns nil the caller surfaces the original error,
+// and the next call to Next resumes at the following PSB.
+func (d *Decoder) maybeResyncAfter(err error) error {
+	if !errors.Is(err, ErrDesync) {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			d.done = true
+			return io.EOF
+		}
+		return nil
+	}
+	d.in = false
+	if rerr := d.resync(); rerr != nil {
+		d.done = true
+		return nil
+	}
+	// Re-anchor from the PSB bundle immediately so in/cur are valid.
+	if p, perr := d.consume(); perr == nil && p.Type == PktPSB {
+		if berr := d.handlePSBBundle(); berr != nil {
+			d.done = true
+		}
+	}
+	return nil
+}
+
+// DecodeAll drains the decoder, returning all events.
+func DecodeAll(im *image.Image, data []byte) ([]Event, error) {
+	d := NewDecoder(im, data)
+	var out []Event
+	for {
+		ev, err := d.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, ev)
+	}
+}

@@ -1,0 +1,289 @@
+package pt
+
+import (
+	"github.com/repro/inspector/internal/image"
+)
+
+// ByteSink receives encoded trace bytes. The perf AUX ring buffer
+// implements it; a bytes-based sink is used in tests.
+type ByteSink interface {
+	// WriteTrace appends b to the trace. It reports the number of bytes
+	// accepted; fewer than len(b) means the ring overran and data was
+	// lost (full-trace mode with a slow consumer).
+	WriteTrace(b []byte) int
+}
+
+// Stats aggregates encoder output statistics; Table 9 is computed from
+// these plus the workload's virtual runtime.
+type Stats struct {
+	Bytes      uint64
+	Packets    uint64
+	TNTPackets uint64
+	TNTBits    uint64
+	TIPs       uint64
+	FUPs       uint64
+	PSBs       uint64
+	Branches   uint64
+	LostBytes  uint64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Bytes += other.Bytes
+	s.Packets += other.Packets
+	s.TNTPackets += other.TNTPackets
+	s.TNTBits += other.TNTBits
+	s.TIPs += other.TIPs
+	s.FUPs += other.FUPs
+	s.PSBs += other.PSBs
+	s.Branches += other.Branches
+	s.LostBytes += other.LostBytes
+}
+
+// EncoderOptions configure an Encoder.
+type EncoderOptions struct {
+	// PSBPeriod is the approximate byte interval between PSB sync
+	// points. Zero selects the default (4 KiB, a typical hardware
+	// setting).
+	PSBPeriod int
+	// TSC supplies the timestamp recorded alongside each PSB; nil
+	// disables TSC packets.
+	TSC func() uint64
+}
+
+// DefaultPSBPeriod is the default byte distance between PSBs.
+const DefaultPSBPeriod = 4096
+
+// Encoder turns one thread's branch events into a compressed PT packet
+// stream. It owns the per-trace last-IP compression state and the CFG
+// edge table; the matching Decoder reconstructs both incrementally from
+// the stream itself, so the stream is self-describing given the program
+// image.
+//
+// An Encoder is owned by one thread and is not safe for concurrent use —
+// exactly like a hardware PT unit, which traces one logical core into one
+// buffer (the paper gives each forked "thread" process its own trace via
+// the perf cgroup filter).
+type Encoder struct {
+	sink   ByteSink
+	edges  image.EdgeTable
+	lastIP uint64
+
+	bits  []bool
+	buf   []byte
+	stats Stats
+
+	psbPeriod int
+	sincePSB  int
+	needPSB   bool
+	started   bool
+	tsc       func() uint64
+}
+
+// NewEncoder creates an encoder writing to sink.
+func NewEncoder(sink ByteSink, opts EncoderOptions) *Encoder {
+	period := opts.PSBPeriod
+	if period <= 0 {
+		period = DefaultPSBPeriod
+	}
+	return &Encoder{
+		sink:      sink,
+		edges:     make(image.EdgeTable),
+		bits:      make([]bool, 0, maxShortBits),
+		psbPeriod: period,
+		tsc:       opts.TSC,
+	}
+}
+
+// Stats returns a copy of the output statistics.
+func (e *Encoder) Stats() Stats { return e.stats }
+
+// emit sends buffered packet bytes to the sink, accounting loss.
+func (e *Encoder) emit() {
+	if len(e.buf) == 0 {
+		return
+	}
+	n := e.sink.WriteTrace(e.buf)
+	e.stats.Bytes += uint64(n)
+	if n < len(e.buf) {
+		e.stats.LostBytes += uint64(len(e.buf) - n)
+	}
+	e.sincePSB += len(e.buf)
+	if e.sincePSB >= e.psbPeriod {
+		e.needPSB = true
+		e.sincePSB = 0
+	}
+	e.buf = e.buf[:0]
+}
+
+// flushTNT packs pending TNT bits into packets.
+func (e *Encoder) flushTNT() {
+	for len(e.bits) > 0 {
+		n := len(e.bits)
+		if n > maxLongBits {
+			n = maxLongBits
+		}
+		var err error
+		e.buf, err = appendTNT(e.buf, e.bits[:n])
+		if err != nil {
+			// Unreachable: n is clamped to maxLongBits.
+			panic(err)
+		}
+		e.stats.TNTPackets++
+		e.stats.TNTBits += uint64(n)
+		e.stats.Packets++
+		e.bits = e.bits[:copy(e.bits, e.bits[n:])]
+	}
+}
+
+// maybePSB inserts a PSB bundle re-anchoring the decoder at site s. A PSB
+// resets last-IP compression on both sides and carries a FUP with the
+// current position so a consumer that lost data can resynchronize — the
+// property INSPECTOR's snapshot facility (§VI) relies on.
+func (e *Encoder) maybePSB(s *image.Site) {
+	if !e.needPSB {
+		return
+	}
+	e.needPSB = false
+	e.flushTNT()
+	e.buf = appendPSB(e.buf)
+	e.stats.PSBs++
+	e.stats.Packets++
+	e.lastIP = 0
+	if e.tsc != nil {
+		e.buf = appendTSC(e.buf, e.tsc())
+		e.stats.Packets++
+	}
+	e.buf, e.lastIP = appendIPPacket(e.buf, tipSubFUP, s.Addr(), e.lastIP)
+	e.stats.Packets++
+	e.stats.FUPs++
+	e.buf = append(e.buf, opExt, extPSBEND)
+	e.stats.Packets++
+	e.emit()
+}
+
+// begin emits TIP.PGE anchoring the trace at the first executed site.
+func (e *Encoder) begin(s *image.Site) {
+	e.buf, e.lastIP = appendIPPacket(e.buf, tipSubPGE, s.Addr(), e.lastIP)
+	e.stats.Packets++
+	e.started = true
+	e.emit()
+}
+
+// CondBranch records a conditional branch at site s with the given
+// outcome, whose execution continued at site next. If the CFG edge
+// (s, taken) -> next is already in the edge table the outcome costs one
+// TNT bit; otherwise the deviation is carried in-band by a FUP packet
+// and recorded in the table.
+func (e *Encoder) CondBranch(s *image.Site, taken bool, next *image.Site) {
+	if !e.started {
+		e.begin(s)
+	}
+	e.maybePSB(s)
+	e.stats.Branches++
+	e.bits = append(e.bits, taken)
+	if succ, ok := e.edges.Lookup(s.ID, taken); ok && succ == next.ID {
+		if len(e.bits) >= maxShortBits {
+			e.flushTNT()
+			e.emit()
+		}
+		return
+	}
+	// Deviation: flush bits so this branch's bit is last in-stream, then
+	// bind the successor with a FUP.
+	e.edges.Record(s.ID, taken, next.ID)
+	e.flushTNT()
+	e.buf, e.lastIP = appendIPPacket(e.buf, tipSubFUP, next.Addr(), e.lastIP)
+	e.stats.Packets++
+	e.stats.FUPs++
+	e.emit()
+}
+
+// IndirectBranch records an indirect transfer at site s landing at
+// target. Indirect targets are always carried in-band as TIP packets,
+// as in hardware PT.
+func (e *Encoder) IndirectBranch(s *image.Site, target *image.Site) {
+	if !e.started {
+		e.begin(s)
+	}
+	e.maybePSB(s)
+	e.stats.Branches++
+	e.flushTNT()
+	e.buf, e.lastIP = appendIPPacket(e.buf, tipSubTIP, target.Addr(), e.lastIP)
+	e.stats.Packets++
+	e.stats.TIPs++
+	e.emit()
+}
+
+// End flushes pending state and closes the trace with TIP.PGD.
+func (e *Encoder) End() {
+	e.flushTNT()
+	e.buf, e.lastIP = appendIPPacket(e.buf, tipSubPGD, 0, e.lastIP)
+	e.stats.Packets++
+	e.emit()
+}
+
+// Tracer adapts a stream of raw "branch executed" events into Encoder
+// calls. The successor of a branch is only known when the *next* branch
+// executes, so the tracer buffers one pending event; Close completes the
+// final pending branch against a per-trace exit site.
+type Tracer struct {
+	enc  *Encoder
+	im   *image.Image
+	exit *image.Site
+
+	pending      *image.Site
+	pendingTaken bool
+	havePending  bool
+	pendingKind  image.SiteKind
+}
+
+// NewTracer builds a tracer for one thread. The exit label names the
+// synthetic site that terminates the trace (unique per thread).
+func NewTracer(enc *Encoder, im *image.Image, exitLabel string) (*Tracer, error) {
+	exit, err := im.Site(exitLabel, image.Indirect)
+	if err != nil {
+		return nil, err
+	}
+	return &Tracer{enc: enc, im: im, exit: exit}, nil
+}
+
+// complete finishes the pending branch with the given successor.
+func (t *Tracer) complete(succ *image.Site) {
+	if !t.havePending {
+		return
+	}
+	if t.pendingKind == image.Conditional {
+		t.enc.CondBranch(t.pending, t.pendingTaken, succ)
+	} else {
+		t.enc.IndirectBranch(t.pending, succ)
+	}
+	t.havePending = false
+}
+
+// OnCond records execution of a conditional branch at site s.
+func (t *Tracer) OnCond(s *image.Site, taken bool) {
+	t.complete(s)
+	t.pending = s
+	t.pendingTaken = taken
+	t.pendingKind = image.Conditional
+	t.havePending = true
+}
+
+// OnIndirect records execution of an indirect transfer at site s.
+func (t *Tracer) OnIndirect(s *image.Site) {
+	t.complete(s)
+	t.pending = s
+	t.pendingKind = image.Indirect
+	t.havePending = true
+}
+
+// Close completes the final pending branch against the exit site and ends
+// the trace.
+func (t *Tracer) Close() {
+	t.complete(t.exit)
+	t.enc.End()
+}
+
+// Exit returns the tracer's exit site.
+func (t *Tracer) Exit() *image.Site { return t.exit }

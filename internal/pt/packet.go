@@ -1,0 +1,341 @@
+// Package pt implements a software model of Intel Processor Trace: the
+// compressed packet grammar (PSB, TNT, TIP, FUP, TSC, OVF, PAD), a
+// per-thread trace encoder with TNT bit-packing and last-IP compression,
+// and a decoder that reconstructs the executed control-flow path by
+// walking the program image — the same division of labour as the hardware
+// PT unit plus the Intel Processor Decoder Library used by the paper
+// (§V-B).
+//
+// Packet encodings follow the Intel SDM layouts where practical:
+//
+//	PAD      0x00
+//	PSB      (0x02 0x82) x 8 — 16-byte synchronization boundary
+//	PSBEND   0x02 0x23
+//	OVF      0x02 0xF3 — overflow, data lost upstream of the ring
+//	Long TNT 0x02 0xA3 + 6-byte payload, up to 47 taken/not-taken bits
+//	Short TNT one byte, bit0 = 0, 1..6 TNT bits plus a stop bit
+//	TIP      (ipBytes<<5)|0x0D + compressed IP — indirect branch target
+//	TIP.PGE  (ipBytes<<5)|0x11 + compressed IP — trace enable
+//	TIP.PGD  (ipBytes<<5)|0x01 + compressed IP — trace disable
+//	FUP      (ipBytes<<5)|0x1D + compressed IP — bound control-flow update
+//	TSC      0x19 + 7-byte little-endian timestamp
+//
+// IP payloads use last-IP compression: the encoder sends only the low 2,
+// 4, or 6 bytes when the upper bytes match the previously sent IP, or a
+// full 8 bytes otherwise; code 0 means "IP unchanged".
+package pt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// PacketType enumerates the packet kinds this model generates.
+type PacketType uint8
+
+// Packet types.
+const (
+	PktPAD PacketType = iota + 1
+	PktPSB
+	PktPSBEND
+	PktOVF
+	PktTNT
+	PktTIP
+	PktTIPPGE
+	PktTIPPGD
+	PktFUP
+	PktTSC
+)
+
+// String names the packet type as the Intel tooling does.
+func (t PacketType) String() string {
+	switch t {
+	case PktPAD:
+		return "PAD"
+	case PktPSB:
+		return "PSB"
+	case PktPSBEND:
+		return "PSBEND"
+	case PktOVF:
+		return "OVF"
+	case PktTNT:
+		return "TNT"
+	case PktTIP:
+		return "TIP"
+	case PktTIPPGE:
+		return "TIP.PGE"
+	case PktTIPPGD:
+		return "TIP.PGD"
+	case PktFUP:
+		return "FUP"
+	case PktTSC:
+		return "TSC"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Packet is one decoded packet.
+type Packet struct {
+	Type PacketType
+	// IP is the reconstructed instruction pointer for TIP/FUP family
+	// packets (after last-IP decompression).
+	IP uint64
+	// TNTBits holds taken/not-taken bits, oldest first, for TNT packets.
+	TNTBits []bool
+	// TSC is the timestamp payload for TSC packets.
+	TSC uint64
+	// Len is the encoded length in bytes.
+	Len int
+}
+
+// Opcode bytes and TIP-family sub-opcodes.
+const (
+	opPad        = 0x00
+	opExt        = 0x02 // extended-opcode escape
+	extPSB       = 0x82
+	extPSBEND    = 0x23
+	extOVF       = 0xF3
+	extLongTNT   = 0xA3
+	opTSC        = 0x19
+	tipSubTIP    = 0x0D
+	tipSubPGE    = 0x11
+	tipSubPGD    = 0x01
+	tipSubFUP    = 0x1D
+	tipSubMask   = 0x1F
+	psbLen       = 16
+	longTNTLen   = 8 // 2 header + 6 payload
+	tscLen       = 8 // 1 header + 7 payload
+	maxShortBits = 6
+	maxLongBits  = 47
+)
+
+// Errors returned by the packet layer.
+var (
+	ErrTruncated = errors.New("pt: truncated packet")
+	ErrBadPacket = errors.New("pt: malformed packet")
+	ErrTooMany   = errors.New("pt: too many TNT bits for one packet")
+)
+
+// ipCompress selects the smallest IPBytes code able to carry target given
+// lastIP, returning the code and payload bytes.
+func ipCompress(target, lastIP uint64) (code byte, payload []byte) {
+	if target == lastIP {
+		return 0, nil
+	}
+	switch {
+	case target>>16 == lastIP>>16:
+		p := make([]byte, 2)
+		binary.LittleEndian.PutUint16(p, uint16(target))
+		return 1, p
+	case target>>32 == lastIP>>32:
+		p := make([]byte, 4)
+		binary.LittleEndian.PutUint32(p, uint32(target))
+		return 2, p
+	case target>>48 == lastIP>>48:
+		p := make([]byte, 6)
+		binary.LittleEndian.PutUint16(p, uint16(target))
+		binary.LittleEndian.PutUint32(p[2:], uint32(target>>16))
+		return 3, p
+	default:
+		p := make([]byte, 8)
+		binary.LittleEndian.PutUint64(p, target)
+		return 6, p
+	}
+}
+
+// ipPayloadLen returns the payload byte count for an IPBytes code.
+func ipPayloadLen(code byte) (int, error) {
+	switch code {
+	case 0:
+		return 0, nil
+	case 1:
+		return 2, nil
+	case 2:
+		return 4, nil
+	case 3:
+		return 6, nil
+	case 6:
+		return 8, nil
+	default:
+		return 0, fmt.Errorf("%w: IPBytes code %d", ErrBadPacket, code)
+	}
+}
+
+// ipDecompress reconstructs the full IP from a compressed payload and the
+// decoder's last IP.
+func ipDecompress(code byte, payload []byte, lastIP uint64) uint64 {
+	switch code {
+	case 0:
+		return lastIP
+	case 1:
+		return lastIP&^uint64(0xFFFF) | uint64(binary.LittleEndian.Uint16(payload))
+	case 2:
+		return lastIP&^uint64(0xFFFF_FFFF) | uint64(binary.LittleEndian.Uint32(payload))
+	case 3:
+		low := uint64(binary.LittleEndian.Uint16(payload))
+		mid := uint64(binary.LittleEndian.Uint32(payload[2:]))
+		return lastIP&^uint64(0xFFFF_FFFF_FFFF) | mid<<16 | low
+	default: // 6
+		return binary.LittleEndian.Uint64(payload)
+	}
+}
+
+// appendIPPacket appends a TIP-family packet for target to dst and returns
+// the extended buffer plus the new lastIP.
+func appendIPPacket(dst []byte, sub byte, target, lastIP uint64) ([]byte, uint64) {
+	code, payload := ipCompress(target, lastIP)
+	dst = append(dst, code<<5|sub)
+	dst = append(dst, payload...)
+	return dst, target
+}
+
+// appendTNT appends a TNT packet carrying bits (oldest first). It chooses
+// the short form when bits fit in one byte. Returns an error if more than
+// maxLongBits are supplied.
+func appendTNT(dst []byte, bits []bool) ([]byte, error) {
+	n := len(bits)
+	if n == 0 {
+		return dst, nil
+	}
+	if n > maxLongBits {
+		return dst, ErrTooMany
+	}
+	var v uint64 = 1 // stop bit
+	for _, b := range bits {
+		v <<= 1
+		if b {
+			v |= 1
+		}
+	}
+	if n <= maxShortBits {
+		return append(dst, byte(v<<1)), nil
+	}
+	dst = append(dst, opExt, extLongTNT)
+	var p [6]byte
+	for i := 0; i < 6; i++ {
+		p[i] = byte(v >> (8 * i))
+	}
+	return append(dst, p[:]...), nil
+}
+
+// tntBits extracts TNT bits (oldest first) from the packed payload value.
+func tntBits(v uint64) []bool {
+	if v == 0 {
+		return nil
+	}
+	// Find stop bit (highest set bit); bits below it are the payload.
+	top := 63
+	for top > 0 && v>>(uint(top))&1 == 0 {
+		top--
+	}
+	bits := make([]bool, top)
+	for i := 0; i < top; i++ {
+		bits[i] = v>>(uint(top-1-i))&1 == 1
+	}
+	return bits
+}
+
+// appendPSB appends the 16-byte PSB pattern.
+func appendPSB(dst []byte) []byte {
+	for i := 0; i < psbLen/2; i++ {
+		dst = append(dst, opExt, extPSB)
+	}
+	return dst
+}
+
+// appendTSC appends a TSC packet with the low 56 bits of ts.
+func appendTSC(dst []byte, ts uint64) []byte {
+	dst = append(dst, opTSC)
+	for i := 0; i < 7; i++ {
+		dst = append(dst, byte(ts>>(8*i)))
+	}
+	return dst
+}
+
+// DecodePacket parses the packet at the head of buf given the decoder's
+// current lastIP, returning the packet and the updated lastIP.
+func DecodePacket(buf []byte, lastIP uint64) (Packet, uint64, error) {
+	if len(buf) == 0 {
+		return Packet{}, lastIP, ErrTruncated
+	}
+	b0 := buf[0]
+	switch {
+	case b0 == opPad:
+		return Packet{Type: PktPAD, Len: 1}, lastIP, nil
+	case b0 == opTSC:
+		if len(buf) < tscLen {
+			return Packet{}, lastIP, ErrTruncated
+		}
+		var ts uint64
+		for i := 0; i < 7; i++ {
+			ts |= uint64(buf[1+i]) << (8 * i)
+		}
+		return Packet{Type: PktTSC, TSC: ts, Len: tscLen}, lastIP, nil
+	case b0 == opExt:
+		if len(buf) < 2 {
+			return Packet{}, lastIP, ErrTruncated
+		}
+		switch buf[1] {
+		case extPSB:
+			if len(buf) < psbLen {
+				return Packet{}, lastIP, ErrTruncated
+			}
+			for i := 0; i < psbLen; i += 2 {
+				if buf[i] != opExt || buf[i+1] != extPSB {
+					return Packet{}, lastIP, fmt.Errorf("%w: broken PSB pattern", ErrBadPacket)
+				}
+			}
+			// PSB resets last-IP compression state.
+			return Packet{Type: PktPSB, Len: psbLen}, 0, nil
+		case extPSBEND:
+			return Packet{Type: PktPSBEND, Len: 2}, lastIP, nil
+		case extOVF:
+			return Packet{Type: PktOVF, Len: 2}, lastIP, nil
+		case extLongTNT:
+			if len(buf) < longTNTLen {
+				return Packet{}, lastIP, ErrTruncated
+			}
+			var v uint64
+			for i := 0; i < 6; i++ {
+				v |= uint64(buf[2+i]) << (8 * i)
+			}
+			return Packet{Type: PktTNT, TNTBits: tntBits(v), Len: longTNTLen}, lastIP, nil
+		default:
+			return Packet{}, lastIP, fmt.Errorf("%w: ext opcode %#x", ErrBadPacket, buf[1])
+		}
+	case b0&1 == 0:
+		// Short TNT: bit0 = 0, payload in bits 7..1.
+		v := uint64(b0 >> 1)
+		if v == 0 {
+			return Packet{}, lastIP, fmt.Errorf("%w: empty short TNT", ErrBadPacket)
+		}
+		return Packet{Type: PktTNT, TNTBits: tntBits(v), Len: 1}, lastIP, nil
+	default:
+		sub := b0 & tipSubMask
+		var typ PacketType
+		switch sub {
+		case tipSubTIP:
+			typ = PktTIP
+		case tipSubPGE:
+			typ = PktTIPPGE
+		case tipSubPGD:
+			typ = PktTIPPGD
+		case tipSubFUP:
+			typ = PktFUP
+		default:
+			return Packet{}, lastIP, fmt.Errorf("%w: opcode %#x", ErrBadPacket, b0)
+		}
+		code := b0 >> 5
+		n, err := ipPayloadLen(code)
+		if err != nil {
+			return Packet{}, lastIP, err
+		}
+		if len(buf) < 1+n {
+			return Packet{}, lastIP, ErrTruncated
+		}
+		ip := ipDecompress(code, buf[1:1+n], lastIP)
+		return Packet{Type: typ, IP: ip, Len: 1 + n}, ip, nil
+	}
+}

@@ -1,0 +1,244 @@
+package pt
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIPCompressionCodes(t *testing.T) {
+	tests := []struct {
+		name     string
+		target   uint64
+		lastIP   uint64
+		wantCode byte
+		wantLen  int
+	}{
+		{"same ip", 0x400000, 0x400000, 0, 0},
+		{"low 16 differ", 0x400010, 0x400000, 1, 2},
+		{"low 32 differ", 0x1400010, 0x400000, 2, 4},
+		{"low 48 differ", 0x10_0000_0010, 0x400000, 3, 6},
+		{"full", 0x8000_0000_0000_0010, 0x400000, 6, 8},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			code, payload := ipCompress(tt.target, tt.lastIP)
+			if code != tt.wantCode || len(payload) != tt.wantLen {
+				t.Errorf("code=%d len=%d, want %d/%d", code, len(payload), tt.wantCode, tt.wantLen)
+			}
+			got := ipDecompress(code, payload, tt.lastIP)
+			if got != tt.target {
+				t.Errorf("decompress = %#x, want %#x", got, tt.target)
+			}
+		})
+	}
+}
+
+func TestQuickIPCompressionRoundTrip(t *testing.T) {
+	f := func(target, last uint64) bool {
+		code, payload := ipCompress(target, last)
+		return ipDecompress(code, payload, last) == target
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTNTEncodingRoundTrip(t *testing.T) {
+	cases := [][]bool{
+		{true},
+		{false},
+		{true, false, true},
+		{true, true, true, true, true, true}, // max short
+		{false, false, false, false, false, false, false}, // long
+		make([]bool, 47), // max long
+	}
+	for i := range cases[5] {
+		cases[5][i] = i%3 == 0
+	}
+	for _, bits := range cases {
+		buf, err := appendTNT(nil, bits)
+		if err != nil {
+			t.Fatalf("appendTNT(%v): %v", bits, err)
+		}
+		p, _, err := DecodePacket(buf, 0)
+		if err != nil {
+			t.Fatalf("DecodePacket: %v", err)
+		}
+		if p.Type != PktTNT {
+			t.Fatalf("type = %v", p.Type)
+		}
+		if len(p.TNTBits) != len(bits) {
+			t.Fatalf("got %d bits, want %d", len(p.TNTBits), len(bits))
+		}
+		for j := range bits {
+			if p.TNTBits[j] != bits[j] {
+				t.Errorf("bit %d = %v, want %v", j, p.TNTBits[j], bits[j])
+			}
+		}
+		if len(bits) <= 6 && len(buf) != 1 {
+			t.Errorf("short TNT length = %d, want 1", len(buf))
+		}
+	}
+}
+
+func TestTNTTooManyBits(t *testing.T) {
+	if _, err := appendTNT(nil, make([]bool, 48)); !errors.Is(err, ErrTooMany) {
+		t.Errorf("48 bits: err = %v", err)
+	}
+}
+
+func TestTNTEmptyIsNoop(t *testing.T) {
+	buf, err := appendTNT([]byte{0xAA}, nil)
+	if err != nil || len(buf) != 1 {
+		t.Errorf("empty TNT: buf=%v err=%v", buf, err)
+	}
+}
+
+func TestQuickTNTRoundTrip(t *testing.T) {
+	f := func(seed int64, n8 uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(n8%47) + 1
+		bits := make([]bool, n)
+		for i := range bits {
+			bits[i] = r.Intn(2) == 1
+		}
+		buf, err := appendTNT(nil, bits)
+		if err != nil {
+			return false
+		}
+		p, _, err := DecodePacket(buf, 0)
+		if err != nil || p.Type != PktTNT || len(p.TNTBits) != n {
+			return false
+		}
+		for i := range bits {
+			if p.TNTBits[i] != bits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPSBRoundTrip(t *testing.T) {
+	buf := appendPSB(nil)
+	if len(buf) != psbLen {
+		t.Fatalf("PSB length = %d, want %d", len(buf), psbLen)
+	}
+	p, ip, err := DecodePacket(buf, 0xdead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Type != PktPSB || p.Len != psbLen {
+		t.Errorf("packet = %+v", p)
+	}
+	if ip != 0 {
+		t.Errorf("PSB must reset lastIP, got %#x", ip)
+	}
+}
+
+func TestTSCRoundTrip(t *testing.T) {
+	buf := appendTSC(nil, 0x123456789ABC)
+	p, _, err := DecodePacket(buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Type != PktTSC || p.TSC != 0x123456789ABC {
+		t.Errorf("packet = %+v", p)
+	}
+}
+
+func TestTSCTruncatesTo56Bits(t *testing.T) {
+	buf := appendTSC(nil, 0xFF_12345678_9ABCDE)
+	p, _, err := DecodePacket(buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TSC != 0x12345678_9ABCDE {
+		t.Errorf("TSC = %#x, want 56-bit truncation", p.TSC)
+	}
+}
+
+func TestTIPFamilyRoundTrip(t *testing.T) {
+	subs := []struct {
+		sub  byte
+		want PacketType
+	}{
+		{tipSubTIP, PktTIP},
+		{tipSubPGE, PktTIPPGE},
+		{tipSubPGD, PktTIPPGD},
+		{tipSubFUP, PktFUP},
+	}
+	for _, s := range subs {
+		buf, newIP := appendIPPacket(nil, s.sub, 0x400123, 0x400000)
+		if newIP != 0x400123 {
+			t.Errorf("lastIP after append = %#x", newIP)
+		}
+		p, ip, err := DecodePacket(buf, 0x400000)
+		if err != nil {
+			t.Fatalf("%v: %v", s.want, err)
+		}
+		if p.Type != s.want || p.IP != 0x400123 || ip != 0x400123 {
+			t.Errorf("%v: packet=%+v ip=%#x", s.want, p, ip)
+		}
+	}
+}
+
+func TestDecodeSpecials(t *testing.T) {
+	// PAD
+	p, _, err := DecodePacket([]byte{0x00}, 0)
+	if err != nil || p.Type != PktPAD {
+		t.Errorf("PAD: %+v %v", p, err)
+	}
+	// PSBEND
+	p, _, err = DecodePacket([]byte{0x02, 0x23}, 0)
+	if err != nil || p.Type != PktPSBEND {
+		t.Errorf("PSBEND: %+v %v", p, err)
+	}
+	// OVF
+	p, _, err = DecodePacket([]byte{0x02, 0xF3}, 0)
+	if err != nil || p.Type != PktOVF {
+		t.Errorf("OVF: %+v %v", p, err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := DecodePacket(nil, 0); !errors.Is(err, ErrTruncated) {
+		t.Errorf("empty: %v", err)
+	}
+	if _, _, err := DecodePacket([]byte{0x19, 0x01}, 0); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short TSC: %v", err)
+	}
+	if _, _, err := DecodePacket([]byte{0x02}, 0); !errors.Is(err, ErrTruncated) {
+		t.Errorf("lone ext: %v", err)
+	}
+	if _, _, err := DecodePacket([]byte{0x02, 0x99}, 0); !errors.Is(err, ErrBadPacket) {
+		t.Errorf("bad ext: %v", err)
+	}
+	// TIP wanting 8 payload bytes but only 2 present.
+	if _, _, err := DecodePacket([]byte{6<<5 | tipSubTIP, 0x01, 0x02}, 0); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short TIP: %v", err)
+	}
+	// Broken PSB pattern.
+	bad := appendPSB(nil)
+	bad[7] = 0x00
+	if _, _, err := DecodePacket(bad, 0); !errors.Is(err, ErrBadPacket) {
+		t.Errorf("broken PSB: %v", err)
+	}
+}
+
+func TestPacketTypeString(t *testing.T) {
+	all := []PacketType{PktPAD, PktPSB, PktPSBEND, PktOVF, PktTNT, PktTIP, PktTIPPGE, PktTIPPGD, PktFUP, PktTSC}
+	for _, ty := range all {
+		if ty.String() == "UNKNOWN" {
+			t.Errorf("type %d renders UNKNOWN", ty)
+		}
+	}
+	if PacketType(99).String() != "UNKNOWN" {
+		t.Error("unknown type should render UNKNOWN")
+	}
+}

@@ -1,0 +1,379 @@
+package pt
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/repro/inspector/internal/image"
+)
+
+// memSink is an in-memory ByteSink with optional loss injection.
+type memSink struct {
+	data     []byte
+	dropFrom int // byte offset to start dropping at; -1 = never
+	dropLen  int
+	dropped  int
+}
+
+func newMemSink() *memSink { return &memSink{dropFrom: -1} }
+
+func (m *memSink) WriteTrace(b []byte) int {
+	if m.dropFrom >= 0 && len(m.data) >= m.dropFrom && m.dropped < m.dropLen {
+		// Swallow bytes to simulate a consumer that fell behind.
+		take := m.dropLen - m.dropped
+		if take > len(b) {
+			take = len(b)
+		}
+		m.dropped += take
+		rest := b[take:]
+		m.data = append(m.data, rest...)
+		return len(b) // encoder believes all written; loss is downstream
+	}
+	m.data = append(m.data, b...)
+	return len(b)
+}
+
+// traceEvent is the ground truth used to drive encoders in tests.
+type traceEvent struct {
+	label    string
+	indirect bool
+	taken    bool
+}
+
+// runTrace executes events through a Tracer and returns the raw stream.
+func runTrace(t *testing.T, im *image.Image, sink *memSink, events []traceEvent, opts EncoderOptions) {
+	t.Helper()
+	enc := NewEncoder(sink, opts)
+	tr, err := NewTracer(enc, im, "__exit__")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if ev.indirect {
+			tr.OnIndirect(im.MustSite(ev.label, image.Indirect))
+		} else {
+			tr.OnCond(im.MustSite(ev.label, image.Conditional), ev.taken)
+		}
+	}
+	tr.Close()
+}
+
+// checkDecode verifies the decoded events equal the driven events, with
+// successors matching the next driven site (or the exit site at the end).
+func checkDecode(t *testing.T, im *image.Image, data []byte, events []traceEvent) {
+	t.Helper()
+	got, err := DecodeAll(im, data)
+	if err != nil {
+		t.Fatalf("DecodeAll: %v", err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("decoded %d events, want %d", len(got), len(events))
+	}
+	for i, want := range events {
+		ev := got[i]
+		if ev.Site.Label != want.label {
+			t.Fatalf("event %d site = %s, want %s", i, ev.Site.Label, want.label)
+		}
+		if want.indirect {
+			wantTarget := "__exit__"
+			if i+1 < len(events) {
+				wantTarget = events[i+1].label
+			}
+			if ev.Target == nil || ev.Target.Label != wantTarget {
+				t.Fatalf("event %d target = %v, want %s", i, ev.Target, wantTarget)
+			}
+		} else if ev.Taken != want.taken {
+			t.Fatalf("event %d taken = %v, want %v", i, ev.Taken, want.taken)
+		}
+	}
+}
+
+func TestRoundTripSimpleLoop(t *testing.T) {
+	im := image.New()
+	var events []traceEvent
+	for i := 0; i < 20; i++ {
+		events = append(events, traceEvent{label: "loop.head", taken: i < 19})
+	}
+	sink := newMemSink()
+	runTrace(t, im, sink, events, EncoderOptions{})
+	checkDecode(t, im, sink.data, events)
+}
+
+func TestRoundTripAlternatingBranches(t *testing.T) {
+	im := image.New()
+	var events []traceEvent
+	for i := 0; i < 50; i++ {
+		events = append(events,
+			traceEvent{label: "a", taken: i%2 == 0},
+			traceEvent{label: "b", taken: i%3 == 0},
+		)
+	}
+	sink := newMemSink()
+	runTrace(t, im, sink, events, EncoderOptions{})
+	checkDecode(t, im, sink.data, events)
+}
+
+func TestRoundTripIndirects(t *testing.T) {
+	im := image.New()
+	events := []traceEvent{
+		{label: "dispatch", indirect: true},
+		{label: "case1", taken: true},
+		{label: "dispatch", indirect: true},
+		{label: "case2", taken: false},
+		{label: "ret", indirect: true},
+	}
+	sink := newMemSink()
+	runTrace(t, im, sink, events, EncoderOptions{})
+	checkDecode(t, im, sink.data, events)
+}
+
+func TestRoundTripDeviatingSuccessors(t *testing.T) {
+	// Same (site, outcome) flowing to different successors across
+	// iterations: forces FUP deviations.
+	im := image.New()
+	var events []traceEvent
+	for i := 0; i < 10; i++ {
+		events = append(events, traceEvent{label: "head", taken: true})
+		if i%2 == 0 {
+			events = append(events, traceEvent{label: "even.body", taken: i%4 == 0})
+		} else {
+			events = append(events, traceEvent{label: "odd.body", taken: i%3 == 0})
+		}
+	}
+	sink := newMemSink()
+	runTrace(t, im, sink, events, EncoderOptions{})
+	checkDecode(t, im, sink.data, events)
+}
+
+func TestRoundTripWithPSBs(t *testing.T) {
+	im := image.New()
+	var events []traceEvent
+	for i := 0; i < 3000; i++ {
+		events = append(events, traceEvent{label: fmt.Sprintf("s%d", i%7), taken: i%5 != 0})
+	}
+	sink := newMemSink()
+	var ts uint64
+	runTrace(t, im, sink, events, EncoderOptions{
+		PSBPeriod: 64,
+		TSC:       func() uint64 { ts += 100; return ts },
+	})
+	checkDecode(t, im, sink.data, events)
+
+	// PSBs must actually have been emitted.
+	d := NewDecoder(im, sink.data)
+	if _, err := DecodeAll(im, sink.data); err != nil {
+		t.Fatal(err)
+	}
+	_ = d
+}
+
+func TestCompressionDensity(t *testing.T) {
+	// A predictable loop should approach 6 branches per TNT byte.
+	im := image.New()
+	var events []traceEvent
+	const n = 6000
+	for i := 0; i < n; i++ {
+		events = append(events, traceEvent{label: "hot", taken: true})
+	}
+	sink := newMemSink()
+	runTrace(t, im, sink, events, EncoderOptions{})
+	bytesPerBranch := float64(len(sink.data)) / float64(n)
+	if bytesPerBranch > 0.25 {
+		t.Errorf("bytes/branch = %.3f, want < 0.25 for a predictable loop", bytesPerBranch)
+	}
+}
+
+func TestEncoderStats(t *testing.T) {
+	im := image.New()
+	events := []traceEvent{
+		{label: "a", taken: true},
+		{label: "b", indirect: true},
+		{label: "a", taken: false},
+	}
+	sink := newMemSink()
+	enc := NewEncoder(sink, EncoderOptions{})
+	tr, err := NewTracer(enc, im, "__exit__")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if ev.indirect {
+			tr.OnIndirect(im.MustSite(ev.label, image.Indirect))
+		} else {
+			tr.OnCond(im.MustSite(ev.label, image.Conditional), ev.taken)
+		}
+	}
+	tr.Close()
+	st := enc.Stats()
+	if st.Branches != 3 {
+		t.Errorf("Branches = %d, want 3", st.Branches)
+	}
+	if st.TNTBits != 2 {
+		t.Errorf("TNTBits = %d, want 2", st.TNTBits)
+	}
+	if st.TIPs != 1 {
+		t.Errorf("TIPs = %d, want 1", st.TIPs)
+	}
+	if st.Bytes == 0 || st.Bytes != uint64(len(sink.data)) {
+		t.Errorf("Bytes = %d, sink has %d", st.Bytes, len(sink.data))
+	}
+	var sum Stats
+	sum.Add(st)
+	sum.Add(st)
+	if sum.Branches != 6 {
+		t.Errorf("Stats.Add: Branches = %d, want 6", sum.Branches)
+	}
+}
+
+func TestDecoderResyncAfterGap(t *testing.T) {
+	im := image.New()
+	var events []traceEvent
+	for i := 0; i < 4000; i++ {
+		events = append(events, traceEvent{label: fmt.Sprintf("s%d", i%5), taken: i%2 == 0})
+	}
+	sink := newMemSink()
+	sink.dropFrom = 200 // drop a chunk mid-trace
+	sink.dropLen = 64
+	runTrace(t, im, sink, events, EncoderOptions{PSBPeriod: 128})
+
+	d := NewDecoder(im, sink.data)
+	var decoded int
+	var desyncs int
+	for {
+		_, err := d.Next()
+		if err == nil {
+			decoded++
+			continue
+		}
+		if err.Error() == "EOF" || decoded > len(events) {
+			break
+		}
+		desyncs++
+		if desyncs > 100 {
+			t.Fatalf("decoder cannot recover: %v", err)
+		}
+	}
+	if d.Gaps == 0 {
+		t.Error("decoder reported no gaps despite data loss")
+	}
+	// Most of the trace must still decode.
+	if decoded < len(events)/2 {
+		t.Errorf("decoded only %d/%d events after gap", decoded, len(events))
+	}
+}
+
+func TestQuickRoundTripRandomTraces(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		im := image.New()
+		n := 20 + r.Intn(400)
+		events := make([]traceEvent, 0, n)
+		nsites := 2 + r.Intn(8)
+		for i := 0; i < n; i++ {
+			if r.Intn(6) == 0 {
+				events = append(events, traceEvent{
+					label:    fmt.Sprintf("ind%d", r.Intn(nsites)),
+					indirect: true,
+				})
+			} else {
+				events = append(events, traceEvent{
+					label: fmt.Sprintf("c%d", r.Intn(nsites)),
+					taken: r.Intn(2) == 1,
+				})
+			}
+		}
+		sink := newMemSink()
+		enc := NewEncoder(sink, EncoderOptions{PSBPeriod: 64 + r.Intn(512)})
+		tr, err := NewTracer(enc, im, "__exit__")
+		if err != nil {
+			return false
+		}
+		for _, ev := range events {
+			if ev.indirect {
+				tr.OnIndirect(im.MustSite(ev.label, image.Indirect))
+			} else {
+				tr.OnCond(im.MustSite(ev.label, image.Conditional), ev.taken)
+			}
+		}
+		tr.Close()
+		got, err := DecodeAll(im, sink.data)
+		if err != nil || len(got) != len(events) {
+			return false
+		}
+		for i, want := range events {
+			if got[i].Site.Label != want.label {
+				return false
+			}
+			if !want.indirect && got[i].Taken != want.taken {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	im := image.New()
+	c := im.MustSite("c", image.Conditional)
+	ind := im.MustSite("i", image.Indirect)
+	if (Event{Site: c, Taken: true}).String() != "c:t" {
+		t.Error("cond taken string")
+	}
+	if (Event{Site: c}).String() != "c:nt" {
+		t.Error("cond not-taken string")
+	}
+	if (Event{Site: ind, Target: c}).String() != "i->c" {
+		t.Error("indirect string")
+	}
+	if (Event{Site: ind}).String() != "i->?" {
+		t.Error("indirect no-target string")
+	}
+	if (Event{}).String() != "<nil>" {
+		t.Error("nil event string")
+	}
+}
+
+func BenchmarkEncodeTightLoop(b *testing.B) {
+	im := image.New()
+	site := im.MustSite("hot", image.Conditional)
+	next := im.MustSite("hot2", image.Conditional)
+	sink := newMemSink()
+	enc := NewEncoder(sink, EncoderOptions{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		enc.CondBranch(site, true, next)
+		if len(sink.data) > 1<<20 {
+			sink.data = sink.data[:0]
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	im := image.New()
+	sink := newMemSink()
+	enc := NewEncoder(sink, EncoderOptions{})
+	tr, err := NewTracer(enc, im, "__exit__")
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := im.MustSite("a", image.Conditional)
+	c := im.MustSite("c", image.Conditional)
+	for i := 0; i < 10000; i++ {
+		tr.OnCond(a, i%2 == 0)
+		tr.OnCond(c, i%3 == 0)
+	}
+	tr.Close()
+	b.SetBytes(int64(len(sink.data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeAll(im, sink.data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

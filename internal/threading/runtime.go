@@ -1,0 +1,323 @@
+// Package threading implements the INSPECTOR threading library (§V-A):
+// the pthreads-replacement runtime that executes a multithreaded workload
+// while transparently building its Concurrent Provenance Graph.
+//
+// A Runtime owns the shared substrates of one execution:
+//
+//   - shared memory backings for globals, heap and mapped input, with each
+//     "thread" running as a simulated process holding a private
+//     copy-on-write view (threads-as-processes, clone());
+//   - a cgroup that every forked process inherits, used both to scope the
+//     perf/PT trace session and for cpuacct-style work accounting;
+//   - one perf session with a per-process AUX ring receiving each
+//     process's Intel-PT-style branch trace;
+//   - the CPG under construction (internal/core) and the program image
+//     the PT decoder will need (internal/image);
+//   - the deterministic virtual-time cost model standing in for the
+//     paper's Xeon D-1540 wall clock.
+//
+// The same Runtime also runs workloads in native mode — the pthreads
+// baseline of the evaluation — where all tracking is disabled, threads
+// share memory directly (paying false-sharing penalties INSPECTOR's
+// isolation avoids), and only the base costs are charged.
+package threading
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/repro/inspector/internal/cgroup"
+	"github.com/repro/inspector/internal/core"
+	"github.com/repro/inspector/internal/image"
+	"github.com/repro/inspector/internal/mem"
+	"github.com/repro/inspector/internal/perf"
+	"github.com/repro/inspector/internal/proc"
+	"github.com/repro/inspector/internal/pt"
+	"github.com/repro/inspector/internal/vtime"
+)
+
+// Mode selects the execution mode.
+type Mode int
+
+// Execution modes.
+const (
+	// ModeNative is the pthreads baseline: no provenance, no isolation.
+	ModeNative Mode = iota + 1
+	// ModeInspector runs under the full INSPECTOR stack.
+	ModeInspector
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeNative:
+		return "native"
+	case ModeInspector:
+		return "inspector"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configure a Runtime.
+type Options struct {
+	// AppName names the application (perf COMM records, reports).
+	AppName string
+	// Mode selects native or INSPECTOR execution. Default ModeInspector.
+	Mode Mode
+	// MaxThreads bounds the number of thread slots (vector clock width).
+	// Default 64; kmeans-style workloads that spawn hundreds of threads
+	// must raise it, and pay proportionally larger clock merges — the
+	// effect behind kmeans's Figure 5 overhead.
+	MaxThreads int
+	// PageSize is the tracking granularity. Default 4096.
+	PageSize int
+	// Model is the virtual-time cost model. Zero value selects defaults.
+	Model vtime.CostModel
+	// AuxSize is the per-process AUX ring size. Default 4 MiB.
+	AuxSize int
+	// TraceMode selects full-trace or snapshot AUX rings.
+	TraceMode perf.Mode
+	// AutoDrain drains AUX rings into the trace store (default true via
+	// NewRuntime; set DisableAutoDrain to exercise overruns).
+	DisableAutoDrain bool
+	// PSBPeriod is the PT sync-point interval in bytes (default 4096).
+	PSBPeriod int
+}
+
+// Runtime is one execution of one workload.
+type Runtime struct {
+	opts   Options
+	model  vtime.CostModel
+	layout mem.Layout
+
+	globals  *mem.Backing
+	heap     *mem.Backing
+	input    *mem.Backing
+	backings []*mem.Backing
+
+	img   *image.Image
+	graph *core.Graph
+	table *proc.Table
+	hier  *cgroup.Hierarchy
+	cg    *cgroup.Group
+	sess  *perf.Session
+	acct  vtime.Accounting
+
+	allocMu  sync.Mutex
+	heapNext mem.Addr
+	inputMu  sync.Mutex
+	inputOff mem.Addr
+
+	slotMu   sync.Mutex
+	nextSlot int
+
+	threadsMu sync.Mutex
+	threads   []*Thread
+	wg        sync.WaitGroup
+
+	finished   bool
+	ptStats    pt.Stats
+	lastReport *Report
+
+	snapMu    sync.Mutex
+	snapHooks []func()
+	syncSeq   uint64
+}
+
+// Errors returned by the runtime.
+var (
+	ErrTooManyThreads = errors.New("threading: thread slots exhausted (raise Options.MaxThreads)")
+	ErrFinished       = errors.New("threading: runtime already finished")
+	ErrInputTooLarge  = errors.New("threading: input region exhausted")
+)
+
+// NewRuntime builds a runtime for the given options.
+func NewRuntime(opts Options) (*Runtime, error) {
+	if opts.Mode == 0 {
+		opts.Mode = ModeInspector
+	}
+	if opts.MaxThreads <= 0 {
+		opts.MaxThreads = 64
+	}
+	if opts.PageSize <= 0 {
+		opts.PageSize = mem.DefaultPageSize
+	}
+	if opts.AppName == "" {
+		opts.AppName = "app"
+	}
+	model := opts.Model
+	if model == (vtime.CostModel{}) {
+		model = vtime.Default()
+	}
+	layout := mem.DefaultLayout()
+	globals, err := mem.NewBacking("globals", layout.GlobalsBase, layout.GlobalsSize, opts.PageSize)
+	if err != nil {
+		return nil, fmt.Errorf("threading: globals region: %w", err)
+	}
+	heap, err := mem.NewBacking("heap", layout.HeapBase, layout.HeapSize, opts.PageSize)
+	if err != nil {
+		return nil, fmt.Errorf("threading: heap region: %w", err)
+	}
+	input, err := mem.NewBacking("input", layout.InputBase, layout.InputSize, opts.PageSize)
+	if err != nil {
+		return nil, fmt.Errorf("threading: input region: %w", err)
+	}
+	hier := cgroup.NewHierarchy()
+	cg, err := hier.Create("/inspector-" + opts.AppName)
+	if err != nil {
+		return nil, fmt.Errorf("threading: cgroup: %w", err)
+	}
+	rt := &Runtime{
+		opts:     opts,
+		model:    model,
+		layout:   layout,
+		globals:  globals,
+		heap:     heap,
+		input:    input,
+		backings: []*mem.Backing{globals, heap, input},
+		img:      image.New(),
+		graph:    core.NewGraph(opts.MaxThreads),
+		table:    proc.NewTable(1000),
+		hier:     hier,
+		cg:       cg,
+		heapNext: layout.HeapBase,
+		inputOff: layout.InputBase,
+	}
+	rt.sess = perf.NewSession(perf.SessionOptions{
+		Filter:    cg,
+		Mode:      opts.TraceMode,
+		AuxSize:   opts.AuxSize,
+		AutoDrain: !opts.DisableAutoDrain,
+		Clock:     func() uint64 { return uint64(rt.acct.MaxNow()) },
+	})
+	return rt, nil
+}
+
+// Mode returns the runtime's execution mode.
+func (rt *Runtime) Mode() Mode { return rt.opts.Mode }
+
+// Model returns the cost model in effect.
+func (rt *Runtime) Model() vtime.CostModel { return rt.model }
+
+// Graph returns the CPG under construction.
+func (rt *Runtime) Graph() *core.Graph { return rt.graph }
+
+// Image returns the synthetic program image.
+func (rt *Runtime) Image() *image.Image { return rt.img }
+
+// Session returns the perf trace session.
+func (rt *Runtime) Session() *perf.Session { return rt.sess }
+
+// Cgroup returns the runtime's control group.
+func (rt *Runtime) Cgroup() *cgroup.Group { return rt.cg }
+
+// PageSize returns the tracking granularity.
+func (rt *Runtime) PageSize() int { return rt.opts.PageSize }
+
+// GlobalsBase returns the first address of the globals region, a
+// convenient place for workloads to lay out shared variables.
+func (rt *Runtime) GlobalsBase() mem.Addr { return rt.layout.GlobalsBase }
+
+// MapInput copies data into the input-mapping region (the simulated
+// mmap() of an input file) and returns its base address. The mapping is
+// announced to the perf session as an MMAP record, as INSPECTOR's input
+// shim does (§V-A "Input support"), so the input pages are attributable
+// in the provenance graph.
+func (rt *Runtime) MapInput(name string, data []byte) (mem.Addr, error) {
+	rt.inputMu.Lock()
+	defer rt.inputMu.Unlock()
+	base := rt.inputOff
+	ps := mem.Addr(rt.opts.PageSize)
+	need := (mem.Addr(len(data)) + ps - 1) / ps * ps
+	if need == 0 {
+		need = ps
+	}
+	end := uint64(base) + uint64(need)
+	if end > uint64(rt.layout.InputBase)+uint64(rt.layout.InputSize) {
+		return 0, fmt.Errorf("%w: mapping %s (%d bytes)", ErrInputTooLarge, name, len(data))
+	}
+	rt.inputOff = base + need
+	if _, err := rt.input.WriteAt(base, data, 0); err != nil {
+		return 0, fmt.Errorf("threading: map input %s: %w", name, err)
+	}
+	rt.sess.RecordMMAP(0, uint64(base), uint64(len(data)), name)
+	return base, nil
+}
+
+// InputBytes returns the total bytes mapped into the input region
+// (page-rounded), the x-axis of the Figure 8 input-scaling experiment.
+func (rt *Runtime) InputBytes() uint64 {
+	rt.inputMu.Lock()
+	defer rt.inputMu.Unlock()
+	return uint64(rt.inputOff - rt.layout.InputBase)
+}
+
+// allocSlot reserves a thread slot.
+func (rt *Runtime) allocSlot() (int, error) {
+	rt.slotMu.Lock()
+	defer rt.slotMu.Unlock()
+	if rt.nextSlot >= rt.opts.MaxThreads {
+		return 0, ErrTooManyThreads
+	}
+	s := rt.nextSlot
+	rt.nextSlot++
+	return s, nil
+}
+
+// Run executes main as thread slot 0 and waits for every spawned thread
+// to finish, then assembles the report. Run may be called once.
+func (rt *Runtime) Run(main func(*Thread)) (*Report, error) {
+	if rt.finished {
+		return nil, ErrFinished
+	}
+	slot, err := rt.allocSlot()
+	if err != nil {
+		return nil, err
+	}
+	t, err := rt.newThread(nil, slot, rt.opts.AppName)
+	if err != nil {
+		return nil, err
+	}
+	main(t)
+	t.finish()
+	// Wait for any threads the workload spawned but never joined (the
+	// process would reap them at exit).
+	rt.wg.Wait()
+	rt.finished = true
+	rep, err := rt.buildReport(t)
+	rt.lastReport = rep
+	return rep, err
+}
+
+// LastReport returns the report of the completed Run (nil before Run
+// finishes). Harnesses use it when the workload owns the Run call.
+func (rt *Runtime) LastReport() *Report { return rt.lastReport }
+
+// RegisterSnapshotHook adds a callback invoked by the snapshot facility
+// at consistent-cut points (used by internal/snapshot).
+func (rt *Runtime) RegisterSnapshotHook(fn func()) {
+	rt.snapMu.Lock()
+	rt.snapHooks = append(rt.snapHooks, fn)
+	rt.snapMu.Unlock()
+}
+
+// notifySyncPoint runs snapshot hooks; called at every synchronization
+// boundary (the points at which a consistent cut may be taken, §VI).
+func (rt *Runtime) notifySyncPoint() {
+	rt.snapMu.Lock()
+	rt.syncSeq++
+	hooks := rt.snapHooks
+	rt.snapMu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+}
+
+// SyncSeq returns the number of synchronization boundaries crossed so far.
+func (rt *Runtime) SyncSeq() uint64 {
+	rt.snapMu.Lock()
+	defer rt.snapMu.Unlock()
+	return rt.syncSeq
+}

@@ -1,0 +1,155 @@
+package threading
+
+import (
+	"sync"
+
+	"github.com/repro/inspector/internal/core"
+	"github.com/repro/inspector/internal/vtime"
+)
+
+// RWMutex is the pthread_rwlock replacement. Writers are acquire+release
+// like a mutex; readers are acquires of the last writer's release (so a
+// reader's sub-computation happens-after the write it observes) and
+// their own unlocks do not publish new causality to later readers.
+type RWMutex struct {
+	rt   *Runtime
+	name string
+	mu   sync.RWMutex
+	obj  *core.SyncObject
+	vt   vtime.SyncPoint
+}
+
+// NewRWMutex creates a named reader/writer lock.
+func (rt *Runtime) NewRWMutex(name string) *RWMutex {
+	return &RWMutex{
+		rt:   rt,
+		name: name,
+		obj:  core.NewSyncObject("rwlock:"+name, rt.opts.MaxThreads, false),
+	}
+}
+
+// Name returns the lock's name.
+func (rw *RWMutex) Name() string { return rw.name }
+
+// Lock acquires the lock exclusively (write side).
+func (rw *RWMutex) Lock(t *Thread) {
+	if t.rec != nil {
+		t.syncBoundary(core.SyncEvent{Kind: core.SyncAcquire, Object: rw.obj.Name()})
+	} else {
+		t.charge(CatApp, t.rt.model.SyncOp)
+	}
+	rw.mu.Lock()
+	rw.vt.Acquire(t.clk)
+	if t.rec != nil {
+		t.rec.Acquire(rw.obj)
+	}
+}
+
+// Unlock releases the exclusive lock.
+func (rw *RWMutex) Unlock(t *Thread) {
+	if t.rec != nil {
+		sub := t.syncBoundary(core.SyncEvent{Kind: core.SyncRelease, Object: rw.obj.Name()})
+		t.rec.Release(rw.obj, sub)
+	} else {
+		t.charge(CatApp, t.rt.model.SyncOp)
+	}
+	rw.vt.Release(t.clk.Now())
+	rw.mu.Unlock()
+}
+
+// RLock acquires the lock shared (read side): an acquire with no release
+// publication.
+func (rw *RWMutex) RLock(t *Thread) {
+	if t.rec != nil {
+		t.syncBoundary(core.SyncEvent{Kind: core.SyncAcquire, Object: rw.obj.Name()})
+	} else {
+		t.charge(CatApp, t.rt.model.SyncOp)
+	}
+	rw.mu.RLock()
+	rw.vt.Acquire(t.clk)
+	if t.rec != nil {
+		t.rec.Acquire(rw.obj)
+	}
+}
+
+// RUnlock releases the shared lock. Readers still commit their
+// sub-computation (they may have written private data elsewhere), but do
+// not publish causality into the lock object.
+func (rw *RWMutex) RUnlock(t *Thread) {
+	if t.rec != nil {
+		t.syncBoundary(core.SyncEvent{Kind: core.SyncRelease, Object: rw.obj.Name()})
+	} else {
+		t.charge(CatApp, t.rt.model.SyncOp)
+	}
+	rw.vt.Release(t.clk.Now())
+	rw.mu.RUnlock()
+}
+
+// TryLock attempts the mutex without blocking — pthread_mutex_trylock.
+// On success it has full acquire semantics; on failure no sub-computation
+// boundary is created (the thread continues uninterrupted, as the real
+// library's trylock shim does when EBUSY comes back).
+func (m *Mutex) TryLock(t *Thread) bool {
+	if !m.mu.TryLock() {
+		t.charge(CatApp, t.rt.model.SyncOp)
+		return false
+	}
+	// Locked: now record the boundary and acquire semantics. The real
+	// sub-computation split happens after the successful CAS, which is
+	// safe because no blocking occurred.
+	if t.rec != nil {
+		t.syncBoundary(core.SyncEvent{Kind: core.SyncAcquire, Object: m.obj.Name()})
+	} else {
+		t.charge(CatApp, t.rt.model.SyncOp)
+	}
+	m.vt.Acquire(t.clk)
+	if t.rec != nil {
+		t.rec.Acquire(m.obj)
+	}
+	return true
+}
+
+// Once is the pthread_once replacement: the winner's initialization
+// happens-before every other caller's return.
+type Once struct {
+	rt   *Runtime
+	name string
+	mu   sync.Mutex
+	done bool
+	obj  *core.SyncObject
+	vt   vtime.SyncPoint
+}
+
+// NewOnce creates a named once-control.
+func (rt *Runtime) NewOnce(name string) *Once {
+	return &Once{
+		rt:   rt,
+		name: name,
+		obj:  core.NewSyncObject("once:"+name, rt.opts.MaxThreads, false),
+	}
+}
+
+// Do runs fn exactly once across all threads; every caller synchronizes
+// with the initializer's completion.
+func (o *Once) Do(t *Thread, fn func(*Thread)) {
+	if t.rec != nil {
+		t.syncBoundary(core.SyncEvent{Kind: core.SyncAcquire, Object: o.obj.Name()})
+	} else {
+		t.charge(CatApp, t.rt.model.SyncOp)
+	}
+	o.mu.Lock()
+	if !o.done {
+		fn(t)
+		o.done = true
+		if t.rec != nil {
+			sub := t.syncBoundary(core.SyncEvent{Kind: core.SyncRelease, Object: o.obj.Name()})
+			t.rec.Release(o.obj, sub)
+		}
+		o.vt.Release(t.clk.Now())
+	}
+	o.mu.Unlock()
+	o.vt.Acquire(t.clk)
+	if t.rec != nil {
+		t.rec.Acquire(o.obj)
+	}
+}

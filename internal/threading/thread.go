@@ -1,0 +1,523 @@
+package threading
+
+import (
+	"fmt"
+
+	"github.com/repro/inspector/internal/core"
+	"github.com/repro/inspector/internal/image"
+	"github.com/repro/inspector/internal/mem"
+	"github.com/repro/inspector/internal/proc"
+	"github.com/repro/inspector/internal/pt"
+	"github.com/repro/inspector/internal/vtime"
+)
+
+// Category attributes virtual-time charges to the overhead classes the
+// paper's Figure 6 separates.
+type Category int
+
+// Charge categories.
+const (
+	// CatApp is work the application itself performs (also charged by
+	// the native baseline).
+	CatApp Category = iota + 1
+	// CatThreading is INSPECTOR threading-library overhead: page faults,
+	// twin copies, diffs, commits, vector clocks, process spawns.
+	CatThreading
+	// CatPT is Intel-PT overhead: per-branch packet generation plus
+	// moving trace bytes out of the AUX area.
+	CatPT
+)
+
+// Thread is one application thread — under INSPECTOR, a forked process
+// with a private address space. All methods must be called from the
+// goroutine running the thread's function.
+type Thread struct {
+	rt     *Runtime
+	p      *proc.Process
+	rec    *core.Recorder // nil in native mode
+	enc    *pt.Encoder    // nil in native mode
+	tracer *pt.Tracer     // nil in native mode
+	clk    *vtime.Clock
+
+	lastPTBytes uint64
+
+	appCycles       vtime.Cycles
+	threadingCycles vtime.Cycles
+	ptCycles        vtime.Cycles
+
+	loads, stores, branches, alu uint64
+
+	joinObj  *core.SyncObject
+	joinVT   *vtime.SyncPoint
+	joinCh   chan struct{}
+	joinSub  core.SubID
+	finished bool
+}
+
+// faultSink routes protection faults into the thread's recorder and cost
+// accounting (the SIGSEGV handler of §V-A).
+type faultSink struct{ t *Thread }
+
+// OnFault implements mem.FaultHandler.
+func (f faultSink) OnFault(ft mem.Fault) {
+	t := f.t
+	t.charge(CatThreading, t.rt.model.PageFault)
+	switch ft.Kind {
+	case mem.AccessRead:
+		t.rec.OnRead(uint64(ft.Page))
+	case mem.AccessWrite:
+		// The write fault also pays for the twin copy made for diffing.
+		t.charge(CatThreading, t.rt.model.TwinCopyPerPage)
+		t.rec.OnWrite(uint64(ft.Page))
+	}
+}
+
+// newThread creates the process, recorder, and PT plumbing for one thread.
+// parent is nil for the main thread.
+func (rt *Runtime) newThread(parent *Thread, slot int, name string) (*Thread, error) {
+	t := &Thread{rt: rt}
+	tracking := rt.opts.Mode == ModeInspector
+
+	var origin vtime.Cycles
+	var parentPID int32
+	if parent != nil {
+		origin = parent.clk.Now()
+		parentPID = parent.p.PID
+	}
+	var handler mem.FaultHandler
+	if tracking {
+		handler = faultSink{t: t}
+	}
+	t.p = rt.table.Spawn(proc.SpawnConfig{
+		Parent:      parentPID,
+		Name:        name,
+		Slot:        slot,
+		Backings:    rt.backings,
+		Handler:     handler,
+		Tracking:    tracking,
+		ClockOrigin: origin,
+	})
+	t.clk = t.p.Clock
+	rt.acct.Register(t.clk)
+
+	// cgroup membership: the main thread joins the app group; children
+	// inherit through fork, which is what keeps the PT session's filter
+	// matching every process the threading library creates.
+	if parent == nil {
+		rt.cg.AddProcess(t.p.PID)
+	} else {
+		rt.hier.Fork(parentPID, t.p.PID)
+	}
+
+	if tracking {
+		rec, err := core.NewRecorder(rt.graph, slot, t.clk.Now())
+		if err != nil {
+			return nil, err
+		}
+		t.rec = rec
+		stream, ok := rt.sess.Attach(t.p.PID)
+		if !ok {
+			return nil, fmt.Errorf("threading: perf filter rejected pid %d", t.p.PID)
+		}
+		rt.sess.RecordComm(t.p.PID, name)
+		rt.sess.RecordMMAP(t.p.PID, image.CodeBase, uint64(rt.img.Len()*image.SiteSpacing), rt.opts.AppName+".text")
+		t.enc = pt.NewEncoder(stream, pt.EncoderOptions{
+			PSBPeriod: rt.opts.PSBPeriod,
+			TSC:       func() uint64 { return uint64(t.clk.Now()) },
+		})
+		tracer, err := pt.NewTracer(t.enc, rt.img, fmt.Sprintf("__exit_t%d__", slot))
+		if err != nil {
+			return nil, err
+		}
+		t.tracer = tracer
+	}
+
+	t.joinObj = core.NewSyncObject(fmt.Sprintf("join:t%d", slot), rt.opts.MaxThreads, false)
+	t.joinVT = &vtime.SyncPoint{}
+	t.joinCh = make(chan struct{})
+
+	rt.threadsMu.Lock()
+	rt.threads = append(rt.threads, t)
+	rt.threadsMu.Unlock()
+	return t, nil
+}
+
+// charge adds cycles to the thread's clock under the given category.
+func (t *Thread) charge(cat Category, c vtime.Cycles) {
+	if c == 0 {
+		return
+	}
+	t.clk.Advance(c)
+	switch cat {
+	case CatThreading:
+		t.threadingCycles += c
+	case CatPT:
+		t.ptCycles += c
+	default:
+		t.appCycles += c
+	}
+}
+
+// chargePTBytes charges the consumer-side cost of trace bytes emitted
+// since the last call.
+func (t *Thread) chargePTBytes() {
+	if t.enc == nil {
+		return
+	}
+	b := t.enc.Stats().Bytes
+	if delta := b - t.lastPTBytes; delta > 0 {
+		t.charge(CatPT, vtime.Cycles(delta)*t.rt.model.PTBytePersist)
+		t.lastPTBytes = b
+	}
+}
+
+// Slot returns the thread's dense slot index.
+func (t *Thread) Slot() int { return t.p.Slot }
+
+// PID returns the backing process id.
+func (t *Thread) PID() int32 { return t.p.PID }
+
+// Runtime returns the owning runtime.
+func (t *Thread) Runtime() *Runtime { return t.rt }
+
+// Now returns the thread's virtual time.
+func (t *Thread) Now() vtime.Cycles { return t.clk.Now() }
+
+// segv converts an address-space error into a simulated SIGSEGV crash.
+// The real library would deliver a fatal signal; a workload touching
+// unmapped memory is a bug in the workload, not a recoverable condition.
+func (t *Thread) segv(op string, addr mem.Addr, err error) {
+	panic(fmt.Sprintf("thread %d: %s at %#x: %v", t.p.Slot, op, uint64(addr), err))
+}
+
+// Load8 reads one byte of tracked memory.
+func (t *Thread) Load8(a mem.Addr) uint8 {
+	t.loads++
+	t.countInstr(1)
+	t.charge(CatApp, t.rt.model.Load)
+	v, err := t.p.Space.LoadU8(a)
+	if err != nil {
+		t.segv("load8", a, err)
+	}
+	return v
+}
+
+// Load32 reads a uint32.
+func (t *Thread) Load32(a mem.Addr) uint32 {
+	t.loads++
+	t.countInstr(1)
+	t.charge(CatApp, t.rt.model.Load)
+	v, err := t.p.Space.LoadU32(a)
+	if err != nil {
+		t.segv("load32", a, err)
+	}
+	return v
+}
+
+// Load64 reads a uint64.
+func (t *Thread) Load64(a mem.Addr) uint64 {
+	t.loads++
+	t.countInstr(1)
+	t.charge(CatApp, t.rt.model.Load)
+	v, err := t.p.Space.LoadU64(a)
+	if err != nil {
+		t.segv("load64", a, err)
+	}
+	return v
+}
+
+// LoadF64 reads a float64.
+func (t *Thread) LoadF64(a mem.Addr) float64 {
+	t.loads++
+	t.countInstr(1)
+	t.charge(CatApp, t.rt.model.Load)
+	v, err := t.p.Space.LoadF64(a)
+	if err != nil {
+		t.segv("loadf64", a, err)
+	}
+	return v
+}
+
+// Store8 writes one byte.
+func (t *Thread) Store8(a mem.Addr, v uint8) {
+	t.stores++
+	t.countInstr(1)
+	t.charge(CatApp, t.rt.model.Store)
+	conflicts, err := t.p.Space.StoreU8(a, v)
+	if err != nil {
+		t.segv("store8", a, err)
+	}
+	t.chargeConflicts(conflicts)
+}
+
+// Store32 writes a uint32.
+func (t *Thread) Store32(a mem.Addr, v uint32) {
+	t.stores++
+	t.countInstr(1)
+	t.charge(CatApp, t.rt.model.Store)
+	conflicts, err := t.p.Space.StoreU32(a, v)
+	if err != nil {
+		t.segv("store32", a, err)
+	}
+	t.chargeConflicts(conflicts)
+}
+
+// Store64 writes a uint64.
+func (t *Thread) Store64(a mem.Addr, v uint64) {
+	t.stores++
+	t.countInstr(1)
+	t.charge(CatApp, t.rt.model.Store)
+	conflicts, err := t.p.Space.StoreU64(a, v)
+	if err != nil {
+		t.segv("store64", a, err)
+	}
+	t.chargeConflicts(conflicts)
+}
+
+// StoreF64 writes a float64.
+func (t *Thread) StoreF64(a mem.Addr, v float64) {
+	t.stores++
+	t.countInstr(1)
+	t.charge(CatApp, t.rt.model.Store)
+	conflicts, err := t.p.Space.StoreF64(a, v)
+	if err != nil {
+		t.segv("storef64", a, err)
+	}
+	t.chargeConflicts(conflicts)
+}
+
+// Read copies tracked memory into buf, costed per 8-byte word.
+func (t *Thread) Read(a mem.Addr, buf []byte) {
+	words := uint64(len(buf)+7) / 8
+	t.loads += words
+	t.countInstr(words)
+	t.charge(CatApp, vtime.Cycles(words)*t.rt.model.Load)
+	if err := t.p.Space.Read(a, buf); err != nil {
+		t.segv("read", a, err)
+	}
+}
+
+// Write copies data into tracked memory, costed per 8-byte word.
+func (t *Thread) Write(a mem.Addr, data []byte) {
+	words := uint64(len(data)+7) / 8
+	t.stores += words
+	t.countInstr(words)
+	t.charge(CatApp, vtime.Cycles(words)*t.rt.model.Store)
+	conflicts, err := t.p.Space.Write(a, data)
+	if err != nil {
+		t.segv("write", a, err)
+	}
+	t.chargeConflicts(conflicts)
+}
+
+// chargeConflicts applies the native-mode false-sharing penalty.
+func (t *Thread) chargeConflicts(conflicts int) {
+	if conflicts > 0 {
+		t.charge(CatApp, vtime.Cycles(conflicts)*t.rt.model.FalseSharingPenalty)
+	}
+}
+
+// countInstr counts retired instructions into the current thunk.
+func (t *Thread) countInstr(n uint64) {
+	if t.rec != nil {
+		t.rec.OnInstructions(n)
+	}
+}
+
+// Compute charges n generic ALU instructions of pure computation.
+func (t *Thread) Compute(n uint64) {
+	t.alu += n
+	t.charge(CatApp, vtime.Cycles(n)*t.rt.model.ALU)
+	if t.rec != nil {
+		t.rec.OnInstructions(n)
+	}
+}
+
+// Branch records a conditional branch at the labelled site and returns
+// cond so it can wrap a Go condition inline:
+//
+//	for t.Branch("loop.head", i < n) { ... }
+//
+// Under INSPECTOR the branch emits a TNT bit into the thread's PT trace
+// and closes the current thunk.
+func (t *Thread) Branch(label string, cond bool) bool {
+	t.branches++
+	t.charge(CatApp, t.rt.model.Branch)
+	if t.rec != nil {
+		t.rec.OnBranch(label, cond)
+		site := t.rt.img.MustSite(label, image.Conditional)
+		t.tracer.OnCond(site, cond)
+		t.charge(CatPT, t.rt.model.PTBranchOverhead)
+		t.chargePTBytes()
+	}
+	return cond
+}
+
+// Indirect records an indirect control transfer (function pointer call,
+// return) at the labelled site. Under INSPECTOR it emits a TIP packet.
+func (t *Thread) Indirect(label string) {
+	t.branches++
+	t.charge(CatApp, t.rt.model.Branch)
+	if t.rec != nil {
+		site := t.rt.img.MustSite(label, image.Indirect)
+		// The indirect's target is the next executed site; the recorder
+		// thunk records the site now and the tracer resolves the target
+		// from the following event.
+		t.rec.OnIndirect(label, "")
+		t.tracer.OnIndirect(site)
+		t.charge(CatPT, t.rt.model.PTBranchOverhead)
+		t.chargePTBytes()
+	}
+}
+
+// Malloc allocates size bytes from the shared heap through the wrapped
+// allocator. The allocation header is written through tracked memory, so
+// allocator-heavy workloads (reverse_index) fault on allocator pages —
+// the effect §VII-A blames for that benchmark's overhead.
+func (t *Thread) Malloc(size int) mem.Addr {
+	if size <= 0 {
+		size = 1
+	}
+	rt := t.rt
+	rt.allocMu.Lock()
+	const header = 16
+	base := rt.heapNext
+	total := mem.Addr((size + header + 15) & ^15)
+	rt.heapNext += total
+	rt.allocMu.Unlock()
+	cat := CatApp
+	if rt.opts.Mode == ModeInspector {
+		cat = CatThreading
+	}
+	t.charge(cat, rt.model.MallocOp)
+	// Header write through tracked space (allocation size bookkeeping).
+	t.stores++
+	conflicts, err := t.p.Space.StoreU64(base, uint64(size))
+	if err != nil {
+		t.segv("malloc header", base, err)
+	}
+	t.chargeConflicts(conflicts)
+	return base + header
+}
+
+// Free releases an allocation (bookkeeping cost only; the bump allocator
+// does not recycle).
+func (t *Thread) Free(addr mem.Addr) {
+	cat := CatApp
+	if t.rt.opts.Mode == ModeInspector {
+		cat = CatThreading
+	}
+	t.charge(cat, t.rt.model.MallocOp)
+	_ = addr
+}
+
+// syncBoundary ends the current sub-computation: commit the dirty pages
+// (shared-memory commit of §V-A), charge the diff/commit costs, and close
+// the vertex. Returns the completed sub-computation (nil in native mode).
+func (t *Thread) syncBoundary(ev core.SyncEvent) *core.SubComputation {
+	t.charge(CatApp, t.rt.model.SyncOp)
+	if t.rec == nil {
+		t.rt.notifySyncPoint()
+		return nil
+	}
+	res := t.p.Space.Commit()
+	m := t.rt.model
+	t.charge(CatThreading,
+		vtime.Cycles(res.DiffedBytes)*m.DiffPerByte+
+			vtime.Cycles(res.CommittedBytes)*m.CommitPerByte+
+			vtime.Cycles(t.rt.opts.MaxThreads)*m.VectorClockPerSlot)
+	sub, err := t.rec.EndSub(ev, t.clk.Now())
+	if err != nil {
+		// An out-of-order alpha is an internal invariant violation.
+		panic(fmt.Sprintf("thread %d: %v", t.p.Slot, err))
+	}
+	t.rt.notifySyncPoint()
+	return sub
+}
+
+// Spawn creates a new thread running fn — the pthread_create wrapper.
+// Under INSPECTOR the child is forked as a process (clone()), which costs
+// ProcessSpawn rather than ThreadSpawn; the difference dominates
+// thread-churning workloads like kmeans.
+func (t *Thread) Spawn(fn func(*Thread)) *Thread {
+	rt := t.rt
+	slot, err := rt.allocSlot()
+	if err != nil {
+		panic(fmt.Sprintf("thread %d: spawn: %v", t.p.Slot, err))
+	}
+	spawnObj := core.NewSyncObject(fmt.Sprintf("spawn:t%d", slot), rt.opts.MaxThreads, false)
+	spawnVT := &vtime.SyncPoint{}
+
+	// Parent side: the spawn is a release to the child.
+	if rt.opts.Mode == ModeInspector {
+		t.charge(CatThreading, rt.model.ProcessSpawn)
+		sub := t.syncBoundary(core.SyncEvent{Kind: core.SyncRelease, Object: spawnObj.Name()})
+		t.rec.Release(spawnObj, sub)
+	} else {
+		t.charge(CatApp, rt.model.ThreadSpawn)
+	}
+	spawnVT.Release(t.clk.Now())
+
+	child, err := rt.newThread(t, slot, fmt.Sprintf("%s-w%d", rt.opts.AppName, slot))
+	if err != nil {
+		panic(fmt.Sprintf("thread %d: spawn: %v", t.p.Slot, err))
+	}
+
+	rt.wg.Add(1)
+	go func() {
+		defer rt.wg.Done()
+		// Child side: starting is an acquire of the parent's release.
+		// Under INSPECTOR the child also pays its own process setup
+		// (perf attach, address-space init) on its own clock, so sibling
+		// setups overlap — only the parent's clone() calls serialize.
+		spawnVT.Acquire(child.clk)
+		if child.rec != nil {
+			child.charge(CatThreading, rt.model.ProcessSpawn)
+			child.rec.Acquire(spawnObj)
+		}
+		fn(child)
+		child.finish()
+	}()
+	return child
+}
+
+// Join blocks until the child thread finishes — the pthread_join wrapper.
+func (t *Thread) Join(child *Thread) {
+	if t.rec != nil {
+		t.syncBoundary(core.SyncEvent{Kind: core.SyncAcquire, Object: child.joinObj.Name()})
+	} else {
+		t.charge(CatApp, t.rt.model.SyncOp)
+	}
+	<-child.joinCh
+	child.joinVT.Acquire(t.clk)
+	if t.rec != nil {
+		t.rec.Acquire(child.joinObj)
+	}
+}
+
+// finish closes the thread: final sub-computation, join release, PT trace
+// termination, perf exit record.
+func (t *Thread) finish() {
+	if t.finished {
+		return
+	}
+	t.finished = true
+	if t.rec != nil {
+		sub := t.syncBoundary(core.SyncEvent{Kind: core.SyncRelease, Object: t.joinObj.Name()})
+		t.rec.Release(t.joinObj, sub)
+		t.joinSub = sub.ID
+		t.tracer.Close()
+		t.chargePTBytes()
+		if stream, ok := t.rt.sess.Stream(t.p.PID); ok {
+			stream.Drain()
+		}
+		t.rt.sess.RecordExit(t.p.PID)
+	} else {
+		t.charge(CatApp, t.rt.model.SyncOp)
+	}
+	t.joinVT.Release(t.clk.Now())
+	t.rt.cg.ChargeCPU(t.clk.Work())
+	t.rt.hier.Exit(t.p.PID)
+	t.rt.table.Exit(t.p.PID)
+	close(t.joinCh)
+}

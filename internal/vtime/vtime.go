@@ -1,0 +1,269 @@
+// Package vtime provides the deterministic virtual-time substrate used in
+// place of the paper's wall-clock measurements.
+//
+// The paper evaluates INSPECTOR on a 16-hyperthread Intel Xeon D-1540
+// (2.00 GHz) and reports two metrics per run (§VII): "time", the end-to-end
+// runtime, and "work", the total CPU utilization over all threads. This
+// reproduction cannot measure the authors' hardware, so both metrics are
+// computed over a virtual clock instead:
+//
+//   - every simulated thread owns a Clock that advances by a cost-model
+//     charge for each operation it executes (instruction, page fault,
+//     diff byte, PT byte, process spawn, ...);
+//   - synchronization propagates virtual time exactly as blocking does on
+//     real hardware: an acquire lifts the acquiring thread's clock to at
+//     least the releasing thread's clock (see SyncPoint);
+//   - "time" is the main thread's clock at exit (the critical path), and
+//     "work" is the sum of all per-thread clock advances.
+//
+// The model is deterministic, so every experiment is exactly reproducible;
+// the relative shape of the paper's figures is preserved by construction of
+// the per-operation costs rather than by measurement noise.
+package vtime
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Cycles counts virtual CPU cycles.
+type Cycles uint64
+
+// Frequency is the nominal clock rate used to convert Cycles to seconds for
+// rate statistics (faults/sec, MB/sec, instructions/sec). It matches the
+// paper's 2.00 GHz Xeon D-1540.
+const Frequency = 2_000_000_000 // cycles per second
+
+// Seconds converts a cycle count to seconds at the nominal Frequency.
+func (c Cycles) Seconds() float64 {
+	return float64(c) / Frequency
+}
+
+// String renders the cycle count with an engineering suffix.
+func (c Cycles) String() string {
+	switch {
+	case c >= 1_000_000_000:
+		return fmt.Sprintf("%.2fGcy", float64(c)/1e9)
+	case c >= 1_000_000:
+		return fmt.Sprintf("%.2fMcy", float64(c)/1e6)
+	case c >= 1_000:
+		return fmt.Sprintf("%.2fKcy", float64(c)/1e3)
+	default:
+		return fmt.Sprintf("%dcy", uint64(c))
+	}
+}
+
+// CostModel assigns a virtual-cycle price to every event class in the
+// system. The default values are loosely calibrated against published
+// micro-architectural costs (a SIGSEGV round trip is tens of thousands of
+// cycles, a clone() is hundreds of thousands, an L1 hit is ~4) so that the
+// *relative* overheads of the paper's Figures 5-8 emerge from first
+// principles rather than from per-benchmark fudge factors.
+type CostModel struct {
+	// ALU is the cost of a generic arithmetic instruction.
+	ALU Cycles
+	// Load and Store are the costs of a cache-friendly memory access.
+	Load  Cycles
+	Store Cycles
+	// Branch is the cost of a (predicted) branch instruction.
+	Branch Cycles
+	// PTBranchOverhead is the hardware-side cost Intel PT adds per
+	// retired branch while tracing is enabled (packet generation).
+	PTBranchOverhead Cycles
+	// PTBytePersist is the cost per PT trace byte that the perf consumer
+	// must move out of the AUX area (copy + page-cache write).
+	PTBytePersist Cycles
+	// PageFault is the cost of one protection fault round trip: trap,
+	// kernel, SIGSEGV delivery, user handler, mprotect, return.
+	PageFault Cycles
+	// TwinCopyPerPage is the cost of duplicating a page when a write
+	// fault creates the twin used later for diffing.
+	TwinCopyPerPage Cycles
+	// DiffPerByte is the cost of the byte-level compare in the shared
+	// memory commit.
+	DiffPerByte Cycles
+	// CommitPerByte is the cost of publishing one changed byte to the
+	// shared mapping.
+	CommitPerByte Cycles
+	// SyncOp is the base cost of a synchronization operation
+	// (lock/unlock/wait/post) excluding commit work.
+	SyncOp Cycles
+	// VectorClockPerSlot is the cost per slot of a vector clock merge.
+	VectorClockPerSlot Cycles
+	// ThreadSpawn is the native pthread_create cost.
+	ThreadSpawn Cycles
+	// ProcessSpawn is the clone()-as-process cost paid by INSPECTOR's
+	// threads-as-processes design (dominates kmeans, §VII-A).
+	ProcessSpawn Cycles
+	// FalseSharingPenalty is the extra cost a *native* execution pays per
+	// write to a cache line concurrently written by another thread.
+	// INSPECTOR's private address spaces do not pay it (the paper credits
+	// this, via Sheriff, for linear_regression running faster than
+	// pthreads).
+	FalseSharingPenalty Cycles
+	// MallocOp is the cost of one heap allocation in the wrapped
+	// allocator.
+	MallocOp Cycles
+	// InputBytePerRead is the cost per byte of reading mapped input.
+	InputByteRead Cycles
+}
+
+// Default returns the calibrated cost model used by all experiments.
+// Values approximate published micro-architectural costs at 2 GHz: a
+// SIGSEGV+mprotect round trip ~5 us, clone() ~75 us, pthread_create
+// ~7 us, a coherence miss on a falsely-shared line ~75 ns. PT costs are
+// per *simulated* branch, which stands in for a basic block of real
+// branches, so they carry the block's worth of packet-generation and
+// log-persistence work.
+func Default() CostModel {
+	return CostModel{
+		ALU:                 1,
+		Load:                4,
+		Store:               4,
+		Branch:              2,
+		PTBranchOverhead:    45,
+		PTBytePersist:       120,
+		PageFault:           8_000,
+		TwinCopyPerPage:     1_024,
+		DiffPerByte:         1,
+		CommitPerByte:       2,
+		SyncOp:              400,
+		VectorClockPerSlot:  8,
+		ThreadSpawn:         15_000,
+		ProcessSpawn:        120_000,
+		FalseSharingPenalty: 150,
+		MallocOp:            250,
+		InputByteRead:       0,
+	}
+}
+
+// Clock is a single simulated thread's cycle counter. It is owned by one
+// goroutine; Advance is not synchronized. Cross-thread reads (for work
+// accounting and sync propagation) go through the atomic now field.
+type Clock struct {
+	now atomic.Uint64
+	// advanced accumulates the total cycles charged to this clock,
+	// excluding jumps from synchronization waits. It is the thread's
+	// contribution to "work".
+	advanced atomic.Uint64
+}
+
+// NewClock returns a clock starting at the given origin. A child thread
+// starts at its parent's clock value at spawn time.
+func NewClock(origin Cycles) *Clock {
+	c := &Clock{}
+	c.now.Store(uint64(origin))
+	return c
+}
+
+// Advance charges n cycles of computation to the clock.
+func (c *Clock) Advance(n Cycles) {
+	c.now.Add(uint64(n))
+	c.advanced.Add(uint64(n))
+}
+
+// Now returns the clock's current virtual time.
+func (c *Clock) Now() Cycles {
+	return Cycles(c.now.Load())
+}
+
+// Work returns the total cycles charged via Advance (waiting excluded).
+func (c *Clock) Work() Cycles {
+	return Cycles(c.advanced.Load())
+}
+
+// WaitUntil advances the clock to at least t without charging work,
+// modelling time spent blocked on another thread.
+func (c *Clock) WaitUntil(t Cycles) {
+	for {
+		cur := c.now.Load()
+		if uint64(t) <= cur {
+			return
+		}
+		if c.now.CompareAndSwap(cur, uint64(t)) {
+			return
+		}
+	}
+}
+
+// SyncPoint carries virtual time between threads through a synchronization
+// object, mirroring how a blocked acquire cannot complete before the
+// corresponding release. Release publishes the releaser's clock; Acquire
+// lifts the acquirer's clock to the latest published release time.
+type SyncPoint struct {
+	mu   sync.Mutex
+	last Cycles
+}
+
+// Release records that the releasing thread reached time t.
+func (s *SyncPoint) Release(t Cycles) {
+	s.mu.Lock()
+	if t > s.last {
+		s.last = t
+	}
+	s.mu.Unlock()
+}
+
+// Acquire lifts clk to at least the last release time and returns the
+// resulting clock value.
+func (s *SyncPoint) Acquire(clk *Clock) Cycles {
+	s.mu.Lock()
+	last := s.last
+	s.mu.Unlock()
+	clk.WaitUntil(last)
+	return clk.Now()
+}
+
+// Last returns the most recent release time recorded.
+func (s *SyncPoint) Last() Cycles {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last
+}
+
+// Accounting aggregates per-thread clocks into the two paper metrics.
+type Accounting struct {
+	mu     sync.Mutex
+	clocks []*Clock
+}
+
+// Register adds a thread clock to the accounting group.
+func (a *Accounting) Register(c *Clock) {
+	a.mu.Lock()
+	a.clocks = append(a.clocks, c)
+	a.mu.Unlock()
+}
+
+// Work returns the summed Advance charges of all registered clocks — the
+// paper's "work" metric (total CPU utilization, measured there via the
+// cgroup cpuacct controller).
+func (a *Accounting) Work() Cycles {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var total Cycles
+	for _, c := range a.clocks {
+		total += c.Work()
+	}
+	return total
+}
+
+// MaxNow returns the largest clock value across registered threads.
+func (a *Accounting) MaxNow() Cycles {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var m Cycles
+	for _, c := range a.clocks {
+		if n := c.Now(); n > m {
+			m = n
+		}
+	}
+	return m
+}
+
+// Threads returns the number of registered clocks.
+func (a *Accounting) Threads() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.clocks)
+}

@@ -1,0 +1,194 @@
+package vtime
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCyclesSeconds(t *testing.T) {
+	if got := Cycles(Frequency).Seconds(); got != 1.0 {
+		t.Errorf("one frequency worth of cycles = %v sec, want 1", got)
+	}
+	if got := Cycles(0).Seconds(); got != 0 {
+		t.Errorf("zero cycles = %v sec, want 0", got)
+	}
+}
+
+func TestCyclesString(t *testing.T) {
+	tests := []struct {
+		c    Cycles
+		want string
+	}{
+		{5, "5cy"},
+		{2_500, "2.50Kcy"},
+		{3_000_000, "3.00Mcy"},
+		{7_500_000_000, "7.50Gcy"},
+	}
+	for _, tt := range tests {
+		if got := tt.c.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", uint64(tt.c), got, tt.want)
+		}
+	}
+}
+
+func TestDefaultModelSane(t *testing.T) {
+	m := Default()
+	if m.PageFault <= m.SyncOp {
+		t.Error("a page fault must cost more than a sync op")
+	}
+	if m.ProcessSpawn <= m.ThreadSpawn {
+		t.Error("clone-as-process must cost more than pthread_create")
+	}
+	if m.Load == 0 || m.Store == 0 || m.Branch == 0 {
+		t.Error("basic instruction costs must be non-zero")
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock(100)
+	c.Advance(50)
+	if c.Now() != 150 {
+		t.Errorf("Now = %d, want 150", c.Now())
+	}
+	if c.Work() != 50 {
+		t.Errorf("Work = %d, want 50 (origin is not work)", c.Work())
+	}
+}
+
+func TestClockWaitUntil(t *testing.T) {
+	c := NewClock(0)
+	c.Advance(10)
+	c.WaitUntil(100)
+	if c.Now() != 100 {
+		t.Errorf("Now = %d, want 100", c.Now())
+	}
+	if c.Work() != 10 {
+		t.Errorf("Work = %d, want 10 (waiting is not work)", c.Work())
+	}
+	// Waiting into the past is a no-op.
+	c.WaitUntil(5)
+	if c.Now() != 100 {
+		t.Errorf("WaitUntil moved clock backwards to %d", c.Now())
+	}
+}
+
+func TestSyncPointPropagatesTime(t *testing.T) {
+	var sp SyncPoint
+	releaser := NewClock(0)
+	releaser.Advance(1000)
+	sp.Release(releaser.Now())
+
+	acquirer := NewClock(0)
+	acquirer.Advance(10)
+	now := sp.Acquire(acquirer)
+	if now != 1000 {
+		t.Errorf("acquirer lifted to %d, want 1000", now)
+	}
+	if acquirer.Work() != 10 {
+		t.Errorf("acquirer work = %d, want 10", acquirer.Work())
+	}
+}
+
+func TestSyncPointKeepsMax(t *testing.T) {
+	var sp SyncPoint
+	sp.Release(100)
+	sp.Release(50) // older release must not regress the point
+	if sp.Last() != 100 {
+		t.Errorf("Last = %d, want 100", sp.Last())
+	}
+}
+
+func TestSyncPointAcquireAheadOfRelease(t *testing.T) {
+	var sp SyncPoint
+	sp.Release(10)
+	c := NewClock(500)
+	if got := sp.Acquire(c); got != 500 {
+		t.Errorf("acquire regressed clock to %d", got)
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	var acc Accounting
+	a, b := NewClock(0), NewClock(0)
+	acc.Register(a)
+	acc.Register(b)
+	a.Advance(30)
+	b.Advance(70)
+	b.WaitUntil(500)
+	if got := acc.Work(); got != 100 {
+		t.Errorf("Work = %d, want 100", got)
+	}
+	if got := acc.MaxNow(); got != 500 {
+		t.Errorf("MaxNow = %d, want 500", got)
+	}
+	if got := acc.Threads(); got != 2 {
+		t.Errorf("Threads = %d, want 2", got)
+	}
+}
+
+func TestClockConcurrentWaitUntil(t *testing.T) {
+	// WaitUntil must be monotone under concurrent lifts.
+	c := NewClock(0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(target Cycles) {
+			defer wg.Done()
+			c.WaitUntil(target)
+		}(Cycles(i * 1000))
+	}
+	wg.Wait()
+	if c.Now() != 7000 {
+		t.Errorf("concurrent WaitUntil settled at %d, want 7000", c.Now())
+	}
+}
+
+func TestQuickWaitUntilMonotone(t *testing.T) {
+	f := func(a, b uint32) bool {
+		c := NewClock(Cycles(a))
+		c.WaitUntil(Cycles(b))
+		want := Cycles(a)
+		if Cycles(b) > want {
+			want = Cycles(b)
+		}
+		return c.Now() == want && c.Work() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAdvanceAccumulates(t *testing.T) {
+	f := func(steps []uint16) bool {
+		c := NewClock(0)
+		var sum Cycles
+		for _, s := range steps {
+			c.Advance(Cycles(s))
+			sum += Cycles(s)
+		}
+		return c.Now() == sum && c.Work() == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkClockAdvance(b *testing.B) {
+	c := NewClock(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Advance(1)
+	}
+}
+
+func BenchmarkSyncPointRoundTrip(b *testing.B) {
+	var sp SyncPoint
+	c := NewClock(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Advance(1)
+		sp.Release(c.Now())
+		sp.Acquire(c)
+	}
+}

@@ -1,0 +1,128 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/repro/inspector/internal/mem"
+	"github.com/repro/inspector/internal/threading"
+)
+
+// blackscholes is the PARSEC option-pricing kernel: embarrassingly
+// parallel, compute-dominated, one conditional branch per option (call
+// vs put). Paper parameters: "16 in_64K.txt prices.txt" — 64K options.
+// The paper measures low page-fault pressure (2.49E4 faults) and mostly
+// PT-dominated overhead (~1.3x).
+type blackscholes struct{}
+
+func init() { register(blackscholes{}) }
+
+// Name implements Workload.
+func (blackscholes) Name() string { return "blackscholes" }
+
+// MaxThreads implements Workload.
+func (blackscholes) MaxThreads(cfg Config) int { return cfg.Threads + 1 }
+
+// optWords is the per-option record size in 8-byte words:
+// S, K, r, v, T, isCall.
+const optWords = 6
+
+// Run implements Workload.
+func (blackscholes) Run(rt *threading.Runtime, cfg Config) error {
+	cfg = cfg.normalize()
+	n := 32000 * cfg.Size.scale()
+	r := rng(cfg.Seed)
+
+	// Input: option parameter table, as the mmap'd prices file.
+	in := make([]byte, 0, n*optWords*8)
+	for i := 0; i < n; i++ {
+		s := 20 + 80*r.Float64()
+		k := 20 + 80*r.Float64()
+		rate := 0.01 + 0.05*r.Float64()
+		vol := 0.1 + 0.5*r.Float64()
+		tm := 0.25 + 2*r.Float64()
+		call := float64(i % 2)
+		for _, v := range []float64{s, k, rate, vol, tm, call} {
+			in = appendF64(in, v)
+		}
+	}
+	inAddr, err := rt.MapInput("in_64K.txt", in)
+	if err != nil {
+		return err
+	}
+
+	var out mem.Addr
+	var priced uint64
+	var mu = rt.NewMutex("result")
+	_, err = runMain(rt, func(main *threading.Thread) {
+		out = main.Malloc(n * 8)
+		spawnJoin(main, cfg.Threads, func(w *threading.Thread, idx int) {
+			lo, hi := chunk(n, cfg.Threads, idx)
+			local := uint64(0)
+			for i := lo; i < hi; i++ {
+				base := inAddr + mem.Addr(i*optWords*8)
+				s := w.LoadF64(base)
+				k := w.LoadF64(base + 8)
+				rate := w.LoadF64(base + 16)
+				vol := w.LoadF64(base + 24)
+				tm := w.LoadF64(base + 32)
+				call := w.LoadF64(base + 40)
+
+				// CNDF-based Black-Scholes; the branch on option type is
+				// the kernel's one data-dependent conditional.
+				d1 := (math.Log(s/k) + (rate+vol*vol/2)*tm) / (vol * math.Sqrt(tm))
+				d2 := d1 - vol*math.Sqrt(tm)
+				w.Branch("bs.cndf", d1 > 0) // CNDF's sign branch
+				price := s*cndf(d1) - k*math.Exp(-rate*tm)*cndf(d2)
+				w.Compute(1200) // the FP pipeline work of the closed form
+				if w.Branch("bs.otype", call > 0.5) {
+					// Put via parity.
+					price = price - s + k*math.Exp(-rate*tm)
+					w.Compute(60)
+				}
+				w.StoreF64(out+mem.Addr(i*8), price)
+				local++
+				w.Branch("bs.loop", i+1 < hi)
+			}
+			mu.Lock(w)
+			priced += local // Go-side tally; shared-memory result is `out`
+			mu.Unlock(w)
+		})
+	})
+	if err != nil {
+		return err
+	}
+	if priced != uint64(n) {
+		return fmt.Errorf("blackscholes: priced %d of %d options", priced, n)
+	}
+	return nil
+}
+
+// cndf is the cumulative normal distribution (Abramowitz-Stegun).
+func cndf(x float64) float64 {
+	neg := x < 0
+	if neg {
+		x = -x
+	}
+	k := 1 / (1 + 0.2316419*x)
+	p := 1 - 1/math.Sqrt(2*math.Pi)*math.Exp(-x*x/2)*
+		k*(0.319381530+k*(-0.356563782+k*(1.781477937+k*(-1.821255978+k*1.330274429))))
+	if neg {
+		return 1 - p
+	}
+	return p
+}
+
+// appendF64 appends a little-endian float64.
+func appendF64(b []byte, v float64) []byte {
+	bits := math.Float64bits(v)
+	for i := 0; i < 8; i++ {
+		b = append(b, byte(bits>>(8*i)))
+	}
+	return b
+}
+
+// runMain adapts rt.Run to error-return style shared by the workloads.
+func runMain(rt *threading.Runtime, fn func(*threading.Thread)) (*threading.Report, error) {
+	return rt.Run(fn)
+}

@@ -1,0 +1,94 @@
+package workloads
+
+import (
+	"fmt"
+
+	"github.com/repro/inspector/internal/mem"
+	"github.com/repro/inspector/internal/threading"
+)
+
+// canneal is the PARSEC simulated-annealing netlist placement kernel.
+// Threads repeatedly swap random element positions under a lock, touching
+// two scattered heap pages per swap. This is the paper's worst case
+// (Table 7: 2.11E6 faults; Figure 5: far beyond the 8x axis): every
+// lock/unlock pair bounds a sub-computation whose pages must be
+// re-protected and diffed, so the scattered writes translate directly
+// into fault and commit storms in the threading library.
+type canneal struct{}
+
+func init() { register(canneal{}) }
+
+// Name implements Workload.
+func (canneal) Name() string { return "canneal" }
+
+// MaxThreads implements Workload.
+func (canneal) MaxThreads(cfg Config) int { return cfg.Threads + 1 }
+
+// Run implements Workload.
+func (canneal) Run(rt *threading.Runtime, cfg Config) error {
+	cfg = cfg.normalize()
+	elements := 12000 * cfg.Size.scale()
+	swapsPerThread := 600 * cfg.Size.scale()
+	r := rng(cfg.Seed)
+
+	// The netlist: per-element (x, y) position, 16 bytes each, spread
+	// over many pages.
+	var positions mem.Addr
+	lock := rt.NewMutex("netlist")
+	var totalSwaps uint64
+	tally := rt.NewMutex("tally")
+
+	_, err := runMain(rt, func(main *threading.Thread) {
+		positions = main.Malloc(elements * 16)
+		// Initial placement (sequential, one pass).
+		for i := 0; i < elements; i += 8 {
+			main.Store64(positions+mem.Addr(i*16), uint64(i%997))
+			main.Branch("canneal.init", i+8 < elements)
+		}
+		// Per-thread deterministic swap streams.
+		seeds := make([]int64, cfg.Threads)
+		for i := range seeds {
+			seeds[i] = cfg.Seed + int64(i)*7919
+		}
+		_ = r
+		spawnJoin(main, cfg.Threads, func(w *threading.Thread, idx int) {
+			wr := rng(seeds[idx])
+			local := uint64(0)
+			temperature := 100.0
+			for s := 0; s < swapsPerThread; s++ {
+				i := wr.Intn(elements)
+				j := wr.Intn(elements)
+				// Routing-cost delta evaluation runs outside the critical
+				// section (the real kernel evaluates speculatively).
+				w.Compute(1200)
+				lock.Lock(w)
+				ai := positions + mem.Addr(i*16)
+				aj := positions + mem.Addr(j*16)
+				xi := w.Load64(ai)
+				xj := w.Load64(aj)
+				// Accept/reject on the annealing schedule: a
+				// data-dependent branch per swap.
+				delta := int64(xi) - int64(xj)
+				accept := delta%3 != 0 || temperature > 1.0
+				if w.Branch("canneal.accept", accept) {
+					w.Store64(ai, xj)
+					w.Store64(aj, xi)
+					local++
+				}
+				lock.Unlock(w)
+				temperature *= 0.999
+				w.Branch("canneal.swaps", s+1 < swapsPerThread)
+			}
+			tally.Lock(w)
+			totalSwaps += local
+			tally.Unlock(w)
+		})
+	})
+	if err != nil {
+		return err
+	}
+	if totalSwaps == 0 {
+		return fmt.Errorf("canneal: no swaps accepted")
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package workloads
+
+import (
+	"fmt"
+
+	"github.com/repro/inspector/internal/mem"
+	"github.com/repro/inspector/internal/threading"
+)
+
+// histogram is the Phoenix kernel that computes per-channel pixel
+// histograms over a bitmap. It scans the mmap'd input sequentially
+// (read-set = the whole input file, one fault per page) and merges small
+// per-thread tables at the end — the canonical "provenance from input"
+// workload, and one of the four apps in the Figure 8 input-scaling
+// experiment.
+type histogram struct{}
+
+func init() { register(histogram{}) }
+
+// Name implements Workload.
+func (histogram) Name() string { return "histogram" }
+
+// MaxThreads implements Workload.
+func (histogram) MaxThreads(cfg Config) int { return cfg.Threads + 1 }
+
+// Run implements Workload.
+func (histogram) Run(rt *threading.Runtime, cfg Config) error {
+	cfg = cfg.normalize()
+	pixels := 256 * 1024 * cfg.Size.scale() // 3 bytes per pixel
+	r := rng(cfg.Seed)
+	bmp := make([]byte, pixels*3)
+	r.Read(bmp)
+	inAddr, err := rt.MapInput("large.bmp", bmp)
+	if err != nil {
+		return err
+	}
+
+	var hist mem.Addr // 3 x 256 u64 buckets, shared
+	merge := rt.NewMutex("merge")
+	var checked uint64
+
+	_, err = runMain(rt, func(main *threading.Thread) {
+		hist = main.Malloc(3 * 256 * 8)
+		spawnJoin(main, cfg.Threads, func(w *threading.Thread, idx int) {
+			lo, hi := chunk(pixels, cfg.Threads, idx)
+			var local [3][256]uint64
+			// Scan 8 input bytes per load; the per-word branch is the
+			// scan loop's back edge (highly predictable: compresses
+			// extremely well, cf. the 34x lz4 ratio in Table 9).
+			start, end := lo*3, hi*3
+			for off := start; off < end; off += 8 {
+				word := w.Load64(inAddr + mem.Addr(off))
+				nb := end - off
+				if nb > 8 {
+					nb = 8
+				}
+				for b := 0; b < nb; b++ {
+					ch := (off + b) % 3
+					local[ch][byte(word>>(8*b))]++
+				}
+				w.Compute(uint64(nb) * 14)
+				w.Branch("hist.scan", off+8 < end)
+			}
+			// Merge under the lock: writes confined to two pages.
+			merge.Lock(w)
+			for ch := 0; ch < 3; ch++ {
+				for v := 0; v < 256; v += 1 {
+					if local[ch][v] == 0 {
+						continue
+					}
+					slot := hist + mem.Addr((ch*256+v)*8)
+					w.Store64(slot, w.Load64(slot)+local[ch][v])
+				}
+			}
+			merge.Unlock(w)
+		})
+		// Self-check: bucket mass equals byte count.
+		var total uint64
+		for i := 0; i < 3*256; i++ {
+			total += main.Load64(hist + mem.Addr(i*8))
+			if i%64 == 0 {
+				main.Branch("hist.check", i+64 < 3*256)
+			}
+		}
+		checked = total
+	})
+	if err != nil {
+		return err
+	}
+	if checked != uint64(pixels*3) {
+		return fmt.Errorf("histogram: counted %d bytes, want %d", checked, pixels*3)
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package workloads
+
+import (
+	"fmt"
+
+	"github.com/repro/inspector/internal/mem"
+	"github.com/repro/inspector/internal/threading"
+)
+
+// linearregression is the Phoenix least-squares kernel over a key file of
+// (x, y) points. Phoenix lays the per-thread accumulator structs out
+// contiguously, so adjacent threads' accumulators share cache lines and
+// every update ping-pongs the line — textbook false sharing. The paper
+// observes linear_regression running *faster* under INSPECTOR than
+// native pthreads because threads-as-processes gives each thread a
+// private page, eliminating the coherence storm (§VII-A, citing
+// Sheriff). The native run here pays the false-sharing penalty per
+// conflicting write; the INSPECTOR run does not.
+type linearregression struct{}
+
+func init() { register(linearregression{}) }
+
+// Name implements Workload.
+func (linearregression) Name() string { return "linear_regression" }
+
+// MaxThreads implements Workload.
+func (linearregression) MaxThreads(cfg Config) int { return cfg.Threads + 1 }
+
+// accStride is the per-thread accumulator stride in bytes. Five u64
+// fields packed at 40 bytes: adjacent threads overlap 64-byte lines.
+const accStride = 40
+
+// Run implements Workload.
+func (linearregression) Run(rt *threading.Runtime, cfg Config) error {
+	cfg = cfg.normalize()
+	points := 48000 * cfg.Size.scale()
+	r := rng(cfg.Seed)
+
+	in := make([]byte, 0, points*16)
+	for i := 0; i < points; i++ {
+		x := uint64(r.Intn(1000))
+		y := 3*x + uint64(r.Intn(50))
+		for _, v := range []uint64{x, y} {
+			for b := 0; b < 8; b++ {
+				in = append(in, byte(v>>(8*b)))
+			}
+		}
+	}
+	inAddr, err := rt.MapInput("key_file_500MB.txt", in)
+	if err != nil {
+		return err
+	}
+
+	var acc mem.Addr
+	var sx, sy uint64
+
+	_, err = runMain(rt, func(main *threading.Thread) {
+		acc = main.Malloc(cfg.Threads*accStride + 64)
+		spawnJoin(main, cfg.Threads, func(w *threading.Thread, idx int) {
+			lo, hi := chunk(points, cfg.Threads, idx)
+			base := acc + mem.Addr(idx*accStride)
+			for p := lo; p < hi; p++ {
+				x := w.Load64(inAddr + mem.Addr(p*16))
+				y := w.Load64(inAddr + mem.Addr(p*16+8))
+				// The Phoenix kernel accumulates IN MEMORY each point:
+				// SX += x; SY += y; SXX += x*x; SYY += y*y; SXY += x*y.
+				// These five stores to the shared accumulator block are
+				// the false-sharing hot spot.
+				w.Store64(base, w.Load64(base)+x)
+				w.Store64(base+8, w.Load64(base+8)+y)
+				w.Store64(base+16, w.Load64(base+16)+x*x)
+				w.Store64(base+24, w.Load64(base+24)+y*y)
+				w.Store64(base+32, w.Load64(base+32)+x*y)
+				w.Compute(240)
+				w.Branch("linreg.scan", p+1 < hi)
+			}
+		})
+		// Reduce the per-thread accumulators.
+		for i := 0; i < cfg.Threads; i++ {
+			base := acc + mem.Addr(i*accStride)
+			sx += main.Load64(base)
+			sy += main.Load64(base + 8)
+			main.Branch("linreg.reduce", i+1 < cfg.Threads)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if sx == 0 || sy < sx {
+		return fmt.Errorf("linear_regression: implausible sums sx=%d sy=%d", sx, sy)
+	}
+	return nil
+}

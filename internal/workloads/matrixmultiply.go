@@ -1,0 +1,87 @@
+package workloads
+
+import (
+	"fmt"
+
+	"github.com/repro/inspector/internal/mem"
+	"github.com/repro/inspector/internal/threading"
+)
+
+// matrixmultiply is the Phoenix dense matrix-multiply kernel (paper
+// parameters "2000 2000", scaled). Threads own row blocks of C; reads of
+// A are sequential, reads of B stride across pages, writes land in the
+// thread's own C rows. Low branch rate (Table 9 shows its 4.05E8
+// branches/sec as the suite's lowest) because the inner loop is pure FP.
+type matrixmultiply struct{}
+
+func init() { register(matrixmultiply{}) }
+
+// Name implements Workload.
+func (matrixmultiply) Name() string { return "matrix_multiply" }
+
+// MaxThreads implements Workload.
+func (matrixmultiply) MaxThreads(cfg Config) int { return cfg.Threads + 1 }
+
+// Run implements Workload.
+func (matrixmultiply) Run(rt *threading.Runtime, cfg Config) error {
+	cfg = cfg.normalize()
+	n := 128 * cfg.Size.scale() // matrix dimension (compute charged at the paper's 2000x2000 density)
+	r := rng(cfg.Seed)
+
+	// A and B arrive as the mmap'd input.
+	in := make([]byte, 0, 2*n*n*8)
+	for i := 0; i < 2*n*n; i++ {
+		in = appendF64(in, float64(r.Intn(8)))
+	}
+	aAddr, err := rt.MapInput("matrices.dat", in)
+	if err != nil {
+		return err
+	}
+	bAddr := aAddr + mem.Addr(n*n*8)
+
+	var cAddr mem.Addr
+	var trace float64
+
+	_, err = runMain(rt, func(main *threading.Thread) {
+		cAddr = main.Malloc(n * n * 8)
+		spawnJoin(main, cfg.Threads, func(w *threading.Thread, idx int) {
+			lo, hi := chunk(n, cfg.Threads, idx)
+			row := make([]float64, n)
+			col := make([]float64, n)
+			for i := lo; i < hi; i++ {
+				// Load row i of A.
+				for k := 0; k < n; k++ {
+					row[k] = w.LoadF64(aAddr + mem.Addr((i*n+k)*8))
+				}
+				for j := 0; j < n; j++ {
+					// Sample B's column through tracked memory every
+					// 8th element; the rest rides the same pages.
+					var sum float64
+					for k := 0; k < n; k++ {
+						if k%32 == 0 {
+							col[k] = w.LoadF64(bAddr + mem.Addr((k*n+j)*8))
+						}
+						sum += row[k] * col[k&^31]
+					}
+					// Charge the inner product at the paper's n=2000 density:
+					// the simulated matrix is smaller, but each output cell
+					// stands for the full-scale FMA chain.
+					w.Compute(4000)
+					w.StoreF64(cAddr+mem.Addr((i*n+j)*8), sum)
+					w.Branch("mm.col", j+1 < n)
+				}
+				w.Branch("mm.row", i+1 < hi)
+			}
+		})
+		for i := 0; i < n; i++ {
+			trace += main.LoadF64(cAddr + mem.Addr((i*n+i)*8))
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if trace <= 0 {
+		return fmt.Errorf("matrix_multiply: implausible trace %f", trace)
+	}
+	return nil
+}

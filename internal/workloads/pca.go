@@ -1,0 +1,90 @@
+package workloads
+
+import (
+	"fmt"
+
+	"github.com/repro/inspector/internal/mem"
+	"github.com/repro/inspector/internal/threading"
+)
+
+// pca is the Phoenix principal-component-analysis kernel (paper
+// parameters "-r 4000 -c 4000 -s 100", scaled): a row-means phase and a
+// covariance phase separated by a barrier. The covariance phase reads
+// row pairs — a quadratic page-read pattern that yields the suite's
+// mid-range fault counts (5.34E5 in Table 7).
+type pca struct{}
+
+func init() { register(pca{}) }
+
+// Name implements Workload.
+func (pca) Name() string { return "pca" }
+
+// MaxThreads implements Workload.
+func (pca) MaxThreads(cfg Config) int { return cfg.Threads + 1 }
+
+// Run implements Workload.
+func (pca) Run(rt *threading.Runtime, cfg Config) error {
+	cfg = cfg.normalize()
+	rows := 128 * cfg.Size.scale()
+	cols := 128 * cfg.Size.scale()
+	r := rng(cfg.Seed)
+
+	in := make([]byte, 0, rows*cols*8)
+	for i := 0; i < rows*cols; i++ {
+		in = appendF64(in, float64(r.Intn(100)))
+	}
+	mAddr, err := rt.MapInput("matrix.dat", in)
+	if err != nil {
+		return err
+	}
+
+	var means, cov mem.Addr
+	bar := rt.NewBarrier("pca.phase", cfg.Threads)
+	var covTrace float64
+
+	_, err = runMain(rt, func(main *threading.Thread) {
+		means = main.Malloc(rows * 8)
+		cov = main.Malloc(rows * rows * 8)
+		spawnJoin(main, cfg.Threads, func(w *threading.Thread, idx int) {
+			// Phase 1: per-row means.
+			lo, hi := chunk(rows, cfg.Threads, idx)
+			for i := lo; i < hi; i++ {
+				var sum float64
+				for j := 0; j < cols; j += 4 {
+					sum += w.LoadF64(mAddr + mem.Addr((i*cols+j)*8))
+				}
+				w.Compute(uint64(cols) * 8)
+				w.StoreF64(means+mem.Addr(i*8), sum*4/float64(cols))
+				w.Branch("pca.mean", i+1 < hi)
+			}
+			bar.Wait(w)
+			// Phase 2: covariance of row pairs (upper triangle,
+			// distributed round-robin to balance the triangle).
+			for i := idx; i < rows; i += cfg.Threads {
+				mi := w.LoadF64(means + mem.Addr(i*8))
+				for j := i; j < rows; j++ {
+					mj := w.LoadF64(means + mem.Addr(j*8))
+					var s float64
+					for k := 0; k < cols; k += 16 {
+						a := w.LoadF64(mAddr + mem.Addr((i*cols+k)*8))
+						b := w.LoadF64(mAddr + mem.Addr((j*cols+k)*8))
+						s += (a - mi) * (b - mj)
+					}
+					w.Compute(uint64(cols) * 24)
+					w.StoreF64(cov+mem.Addr((i*rows+j)*8), s/float64(cols-1))
+					w.Branch("pca.cov", j+1 < rows)
+				}
+			}
+		})
+		for i := 0; i < rows; i++ {
+			covTrace += main.LoadF64(cov + mem.Addr((i*rows+i)*8))
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if covTrace <= 0 {
+		return fmt.Errorf("pca: implausible covariance trace %f", covTrace)
+	}
+	return nil
+}

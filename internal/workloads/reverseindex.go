@@ -1,0 +1,119 @@
+package workloads
+
+import (
+	"fmt"
+
+	"github.com/repro/inspector/internal/mem"
+	"github.com/repro/inspector/internal/threading"
+)
+
+// reverseindex is the Phoenix kernel that builds a link reverse-index
+// over a tree of HTML files. Its signature behaviour is "a lot of small
+// memory allocations across threads" (§VII-A): every extracted link
+// allocates an index node through the wrapped allocator, whose header
+// writes land on shared allocator pages — the segmentation-fault churn
+// that puts reverse_index among the paper's three outliers, dominated by
+// the threading library rather than PT.
+type reverseindex struct{}
+
+func init() { register(reverseindex{}) }
+
+// Name implements Workload.
+func (reverseindex) Name() string { return "reverse_index" }
+
+// MaxThreads implements Workload.
+func (reverseindex) MaxThreads(cfg Config) int { return cfg.Threads + 1 }
+
+// pendingLink is a parsed link awaiting batched insertion.
+type pendingLink struct {
+	node   mem.Addr
+	bucket int
+}
+
+// Run implements Workload.
+func (reverseindex) Run(rt *threading.Runtime, cfg Config) error {
+	cfg = cfg.normalize()
+	files := 120 * cfg.Size.scale()
+	linksPerFile := 24
+	const buckets = 64
+	r := rng(cfg.Seed)
+
+	// Input: concatenated pseudo-HTML files; each link is a fixed-width
+	// record naming a target URL id.
+	fileBytes := linksPerFile * 16
+	in := make([]byte, 0, files*fileBytes)
+	for f := 0; f < files; f++ {
+		for l := 0; l < linksPerFile; l++ {
+			url := uint64(r.Intn(911))
+			rec := fmt.Sprintf("<a href=%07d>", url)
+			in = append(in, rec[:16]...)
+		}
+	}
+	inAddr, err := rt.MapInput("datafiles", in)
+	if err != nil {
+		return err
+	}
+
+	var bucketHeads mem.Addr
+	locks := make([]*threading.Mutex, 8)
+	for i := range locks {
+		locks[i] = rt.NewMutex(fmt.Sprintf("bucket%d", i))
+	}
+	var indexed uint64
+	tally := rt.NewMutex("tally")
+
+	_, err = runMain(rt, func(main *threading.Thread) {
+		bucketHeads = main.Malloc(buckets * 8)
+		spawnJoin(main, cfg.Threads, func(w *threading.Thread, idx int) {
+			lo, hi := chunk(files, cfg.Threads, idx)
+			local := uint64(0)
+			var pending []pendingLink
+			for f := lo; f < hi; f++ {
+				base := inAddr + mem.Addr(f*fileBytes)
+				for l := 0; l < linksPerFile; l++ {
+					rec := base + mem.Addr(l*16)
+					// Parse the record: a couple of loads plus the
+					// branchy scanning the parser does per character.
+					w0 := w.Load64(rec)
+					w1 := w.Load64(rec + 8)
+					url := (w0 ^ w1) % 911
+					w.Compute(160) // per-char tokenizing
+					w.Branch("ridx.islink", true)
+					// One small allocation per link: the node stores
+					// (url, file, next) and is threaded onto a shared
+					// bucket list. Insertions batch two links per lock
+					// acquisition, as the original buffers per-file.
+					node := w.Malloc(24)
+					w.Store64(node, url)
+					w.Store64(node+8, uint64(f))
+					b := int(url % buckets)
+					pending = append(pending, pendingLink{node: node, bucket: b})
+					if len(pending) == 2 || l == linksPerFile-1 {
+						lk := locks[pending[0].bucket%len(locks)]
+						lk.Lock(w)
+						for _, pl := range pending {
+							head := bucketHeads + mem.Addr(pl.bucket*8)
+							w.Store64(pl.node+16, w.Load64(head))
+							w.Store64(head, uint64(pl.node))
+						}
+						lk.Unlock(w)
+						pending = pending[:0]
+					}
+					local++
+					w.Branch("ridx.links", l+1 < linksPerFile)
+				}
+				w.Branch("ridx.files", f+1 < hi)
+			}
+			tally.Lock(w)
+			indexed += local
+			tally.Unlock(w)
+		})
+	})
+	if err != nil {
+		return err
+	}
+	if indexed != uint64(files*linksPerFile) {
+		return fmt.Errorf("reverse_index: indexed %d links, want %d", indexed, files*linksPerFile)
+	}
+	return nil
+}

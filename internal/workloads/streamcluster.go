@@ -1,0 +1,113 @@
+package workloads
+
+import (
+	"fmt"
+
+	"github.com/repro/inspector/internal/mem"
+	"github.com/repro/inspector/internal/threading"
+)
+
+// streamcluster is the PARSEC online k-median clustering kernel (paper
+// parameters "2 5 1 10 10 5 none output.txt 16"). It is barrier-heavy
+// (two barriers per gain-evaluation pass) and has the suite's highest
+// branch rate — its provenance log is the paper's largest at 29.3 GB,
+// which even forced the authors to drop to 14/15 threads to fit the log
+// in tmpfs (§VII-A). The reproduction keeps both properties: most
+// branches, most barrier crossings.
+type streamcluster struct{}
+
+func init() { register(streamcluster{}) }
+
+// Name implements Workload.
+func (streamcluster) Name() string { return "streamcluster" }
+
+// MaxThreads implements Workload.
+func (streamcluster) MaxThreads(cfg Config) int { return cfg.Threads + 1 }
+
+// Run implements Workload.
+func (streamcluster) Run(rt *threading.Runtime, cfg Config) error {
+	cfg = cfg.normalize()
+	const dim = 5
+	points := 1200 * cfg.Size.scale()
+	batches := 10
+	r := rng(cfg.Seed)
+
+	in := make([]byte, 0, points*dim*8)
+	for i := 0; i < points*dim; i++ {
+		in = appendF64(in, r.Float64()*100)
+	}
+	inAddr, err := rt.MapInput("stream.dat", in)
+	if err != nil {
+		return err
+	}
+
+	var centers, assign mem.Addr
+	barGain := rt.NewBarrier("sc.gain", cfg.Threads)
+	barOpen := rt.NewBarrier("sc.open", cfg.Threads)
+	var opened uint64
+
+	_, err = runMain(rt, func(main *threading.Thread) {
+		maxCenters := 64
+		centers = main.Malloc(maxCenters * dim * 8)
+		assign = main.Malloc(points * 8)
+		// First point opens the first center.
+		for d := 0; d < dim; d++ {
+			main.StoreF64(centers+mem.Addr(d*8), main.LoadF64(inAddr+mem.Addr(d*8)))
+		}
+		nCenters := 1
+
+		spawnJoin(main, cfg.Threads, func(w *threading.Thread, idx int) {
+			for b := 0; b < batches; b++ {
+				lo, hi := chunk(points, cfg.Threads, idx)
+				// Gain evaluation: branch per point per candidate —
+				// the branch firehose that makes this app's PT log
+				// enormous.
+				for p := lo; p < hi; p++ {
+					var px [dim]float64
+					for d := 0; d < dim; d++ {
+						px[d] = w.LoadF64(inAddr + mem.Addr((p*dim+d)*8))
+					}
+					best, bestD := 0, 1e300
+					for c := 0; c < nCenters; c++ {
+						var dist float64
+						// One tracked load per candidate center; the rest of
+						// the coordinates ride the same page.
+						cx := w.LoadF64(centers + mem.Addr(c*dim*8))
+						dist += (px[0] - cx) * (px[0] - cx)
+						for d := 1; d < dim; d++ {
+							dist += (px[d] - cx) * (px[d] - cx)
+						}
+						w.Compute(200)
+						if w.Branch("sc.closer", dist < bestD) {
+							bestD, best = dist, c
+						}
+					}
+					w.Store64(assign+mem.Addr(p*8), uint64(best))
+					w.Branch("sc.gainloop", p+1 < hi)
+				}
+				barGain.Wait(w)
+				// Thread 0 decides whether to open a new center this
+				// batch (weight threshold on the batch index).
+				if idx == 0 {
+					if w.Branch("sc.open", nCenters < maxCenters && b%2 == 0) {
+						src := (b * 37) % points
+						for d := 0; d < dim; d++ {
+							v := w.LoadF64(inAddr + mem.Addr((src*dim+d)*8))
+							w.StoreF64(centers+mem.Addr((nCenters*dim+d)*8), v)
+						}
+						nCenters++
+						opened++
+					}
+				}
+				barOpen.Wait(w)
+			}
+		})
+	})
+	if err != nil {
+		return err
+	}
+	if opened == 0 {
+		return fmt.Errorf("streamcluster: no centers opened")
+	}
+	return nil
+}

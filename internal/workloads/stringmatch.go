@@ -1,0 +1,98 @@
+package workloads
+
+import (
+	"fmt"
+
+	"github.com/repro/inspector/internal/mem"
+	"github.com/repro/inspector/internal/threading"
+)
+
+// stringmatch is the Phoenix kernel that checks a key file against an
+// encrypted dictionary: per-byte comparisons whose outcomes depend on
+// the data, producing the least-compressible branch stream in the suite
+// (Table 9 shows string_match's lz4 ratio at 6x, the minimum). Reads
+// dominate; writes are a single match counter per thread.
+type stringmatch struct{}
+
+func init() { register(stringmatch{}) }
+
+// Name implements Workload.
+func (stringmatch) Name() string { return "string_match" }
+
+// MaxThreads implements Workload.
+func (stringmatch) MaxThreads(cfg Config) int { return cfg.Threads + 1 }
+
+// Run implements Workload.
+func (stringmatch) Run(rt *threading.Runtime, cfg Config) error {
+	cfg = cfg.normalize()
+	keys := 30000 * cfg.Size.scale()
+	const keyLen = 16
+	dict := []string{"key_abcdefghijk1", "key_lmnopqrstuv2", "key_wxyzabcdefg3", "key_hijklmnopqr4"}
+	r := rng(cfg.Seed)
+
+	in := make([]byte, 0, keys*keyLen)
+	planted := 0
+	for i := 0; i < keys; i++ {
+		if r.Intn(64) == 0 {
+			in = append(in, dict[r.Intn(len(dict))]...)
+			planted++
+		} else {
+			for j := 0; j < keyLen; j++ {
+				in = append(in, byte('a'+r.Intn(26)))
+			}
+		}
+	}
+	inAddr, err := rt.MapInput("key_file_500MB.txt", in)
+	if err != nil {
+		return err
+	}
+
+	var matches uint64
+	tally := rt.NewMutex("matches")
+
+	_, err = runMain(rt, func(main *threading.Thread) {
+		spawnJoin(main, cfg.Threads, func(w *threading.Thread, idx int) {
+			lo, hi := chunk(keys, cfg.Threads, idx)
+			local := uint64(0)
+			for k := lo; k < hi; k++ {
+				base := inAddr + mem.Addr(k*keyLen)
+				lo64 := w.Load64(base)
+				hi64 := w.Load64(base + 8)
+				w.Compute(500) // the "encrypt" hash of the key
+				for _, d := range dict {
+					// Byte-wise compare with early exit: each byte is
+					// a data-dependent branch (random on mismatching
+					// keys — the incompressible TNT source).
+					match := true
+					for b := 0; b < keyLen; b++ {
+						var got byte
+						if b < 8 {
+							got = byte(lo64 >> (8 * b))
+						} else {
+							got = byte(hi64 >> (8 * (b - 8)))
+						}
+						if !w.Branch("sm.cmp", got == d[b]) {
+							match = false
+							break
+						}
+					}
+					if w.Branch("sm.match", match) {
+						local++
+						break
+					}
+				}
+				w.Branch("sm.keys", k+1 < hi)
+			}
+			tally.Lock(w)
+			matches += local
+			tally.Unlock(w)
+		})
+	})
+	if err != nil {
+		return err
+	}
+	if matches != uint64(planted) {
+		return fmt.Errorf("string_match: found %d keys, planted %d", matches, planted)
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/repro/inspector/internal/mem"
+	"github.com/repro/inspector/internal/threading"
+)
+
+// swaptions is the PARSEC Heath-Jarrow-Morton Monte-Carlo swaption
+// pricer (paper parameters "-ns 128 -sm 50000 -nt 16", scaled). Almost
+// no shared-memory traffic — each thread prices its own swaptions — but
+// an enormous stream of random-outcome branches from the Monte-Carlo
+// paths, which is why its 7 GB log compresses only 8x in Table 9.
+type swaptions struct{}
+
+func init() { register(swaptions{}) }
+
+// Name implements Workload.
+func (swaptions) Name() string { return "swaptions" }
+
+// MaxThreads implements Workload.
+func (swaptions) MaxThreads(cfg Config) int { return cfg.Threads + 1 }
+
+// Run implements Workload.
+func (swaptions) Run(rt *threading.Runtime, cfg Config) error {
+	cfg = cfg.normalize()
+	ns := 32 * cfg.Size.scale() // swaptions
+	sims := 4000                // Monte-Carlo trials per swaption
+	r := rng(cfg.Seed)
+
+	in := make([]byte, 0, ns*16)
+	for i := 0; i < ns; i++ {
+		in = appendF64(in, 0.02+0.08*r.Float64()) // strike
+		in = appendF64(in, 0.5+4.5*r.Float64())   // maturity
+	}
+	inAddr, err := rt.MapInput("swaptions.dat", in)
+	if err != nil {
+		return err
+	}
+
+	var prices mem.Addr
+	var sumPrices float64
+
+	_, err = runMain(rt, func(main *threading.Thread) {
+		prices = main.Malloc(ns * 8)
+		spawnJoin(main, cfg.Threads, func(w *threading.Thread, idx int) {
+			lo, hi := chunk(ns, cfg.Threads, idx)
+			for s := lo; s < hi; s++ {
+				strike := w.LoadF64(inAddr + mem.Addr(s*16))
+				maturity := w.LoadF64(inAddr + mem.Addr(s*16+8))
+				// xorshift PRNG per swaption for deterministic paths.
+				state := uint64(cfg.Seed) + uint64(s)*2685821657736338717 + 1
+				var payoffSum float64
+				for trial := 0; trial < sims; trial++ {
+					state ^= state << 13
+					state ^= state >> 7
+					state ^= state << 17
+					// Forward-rate path: the sign of each step is a
+					// random branch (HJM path simulation).
+					rate := strike
+					up := state&1 == 0
+					if w.Branch("swp.path", up) {
+						rate *= 1.02
+					} else {
+						rate *= 0.98
+					}
+					payoff := rate - strike
+					if w.Branch("swp.itm", payoff > 0) {
+						payoffSum += payoff * math.Exp(-0.03*maturity)
+					}
+					w.Compute(280) // per-path discounting math
+				}
+				w.StoreF64(prices+mem.Addr(s*8), payoffSum/float64(sims))
+				w.Branch("swp.swaption", s+1 < hi)
+			}
+		})
+		for s := 0; s < ns; s++ {
+			sumPrices += main.LoadF64(prices + mem.Addr(s*8))
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if sumPrices <= 0 || math.IsNaN(sumPrices) {
+		return fmt.Errorf("swaptions: implausible price sum %f", sumPrices)
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package workloads
+
+import (
+	"fmt"
+
+	"github.com/repro/inspector/internal/mem"
+	"github.com/repro/inspector/internal/threading"
+)
+
+// wordcount is the Phoenix kernel that counts word frequencies in a text
+// file: a branchy tokenizer over the mmap'd input, thread-local counting,
+// and a merge phase into a shared hash table under striped locks with an
+// allocation per distinct word per thread. Table 7 shows the suite's
+// highest fault rate per second (54.34E4): the merge writes hash-table
+// and freshly-allocated node pages from every thread.
+type wordcount struct{}
+
+func init() { register(wordcount{}) }
+
+// Name implements Workload.
+func (wordcount) Name() string { return "word_count" }
+
+// MaxThreads implements Workload.
+func (wordcount) MaxThreads(cfg Config) int { return cfg.Threads + 1 }
+
+// wcBuckets is the shared hash-table size.
+const wcBuckets = 1024
+
+// Run implements Workload.
+func (wordcount) Run(rt *threading.Runtime, cfg Config) error {
+	cfg = cfg.normalize()
+	words := 100000 * cfg.Size.scale()
+	vocab := 800
+	r := rng(cfg.Seed)
+
+	// Text: space-separated words of varying length from a skewed
+	// vocabulary.
+	var in []byte
+	for i := 0; i < words; i++ {
+		id := r.Intn(vocab-1)*r.Intn(vocab-1)/vocab + 1
+		word := fmt.Sprintf("w%04d", id)
+		if id%7 == 0 {
+			word += "longsuffix"
+		}
+		in = append(in, word...)
+		in = append(in, ' ')
+	}
+	inAddr, err := rt.MapInput("word_100MB.txt", in)
+	if err != nil {
+		return err
+	}
+
+	var table mem.Addr // wcBuckets x u64 counts, shared
+	const stripes = 8
+	locks := make([]*threading.Mutex, stripes)
+	for i := range locks {
+		locks[i] = rt.NewMutex(fmt.Sprintf("stripe%d", i))
+	}
+	var counted uint64
+
+	_, err = runMain(rt, func(main *threading.Thread) {
+		table = main.Malloc(wcBuckets * 8)
+		n := len(in)
+		spawnJoin(main, cfg.Threads, func(w *threading.Thread, idx int) {
+			lo, hi := chunk(n, cfg.Threads, idx)
+			// Scan phase: tokenize the chunk, counting locally.
+			local := make(map[uint64]uint64)
+			var hash uint64
+			inWord := false
+			for off := lo; off < hi; off += 8 {
+				wd := w.Load64(inAddr + mem.Addr(off))
+				nb := hi - off
+				if nb > 8 {
+					nb = 8
+				}
+				for b := 0; b < nb; b++ {
+					ch := byte(wd >> (8 * b))
+					if ch == ' ' {
+						if inWord {
+							local[hash%wcBuckets]++
+							hash = 0
+							inWord = false
+						}
+					} else {
+						hash = hash*31 + uint64(ch)
+						inWord = true
+					}
+				}
+				w.Compute(uint64(nb) * 16) // per-byte tokenizing + hashing
+				w.Branch("wc.scan", off+8 < hi)
+			}
+			// Merge phase: one pass per stripe, allocating a key node
+			// per distinct bucket (the Phoenix keyval allocations) and
+			// bumping the shared counts.
+			for s := 0; s < stripes; s++ {
+				lk := locks[s]
+				lk.Lock(w)
+				for bkt, cnt := range local {
+					if int(bkt)%stripes != s {
+						continue
+					}
+					node := w.Malloc(16) // key node for this thread's entry
+					w.Store64(node, bkt)
+					slot := table + mem.Addr(bkt*8)
+					w.Store64(slot, w.Load64(slot)+cnt)
+					w.Branch("wc.merge", true)
+				}
+				lk.Unlock(w)
+			}
+		})
+		// Self-check: table mass equals words counted (chunk-boundary
+		// words may split; allow slack).
+		var total uint64
+		for b := 0; b < wcBuckets; b++ {
+			total += main.Load64(table + mem.Addr(b*8))
+			if b%128 == 0 {
+				main.Branch("wc.check", b+128 < wcBuckets)
+			}
+		}
+		counted = total
+	})
+	if err != nil {
+		return err
+	}
+	slack := uint64(cfg.Threads * 2)
+	if counted+slack < uint64(words) || counted > uint64(words)+slack {
+		return fmt.Errorf("word_count: counted %d words, want ~%d", counted, words)
+	}
+	return nil
+}
