@@ -6,12 +6,18 @@
 //
 //	inspector-bench [flags]
 //
-//	-experiment all|fig5|fig6|table7|fig8|table9
+//	-experiment all|fig5|fig6|table7|fig8|table9|mem
 //	-size small|medium|large     input scale for fig5/fig6/tables
 //	-threads 2,4,8,16            thread sweep for fig5
 //	-breakdown 16                thread count for fig6/tables
 //	-apps a,b,c                  restrict to a subset of the 12 apps
 //	-seed 1                      input-generation seed
+//	-out BENCH_mem.json          output path for -experiment mem ("-" = stdout)
+//	-baseline path               prior BENCH_mem.json whose baseline carries forward
+//
+// The mem experiment benchmarks the tracked-memory substrate hot path
+// (diff, commit, read/write fast path) and writes the BENCH_mem.json
+// snapshot that records the repo's perf trajectory.
 //
 // Absolute numbers come from the deterministic virtual-time model, not
 // the authors' Xeon D-1540; the claims to compare are relative (who is
@@ -21,6 +27,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -38,14 +45,26 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("inspector-bench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "experiment to run: all|fig5|work|fig6|table7|fig8|table9")
+	experiment := fs.String("experiment", "all", "experiment to run: all|fig5|work|fig6|table7|fig8|table9|mem")
 	sizeFlag := fs.String("size", "medium", "input size: small|medium|large")
 	threadsFlag := fs.String("threads", "2,4,8,16", "comma-separated thread sweep for fig5")
 	breakdown := fs.Int("breakdown", 16, "thread count for fig6/table7/fig8/table9")
 	appsFlag := fs.String("apps", "", "comma-separated subset of applications (default all)")
 	seed := fs.Int64("seed", 1, "input generation seed")
+	outPath := fs.String("out", "BENCH_mem.json", `mem experiment output path ("-" = stdout)`)
+	baseline := fs.String("baseline", "", "prior BENCH_mem.json whose baseline section carries forward")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *experiment == "mem" {
+		// With the JSON on stdout, progress lines move to stderr so the
+		// output stays pipeable.
+		progress := io.Writer(os.Stdout)
+		if *outPath == "-" {
+			progress = os.Stderr
+		}
+		return runMemBench(progress, *outPath, *baseline)
 	}
 
 	size, err := parseSize(*sizeFlag)

@@ -1,0 +1,236 @@
+package main
+
+// The mem experiment: self-timed microbenchmarks of the tracked-memory
+// substrate, mirroring internal/mem's go-test benchmark suite
+// (BenchmarkDiff, BenchmarkCommit, BenchmarkReadWrite, BenchmarkReadClean)
+// so the perf trajectory of the hot path is tracked in a committed
+// BENCH_mem.json snapshot from PR to PR. See ROADMAP.md ("perf trajectory
+// convention") for the regeneration workflow.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"github.com/repro/inspector/internal/mem"
+)
+
+// memBenchSchema versions the BENCH_mem.json format.
+const memBenchSchema = "inspector-membench/v1"
+
+// memBenchResult is one benchmark row of BENCH_mem.json.
+type memBenchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// memBenchSnapshot is the BENCH_mem.json document. Baseline carries the
+// numbers of a reference implementation (the pre-optimization seed when
+// this convention was introduced) so the file itself documents the
+// trajectory; Benchmarks holds the current tree's numbers.
+type memBenchSnapshot struct {
+	Schema     string           `json:"schema"`
+	GoVersion  string           `json:"go"`
+	GOARCH     string           `json:"goarch"`
+	PageSize   int              `json:"page_size"`
+	Baseline   []memBenchResult `json:"baseline,omitempty"`
+	BaselineAt string           `json:"baseline_at,omitempty"`
+	Benchmarks []memBenchResult `json:"benchmarks"`
+}
+
+const memBenchBase = mem.Addr(0x4000_0000)
+
+func memBenchBacking() *mem.Backing {
+	b, err := mem.NewBacking("heap", memBenchBase, 64<<20, mem.DefaultPageSize)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func memBenchSpace() *mem.Space {
+	return mem.NewSpace(1, []*mem.Backing{memBenchBacking()}, nil, true)
+}
+
+// memDiffPage mirrors the diff patterns of internal/mem's BenchmarkDiff.
+func memDiffPage(pattern string) (priv, twin []byte) {
+	priv = make([]byte, mem.DefaultPageSize)
+	twin = make([]byte, mem.DefaultPageSize)
+	switch pattern {
+	case "identical":
+	case "sparse":
+		priv[100] = 1
+		priv[3000] = 2
+	case "words":
+		for i := 0; i < len(priv); i += 64 {
+			priv[i] = byte(i)
+		}
+	case "dense":
+		for i := range priv {
+			priv[i] = byte(i + 1)
+		}
+	}
+	return priv, twin
+}
+
+// memBenchCases returns the substrate scenarios, each as a testing.B body.
+func memBenchCases() []struct {
+	name  string
+	bytes int64
+	fn    func(b *testing.B)
+} {
+	type kase = struct {
+		name  string
+		bytes int64
+		fn    func(b *testing.B)
+	}
+	var cases []kase
+	for _, pattern := range []string{"identical", "sparse", "words", "dense"} {
+		priv, twin := memDiffPage(pattern)
+		cases = append(cases, kase{
+			name:  "Diff/" + pattern,
+			bytes: mem.DefaultPageSize,
+			fn: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					mem.Diff(priv, twin, 8)
+				}
+			},
+		})
+	}
+	cases = append(cases, kase{
+		name:  "Commit",
+		bytes: 16 * mem.DefaultPageSize,
+		fn: func(b *testing.B) {
+			const pages = 16
+			s := memBenchSpace()
+			var line [64]byte
+			for i := range line {
+				line[i] = byte(i + 1)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for p := 0; p < pages; p++ {
+					a := memBenchBase + mem.Addr(p*mem.DefaultPageSize+(i%32)*64)
+					if _, err := s.Write(a, line[:]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				s.Commit()
+			}
+		},
+	})
+	readWrite := func(stride mem.Addr) func(b *testing.B) {
+		return func(b *testing.B) {
+			const pages = 16
+			s := memBenchSpace()
+			for p := 0; p < pages; p++ {
+				if _, err := s.StoreU64(memBenchBase+mem.Addr(p*mem.DefaultPageSize), 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+			span := mem.Addr(pages * mem.DefaultPageSize)
+			b.ResetTimer()
+			var a mem.Addr
+			for i := 0; i < b.N; i++ {
+				addr := memBenchBase + a
+				v, err := s.LoadU64(addr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.StoreU64(addr, v+1); err != nil {
+					b.Fatal(err)
+				}
+				a += stride
+				if a >= span {
+					a = (a + 8) % 4096 % span
+				}
+			}
+		}
+	}
+	cases = append(cases,
+		kase{name: "ReadWrite/seq", fn: readWrite(8)},
+		kase{name: "ReadWrite/strided", fn: readWrite(mem.DefaultPageSize)},
+		kase{name: "ReadClean", fn: func(b *testing.B) {
+			const pages = 16
+			s := memBenchSpace()
+			var buf [8]byte
+			for p := 0; p < pages; p++ {
+				if err := s.Read(memBenchBase+mem.Addr(p*mem.DefaultPageSize), buf[:]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			var a mem.Addr
+			for i := 0; i < b.N; i++ {
+				if _, err := s.LoadU64(memBenchBase + a); err != nil {
+					b.Fatal(err)
+				}
+				a = (a + 8) % (pages * mem.DefaultPageSize)
+			}
+		}},
+	)
+	return cases
+}
+
+// runMemBench measures the substrate scenarios and writes the snapshot.
+// baselinePath, when non-empty, names an earlier BENCH_mem.json whose
+// baseline section (or, if it has none, its benchmarks) is carried
+// forward, so regeneration keeps comparing against the original reference.
+func runMemBench(w io.Writer, outPath, baselinePath string) error {
+	snap := memBenchSnapshot{
+		Schema:    memBenchSchema,
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		PageSize:  mem.DefaultPageSize,
+	}
+	if baselinePath != "" {
+		data, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return fmt.Errorf("read baseline: %w", err)
+		}
+		var prev memBenchSnapshot
+		if err := json.Unmarshal(data, &prev); err != nil {
+			return fmt.Errorf("parse baseline %s: %w", baselinePath, err)
+		}
+		snap.Baseline = prev.Baseline
+		snap.BaselineAt = prev.BaselineAt
+		if len(snap.Baseline) == 0 {
+			snap.Baseline = prev.Benchmarks
+		}
+	}
+	for _, c := range memBenchCases() {
+		res := testing.Benchmark(c.fn)
+		row := memBenchResult{
+			Name:        c.name,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+		}
+		if c.bytes > 0 && res.T > 0 {
+			row.MBPerSec = float64(c.bytes) * float64(res.N) / 1e6 / res.T.Seconds()
+		}
+		snap.Benchmarks = append(snap.Benchmarks, row)
+		fmt.Fprintf(w, "%-20s %12.1f ns/op %8d B/op %6d allocs/op\n",
+			c.name, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp)
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", outPath)
+	return nil
+}

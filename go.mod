@@ -1,0 +1,3 @@
+module github.com/repro/inspector
+
+go 1.24

@@ -141,48 +141,54 @@ func (r *Recorder) startSub(now vtime.Cycles) {
 	}
 }
 
-// OnRead records a load's page into the read set (onMemoryAccess).
+// OnRead records a load's page into the read set (onMemoryAccess). The
+// page id arrives already resolved by the memory substrate's cached page
+// lookup (mem.Fault.Page); no layer above mem re-derives it from the
+// address.
 func (r *Recorder) OnRead(page uint64) { r.cur.ReadSet.Add(page) }
 
-// OnWrite records a store's page into the write set (onMemoryAccess).
+// OnWrite records a store's page into the write set (onMemoryAccess). The
+// page id is the one resolved in mem, as for OnRead.
 func (r *Recorder) OnWrite(page uint64) { r.cur.WriteSet.Add(page) }
 
-// OnInstructions counts instructions retired in the current thunk.
+// OnInstructions counts instructions retired in the current thunk. This is
+// the per-access hot path (every tracked load/store lands here), so it
+// only bumps the running thunk counter; the per-sub-computation total
+// folds in lazily when a thunk or the sub-computation closes.
 func (r *Recorder) OnInstructions(n uint64) {
 	r.instructions += n
-	r.cur.Instructions += n
+}
+
+// closeThunk folds the running instruction count into the sub-computation
+// total and appends the completed thunk.
+func (r *Recorder) closeThunk(th Thunk) {
+	th.Index = r.beta
+	th.Instructions = r.instructions
+	r.cur.Instructions += r.instructions
+	r.cur.Thunks = append(r.cur.Thunks, th)
+	r.beta++
+	r.instructions = 0
 }
 
 // OnBranch closes the current thunk with the branch that terminated it
 // and opens thunk β+1 (onBranchAccess in Algorithm 2).
 func (r *Recorder) OnBranch(site string, taken bool) {
-	r.cur.Thunks = append(r.cur.Thunks, Thunk{
-		Index:        r.beta,
-		Site:         site,
-		Taken:        taken,
-		Instructions: r.instructions,
-	})
-	r.beta++
-	r.instructions = 0
+	r.closeThunk(Thunk{Site: site, Taken: taken})
 }
 
 // OnIndirect is OnBranch for indirect transfers.
 func (r *Recorder) OnIndirect(site, target string) {
-	r.cur.Thunks = append(r.cur.Thunks, Thunk{
-		Index:        r.beta,
-		Site:         site,
-		Indirect:     true,
-		Target:       target,
-		Instructions: r.instructions,
-	})
-	r.beta++
-	r.instructions = 0
+	r.closeThunk(Thunk{Site: site, Indirect: true, Target: target})
 }
 
 // EndSub closes the current sub-computation at a synchronization point
 // (the α <- α+1 step of Algorithm 1) and returns it after adding it to
 // the graph.
 func (r *Recorder) EndSub(ev SyncEvent, now vtime.Cycles) (*SubComputation, error) {
+	// Fold the tail thunk's instructions (retired since the last branch)
+	// into the sub-computation total.
+	r.cur.Instructions += r.instructions
+	r.instructions = 0
 	r.cur.End = ev
 	r.cur.Finish = now
 	done := r.cur

@@ -122,9 +122,7 @@ func (b *Backing) ReadAt(a Addr, dst []byte) error {
 		if p := b.pages[id]; p != nil {
 			copy(dst[off:off+n], p[po:po+n])
 		} else {
-			for i := off; i < off+n; i++ {
-				dst[i] = 0
-			}
+			clear(dst[off : off+n])
 		}
 		off += n
 	}
@@ -215,19 +213,19 @@ func (b *Backing) ApplyDiff(id PageID, priv []byte, ranges []DiffRange) {
 
 // SnapshotPage copies the current shared contents of page id into dst
 // (which must be pageSize long). Unmaterialized pages copy as zeros.
+// Every byte of dst is overwritten — the page pool's reuse safety relies
+// on this. One lock round-trip covers lookup and copy: this runs on every
+// first write of a page (twin materialization), so it stays lean.
 func (b *Backing) SnapshotPage(id PageID, dst []byte) {
 	b.mu.RLock()
 	p := b.pages[id]
+	if p != nil {
+		copy(dst, p)
+	}
 	b.mu.RUnlock()
 	if p == nil {
-		for i := range dst {
-			dst[i] = 0
-		}
-		return
+		clear(dst)
 	}
-	b.mu.RLock()
-	copy(dst, p)
-	b.mu.RUnlock()
 }
 
 // Stats returns cumulative commit statistics.

@@ -139,6 +139,111 @@ func TestQuickDiffRangesSortedDisjoint(t *testing.T) {
 	}
 }
 
+// mutate applies a random write pattern to priv: single bytes, short runs,
+// word stores, and occasional long memset-style stretches — the store mix
+// the tracked workloads generate.
+func mutate(r *rand.Rand, priv []byte) {
+	for i := 0; i < r.Intn(24); i++ {
+		switch r.Intn(4) {
+		case 0: // single byte
+			priv[r.Intn(len(priv))] = byte(r.Intn(256))
+		case 1: // 8-byte word
+			off := r.Intn(len(priv))
+			for k := off; k < off+8 && k < len(priv); k++ {
+				priv[k] = byte(r.Intn(256))
+			}
+		case 2: // short run
+			off := r.Intn(len(priv))
+			n := r.Intn(32)
+			for k := off; k < off+n && k < len(priv); k++ {
+				priv[k] = byte(r.Intn(256))
+			}
+		case 3: // long stretch
+			off := r.Intn(len(priv))
+			n := r.Intn(len(priv)/2 + 1)
+			v := byte(r.Intn(256))
+			for k := off; k < off+n && k < len(priv); k++ {
+				priv[k] = v
+			}
+		}
+	}
+}
+
+// TestQuickDiffMatchesReference pins the word-wise Diff to the retained
+// byte-at-a-time reference: for random pages, random write patterns, and
+// every coalescing gap the system uses, the returned ranges are identical.
+func TestQuickDiffMatchesReference(t *testing.T) {
+	for _, minGap := range []int{1, 4, 8, 64} {
+		f := func(seed int64, odd uint8) bool {
+			r := rand.New(rand.NewSource(seed))
+			// Mix page-sized and odd-sized buffers so boundary fixups at
+			// non-word-multiple lengths are exercised too.
+			size := 4096
+			if odd%3 != 0 {
+				size = r.Intn(700) + 1
+			}
+			twin := make([]byte, size)
+			r.Read(twin)
+			priv := make([]byte, size)
+			copy(priv, twin)
+			mutate(r, priv)
+			got := Diff(priv, twin, minGap)
+			want := diffReference(priv, twin, minGap)
+			if len(got) != len(want) {
+				t.Logf("minGap=%d size=%d: got %v want %v", minGap, size, got, want)
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Logf("minGap=%d size=%d range %d: got %v want %v", minGap, size, i, got[i], want[i])
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("minGap=%d: %v", minGap, err)
+		}
+	}
+}
+
+// TestQuickApplyDiffReconstructs drives the full commit data path: a page
+// lives in a real Backing, a twin snapshot is taken, the private copy
+// mutates, and ApplyDiff publishes Diff's ranges — after which the backing
+// holds priv exactly, for every coalescing gap.
+func TestQuickApplyDiffReconstructs(t *testing.T) {
+	for _, minGap := range []int{1, 4, 8, 64} {
+		f := func(seed int64) bool {
+			r := rand.New(rand.NewSource(seed))
+			const base = 0x1000_0000
+			b, err := NewBacking("g", base, 1<<20, DefaultPageSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			init := make([]byte, DefaultPageSize)
+			r.Read(init)
+			if _, err := b.WriteAt(base, init, 0); err != nil {
+				t.Fatal(err)
+			}
+			id := b.PageOf(base)
+			twin := make([]byte, DefaultPageSize)
+			b.SnapshotPage(id, twin)
+			priv := make([]byte, DefaultPageSize)
+			copy(priv, twin)
+			mutate(r, priv)
+			b.ApplyDiff(id, priv, Diff(priv, twin, minGap))
+			got := make([]byte, DefaultPageSize)
+			if err := b.ReadAt(base, got); err != nil {
+				t.Fatal(err)
+			}
+			return bytes.Equal(got, priv)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("minGap=%d: %v", minGap, err)
+		}
+	}
+}
+
 func BenchmarkDiffSparse(b *testing.B) {
 	priv := make([]byte, 4096)
 	twin := make([]byte, 4096)

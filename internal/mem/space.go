@@ -1,5 +1,10 @@
 package mem
 
+import (
+	"math/bits"
+	"sort"
+)
+
 // Space is one process's private view of the shared backings — the
 // simulated equivalent of a forked process's address space in the
 // threads-as-processes design (§V-A). A Space is owned by exactly one
@@ -15,14 +20,37 @@ package mem
 //  3. Commit: dirty pages diff against their twins and publish to the
 //     shared backing; private copies drop so the next sub-computation
 //     observes other threads' committed writes (Release Consistency).
+//
+// Because every tracked access funnels through here, the lookup path is
+// engineered flat: page ids derive by shift (uniform page size), a one-entry
+// cache short-circuits consecutive accesses to the same page (the
+// overwhelmingly common pattern), backings resolve by binary search over a
+// base-sorted slice, and Commit recycles page buffers and spacePage structs
+// through a free list instead of re-allocating ~2 pages per first write.
 type Space struct {
 	pid      int32
 	pageSize int
-	backings []*Backing
-	handler  FaultHandler
-	tracking bool
+	// pageShift/pageMask replace div/mod on every access; valid only when
+	// uniform (all backings share one page size — the runtime always
+	// configures them that way, but nothing in the API forces it).
+	pageShift uint
+	pageMask  uint64
+	uniform   bool
+	backings  []*Backing // sorted by base address
+	handler   FaultHandler
+	tracking  bool
 
 	pages map[PageID]*spacePage
+
+	// One-entry page cache: the last page resolved by pageFor. lastSP is
+	// nil whenever the cache is invalid (startup and after Commit).
+	lastID PageID
+	lastSP *spacePage
+	// lastB caches the last backing resolved, serving both the
+	// non-tracking access path and page materialization.
+	lastB *Backing
+
+	pool pagePool
 
 	stats SpaceStats
 }
@@ -33,6 +61,53 @@ type spacePage struct {
 	prot    Prot
 	priv    []byte // private CoW copy; nil until first write
 	twin    []byte // snapshot at first write, for diffing
+}
+
+// pagePool recycles page buffers and spacePage structs between
+// sub-computations. A Space is single-owner, so plain free lists beat
+// sync.Pool (no atomics); the lists are bounded by the peak per-sub
+// working set. Recycled buffers are fully overwritten before reuse
+// (SnapshotPage writes every byte), which TestPoolRecycledTwinNoLeak pins.
+type pagePool struct {
+	bufs  [][]byte
+	metas []*spacePage
+}
+
+// getBuf returns a recycled page buffer or allocates a fresh one.
+func (p *pagePool) getBuf(size int) []byte {
+	if n := len(p.bufs); n > 0 {
+		b := p.bufs[n-1]
+		p.bufs[n-1] = nil
+		p.bufs = p.bufs[:n-1]
+		if len(b) == size {
+			return b
+		}
+	}
+	return make([]byte, size)
+}
+
+// putBuf returns a page buffer to the free list.
+func (p *pagePool) putBuf(b []byte) {
+	if b != nil {
+		p.bufs = append(p.bufs, b)
+	}
+}
+
+// getMeta returns a recycled (zeroed) spacePage or a fresh one.
+func (p *pagePool) getMeta() *spacePage {
+	if n := len(p.metas); n > 0 {
+		sp := p.metas[n-1]
+		p.metas[n-1] = nil
+		p.metas = p.metas[:n-1]
+		return sp
+	}
+	return new(spacePage)
+}
+
+// putMeta clears and recycles a spacePage.
+func (p *pagePool) putMeta(sp *spacePage) {
+	*sp = spacePage{}
+	p.metas = append(p.metas, sp)
 }
 
 // SpaceStats counts the events the evaluation tables report.
@@ -63,13 +138,26 @@ func NewSpace(pid int32, backings []*Backing, handler FaultHandler, tracking boo
 	if len(backings) > 0 {
 		ps = backings[0].PageSize()
 	}
+	sorted := make([]*Backing, len(backings))
+	copy(sorted, backings)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].base < sorted[j].base })
+	uniform := true
+	for _, b := range sorted {
+		if b.PageSize() != ps {
+			uniform = false
+			break
+		}
+	}
 	return &Space{
-		pid:      pid,
-		pageSize: ps,
-		backings: backings,
-		handler:  handler,
-		tracking: tracking,
-		pages:    make(map[PageID]*spacePage),
+		pid:       pid,
+		pageSize:  ps,
+		pageShift: uint(bits.TrailingZeros(uint(ps))),
+		pageMask:  uint64(ps) - 1,
+		uniform:   uniform,
+		backings:  sorted,
+		handler:   handler,
+		tracking:  tracking,
+		pages:     make(map[PageID]*spacePage),
 	}
 }
 
@@ -85,28 +173,70 @@ func (s *Space) Stats() SpaceStats { return s.stats }
 // PageSize returns the page size.
 func (s *Space) PageSize() int { return s.pageSize }
 
-// backingFor locates the backing containing a, or nil.
+// backingFor locates the backing containing a, or nil. The last resolved
+// backing is checked first; misses binary-search the base-sorted slice.
 func (s *Space) backingFor(a Addr) *Backing {
-	for _, b := range s.backings {
-		if b.Contains(a) {
-			return b
+	if b := s.lastB; b != nil && b.Contains(a) {
+		return b
+	}
+	// First backing with base+size > a; it contains a iff base <= a.
+	lo, hi := 0, len(s.backings)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		b := s.backings[mid]
+		if uint64(a) < uint64(b.base)+uint64(b.size) {
+			hi = mid
+		} else {
+			lo = mid + 1
 		}
+	}
+	if lo < len(s.backings) && s.backings[lo].base <= a {
+		s.lastB = s.backings[lo]
+		return s.backings[lo]
 	}
 	return nil
 }
 
 // pageFor returns (materializing if needed) the per-process page state.
+// Consecutive accesses to the same page resolve through the one-entry
+// cache without touching the map or the backing list.
 func (s *Space) pageFor(a Addr) (*spacePage, PageID, error) {
+	if s.uniform {
+		id := PageID(uint64(a) >> s.pageShift)
+		// The bounds check keeps cache hits from reaching past a backing
+		// whose size is not a page multiple (its tail page extends beyond
+		// the region): such an access must segfault, as the scan path does.
+		if sp := s.lastSP; sp != nil && id == s.lastID && sp.backing.Contains(a) {
+			return sp, id, nil
+		}
+		return s.pageForSlow(a, id)
+	}
 	b := s.backingFor(a)
 	if b == nil {
 		return nil, 0, &SegfaultError{Addr: a, Kind: AccessRead}
 	}
-	id := b.PageOf(a)
+	return s.pageLookup(b, b.PageOf(a))
+}
+
+// pageForSlow handles a one-entry-cache miss on the uniform-page-size path.
+func (s *Space) pageForSlow(a Addr, id PageID) (*spacePage, PageID, error) {
+	b := s.backingFor(a)
+	if b == nil {
+		return nil, 0, &SegfaultError{Addr: a, Kind: AccessRead}
+	}
+	return s.pageLookup(b, id)
+}
+
+// pageLookup finds or materializes the spacePage and refills the cache.
+func (s *Space) pageLookup(b *Backing, id PageID) (*spacePage, PageID, error) {
 	sp := s.pages[id]
 	if sp == nil {
-		sp = &spacePage{backing: b, prot: ProtNone}
+		sp = s.pool.getMeta()
+		sp.backing = b
+		sp.prot = ProtNone
 		s.pages[id] = sp
 	}
+	s.lastID, s.lastSP = id, sp
 	return sp, id, nil
 }
 
@@ -134,14 +264,16 @@ func (s *Space) fault(sp *spacePage, id PageID, a Addr, kind AccessKind) {
 }
 
 // ensurePrivate materializes the CoW copy and twin for a page about to be
-// written. Returns the number of twin copies made (0 or 1).
+// written. Buffers come from the pool; SnapshotPage overwrites every byte
+// of the recycled buffer before it is read, so no bytes can leak from a
+// previous sub-computation.
 func (s *Space) ensurePrivate(sp *spacePage, id PageID) {
 	if sp.priv != nil {
 		return
 	}
-	sp.priv = make([]byte, s.pageSize)
+	sp.priv = s.pool.getBuf(s.pageSize)
 	sp.backing.SnapshotPage(id, sp.priv)
-	sp.twin = make([]byte, s.pageSize)
+	sp.twin = s.pool.getBuf(s.pageSize)
 	copy(sp.twin, sp.priv)
 	s.stats.TwinCopies++
 }
@@ -170,7 +302,10 @@ func (s *Space) Read(a Addr, dst []byte) error {
 		if sp.prot&ProtRead == 0 {
 			s.fault(sp, id, cur, AccessRead)
 		}
-		po := int(uint64(cur) % uint64(s.pageSize))
+		po := int(uint64(cur) & s.pageMask)
+		if !s.uniform {
+			po = int(uint64(cur) % uint64(s.pageSize))
+		}
 		n := s.pageSize - po
 		if n > len(dst)-off {
 			n = len(dst) - off
@@ -212,7 +347,10 @@ func (s *Space) Write(a Addr, src []byte) (conflicts int, err error) {
 			s.fault(sp, id, cur, AccessWrite)
 		}
 		s.ensurePrivate(sp, id)
-		po := int(uint64(cur) % uint64(s.pageSize))
+		po := int(uint64(cur) & s.pageMask)
+		if !s.uniform {
+			po = int(uint64(cur) % uint64(s.pageSize))
+		}
 		n := s.pageSize - po
 		if n > len(src)-off {
 			n = len(src) - off
@@ -235,6 +373,8 @@ type CommitResult struct {
 // the shared backing (last-writer-wins), and drops all private copies and
 // protections so the next sub-computation starts cold and observes other
 // threads' commits. This is the synchronization-point step of §V-A.
+// Dropped page buffers and page records return to the pool for the next
+// sub-computation's first writes.
 func (s *Space) Commit() CommitResult {
 	var res CommitResult
 	if !s.tracking {
@@ -249,9 +389,13 @@ func (s *Space) Commit() CommitResult {
 				res.DirtyPages++
 				res.CommittedBytes += n
 			}
+			s.pool.putBuf(sp.priv)
+			s.pool.putBuf(sp.twin)
 		}
-		delete(s.pages, id)
+		s.pool.putMeta(sp)
 	}
+	clear(s.pages)
+	s.lastSP = nil
 	s.stats.CommittedPages += uint64(res.DirtyPages)
 	s.stats.CommittedBytes += uint64(res.CommittedBytes)
 	s.stats.DiffedBytes += uint64(res.DiffedBytes)

@@ -55,7 +55,10 @@ type Thread struct {
 }
 
 // faultSink routes protection faults into the thread's recorder and cost
-// accounting (the SIGSEGV handler of §V-A).
+// accounting (the SIGSEGV handler of §V-A). Fault.Page is the page id the
+// memory substrate resolved during its (cached) page lookup; it flows
+// into the recorder's read/write sets as-is, so no layer re-derives the
+// id from the faulting address.
 type faultSink struct{ t *Thread }
 
 // OnFault implements mem.FaultHandler.
@@ -158,6 +161,31 @@ func (t *Thread) charge(cat Category, c vtime.Cycles) {
 	}
 }
 
+// onLoad and onStore fold the per-access bookkeeping — operation count,
+// one retired instruction, the app-category cycle charge — into a single
+// call without charge's category dispatch. Every tracked access pays this
+// path, so it stays flat: two counter bumps, one clock advance, one
+// recorder bump.
+func (t *Thread) onLoad() {
+	t.loads++
+	if t.rec != nil {
+		t.rec.OnInstructions(1)
+	}
+	c := t.rt.model.Load
+	t.clk.Advance(c)
+	t.appCycles += c
+}
+
+func (t *Thread) onStore() {
+	t.stores++
+	if t.rec != nil {
+		t.rec.OnInstructions(1)
+	}
+	c := t.rt.model.Store
+	t.clk.Advance(c)
+	t.appCycles += c
+}
+
 // chargePTBytes charges the consumer-side cost of trace bytes emitted
 // since the last call.
 func (t *Thread) chargePTBytes() {
@@ -192,9 +220,7 @@ func (t *Thread) segv(op string, addr mem.Addr, err error) {
 
 // Load8 reads one byte of tracked memory.
 func (t *Thread) Load8(a mem.Addr) uint8 {
-	t.loads++
-	t.countInstr(1)
-	t.charge(CatApp, t.rt.model.Load)
+	t.onLoad()
 	v, err := t.p.Space.LoadU8(a)
 	if err != nil {
 		t.segv("load8", a, err)
@@ -204,9 +230,7 @@ func (t *Thread) Load8(a mem.Addr) uint8 {
 
 // Load32 reads a uint32.
 func (t *Thread) Load32(a mem.Addr) uint32 {
-	t.loads++
-	t.countInstr(1)
-	t.charge(CatApp, t.rt.model.Load)
+	t.onLoad()
 	v, err := t.p.Space.LoadU32(a)
 	if err != nil {
 		t.segv("load32", a, err)
@@ -216,9 +240,7 @@ func (t *Thread) Load32(a mem.Addr) uint32 {
 
 // Load64 reads a uint64.
 func (t *Thread) Load64(a mem.Addr) uint64 {
-	t.loads++
-	t.countInstr(1)
-	t.charge(CatApp, t.rt.model.Load)
+	t.onLoad()
 	v, err := t.p.Space.LoadU64(a)
 	if err != nil {
 		t.segv("load64", a, err)
@@ -228,9 +250,7 @@ func (t *Thread) Load64(a mem.Addr) uint64 {
 
 // LoadF64 reads a float64.
 func (t *Thread) LoadF64(a mem.Addr) float64 {
-	t.loads++
-	t.countInstr(1)
-	t.charge(CatApp, t.rt.model.Load)
+	t.onLoad()
 	v, err := t.p.Space.LoadF64(a)
 	if err != nil {
 		t.segv("loadf64", a, err)
@@ -240,9 +260,7 @@ func (t *Thread) LoadF64(a mem.Addr) float64 {
 
 // Store8 writes one byte.
 func (t *Thread) Store8(a mem.Addr, v uint8) {
-	t.stores++
-	t.countInstr(1)
-	t.charge(CatApp, t.rt.model.Store)
+	t.onStore()
 	conflicts, err := t.p.Space.StoreU8(a, v)
 	if err != nil {
 		t.segv("store8", a, err)
@@ -252,9 +270,7 @@ func (t *Thread) Store8(a mem.Addr, v uint8) {
 
 // Store32 writes a uint32.
 func (t *Thread) Store32(a mem.Addr, v uint32) {
-	t.stores++
-	t.countInstr(1)
-	t.charge(CatApp, t.rt.model.Store)
+	t.onStore()
 	conflicts, err := t.p.Space.StoreU32(a, v)
 	if err != nil {
 		t.segv("store32", a, err)
@@ -264,9 +280,7 @@ func (t *Thread) Store32(a mem.Addr, v uint32) {
 
 // Store64 writes a uint64.
 func (t *Thread) Store64(a mem.Addr, v uint64) {
-	t.stores++
-	t.countInstr(1)
-	t.charge(CatApp, t.rt.model.Store)
+	t.onStore()
 	conflicts, err := t.p.Space.StoreU64(a, v)
 	if err != nil {
 		t.segv("store64", a, err)
@@ -276,9 +290,7 @@ func (t *Thread) Store64(a mem.Addr, v uint64) {
 
 // StoreF64 writes a float64.
 func (t *Thread) StoreF64(a mem.Addr, v float64) {
-	t.stores++
-	t.countInstr(1)
-	t.charge(CatApp, t.rt.model.Store)
+	t.onStore()
 	conflicts, err := t.p.Space.StoreF64(a, v)
 	if err != nil {
 		t.segv("storef64", a, err)
