@@ -1,0 +1,103 @@
+package main
+
+// Shared plumbing for the self-timed benchmark experiments (mem, pt):
+// one snapshot document format, one baseline-carrying convention, one
+// measurement loop. Each experiment contributes only its schema string
+// and scenario list.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// benchCase is one self-timed scenario.
+type benchCase struct {
+	name string
+	// bytes, when non-zero, is the payload size per op for MB/s.
+	bytes int64
+	fn    func(b *testing.B)
+}
+
+// benchResult is one benchmark row of a BENCH_*.json snapshot.
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchSnapshot is the BENCH_*.json document. Baseline carries the
+// numbers of a reference implementation (the pre-optimization seed when
+// the experiment's convention was introduced) so the file itself
+// documents the trajectory; Benchmarks holds the current tree's numbers.
+type benchSnapshot struct {
+	Schema     string        `json:"schema"`
+	GoVersion  string        `json:"go"`
+	GOARCH     string        `json:"goarch"`
+	PageSize   int           `json:"page_size,omitempty"`
+	Baseline   []benchResult `json:"baseline,omitempty"`
+	BaselineAt string        `json:"baseline_at,omitempty"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// runBenchSnapshot measures every case and writes the snapshot.
+// baselinePath, when non-empty, names an earlier snapshot whose baseline
+// section (or, if it has none, its benchmarks) is carried forward, so
+// regeneration keeps comparing against the original reference.
+func runBenchSnapshot(w io.Writer, outPath, baselinePath, schema string, pageSize int, cases []benchCase) error {
+	snap := benchSnapshot{
+		Schema:    schema,
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		PageSize:  pageSize,
+	}
+	if baselinePath != "" {
+		data, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return fmt.Errorf("read baseline: %w", err)
+		}
+		var prev benchSnapshot
+		if err := json.Unmarshal(data, &prev); err != nil {
+			return fmt.Errorf("parse baseline %s: %w", baselinePath, err)
+		}
+		snap.Baseline = prev.Baseline
+		snap.BaselineAt = prev.BaselineAt
+		if len(snap.Baseline) == 0 {
+			snap.Baseline = prev.Benchmarks
+		}
+	}
+	for _, c := range cases {
+		res := testing.Benchmark(c.fn)
+		row := benchResult{
+			Name:        c.name,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+		}
+		if c.bytes > 0 && res.T > 0 {
+			row.MBPerSec = float64(c.bytes) * float64(res.N) / 1e6 / res.T.Seconds()
+		}
+		snap.Benchmarks = append(snap.Benchmarks, row)
+		fmt.Fprintf(w, "%-20s %12.1f ns/op %8d B/op %6d allocs/op\n",
+			c.name, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp)
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", outPath)
+	return nil
+}

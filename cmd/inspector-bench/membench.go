@@ -8,11 +8,7 @@ package main
 // convention") for the regeneration workflow.
 
 import (
-	"encoding/json"
-	"fmt"
 	"io"
-	"os"
-	"runtime"
 	"testing"
 
 	"github.com/repro/inspector/internal/mem"
@@ -20,29 +16,6 @@ import (
 
 // memBenchSchema versions the BENCH_mem.json format.
 const memBenchSchema = "inspector-membench/v1"
-
-// memBenchResult is one benchmark row of BENCH_mem.json.
-type memBenchResult struct {
-	Name        string  `json:"name"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	MBPerSec    float64 `json:"mb_per_s,omitempty"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-}
-
-// memBenchSnapshot is the BENCH_mem.json document. Baseline carries the
-// numbers of a reference implementation (the pre-optimization seed when
-// this convention was introduced) so the file itself documents the
-// trajectory; Benchmarks holds the current tree's numbers.
-type memBenchSnapshot struct {
-	Schema     string           `json:"schema"`
-	GoVersion  string           `json:"go"`
-	GOARCH     string           `json:"goarch"`
-	PageSize   int              `json:"page_size"`
-	Baseline   []memBenchResult `json:"baseline,omitempty"`
-	BaselineAt string           `json:"baseline_at,omitempty"`
-	Benchmarks []memBenchResult `json:"benchmarks"`
-}
 
 const memBenchBase = mem.Addr(0x4000_0000)
 
@@ -80,16 +53,8 @@ func memDiffPage(pattern string) (priv, twin []byte) {
 }
 
 // memBenchCases returns the substrate scenarios, each as a testing.B body.
-func memBenchCases() []struct {
-	name  string
-	bytes int64
-	fn    func(b *testing.B)
-} {
-	type kase = struct {
-		name  string
-		bytes int64
-		fn    func(b *testing.B)
-	}
+func memBenchCases() []benchCase {
+	type kase = benchCase
 	var cases []kase
 	for _, pattern := range []string{"identical", "sparse", "words", "dense"} {
 		priv, twin := memDiffPage(pattern)
@@ -178,59 +143,8 @@ func memBenchCases() []struct {
 	return cases
 }
 
-// runMemBench measures the substrate scenarios and writes the snapshot.
-// baselinePath, when non-empty, names an earlier BENCH_mem.json whose
-// baseline section (or, if it has none, its benchmarks) is carried
-// forward, so regeneration keeps comparing against the original reference.
+// runMemBench measures the substrate scenarios and writes the snapshot
+// through the shared baseline-carrying plumbing (benchsnap.go).
 func runMemBench(w io.Writer, outPath, baselinePath string) error {
-	snap := memBenchSnapshot{
-		Schema:    memBenchSchema,
-		GoVersion: runtime.Version(),
-		GOARCH:    runtime.GOARCH,
-		PageSize:  mem.DefaultPageSize,
-	}
-	if baselinePath != "" {
-		data, err := os.ReadFile(baselinePath)
-		if err != nil {
-			return fmt.Errorf("read baseline: %w", err)
-		}
-		var prev memBenchSnapshot
-		if err := json.Unmarshal(data, &prev); err != nil {
-			return fmt.Errorf("parse baseline %s: %w", baselinePath, err)
-		}
-		snap.Baseline = prev.Baseline
-		snap.BaselineAt = prev.BaselineAt
-		if len(snap.Baseline) == 0 {
-			snap.Baseline = prev.Benchmarks
-		}
-	}
-	for _, c := range memBenchCases() {
-		res := testing.Benchmark(c.fn)
-		row := memBenchResult{
-			Name:        c.name,
-			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
-			BytesPerOp:  res.AllocedBytesPerOp(),
-			AllocsPerOp: res.AllocsPerOp(),
-		}
-		if c.bytes > 0 && res.T > 0 {
-			row.MBPerSec = float64(c.bytes) * float64(res.N) / 1e6 / res.T.Seconds()
-		}
-		snap.Benchmarks = append(snap.Benchmarks, row)
-		fmt.Fprintf(w, "%-20s %12.1f ns/op %8d B/op %6d allocs/op\n",
-			c.name, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp)
-	}
-	data, err := json.MarshalIndent(snap, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	if outPath == "-" {
-		_, err = os.Stdout.Write(data)
-		return err
-	}
-	if err := os.WriteFile(outPath, data, 0o644); err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "wrote %s\n", outPath)
-	return nil
+	return runBenchSnapshot(w, outPath, baselinePath, memBenchSchema, mem.DefaultPageSize, memBenchCases())
 }

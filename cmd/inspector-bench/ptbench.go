@@ -1,0 +1,27 @@
+package main
+
+// The pt experiment: self-timed microbenchmarks of the branch-trace
+// pipeline hot loop. The scenario bodies live in internal/pt/ptbench —
+// shared verbatim with internal/pt's go-test suite — and the snapshot
+// goes through the same baseline-carrying plumbing as the mem
+// experiment (benchsnap.go). See ROADMAP.md ("perf trajectory
+// convention") for the regeneration workflow.
+
+import (
+	"io"
+
+	"github.com/repro/inspector/internal/pt/ptbench"
+)
+
+// ptBenchSchema versions the BENCH_pt.json format.
+const ptBenchSchema = "inspector-ptbench/v1"
+
+// runPTBench measures the shared branch-trace scenarios and writes the
+// BENCH_pt.json snapshot.
+func runPTBench(w io.Writer, outPath, baselinePath string) error {
+	var cases []benchCase
+	for _, c := range ptbench.Cases() {
+		cases = append(cases, benchCase{name: c.Name, bytes: c.Bytes, fn: c.Fn})
+	}
+	return runBenchSnapshot(w, outPath, baselinePath, ptBenchSchema, 0, cases)
+}

@@ -43,6 +43,7 @@ func run(args []string) error {
 	dotOut := fs.String("dot", "", "write the CPG (Graphviz DOT) to this file")
 	jsonOut := fs.String("json", "", "write the CPG (JSON) to this file")
 	perfOut := fs.String("perfdata", "", "write the perf session (for pt-dump) to this file")
+	imageOut := fs.String("imageout", "", "write the image sidecar (for pt-dump -events) to this file")
 	decode := fs.Bool("decode", false, "decode all PT traces and report event counts")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -145,6 +146,16 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("wrote perf data:  %s\n", *perfOut)
+	}
+	if *imageOut != "" && mode == threading.ModeInspector {
+		err := writeFile(*imageOut, func(w io.Writer) error {
+			_, err := rt.Image().WriteTo(w)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote image:      %s\n", *imageOut)
 	}
 	return nil
 }

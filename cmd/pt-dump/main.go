@@ -3,17 +3,27 @@
 // packet-level dump of each AUX trace — the equivalent of
 // `perf script --dump` plus the Intel PT packet decoder.
 //
+// With -events and an image sidecar (inspector-run -imageout), it
+// additionally reconstructs each process's control-flow events, printing
+// them one at a time as Decoder.Next produces them — the full trace is
+// never materialized, so dumps stay flat in memory no matter how long
+// the trace is.
+//
 // Usage:
 //
 //	pt-dump [-packets] [-max N] file.perfdata
+//	pt-dump -events -image file.image [-maxev N] file.perfdata
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 
+	"github.com/repro/inspector/internal/image"
 	"github.com/repro/inspector/internal/perf"
 	"github.com/repro/inspector/internal/pt"
 )
@@ -29,11 +39,14 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("pt-dump", flag.ContinueOnError)
 	packets := fs.Bool("packets", false, "dump individual PT packets of AUX records")
 	maxPkts := fs.Int("max", 64, "maximum packets to dump per AUX record")
+	events := fs.Bool("events", false, "reconstruct control-flow events per PID (needs -image)")
+	imagePath := fs.String("image", "", "image sidecar written by inspector-run -imageout")
+	maxEvents := fs.Int("maxev", 0, "maximum events to dump per PID (0 = all)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return errors.New("usage: pt-dump [-packets] file.perfdata")
+		return errors.New("usage: pt-dump [-packets] [-events -image file.image] file.perfdata")
 	}
 	f, err := os.Open(fs.Arg(0))
 	if err != nil {
@@ -43,6 +56,21 @@ func run(args []string) error {
 	records, err := perf.ReadRecords(f)
 	if err != nil {
 		return err
+	}
+	if *events {
+		if *imagePath == "" {
+			return errors.New("-events needs -image (see inspector-run -imageout)")
+		}
+		imf, err := os.Open(*imagePath)
+		if err != nil {
+			return err
+		}
+		im, err := image.ReadImage(imf)
+		imf.Close()
+		if err != nil {
+			return err
+		}
+		return dumpEvents(os.Stdout, im, records, *maxEvents)
 	}
 	for i, rec := range records {
 		switch rec.Type {
@@ -79,9 +107,9 @@ func dumpPackets(data []byte, limit int) {
 		lastIP = ip
 		switch p.Type {
 		case pt.PktTNT:
-			bits := make([]byte, len(p.TNTBits))
-			for i, b := range p.TNTBits {
-				if b {
+			bits := make([]byte, p.TNTLen)
+			for i := range bits {
+				if p.TNTBit(i) {
 					bits[i] = 'T'
 				} else {
 					bits[i] = 'N'
@@ -101,4 +129,67 @@ func dumpPackets(data []byte, limit int) {
 	if off < len(data) {
 		fmt.Printf("       ... %d more bytes\n", len(data)-off)
 	}
+}
+
+// dumpEvents reconstructs control flow per PID, streaming each event out
+// of Decoder.Next as it is produced. AUX chunks of one PID feed the same
+// decoder through Reset, so the edge table, last-IP state, and queued
+// TNT bits carry across ring drains and nothing is ever concatenated or
+// collected into a slice.
+func dumpEvents(w io.Writer, im *image.Image, records []perf.Record, limit int) error {
+	byPID := make(map[int32][][]byte)
+	var pids []int32
+	for _, rec := range records {
+		if rec.Type != perf.RecordAUX {
+			continue
+		}
+		if _, ok := byPID[rec.PID]; !ok {
+			pids = append(pids, rec.PID)
+		}
+		byPID[rec.PID] = append(byPID[rec.PID], rec.Data)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	for _, pid := range pids {
+		fmt.Fprintf(w, "pid %d:\n", pid)
+		d := pt.NewDecoder(im, nil)
+		n := 0
+		truncated := false
+	chunks:
+		for _, chunk := range byPID[pid] {
+			d.Reset(chunk)
+			lastErrPos := -1
+			for {
+				ev, err := d.Next()
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				if err != nil {
+					fmt.Fprintf(w, "  event %d: %v\n", n, err)
+					// Gaps/desyncs advance the cursor toward the next
+					// PSB and decoding resumes; only a decoder whose
+					// cursor stops moving between errors can never
+					// recover — give up on the chunk then.
+					if d.Pos() == lastErrPos {
+						fmt.Fprintf(w, "  giving up on chunk: decoder stuck at byte %d\n", d.Pos())
+						break
+					}
+					lastErrPos = d.Pos()
+					continue
+				}
+				lastErrPos = -1
+				if limit > 0 && n >= limit {
+					truncated = true
+					break chunks
+				}
+				fmt.Fprintf(w, "  %6d %s\n", n, ev)
+				n++
+			}
+		}
+		suffix := ""
+		if truncated {
+			suffix = " (truncated)"
+		}
+		fmt.Fprintf(w, "  %d events, %d gaps%s\n", n, d.Gaps, suffix)
+	}
+	return nil
 }

@@ -85,6 +85,13 @@ type Recorder struct {
 
 	cur          *SubComputation
 	instructions uint64 // current thunk's instruction count
+	// thunkCap predicts the next sub-computation's thunk count from the
+	// last completed one, so the Thunks slice is sized once up front
+	// instead of re-growing (and re-copying) on the per-branch path.
+	// Completed sub-computations keep their slices forever in the graph,
+	// so true pooling is impossible; right-sized single allocation is
+	// the next best thing.
+	thunkCap int
 }
 
 // NewRecorder initializes a thread recorder (initThread(t) in Algorithm 2:
@@ -139,6 +146,9 @@ func (r *Recorder) startSub(now vtime.Cycles) {
 		WriteSet: NewPageSet(),
 		Start:    now,
 	}
+	if r.thunkCap > 0 {
+		r.cur.Thunks = make([]Thunk, 0, r.thunkCap)
+	}
 }
 
 // OnRead records a load's page into the read set (onMemoryAccess). The
@@ -192,6 +202,17 @@ func (r *Recorder) EndSub(ev SyncEvent, now vtime.Cycles) (*SubComputation, erro
 	r.cur.End = ev
 	r.cur.Finish = now
 	done := r.cur
+	r.thunkCap = len(done.Thunks)
+	// The graph retains every completed sub-computation, so a slice
+	// whose prediction badly overshot would pin its oversized backing
+	// array forever; copy-shrink before publishing. Branchless subs
+	// publish nil, exactly as they did before pre-sizing existed (the
+	// CPG JSON encodes nil as null, and drift checks byte-compare it).
+	if len(done.Thunks) == 0 {
+		done.Thunks = nil
+	} else if c := cap(done.Thunks); c > 16 && c > 4*len(done.Thunks) {
+		done.Thunks = append([]Thunk(nil), done.Thunks...)
+	}
 	if err := r.graph.add(done); err != nil {
 		return nil, err
 	}

@@ -135,12 +135,24 @@ func (im *Image) ByID(id SiteID) *Site {
 	return im.sites[id]
 }
 
+// AddrToID maps a synthetic instruction address to its SiteID. It is
+// the pure inverse of Site.Addr, shared by every address resolver (the
+// image's ByAddr, the PT decoder's lock-free site cache) so the address
+// scheme lives in one place.
+func AddrToID(addr uint64) (SiteID, bool) {
+	if addr < CodeBase || (addr-CodeBase)%SiteSpacing != 0 {
+		return NoSite, false
+	}
+	return SiteID((addr - CodeBase) / SiteSpacing), true
+}
+
 // ByAddr returns the site whose synthetic address is addr, or nil.
 func (im *Image) ByAddr(addr uint64) *Site {
-	if addr < CodeBase || (addr-CodeBase)%SiteSpacing != 0 {
+	id, ok := AddrToID(addr)
+	if !ok {
 		return nil
 	}
-	return im.ByID(SiteID((addr - CodeBase) / SiteSpacing))
+	return im.ByID(id)
 }
 
 // ByLabel returns the site registered under label, or nil.
@@ -179,27 +191,109 @@ type EdgeKey struct {
 	Taken bool
 }
 
-// EdgeTable is a per-trace control-flow-edge cache. Both the PT encoder
-// and decoder maintain one incrementally and identically, which is what
-// makes the compressed trace self-describing: a successor present in the
-// table is elided from the trace (a bare TNT bit suffices); a missing or
-// deviating successor is carried in-band by a FUP packet.
-type EdgeTable map[EdgeKey]SiteID
+// EdgeMap is the reference control-flow-edge table: a plain map from
+// (site, taken) to successor. The hot paths use the dense EdgeTable
+// below; the map form is retained as the executable specification, and
+// property tests (internal/pt, this package) assert the two never
+// diverge. A checked EdgeTable carries an EdgeMap shadow that
+// cross-validates every operation.
+type EdgeMap map[EdgeKey]SiteID
 
 // Lookup returns the recorded successor, if any.
-func (t EdgeTable) Lookup(site SiteID, taken bool) (SiteID, bool) {
-	id, ok := t[EdgeKey{Site: site, Taken: taken}]
+func (m EdgeMap) Lookup(site SiteID, taken bool) (SiteID, bool) {
+	id, ok := m[EdgeKey{Site: site, Taken: taken}]
 	return id, ok
 }
 
 // Record stores successor for (site, taken) and reports whether the entry
 // changed (was absent or held a different successor).
-func (t EdgeTable) Record(site SiteID, taken bool, succ SiteID) bool {
+func (m EdgeMap) Record(site SiteID, taken bool, succ SiteID) bool {
 	k := EdgeKey{Site: site, Taken: taken}
-	old, ok := t[k]
+	old, ok := m[k]
 	if ok && old == succ {
 		return false
 	}
-	t[k] = succ
+	m[k] = succ
 	return true
+}
+
+// EdgeTable is a per-trace control-flow-edge cache. Both the PT encoder
+// and decoder maintain one incrementally and identically, which is what
+// makes the compressed trace self-describing: a successor present in the
+// table is elided from the trace (a bare TNT bit suffices); a missing or
+// deviating successor is carried in-band by a FUP packet.
+//
+// Site IDs are dense (the Image allocates them sequentially), so the
+// table is a flat slice indexed by SiteID<<1|taken with NoSite marking
+// absent entries — every per-branch lookup is one bounds check and one
+// load, no hashing. The map-based EdgeMap remains the reference
+// implementation.
+type EdgeTable struct {
+	succ []SiteID
+	// ref, when non-nil, shadows every operation through the reference
+	// EdgeMap and panics on divergence. Property tests enable it; the
+	// production constructors leave it nil.
+	ref EdgeMap
+}
+
+// NewEdgeTable creates an empty dense edge table.
+func NewEdgeTable() *EdgeTable { return &EdgeTable{} }
+
+// NewCheckedEdgeTable creates an edge table that cross-validates every
+// Lookup/Record against the reference EdgeMap, for property tests.
+func NewCheckedEdgeTable() *EdgeTable { return &EdgeTable{ref: make(EdgeMap)} }
+
+// edgeIndex flattens (site, taken) into the dense index.
+func edgeIndex(site SiteID, taken bool) int {
+	idx := int(site) << 1
+	if taken {
+		idx |= 1
+	}
+	return idx
+}
+
+// Lookup returns the recorded successor, if any.
+func (t *EdgeTable) Lookup(site SiteID, taken bool) (SiteID, bool) {
+	var id SiteID
+	ok := false
+	if idx := edgeIndex(site, taken); idx < len(t.succ) && t.succ[idx] != NoSite {
+		id, ok = t.succ[idx], true
+	}
+	if t.ref != nil {
+		refID, refOK := t.ref.Lookup(site, taken)
+		if refID != id || refOK != ok {
+			panic(fmt.Sprintf("image: EdgeTable.Lookup(%d,%v) = (%d,%v), reference says (%d,%v)",
+				site, taken, id, ok, refID, refOK))
+		}
+	}
+	return id, ok
+}
+
+// Record stores successor for (site, taken) and reports whether the entry
+// changed (was absent or held a different successor).
+func (t *EdgeTable) Record(site SiteID, taken bool, succ SiteID) bool {
+	idx := edgeIndex(site, taken)
+	for len(t.succ) <= idx {
+		t.succ = append(t.succ, NoSite)
+	}
+	changed := t.succ[idx] != succ
+	t.succ[idx] = succ
+	if t.ref != nil {
+		if refChanged := t.ref.Record(site, taken, succ); refChanged != changed {
+			panic(fmt.Sprintf("image: EdgeTable.Record(%d,%v,%d) changed=%v, reference says %v",
+				site, taken, succ, changed, refChanged))
+		}
+	}
+	return changed
+}
+
+// Len returns the number of recorded edges.
+func (t *EdgeTable) Len() int {
+	n := 0
+	for _, s := range t.succ {
+		if s != NoSite {
+			n++
+		}
+	}
+	return n
 }

@@ -2,8 +2,10 @@ package image
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
+	"testing/quick"
 )
 
 func TestSiteRegistrationIdempotent(t *testing.T) {
@@ -137,7 +139,9 @@ func TestConcurrentRegistration(t *testing.T) {
 }
 
 func TestEdgeTable(t *testing.T) {
-	tbl := make(EdgeTable)
+	// Checked mode shadows the dense slice with the reference EdgeMap
+	// and panics on any divergence, so this exercises both.
+	tbl := NewCheckedEdgeTable()
 	if _, ok := tbl.Lookup(1, true); ok {
 		t.Error("empty table lookup succeeded")
 	}
@@ -160,6 +164,40 @@ func TestEdgeTable(t *testing.T) {
 	gotF, _ := tbl.Lookup(1, false)
 	if gotT != 3 || gotF != 9 {
 		t.Errorf("edges = %d/%d, want 3/9", gotT, gotF)
+	}
+	if tbl.Len() != 2 {
+		t.Errorf("Len = %d, want 2", tbl.Len())
+	}
+}
+
+// TestQuickEdgeTableMatchesMap drives random operation sequences through
+// the dense table and the reference map independently and requires
+// identical observable behaviour.
+func TestQuickEdgeTableMatchesMap(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dense := NewEdgeTable()
+		ref := make(EdgeMap)
+		for i := 0; i < 200; i++ {
+			site := SiteID(r.Intn(64))
+			taken := r.Intn(2) == 1
+			if r.Intn(3) == 0 {
+				succ := SiteID(r.Intn(64))
+				if dense.Record(site, taken, succ) != ref.Record(site, taken, succ) {
+					return false
+				}
+			} else {
+				dID, dOK := dense.Lookup(site, taken)
+				rID, rOK := ref.Lookup(site, taken)
+				if dOK != rOK || (dOK && dID != rID) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
 	}
 }
 

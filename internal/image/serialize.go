@@ -1,0 +1,86 @@
+package image
+
+// Image serialization: a line-oriented sidecar format so post-hoc
+// decoders (cmd/pt-dump -events) can reconstruct control flow from a
+// perf session file alone. The real toolchain reads the program binary
+// for this (§V-B: "access to executables and linked libraries"); the
+// synthetic image stands in for the binary, so it travels as a sidecar
+// next to the perfdata file.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// serializeHeader identifies and versions the sidecar format.
+const serializeHeader = "# inspector-image/v1"
+
+// WriteTo serializes the image as one "id<TAB>kind<TAB>label" line per
+// site, in ID order, implementing io.WriterTo.
+func (im *Image) WriteTo(w io.Writer) (int64, error) {
+	im.mu.RLock()
+	defer im.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	var total int64
+	n, err := fmt.Fprintln(bw, serializeHeader)
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	for _, s := range im.sites {
+		n, err := fmt.Fprintf(bw, "%d\t%d\t%s\n", s.ID, s.Kind, s.Label)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, bw.Flush()
+}
+
+// ReadImage reconstructs an image serialized by WriteTo. Site IDs are
+// dense and sequential, so reconstruction preserves every address.
+func ReadImage(r io.Reader) (*Image, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("image: empty sidecar")
+	}
+	if got := strings.TrimSpace(sc.Text()); got != serializeHeader {
+		return nil, fmt.Errorf("image: bad sidecar header %q", got)
+	}
+	im := New()
+	line := 1
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		parts := strings.SplitN(text, "\t", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("image: sidecar line %d: want id\\tkind\\tlabel", line)
+		}
+		id, err := strconv.ParseUint(parts[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("image: sidecar line %d: bad id: %w", line, err)
+		}
+		kind, err := strconv.ParseUint(parts[1], 10, 8)
+		if err != nil || (SiteKind(kind) != Conditional && SiteKind(kind) != Indirect) {
+			return nil, fmt.Errorf("image: sidecar line %d: bad kind %q", line, parts[1])
+		}
+		s, err := im.Site(parts[2], SiteKind(kind))
+		if err != nil {
+			return nil, fmt.Errorf("image: sidecar line %d: %w", line, err)
+		}
+		if uint64(s.ID) != id {
+			return nil, fmt.Errorf("image: sidecar line %d: id %d out of sequence (got %d)", line, id, s.ID)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("image: read sidecar: %w", err)
+	}
+	return im, nil
+}

@@ -1,0 +1,46 @@
+package image
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestImageSerializeRoundTrip(t *testing.T) {
+	im := New()
+	a := im.MustSite("loop.head", Conditional)
+	b := im.MustSite("dispatch", Indirect)
+	c := im.MustSite("odd label with spaces", Conditional)
+
+	var buf bytes.Buffer
+	if _, err := im.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadImage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != im.Len() {
+		t.Fatalf("Len = %d, want %d", got.Len(), im.Len())
+	}
+	for _, want := range []*Site{a, b, c} {
+		s := got.ByLabel(want.Label)
+		if s == nil || s.ID != want.ID || s.Kind != want.Kind || s.Addr() != want.Addr() {
+			t.Errorf("site %q = %+v, want %+v", want.Label, s, want)
+		}
+	}
+}
+
+func TestReadImageRejectsGarbage(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"not a header\n",
+		"# inspector-image/v1\nxyz\n",
+		"# inspector-image/v1\n5\t1\tskipped-id\n",
+		"# inspector-image/v1\n0\t9\tbad-kind\n",
+	} {
+		if _, err := ReadImage(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadImage(%q) accepted", in)
+		}
+	}
+}

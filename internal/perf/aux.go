@@ -82,6 +82,26 @@ func (b *AuxBuffer) Len() int {
 	return int(b.head - b.tail)
 }
 
+// copyIn copies p into the ring starting at absolute offset at, in at
+// most two straight copies (the span up to the wrap point, then the
+// remainder from the ring's start) instead of a byte-at-a-time modulo
+// loop. len(p) must not exceed the ring size.
+func (b *AuxBuffer) copyIn(at uint64, p []byte) {
+	off := int(at % uint64(len(b.data)))
+	n := copy(b.data[off:], p)
+	copy(b.data, p[n:])
+}
+
+// copyOut copies n ring bytes starting at absolute offset from into a
+// fresh slice, again in at most two straight copies.
+func (b *AuxBuffer) copyOut(from uint64, n int) []byte {
+	out := make([]byte, n)
+	off := int(from % uint64(len(b.data)))
+	m := copy(out, b.data[off:])
+	copy(out[m:], b.data[:n-m])
+	return out
+}
+
 // WriteTrace implements pt.ByteSink. In full-trace mode it accepts at most
 // the free space and reports how much was accepted; in snapshot mode it
 // accepts everything, advancing the window over the oldest bytes.
@@ -97,8 +117,11 @@ func (b *AuxBuffer) WriteTrace(p []byte) int {
 			n = int(free)
 		}
 	}
-	for i := 0; i < n; i++ {
-		b.data[(b.head+uint64(i))%size] = p[i]
+	if uint64(n) >= size {
+		// Only the newest ring-full of bytes survives; skip the rest.
+		b.copyIn(b.head+uint64(n)-size, p[uint64(n)-size:n])
+	} else {
+		b.copyIn(b.head, p[:n])
 	}
 	b.head += uint64(n)
 	if b.mode == ModeSnapshot && b.head-b.tail > size {
@@ -116,11 +139,7 @@ func (b *AuxBuffer) Read(max int) []byte {
 	if max >= 0 && avail > max {
 		avail = max
 	}
-	out := make([]byte, avail)
-	size := uint64(len(b.data))
-	for i := 0; i < avail; i++ {
-		out[i] = b.data[(b.tail+uint64(i))%size]
-	}
+	out := b.copyOut(b.tail, avail)
 	b.tail += uint64(avail)
 	return out
 }
@@ -136,10 +155,5 @@ func (b *AuxBuffer) SnapshotWindow() []byte {
 	if b.head-start > size {
 		start = b.head - size
 	}
-	n := int(b.head - start)
-	out := make([]byte, n)
-	for i := 0; i < n; i++ {
-		out[i] = b.data[(start+uint64(i))%size]
-	}
-	return out
+	return b.copyOut(start, int(b.head-start))
 }

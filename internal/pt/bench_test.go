@@ -1,0 +1,54 @@
+package pt_test
+
+// Benchmark suite for the branch-trace pipeline hot loop. The scenario
+// bodies live in internal/pt/ptbench — shared verbatim with
+// `inspector-bench -experiment pt` — so `go test -bench` and the
+// committed BENCH_pt.json snapshot (see ROADMAP.md for the regeneration
+// convention) always measure the same thing. This file only maps the
+// shared cases onto go-test benchmark names.
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/repro/inspector/internal/pt/ptbench"
+)
+
+// benchCase finds the shared scenario by its snapshot row name.
+func benchCase(b *testing.B, name string) ptbench.Case {
+	b.Helper()
+	for _, c := range ptbench.Cases() {
+		if c.Name == name {
+			return c
+		}
+	}
+	b.Fatalf("no shared scenario %q", name)
+	return ptbench.Case{}
+}
+
+// BenchmarkEncode measures the per-branch encode cost in the steady
+// state where every outcome resolves to a known CFG edge (the pure-TNT
+// path every hot loop iteration takes), plus the indirect TIP path.
+func BenchmarkEncode(b *testing.B) {
+	for _, c := range ptbench.Cases() {
+		if sub, ok := strings.CutPrefix(c.Name, "Encode/"); ok {
+			b.Run(sub, c.Fn)
+		}
+	}
+}
+
+// BenchmarkDecode measures whole-stream decode throughput over a
+// pre-encoded trace of predominantly-TNT branches.
+func BenchmarkDecode(b *testing.B) {
+	c := benchCase(b, "Decode")
+	b.SetBytes(c.Bytes)
+	c.Fn(b)
+}
+
+// BenchmarkRoundTrip measures the steady-state cost of one branch
+// through the full pipeline: encode into the sink, decode the chunk
+// back into an event — the per-branch number the acceptance gate
+// tracks.
+func BenchmarkRoundTrip(b *testing.B) {
+	benchCase(b, "RoundTrip").Fn(b)
+}

@@ -1,6 +1,7 @@
 package pt
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -42,17 +43,37 @@ func (ev Event) String() string {
 // incremental edge table as the Encoder, so the compressed stream is
 // sufficient: TNT bits resolve through the table, deviations arrive as
 // FUPs, indirect targets as TIPs.
+//
+// The per-branch loop is engineered flat: TNT bits queue in a packed
+// word (one shift per bit), the packet at the cursor is decoded at most
+// once (peek caches it for the following consume), CFG successors
+// resolve through the dense edge table plus a site-pointer cache that
+// bypasses the image's lock, and resynchronization scans with
+// bytes.IndexByte instead of a byte-at-a-time loop.
 type Decoder struct {
 	im   *image.Image
 	data []byte
 	pos  int
 
 	lastIP uint64
-	edges  image.EdgeTable
-	bitq   []bool
-	cur    *image.Site
-	in     bool
-	done   bool
+	edges  *image.EdgeTable
+	// bitq packs undecoded TNT bits, oldest at bit bitn-1 — consuming a
+	// bit is a shift, never a slice move. TNT packets are only pulled
+	// when the queue is empty, so one packet's payload (≤47 bits)
+	// always fits.
+	bitq uint64
+	bitn int
+	// pk caches the packet decoded by peek so the following consume
+	// does not decode it a second time.
+	pk      Packet
+	pkIP    uint64
+	pkValid bool
+	// sites caches SiteID -> *Site resolutions so the steady-state path
+	// never takes the image's lock.
+	sites []*image.Site
+	cur   *image.Site
+	in    bool
+	done  bool
 
 	// Gaps counts lost-data regions skipped by PSB resynchronization.
 	Gaps int
@@ -66,41 +87,89 @@ var ErrDesync = errors.New("pt: decoder desynchronized")
 
 // NewDecoder creates a decoder over a complete trace buffer.
 func NewDecoder(im *image.Image, data []byte) *Decoder {
-	return &Decoder{im: im, data: data, edges: make(image.EdgeTable)}
+	return &Decoder{im: im, data: data, edges: image.NewEdgeTable()}
 }
 
-// peek decodes the packet at the cursor without consuming it.
+// Reset points the decoder at the next chunk of the same logical packet
+// stream, keeping all reconstruction state (edge table, last-IP, current
+// site, queued TNT bits) — the AUX-ring drain cycle decodes chunk by
+// chunk through this without ever materializing the full trace.
+func (d *Decoder) Reset(data []byte) {
+	d.data = data
+	d.pos = 0
+	d.done = false
+	d.pkValid = false
+}
+
+// Pos returns the cursor's byte offset into the current chunk. Streaming
+// consumers use it as a progress measure: a decoder returning errors
+// without advancing Pos will never advance.
+func (d *Decoder) Pos() int { return d.pos }
+
+// peek decodes the packet at the cursor without consuming it. The
+// decoded packet is cached; the next consume reuses it.
 func (d *Decoder) peek() (Packet, error) {
-	if d.pos >= len(d.data) {
-		return Packet{}, io.ErrUnexpectedEOF
+	if d.pkValid {
+		return d.pk, nil
 	}
-	p, _, err := DecodePacket(d.data[d.pos:], d.lastIP)
-	return p, err
-}
-
-// consume advances past the packet at the cursor, updating lastIP.
-func (d *Decoder) consume() (Packet, error) {
 	if d.pos >= len(d.data) {
 		return Packet{}, io.ErrUnexpectedEOF
 	}
 	p, ip, err := DecodePacket(d.data[d.pos:], d.lastIP)
 	if err != nil {
-		return Packet{}, err
+		return p, err
 	}
-	d.lastIP = ip
+	d.pk, d.pkIP, d.pkValid = p, ip, true
+	return p, nil
+}
+
+// consume advances past the packet at the cursor, updating lastIP. A
+// packet already decoded by peek is not decoded again.
+func (d *Decoder) consume() (Packet, error) {
+	if !d.pkValid {
+		if d.pos >= len(d.data) {
+			return Packet{}, io.ErrUnexpectedEOF
+		}
+		p, ip, err := DecodePacket(d.data[d.pos:], d.lastIP)
+		if err != nil {
+			return Packet{}, err
+		}
+		d.pk, d.pkIP = p, ip
+	}
+	p := d.pk
+	d.lastIP = d.pkIP
 	d.pos += p.Len
+	d.pkValid = false
 	if p.Type == PktTSC {
 		d.LastTSC = p.TSC
 	}
 	return p, nil
 }
 
+// psbPattern is the full 16-byte PSB synchronization sequence.
+var psbPattern = func() [psbLen]byte {
+	var p [psbLen]byte
+	for i := 0; i < psbLen; i += 2 {
+		p[i], p[i+1] = opExt, extPSB
+	}
+	return p
+}()
+
 // resync scans forward for the next PSB boundary after data loss, then
 // re-anchors from the bundle's FUP. Returns io.EOF if no PSB remains.
 func (d *Decoder) resync() error {
 	d.Gaps++
-	d.bitq = d.bitq[:0]
+	d.bitq, d.bitn = 0, 0
+	d.pkValid = false
+	// Candidate PSBs start with the escape byte; let bytes.IndexByte
+	// (vectorized) skip the stretches in between instead of walking
+	// byte-at-a-time.
 	for d.pos+psbLen <= len(d.data) {
+		i := bytes.IndexByte(d.data[d.pos:len(d.data)-psbLen+1], opExt)
+		if i < 0 {
+			break
+		}
+		d.pos += i
 		if d.isPSBAt(d.pos) {
 			d.lastIP = 0
 			return nil
@@ -113,12 +182,7 @@ func (d *Decoder) resync() error {
 
 // isPSBAt reports whether a full PSB pattern starts at offset off.
 func (d *Decoder) isPSBAt(off int) bool {
-	for i := 0; i < psbLen; i += 2 {
-		if d.data[off+i] != opExt || d.data[off+i+1] != extPSB {
-			return false
-		}
-	}
-	return true
+	return bytes.Equal(d.data[off:off+psbLen], psbPattern[:])
 }
 
 // handlePSBBundle consumes TSC/FUP/PSBEND following a PSB, re-anchoring
@@ -133,7 +197,7 @@ func (d *Decoder) handlePSBBundle() error {
 		case PktTSC, PktPAD:
 			// informational
 		case PktFUP:
-			s := d.im.ByAddr(p.IP)
+			s := d.siteAt(p.IP)
 			if s == nil {
 				return fmt.Errorf("%w: PSB FUP to unknown address %#x", ErrDesync, p.IP)
 			}
@@ -184,28 +248,56 @@ func (d *Decoder) nextMeaningful() (Packet, error) {
 // nextBit returns the next TNT bit, pulling TNT packets as needed.
 // A TIP.PGD encountered while waiting for bits ends the trace.
 func (d *Decoder) nextBit() (bool, bool, error) {
-	for len(d.bitq) == 0 {
+	for d.bitn == 0 {
 		p, err := d.nextMeaningful()
 		if err != nil {
 			return false, false, err
 		}
 		switch p.Type {
 		case PktTNT:
-			d.bitq = append(d.bitq, p.TNTBits...)
+			d.bitq, d.bitn = p.TNT, p.TNTLen
 		case PktTIPPGD:
 			return false, true, nil
 		default:
 			return false, false, fmt.Errorf("%w: wanted TNT, got %v", ErrDesync, p.Type)
 		}
 	}
-	b := d.bitq[0]
-	d.bitq = d.bitq[:copy(d.bitq, d.bitq[1:])]
-	return b, false, nil
+	d.bitn--
+	return d.bitq>>uint(d.bitn)&1 == 1, false, nil
 }
 
-// siteAt resolves an IP to a site or reports desync.
-func (d *Decoder) siteAt(ip uint64) (*image.Site, error) {
-	s := d.im.ByAddr(ip)
+// siteByID resolves a SiteID through the decoder's lock-free cache,
+// falling back to the image on a miss.
+func (d *Decoder) siteByID(id image.SiteID) *image.Site {
+	if int(id) < len(d.sites) {
+		if s := d.sites[id]; s != nil {
+			return s
+		}
+	}
+	s := d.im.ByID(id)
+	if s == nil {
+		return nil
+	}
+	for len(d.sites) <= int(id) {
+		d.sites = append(d.sites, nil)
+	}
+	d.sites[id] = s
+	return s
+}
+
+// siteAt resolves an IP to a site through the cache (synthetic addresses
+// map to IDs arithmetically), or nil.
+func (d *Decoder) siteAt(ip uint64) *image.Site {
+	id, ok := image.AddrToID(ip)
+	if !ok {
+		return nil
+	}
+	return d.siteByID(id)
+}
+
+// siteAtErr is siteAt with the desync error attached.
+func (d *Decoder) siteAtErr(ip uint64) (*image.Site, error) {
+	s := d.siteAt(ip)
 	if s == nil {
 		return nil, fmt.Errorf("%w: no site at %#x", ErrDesync, ip)
 	}
@@ -222,14 +314,13 @@ func (d *Decoder) Next() (Event, error) {
 	for !d.in {
 		p, err := d.nextMeaningful()
 		if err != nil {
-			if errors.Is(err, io.ErrUnexpectedEOF) {
-				d.done = true
-				return Event{}, io.EOF
+			if derr := d.maybeResyncAfter(err); derr != nil {
+				return Event{}, derr
 			}
 			return Event{}, err
 		}
 		if p.Type == PktTIPPGE {
-			s, err := d.siteAt(p.IP)
+			s, err := d.siteAtErr(p.IP)
 			if err != nil {
 				return Event{}, err
 			}
@@ -265,6 +356,13 @@ func (d *Decoder) Next() (Event, error) {
 	case image.Indirect:
 		p, err := d.nextMeaningful()
 		if err != nil {
+			// Same error discipline as the conditional path: clean
+			// truncation at an indirect site ends the trace (io.EOF)
+			// instead of returning a non-advancing error forever, and a
+			// desync schedules a resync for the next call.
+			if derr := d.maybeResyncAfter(err); derr != nil {
+				return Event{}, derr
+			}
 			return Event{}, err
 		}
 		switch p.Type {
@@ -272,7 +370,7 @@ func (d *Decoder) Next() (Event, error) {
 			d.done = true
 			return Event{}, io.EOF
 		case PktTIP:
-			tgt, err := d.siteAt(p.IP)
+			tgt, err := d.siteAtErr(p.IP)
 			if err != nil {
 				return Event{}, err
 			}
@@ -280,7 +378,11 @@ func (d *Decoder) Next() (Event, error) {
 			d.cur = tgt
 			return ev, nil
 		default:
-			return Event{}, fmt.Errorf("%w: wanted TIP at indirect site %s, got %v", ErrDesync, d.cur.Label, p.Type)
+			err := fmt.Errorf("%w: wanted TIP at indirect site %s, got %v", ErrDesync, d.cur.Label, p.Type)
+			if derr := d.maybeResyncAfter(err); derr != nil {
+				return Event{}, derr
+			}
+			return Event{}, err
 		}
 
 	default:
@@ -290,14 +392,16 @@ func (d *Decoder) Next() (Event, error) {
 
 // condSuccessor resolves the successor of the conditional branch just
 // decoded: a FUP immediately following a drained TNT queue binds a new or
-// deviating edge; otherwise the edge table must already hold it.
+// deviating edge; otherwise the edge table must already hold it. The
+// peeked packet stays cached, so the FUP probe costs no extra decode
+// when the next packet turns out to be a TNT.
 func (d *Decoder) condSuccessor(taken bool) (*image.Site, error) {
-	if len(d.bitq) == 0 {
+	if d.bitn == 0 {
 		if p, err := d.peek(); err == nil && p.Type == PktFUP {
 			if _, err := d.consume(); err != nil {
 				return nil, err
 			}
-			s, err := d.siteAt(p.IP)
+			s, err := d.siteAtErr(p.IP)
 			if err != nil {
 				return nil, err
 			}
@@ -309,7 +413,7 @@ func (d *Decoder) condSuccessor(taken bool) (*image.Site, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: no edge for %s taken=%v", ErrDesync, d.cur.Label, taken)
 	}
-	s := d.im.ByID(id)
+	s := d.siteByID(id)
 	if s == nil {
 		return nil, fmt.Errorf("%w: edge to unknown site %d", ErrDesync, id)
 	}
@@ -324,6 +428,13 @@ func (d *Decoder) maybeResyncAfter(err error) error {
 		if errors.Is(err, io.ErrUnexpectedEOF) {
 			d.done = true
 			return io.EOF
+		}
+		if errors.Is(err, ErrTruncated) {
+			// A truncated packet can only sit at the buffer's tail
+			// (DecodePacket lengths are self-describing), so the chunk
+			// is exhausted: surface the error once, then EOF — never
+			// the same non-advancing error forever.
+			d.done = true
 		}
 		return nil
 	}

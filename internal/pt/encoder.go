@@ -66,10 +66,13 @@ const DefaultPSBPeriod = 4096
 // the perf cgroup filter).
 type Encoder struct {
 	sink   ByteSink
-	edges  image.EdgeTable
+	edges  *image.EdgeTable
 	lastIP uint64
 
-	bits  []bool
+	// bits packs the pending TNT outcomes, oldest at bit nbits-1 — the
+	// same layout as the wire payload, so flushing is a mask and an OR.
+	bits  uint64
+	nbits int
 	buf   []byte
 	stats Stats
 
@@ -88,8 +91,8 @@ func NewEncoder(sink ByteSink, opts EncoderOptions) *Encoder {
 	}
 	return &Encoder{
 		sink:      sink,
-		edges:     make(image.EdgeTable),
-		bits:      make([]bool, 0, maxShortBits),
+		edges:     image.NewEdgeTable(),
+		buf:       make([]byte, 0, 64),
 		psbPeriod: period,
 		tsc:       opts.TSC,
 	}
@@ -97,6 +100,11 @@ func NewEncoder(sink ByteSink, opts EncoderOptions) *Encoder {
 
 // Stats returns a copy of the output statistics.
 func (e *Encoder) Stats() Stats { return e.stats }
+
+// BytesWritten returns the bytes accepted by the sink so far — the one
+// Stats field the per-branch accounting path reads, accessor-ized so
+// callers need not copy the whole struct every branch.
+func (e *Encoder) BytesWritten() uint64 { return e.stats.Bytes }
 
 // emit sends buffered packet bytes to the sink, accounting loss.
 func (e *Encoder) emit() {
@@ -116,15 +124,19 @@ func (e *Encoder) emit() {
 	e.buf = e.buf[:0]
 }
 
-// flushTNT packs pending TNT bits into packets.
+// flushTNT packs pending TNT bits into packets. The pending word never
+// exceeds maxShortBits in the branch path (CondBranch flushes at the
+// short-packet boundary), but the loop handles any count up to 64 by
+// emitting oldest-first chunks, mirroring the wire layout exactly.
 func (e *Encoder) flushTNT() {
-	for len(e.bits) > 0 {
-		n := len(e.bits)
+	for e.nbits > 0 {
+		n := e.nbits
 		if n > maxLongBits {
 			n = maxLongBits
 		}
+		chunk := e.bits >> uint(e.nbits-n) // oldest n bits
 		var err error
-		e.buf, err = appendTNT(e.buf, e.bits[:n])
+		e.buf, err = appendTNT(e.buf, chunk, n)
 		if err != nil {
 			// Unreachable: n is clamped to maxLongBits.
 			panic(err)
@@ -132,7 +144,8 @@ func (e *Encoder) flushTNT() {
 		e.stats.TNTPackets++
 		e.stats.TNTBits += uint64(n)
 		e.stats.Packets++
-		e.bits = e.bits[:copy(e.bits, e.bits[n:])]
+		e.nbits -= n
+		e.bits &= 1<<uint(e.nbits) - 1
 	}
 }
 
@@ -181,9 +194,13 @@ func (e *Encoder) CondBranch(s *image.Site, taken bool, next *image.Site) {
 	}
 	e.maybePSB(s)
 	e.stats.Branches++
-	e.bits = append(e.bits, taken)
+	e.bits <<= 1
+	if taken {
+		e.bits |= 1
+	}
+	e.nbits++
 	if succ, ok := e.edges.Lookup(s.ID, taken); ok && succ == next.ID {
-		if len(e.bits) >= maxShortBits {
+		if e.nbits >= maxShortBits {
 			e.flushTNT()
 			e.emit()
 		}
@@ -212,6 +229,15 @@ func (e *Encoder) IndirectBranch(s *image.Site, target *image.Site) {
 	e.buf, e.lastIP = appendIPPacket(e.buf, tipSubTIP, target.Addr(), e.lastIP)
 	e.stats.Packets++
 	e.stats.TIPs++
+	e.emit()
+}
+
+// Flush packs any pending TNT bits into packets and pushes buffered
+// bytes to the sink without closing the trace. The AUX-ring consumer
+// uses it to force a packet boundary before draining (snapshot capture,
+// chunked decode); the per-branch path never calls it.
+func (e *Encoder) Flush() {
+	e.flushTNT()
 	e.emit()
 }
 

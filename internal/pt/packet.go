@@ -29,6 +29,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	mathbits "math/bits"
 )
 
 // PacketType enumerates the packet kinds this model generates.
@@ -82,12 +83,36 @@ type Packet struct {
 	// IP is the reconstructed instruction pointer for TIP/FUP family
 	// packets (after last-IP decompression).
 	IP uint64
-	// TNTBits holds taken/not-taken bits, oldest first, for TNT packets.
-	TNTBits []bool
+	// TNT packs the taken/not-taken payload of TNT packets: the oldest
+	// bit sits at position TNTLen-1, the newest at bit 0 — exactly the
+	// wire payload below the stop bit. Decoding a packet never
+	// materializes a []bool; consumers shift bits out of this word.
+	TNT uint64
+	// TNTLen is the number of valid bits in TNT.
+	TNTLen int
 	// TSC is the timestamp payload for TSC packets.
 	TSC uint64
 	// Len is the encoded length in bytes.
 	Len int
+}
+
+// TNTBit returns TNT bit i, oldest first.
+func (p Packet) TNTBit(i int) bool {
+	return p.TNT>>uint(p.TNTLen-1-i)&1 == 1
+}
+
+// TNTBits materializes the packed TNT payload as a []bool, oldest
+// first — the reference representation, used by dump tooling and tests;
+// hot paths consume TNT/TNTLen directly.
+func (p Packet) TNTBits() []bool {
+	if p.TNTLen == 0 {
+		return nil
+	}
+	bits := make([]bool, p.TNTLen)
+	for i := range bits {
+		bits[i] = p.TNTBit(i)
+	}
+	return bits
 }
 
 // Opcode bytes and TIP-family sub-opcodes.
@@ -183,49 +208,79 @@ func ipDecompress(code byte, payload []byte, lastIP uint64) uint64 {
 }
 
 // appendIPPacket appends a TIP-family packet for target to dst and returns
-// the extended buffer plus the new lastIP.
+// the extended buffer plus the new lastIP. The payload bytes are appended
+// in place — no intermediate slice — so the per-branch emit path stays
+// allocation-free; ipCompress remains the reference form.
 func appendIPPacket(dst []byte, sub byte, target, lastIP uint64) ([]byte, uint64) {
-	code, payload := ipCompress(target, lastIP)
-	dst = append(dst, code<<5|sub)
-	dst = append(dst, payload...)
+	switch {
+	case target == lastIP:
+		dst = append(dst, 0<<5|sub)
+	case target>>16 == lastIP>>16:
+		dst = append(dst, 1<<5|sub, byte(target), byte(target>>8))
+	case target>>32 == lastIP>>32:
+		dst = append(dst, 2<<5|sub,
+			byte(target), byte(target>>8), byte(target>>16), byte(target>>24))
+	case target>>48 == lastIP>>48:
+		dst = append(dst, 3<<5|sub,
+			byte(target), byte(target>>8), byte(target>>16), byte(target>>24),
+			byte(target>>32), byte(target>>40))
+	default:
+		dst = append(dst, 6<<5|sub,
+			byte(target), byte(target>>8), byte(target>>16), byte(target>>24),
+			byte(target>>32), byte(target>>40), byte(target>>48), byte(target>>56))
+	}
 	return dst, target
 }
 
-// appendTNT appends a TNT packet carrying bits (oldest first). It chooses
-// the short form when bits fit in one byte. Returns an error if more than
-// maxLongBits are supplied.
-func appendTNT(dst []byte, bits []bool) ([]byte, error) {
-	n := len(bits)
+// appendTNT appends a TNT packet carrying the n oldest-first bits packed
+// in v (oldest at bit n-1). It chooses the short form when the bits fit
+// in one byte. Returns an error if more than maxLongBits are supplied.
+func appendTNT(dst []byte, v uint64, n int) ([]byte, error) {
 	if n == 0 {
 		return dst, nil
 	}
 	if n > maxLongBits {
 		return dst, ErrTooMany
 	}
-	var v uint64 = 1 // stop bit
+	w := v | 1<<uint(n) // stop bit above the oldest payload bit
+	if n <= maxShortBits {
+		return append(dst, byte(w<<1)), nil
+	}
+	dst = append(dst, opExt, extLongTNT,
+		byte(w), byte(w>>8), byte(w>>16), byte(w>>24), byte(w>>32), byte(w>>40))
+	return dst, nil
+}
+
+// appendTNTBools is the reference []bool form of appendTNT, retained for
+// the representation-equivalence property tests.
+func appendTNTBools(dst []byte, bits []bool) ([]byte, error) {
+	var v uint64
 	for _, b := range bits {
 		v <<= 1
 		if b {
 			v |= 1
 		}
 	}
-	if n <= maxShortBits {
-		return append(dst, byte(v<<1)), nil
-	}
-	dst = append(dst, opExt, extLongTNT)
-	var p [6]byte
-	for i := 0; i < 6; i++ {
-		p[i] = byte(v >> (8 * i))
-	}
-	return append(dst, p[:]...), nil
+	return appendTNT(dst, v, len(bits))
 }
 
-// tntBits extracts TNT bits (oldest first) from the packed payload value.
-func tntBits(v uint64) []bool {
+// tntUnpack splits the wire payload value (stop bit above oldest) into
+// the packed bits and their count.
+func tntUnpack(v uint64) (bits uint64, n int) {
+	top := mathbits.Len64(v) - 1 // stop-bit position
+	if top < 0 {
+		return 0, 0
+	}
+	return v &^ (1 << uint(top)), top
+}
+
+// tntBitsRef extracts TNT bits (oldest first) from the packed payload
+// value as a []bool — the reference decoder form, used by property tests
+// to pin the packed representation.
+func tntBitsRef(v uint64) []bool {
 	if v == 0 {
 		return nil
 	}
-	// Find stop bit (highest set bit); bits below it are the payload.
 	top := 63
 	for top > 0 && v>>(uint(top))&1 == 0 {
 		top--
@@ -301,7 +356,8 @@ func DecodePacket(buf []byte, lastIP uint64) (Packet, uint64, error) {
 			for i := 0; i < 6; i++ {
 				v |= uint64(buf[2+i]) << (8 * i)
 			}
-			return Packet{Type: PktTNT, TNTBits: tntBits(v), Len: longTNTLen}, lastIP, nil
+			bits, n := tntUnpack(v)
+			return Packet{Type: PktTNT, TNT: bits, TNTLen: n, Len: longTNTLen}, lastIP, nil
 		default:
 			return Packet{}, lastIP, fmt.Errorf("%w: ext opcode %#x", ErrBadPacket, buf[1])
 		}
@@ -311,7 +367,8 @@ func DecodePacket(buf []byte, lastIP uint64) (Packet, uint64, error) {
 		if v == 0 {
 			return Packet{}, lastIP, fmt.Errorf("%w: empty short TNT", ErrBadPacket)
 		}
-		return Packet{Type: PktTNT, TNTBits: tntBits(v), Len: 1}, lastIP, nil
+		bits, n := tntUnpack(v)
+		return Packet{Type: PktTNT, TNT: bits, TNTLen: n, Len: 1}, lastIP, nil
 	default:
 		sub := b0 & tipSubMask
 		var typ PacketType

@@ -1,6 +1,7 @@
 package pt
 
 import (
+	"bytes"
 	"errors"
 	"math/rand"
 	"testing"
@@ -58,9 +59,9 @@ func TestTNTEncodingRoundTrip(t *testing.T) {
 		cases[5][i] = i%3 == 0
 	}
 	for _, bits := range cases {
-		buf, err := appendTNT(nil, bits)
+		buf, err := appendTNTBools(nil, bits)
 		if err != nil {
-			t.Fatalf("appendTNT(%v): %v", bits, err)
+			t.Fatalf("appendTNTBools(%v): %v", bits, err)
 		}
 		p, _, err := DecodePacket(buf, 0)
 		if err != nil {
@@ -69,12 +70,16 @@ func TestTNTEncodingRoundTrip(t *testing.T) {
 		if p.Type != PktTNT {
 			t.Fatalf("type = %v", p.Type)
 		}
-		if len(p.TNTBits) != len(bits) {
-			t.Fatalf("got %d bits, want %d", len(p.TNTBits), len(bits))
+		got := p.TNTBits()
+		if len(got) != len(bits) {
+			t.Fatalf("got %d bits, want %d", len(got), len(bits))
 		}
 		for j := range bits {
-			if p.TNTBits[j] != bits[j] {
-				t.Errorf("bit %d = %v, want %v", j, p.TNTBits[j], bits[j])
+			if got[j] != bits[j] {
+				t.Errorf("bit %d = %v, want %v", j, got[j], bits[j])
+			}
+			if p.TNTBit(j) != bits[j] {
+				t.Errorf("TNTBit(%d) = %v, want %v", j, p.TNTBit(j), bits[j])
 			}
 		}
 		if len(bits) <= 6 && len(buf) != 1 {
@@ -84,13 +89,13 @@ func TestTNTEncodingRoundTrip(t *testing.T) {
 }
 
 func TestTNTTooManyBits(t *testing.T) {
-	if _, err := appendTNT(nil, make([]bool, 48)); !errors.Is(err, ErrTooMany) {
+	if _, err := appendTNTBools(nil, make([]bool, 48)); !errors.Is(err, ErrTooMany) {
 		t.Errorf("48 bits: err = %v", err)
 	}
 }
 
 func TestTNTEmptyIsNoop(t *testing.T) {
-	buf, err := appendTNT([]byte{0xAA}, nil)
+	buf, err := appendTNTBools([]byte{0xAA}, nil)
 	if err != nil || len(buf) != 1 {
 		t.Errorf("empty TNT: buf=%v err=%v", buf, err)
 	}
@@ -101,25 +106,90 @@ func TestQuickTNTRoundTrip(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		n := int(n8%47) + 1
 		bits := make([]bool, n)
+		var packed uint64
 		for i := range bits {
 			bits[i] = r.Intn(2) == 1
+			packed <<= 1
+			if bits[i] {
+				packed |= 1
+			}
 		}
-		buf, err := appendTNT(nil, bits)
+		buf, err := appendTNTBools(nil, bits)
 		if err != nil {
 			return false
 		}
+		// The packed form must produce byte-identical wire output.
+		buf2, err := appendTNT(nil, packed, n)
+		if err != nil || !bytes.Equal(buf, buf2) {
+			return false
+		}
 		p, _, err := DecodePacket(buf, 0)
-		if err != nil || p.Type != PktTNT || len(p.TNTBits) != n {
+		if err != nil || p.Type != PktTNT || p.TNTLen != n {
 			return false
 		}
 		for i := range bits {
-			if p.TNTBits[i] != bits[i] {
+			if p.TNTBit(i) != bits[i] {
 				return false
 			}
 		}
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTNTPackedMatchesReference pins the packed extraction against
+// the retained []bool reference decoder for every possible payload value.
+func TestQuickTNTPackedMatchesReference(t *testing.T) {
+	f := func(v uint64) bool {
+		v &= 1<<48 - 1 // long TNT payloads carry at most 47 bits + stop
+		ref := tntBitsRef(v)
+		bits, n := tntUnpack(v)
+		if n != len(ref) {
+			return false
+		}
+		p := Packet{Type: PktTNT, TNT: bits, TNTLen: n}
+		for i, b := range ref {
+			if p.TNTBit(i) != b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickIPPacketMatchesReference pins the in-place IP packet append
+// against the allocating ipCompress reference. Independent random pairs
+// would almost never share high bits, so each trial also derives lastIP
+// values from the target by perturbing only the bits below each
+// compression boundary — every 0/2/4/6/8-byte branch is exercised every
+// run.
+func TestQuickIPPacketMatchesReference(t *testing.T) {
+	check := func(target, last uint64) bool {
+		code, payload := ipCompress(target, last)
+		want := append([]byte{code<<5 | tipSubTIP}, payload...)
+		got, newIP := appendIPPacket(nil, tipSubTIP, target, last)
+		return newIP == target && bytes.Equal(got, want)
+	}
+	f := func(target, perturb uint64) bool {
+		for _, last := range []uint64{
+			target,                            // code 0: unchanged
+			target ^ perturb&0xFFFF,           // code 1: low 16 differ
+			target ^ perturb&0xFFFF_FFFF,      // code 2: low 32 differ
+			target ^ perturb&0xFFFF_FFFF_FFFF, // code 3: low 48 differ
+			perturb,                           // code 6: anything
+		} {
+			if !check(target, last) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
 	}
 }

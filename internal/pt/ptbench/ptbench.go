@@ -1,0 +1,202 @@
+// Package ptbench is the shared branch-trace benchmark harness: one set
+// of scenario bodies consumed both by internal/pt's go-test suite and by
+// `inspector-bench -experiment pt`, so the committed BENCH_pt.json
+// snapshot measures exactly what `go test -bench` measures and the two
+// can never drift apart. Everything drives the public pt API only, so
+// the same scenarios remain valid across encoder/decoder rewrites.
+package ptbench
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"github.com/repro/inspector/internal/image"
+	"github.com/repro/inspector/internal/pt"
+)
+
+// Sink is an appending ByteSink whose buffer the scenarios reuse.
+type Sink struct{ Data []byte }
+
+// WriteTrace implements pt.ByteSink.
+func (s *Sink) WriteTrace(b []byte) int {
+	s.Data = append(s.Data, b...)
+	return len(b)
+}
+
+// Chain registers n conditional sites forming a ring.
+func Chain(im *image.Image, n int) []*image.Site {
+	sites := make([]*image.Site, n)
+	for i := range sites {
+		sites[i] = im.MustSite("bench.c"+string(rune('a'+i)), image.Conditional)
+	}
+	return sites
+}
+
+// Branch drives branch i of the steady-state pattern: site i%len,
+// outcome flipping every full lap, successor always the next site. Each
+// (site, outcome) pair maps to one stable successor, so after the first
+// two laps every branch costs exactly one TNT bit.
+func Branch(enc *pt.Encoder, sites []*image.Site, i int) {
+	n := len(sites)
+	enc.CondBranch(sites[i%n], (i/n)%2 == 0, sites[(i+1)%n])
+}
+
+// Prime warms both edge outcomes of every site and flushes.
+func Prime(enc *pt.Encoder, sites []*image.Site) int {
+	n := 2 * len(sites)
+	for i := 0; i < n; i++ {
+		Branch(enc, sites, i)
+	}
+	enc.Flush()
+	return n
+}
+
+// Drain decodes everything remaining in the decoder, returning the
+// event count.
+func Drain(dec *pt.Decoder) (int, error) {
+	n := 0
+	for {
+		_, err := dec.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return n, nil
+			}
+			return n, err
+		}
+		n++
+	}
+}
+
+// Case is one benchmark scenario.
+type Case struct {
+	// Name follows the BENCH_pt.json row naming ("Encode/tnt", ...).
+	Name string
+	// Bytes, when non-zero, is the payload size per op for MB/s.
+	Bytes int64
+	Fn    func(b *testing.B)
+}
+
+// Cases returns the branch-trace scenarios: per-branch encode cost in
+// the steady state (pure-TNT and indirect), whole-stream decode
+// throughput, and the per-branch full-pipeline round trip the
+// acceptance gate tracks.
+func Cases() []Case {
+	var cases []Case
+
+	cases = append(cases, Case{
+		Name: "Encode/tnt",
+		Fn: func(b *testing.B) {
+			im := image.New()
+			sites := Chain(im, 8)
+			sink := &Sink{Data: make([]byte, 0, 1<<20)}
+			enc := pt.NewEncoder(sink, pt.EncoderOptions{})
+			base := Prime(enc, sites)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Branch(enc, sites, base+i)
+				if len(sink.Data) > 1<<20 {
+					sink.Data = sink.Data[:0]
+				}
+			}
+		},
+	})
+
+	cases = append(cases, Case{
+		Name: "Encode/indirect",
+		Fn: func(b *testing.B) {
+			im := image.New()
+			s1 := im.MustSite("bench.ind.a", image.Indirect)
+			s2 := im.MustSite("bench.ind.b", image.Indirect)
+			sink := &Sink{Data: make([]byte, 0, 1<<20)}
+			enc := pt.NewEncoder(sink, pt.EncoderOptions{})
+			enc.IndirectBranch(s1, s2)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				enc.IndirectBranch(s1, s2)
+				if len(sink.Data) > 1<<20 {
+					sink.Data = sink.Data[:0]
+				}
+			}
+		},
+	})
+
+	// Decode: a pre-encoded stream of predominantly-TNT branches.
+	const decodeBranches = 60000
+	{
+		im := image.New()
+		sites := Chain(im, 8)
+		sink := &Sink{}
+		enc := pt.NewEncoder(sink, pt.EncoderOptions{})
+		for i := 0; i < decodeBranches; i++ {
+			Branch(enc, sites, i)
+		}
+		enc.End()
+		stream := sink.Data
+		cases = append(cases, Case{
+			Name:  "Decode",
+			Bytes: int64(len(stream)),
+			Fn: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					d := pt.NewDecoder(im, stream)
+					n, err := Drain(d)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if n != decodeBranches {
+						b.Fatalf("decoded %d events, want %d", n, decodeBranches)
+					}
+				}
+			},
+		})
+	}
+
+	// RoundTrip: per op = one branch encoded into the sink and decoded
+	// back into an event; the decoder persists across chunks (Reset),
+	// mirroring an AUX-ring consumer chasing the producer. The batch is
+	// a multiple of 6 so TNT packets flush on the boundary.
+	cases = append(cases, Case{
+		Name: "RoundTrip",
+		Fn: func(b *testing.B) {
+			const batch = 6000
+			im := image.New()
+			sites := Chain(im, 8)
+			sink := &Sink{Data: make([]byte, 0, 1<<20)}
+			enc := pt.NewEncoder(sink, pt.EncoderOptions{})
+			dec := pt.NewDecoder(im, nil)
+			next := Prime(enc, sites)
+			dec.Reset(sink.Data)
+			if n, err := Drain(dec); err != nil || n != next {
+				b.Fatalf("prime: %d events (%v), want %d", n, err, next)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			done := 0
+			for done < b.N {
+				n := batch
+				if b.N-done < n {
+					n = b.N - done
+				}
+				sink.Data = sink.Data[:0]
+				for i := 0; i < n; i++ {
+					Branch(enc, sites, next)
+					next++
+				}
+				enc.Flush()
+				dec.Reset(sink.Data)
+				got, err := Drain(dec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got != n {
+					b.Fatalf("decoded %d events, want %d", got, n)
+				}
+				done += n
+			}
+		},
+	})
+	return cases
+}

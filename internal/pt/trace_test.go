@@ -337,43 +337,3 @@ func TestEventString(t *testing.T) {
 		t.Error("nil event string")
 	}
 }
-
-func BenchmarkEncodeTightLoop(b *testing.B) {
-	im := image.New()
-	site := im.MustSite("hot", image.Conditional)
-	next := im.MustSite("hot2", image.Conditional)
-	sink := newMemSink()
-	enc := NewEncoder(sink, EncoderOptions{})
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		enc.CondBranch(site, true, next)
-		if len(sink.data) > 1<<20 {
-			sink.data = sink.data[:0]
-		}
-	}
-}
-
-func BenchmarkDecode(b *testing.B) {
-	im := image.New()
-	sink := newMemSink()
-	enc := NewEncoder(sink, EncoderOptions{})
-	tr, err := NewTracer(enc, im, "__exit__")
-	if err != nil {
-		b.Fatal(err)
-	}
-	a := im.MustSite("a", image.Conditional)
-	c := im.MustSite("c", image.Conditional)
-	for i := 0; i < 10000; i++ {
-		tr.OnCond(a, i%2 == 0)
-		tr.OnCond(c, i%3 == 0)
-	}
-	tr.Close()
-	b.SetBytes(int64(len(sink.data)))
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := DecodeAll(im, sink.data); err != nil {
-			b.Fatal(err)
-		}
-	}
-}

@@ -1,7 +1,9 @@
 package threading
 
 import (
+	"errors"
 	"fmt"
+	"io"
 
 	"github.com/repro/inspector/internal/core"
 	"github.com/repro/inspector/internal/pt"
@@ -129,7 +131,8 @@ func (rt *Runtime) buildReport(main *Thread) (*Report, error) {
 // DecodeTraces decodes every process's PT trace against the program image
 // and returns per-PID event counts — the `perf script` + decoder-library
 // step that turns raw packets back into control flow. It verifies the
-// trace is decodable end to end.
+// trace is decodable end to end, streaming events through Decoder.Next
+// rather than materializing every event in memory.
 func (rt *Runtime) DecodeTraces() (map[int32]int, error) {
 	out := make(map[int32]int)
 	for _, pid := range rt.sess.PIDs() {
@@ -137,11 +140,19 @@ func (rt *Runtime) DecodeTraces() (map[int32]int, error) {
 		if !ok {
 			continue
 		}
-		events, err := pt.DecodeAll(rt.img, stream.Trace())
-		if err != nil {
-			return nil, fmt.Errorf("threading: decode trace pid %d: %w", pid, err)
+		d := pt.NewDecoder(rt.img, stream.Trace())
+		n := 0
+		for {
+			_, err := d.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				return nil, fmt.Errorf("threading: decode trace pid %d: %w", pid, err)
+			}
+			n++
 		}
-		out[pid] = len(events)
+		out[pid] = n
 	}
 	return out, nil
 }

@@ -41,6 +41,14 @@ type Thread struct {
 
 	lastPTBytes uint64
 
+	// condSites/indSites cache label -> site resolutions per thread, so
+	// the per-branch path skips the image's RWMutex + shared map. Kind
+	// consistency still holds: each cache is only ever filled through
+	// MustSite with its own kind, so a label misused across kinds fails
+	// on its first use exactly as before.
+	condSites map[string]*image.Site
+	indSites  map[string]*image.Site
+
 	appCycles       vtime.Cycles
 	threadingCycles vtime.Cycles
 	ptCycles        vtime.Cycles
@@ -133,6 +141,8 @@ func (rt *Runtime) newThread(parent *Thread, slot int, name string) (*Thread, er
 			return nil, err
 		}
 		t.tracer = tracer
+		t.condSites = make(map[string]*image.Site)
+		t.indSites = make(map[string]*image.Site)
 	}
 
 	t.joinObj = core.NewSyncObject(fmt.Sprintf("join:t%d", slot), rt.opts.MaxThreads, false)
@@ -192,7 +202,7 @@ func (t *Thread) chargePTBytes() {
 	if t.enc == nil {
 		return
 	}
-	b := t.enc.Stats().Bytes
+	b := t.enc.BytesWritten()
 	if delta := b - t.lastPTBytes; delta > 0 {
 		t.charge(CatPT, vtime.Cycles(delta)*t.rt.model.PTBytePersist)
 		t.lastPTBytes = b
@@ -357,7 +367,11 @@ func (t *Thread) Branch(label string, cond bool) bool {
 	t.charge(CatApp, t.rt.model.Branch)
 	if t.rec != nil {
 		t.rec.OnBranch(label, cond)
-		site := t.rt.img.MustSite(label, image.Conditional)
+		site := t.condSites[label]
+		if site == nil {
+			site = t.rt.img.MustSite(label, image.Conditional)
+			t.condSites[label] = site
+		}
 		t.tracer.OnCond(site, cond)
 		t.charge(CatPT, t.rt.model.PTBranchOverhead)
 		t.chargePTBytes()
@@ -371,7 +385,11 @@ func (t *Thread) Indirect(label string) {
 	t.branches++
 	t.charge(CatApp, t.rt.model.Branch)
 	if t.rec != nil {
-		site := t.rt.img.MustSite(label, image.Indirect)
+		site := t.indSites[label]
+		if site == nil {
+			site = t.rt.img.MustSite(label, image.Indirect)
+			t.indSites[label] = site
+		}
 		// The indirect's target is the next executed site; the recorder
 		// thunk records the site now and the tracer resolves the target
 		// from the following event.
