@@ -5,16 +5,24 @@
 //
 //	cpg-query -cpg run.gob stats
 //	cpg-query -cpg run.gob verify
-//	cpg-query -cpg run.gob slice T1.3
-//	cpg-query -cpg run.gob taint T0.0
+//	cpg-query -cpg run.gob [-format json] slice T1.3
+//	cpg-query -cpg run.gob [-format json] taint T0.0
 //	cpg-query -cpg run.gob lineage <page> T1.3
-//	cpg-query -cpg run.gob edges [control|sync|data]
+//	cpg-query -cpg run.gob [-format json] edges [control|sync|data]
+//	cpg-query -cpg run.gob [-format json] path T0.0 T1.3
+//
+// path prints one dependency chain between two sub-computations — the
+// "why does B depend on A" debugging query of the paper's §VIII case
+// studies. -format json switches any subcommand's output to JSON for
+// downstream tooling.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -23,20 +31,91 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "cpg-query:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// edgeJSON is the -format json rendering of one edge.
+type edgeJSON struct {
+	From   string   `json:"from"`
+	To     string   `json:"to"`
+	Kind   string   `json:"kind"`
+	Object string   `json:"object,omitempty"`
+	Pages  []uint64 `json:"pages,omitempty"`
+}
+
+func toEdgeJSON(e core.Edge) edgeJSON {
+	return edgeJSON{
+		From:   e.From.String(),
+		To:     e.To.String(),
+		Kind:   e.Kind.String(),
+		Object: e.Object,
+		Pages:  e.Pages,
+	}
+}
+
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// printEdges renders an edge list in the selected format.
+func printEdges(w io.Writer, edges []core.Edge, asJSON bool) error {
+	if asJSON {
+		out := make([]edgeJSON, 0, len(edges))
+		for _, e := range edges {
+			out = append(out, toEdgeJSON(e))
+		}
+		return writeJSON(w, out)
+	}
+	for _, e := range edges {
+		switch e.Kind {
+		case core.EdgeSync:
+			fmt.Fprintf(w, "%v -> %v [%v via %s]\n", e.From, e.To, e.Kind, e.Object)
+		case core.EdgeData:
+			fmt.Fprintf(w, "%v -> %v [%v pages=%v]\n", e.From, e.To, e.Kind, e.Pages)
+		default:
+			fmt.Fprintf(w, "%v -> %v [%v]\n", e.From, e.To, e.Kind)
+		}
+	}
+	return nil
+}
+
+// printIDs renders a sub-computation list in the selected format.
+func printIDs(w io.Writer, ids []core.SubID, asJSON bool) error {
+	if asJSON {
+		out := make([]string, 0, len(ids))
+		for _, id := range ids {
+			out = append(out, id.String())
+		}
+		return writeJSON(w, out)
+	}
+	for _, id := range ids {
+		fmt.Fprintln(w, id)
+	}
+	return nil
+}
+
+func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("cpg-query", flag.ContinueOnError)
 	cpgPath := fs.String("cpg", "", "CPG gob file written by inspector-run -cpg")
+	format := fs.String("format", "text", "output format: text|json")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *cpgPath == "" || fs.NArg() < 1 {
-		return errors.New("usage: cpg-query -cpg file.gob <stats|verify|slice|taint|lineage|edges> [args]")
+		return errors.New("usage: cpg-query -cpg file.gob [-format json] <stats|verify|slice|taint|lineage|edges|path> [args]")
+	}
+	asJSON := false
+	switch *format {
+	case "text":
+	case "json":
+		asJSON = true
+	default:
+		return fmt.Errorf("unknown format %q (want text or json)", *format)
 	}
 	f, err := os.Open(*cpgPath)
 	if err != nil {
@@ -51,31 +130,28 @@ func run(args []string) error {
 
 	switch cmd := fs.Arg(0); cmd {
 	case "stats":
-		return stats(g, a)
+		return stats(w, g, a, asJSON)
 	case "verify":
 		if err := a.Verify(); err != nil {
 			return err
 		}
-		fmt.Println("CPG is a valid happens-before DAG")
+		if asJSON {
+			return writeJSON(w, map[string]bool{"valid": true})
+		}
+		fmt.Fprintln(w, "CPG is a valid happens-before DAG")
 		return nil
 	case "slice":
 		id, err := parseSubID(fs.Arg(1))
 		if err != nil {
 			return err
 		}
-		for _, anc := range a.Slice(id) {
-			fmt.Println(anc)
-		}
-		return nil
+		return printIDs(w, a.Slice(id), asJSON)
 	case "taint":
 		id, err := parseSubID(fs.Arg(1))
 		if err != nil {
 			return err
 		}
-		for _, d := range a.TaintedBy(id) {
-			fmt.Println(d)
-		}
-		return nil
+		return printIDs(w, a.TaintedBy(id), asJSON)
 	case "lineage":
 		if fs.NArg() < 3 {
 			return errors.New("usage: cpg-query lineage <page> <subID>")
@@ -89,20 +165,37 @@ func run(args []string) error {
 			return err
 		}
 		lins := a.PageLineage(page, id)
+		if asJSON {
+			type lineageJSON struct {
+				Page     uint64   `json:"page"`
+				Reader   string   `json:"reader"`
+				Writer   string   `json:"writer"`
+				Upstream []string `json:"upstream,omitempty"`
+			}
+			out := make([]lineageJSON, 0, len(lins))
+			for _, l := range lins {
+				lj := lineageJSON{Page: l.Page, Reader: id.String(), Writer: l.Writer.String()}
+				for _, u := range l.Upstream {
+					lj.Upstream = append(lj.Upstream, u.String())
+				}
+				out = append(out, lj)
+			}
+			return writeJSON(w, out)
+		}
 		if len(lins) == 0 {
-			fmt.Println("no recorded writer for that page at that vertex")
+			fmt.Fprintln(w, "no recorded writer for that page at that vertex")
 			return nil
 		}
 		for _, l := range lins {
-			fmt.Printf("page %d read by %v was written by %v", l.Page, id, l.Writer)
+			fmt.Fprintf(w, "page %d read by %v was written by %v", l.Page, id, l.Writer)
 			if len(l.Upstream) > 0 {
 				ups := make([]string, len(l.Upstream))
 				for i, u := range l.Upstream {
 					ups[i] = u.String()
 				}
-				fmt.Printf(" (upstream sources: %s)", strings.Join(ups, ", "))
+				fmt.Fprintf(w, " (upstream sources: %s)", strings.Join(ups, ", "))
 			}
-			fmt.Println()
+			fmt.Fprintln(w)
 		}
 		return nil
 	case "edges":
@@ -117,26 +210,37 @@ func run(args []string) error {
 			}
 			filter = k
 		}
+		var out []core.Edge
 		for _, e := range a.Edges() {
 			if filter != 0 && e.Kind != filter {
 				continue
 			}
-			switch e.Kind {
-			case core.EdgeSync:
-				fmt.Printf("%v -> %v [%v via %s]\n", e.From, e.To, e.Kind, e.Object)
-			case core.EdgeData:
-				fmt.Printf("%v -> %v [%v pages=%v]\n", e.From, e.To, e.Kind, e.Pages)
-			default:
-				fmt.Printf("%v -> %v [%v]\n", e.From, e.To, e.Kind)
-			}
+			out = append(out, e)
 		}
-		return nil
+		return printEdges(w, out, asJSON)
+	case "path":
+		if fs.NArg() < 3 {
+			return errors.New("usage: cpg-query path <fromID> <toID>")
+		}
+		from, err := parseSubID(fs.Arg(1))
+		if err != nil {
+			return err
+		}
+		to, err := parseSubID(fs.Arg(2))
+		if err != nil {
+			return err
+		}
+		chain := a.Path(from, to)
+		if chain == nil {
+			return fmt.Errorf("no dependency chain %v -> %v (%v does not depend on %v)", from, to, to, from)
+		}
+		return printEdges(w, chain, asJSON)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
 }
 
-func stats(g *core.Graph, a *core.Analysis) error {
+func stats(w io.Writer, g *core.Graph, a *core.Analysis, asJSON bool) error {
 	subs := g.Subs()
 	threads := map[int]int{}
 	var thunks, reads, writes int
@@ -157,10 +261,22 @@ func stats(g *core.Graph, a *core.Analysis) error {
 			data++
 		}
 	}
-	fmt.Printf("sub-computations: %d across %d threads\n", len(subs), len(threads))
-	fmt.Printf("thunks:           %d\n", thunks)
-	fmt.Printf("read-set pages:   %d   write-set pages: %d\n", reads, writes)
-	fmt.Printf("edges:            %d control, %d sync, %d data\n", ctrl, syncE, data)
+	if asJSON {
+		return writeJSON(w, map[string]int{
+			"sub_computations": len(subs),
+			"threads":          len(threads),
+			"thunks":           thunks,
+			"read_set_pages":   reads,
+			"write_set_pages":  writes,
+			"control_edges":    ctrl,
+			"sync_edges":       syncE,
+			"data_edges":       data,
+		})
+	}
+	fmt.Fprintf(w, "sub-computations: %d across %d threads\n", len(subs), len(threads))
+	fmt.Fprintf(w, "thunks:           %d\n", thunks)
+	fmt.Fprintf(w, "read-set pages:   %d   write-set pages: %d\n", reads, writes)
+	fmt.Fprintf(w, "edges:            %d control, %d sync, %d data\n", ctrl, syncE, data)
 	return nil
 }
 

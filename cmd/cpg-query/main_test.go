@@ -1,6 +1,12 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"github.com/repro/inspector/internal/core"
@@ -34,10 +40,172 @@ func TestParseSubID(t *testing.T) {
 }
 
 func TestRunRequiresArgs(t *testing.T) {
-	if err := run(nil); err == nil {
+	if err := run(nil, io.Discard); err == nil {
 		t.Error("no args accepted")
 	}
-	if err := run([]string{"-cpg", "/nonexistent/file.gob", "stats"}); err == nil {
+	if err := run([]string{"-cpg", "/nonexistent/file.gob", "stats"}, io.Discard); err == nil {
 		t.Error("missing file accepted")
+	}
+	if err := run([]string{"-cpg", "x", "-format", "yaml", "stats"}, io.Discard); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+// writeTestCPG records the paper's Figure 1 execution (lock handoff
+// T0.0 -> T1.0 -> T0.1 with data flow on pages 100/101) into a gob file.
+func writeTestCPG(t *testing.T) string {
+	t.Helper()
+	g := core.NewGraph(2)
+	lock := g.NewSyncObject("lock", false)
+	rel := core.SyncEvent{Kind: core.SyncRelease, Object: lock.Ref()}
+	r0, err := core.NewRecorder(g, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := core.NewRecorder(g, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0.OnRead(101)
+	r0.OnWrite(100)
+	r0.OnWrite(101)
+	s0, err := r0.EndSub(rel, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0.Release(lock, s0)
+	r1.Acquire(lock)
+	r1.OnRead(100)
+	r1.OnWrite(101)
+	s1, err := r1.EndSub(rel, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Release(lock, s1)
+	r0.Acquire(lock)
+	r0.OnRead(101)
+	if _, err := r0.EndSub(core.SyncEvent{Kind: core.SyncNone}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r1.EndSub(core.SyncEvent{Kind: core.SyncNone}, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "cpg.gob")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := g.EncodeGob(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// query runs one cpg-query invocation and returns its output.
+func query(t *testing.T, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return buf.String()
+}
+
+func TestQueryCommands(t *testing.T) {
+	cpg := writeTestCPG(t)
+
+	if out := query(t, "-cpg", cpg, "verify"); !strings.Contains(out, "valid happens-before DAG") {
+		t.Errorf("verify output: %q", out)
+	}
+	if out := query(t, "-cpg", cpg, "stats"); !strings.Contains(out, "sub-computations: 4 across 2 threads") {
+		t.Errorf("stats output: %q", out)
+	}
+	if out := query(t, "-cpg", cpg, "slice", "T0.1"); !strings.Contains(out, "T1.0") {
+		t.Errorf("slice output missing cross-thread ancestor: %q", out)
+	}
+	if out := query(t, "-cpg", cpg, "taint", "T0.0"); !strings.Contains(out, "T1.0") {
+		t.Errorf("taint output: %q", out)
+	}
+	if out := query(t, "-cpg", cpg, "edges", "sync"); !strings.Contains(out, "via lock") {
+		t.Errorf("sync edges output: %q", out)
+	}
+	if out := query(t, "-cpg", cpg, "lineage", "101", "T0.1"); !strings.Contains(out, "written by T1.0") {
+		t.Errorf("lineage output: %q", out)
+	}
+}
+
+func TestQueryPath(t *testing.T) {
+	cpg := writeTestCPG(t)
+
+	// T0.1 depends on T0.0; the chain must be continuous.
+	out := query(t, "-cpg", cpg, "path", "T0.0", "T0.1")
+	if !strings.Contains(out, "T0.0 -> T0.1") {
+		t.Errorf("path output: %q", out)
+	}
+
+	// No chain exists backwards.
+	var buf bytes.Buffer
+	err := run([]string{"-cpg", cpg, "path", "T0.1", "T0.0"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "no dependency chain") {
+		t.Errorf("reverse path error = %v", err)
+	}
+}
+
+func TestQueryJSONFormat(t *testing.T) {
+	cpg := writeTestCPG(t)
+
+	var ids []string
+	if err := json.Unmarshal([]byte(query(t, "-cpg", cpg, "-format", "json", "slice", "T0.1")), &ids); err != nil {
+		t.Fatalf("slice json: %v", err)
+	}
+	if len(ids) != 2 || ids[0] != "T0.0" || ids[1] != "T1.0" {
+		t.Errorf("slice json = %v", ids)
+	}
+
+	var edges []edgeJSON
+	if err := json.Unmarshal([]byte(query(t, "-cpg", cpg, "-format", "json", "edges", "data")), &edges); err != nil {
+		t.Fatalf("edges json: %v", err)
+	}
+	if len(edges) == 0 {
+		t.Fatal("no data edges in json output")
+	}
+	for _, e := range edges {
+		if e.Kind != "data" || len(e.Pages) == 0 {
+			t.Errorf("edge json = %+v", e)
+		}
+	}
+
+	var chain []edgeJSON
+	if err := json.Unmarshal([]byte(query(t, "-cpg", cpg, "-format", "json", "path", "T0.0", "T1.0")), &chain); err != nil {
+		t.Fatalf("path json: %v", err)
+	}
+	if len(chain) == 0 || chain[0].From != "T0.0" || chain[len(chain)-1].To != "T1.0" {
+		t.Errorf("path json = %+v", chain)
+	}
+
+	var st map[string]int
+	if err := json.Unmarshal([]byte(query(t, "-cpg", cpg, "-format", "json", "stats")), &st); err != nil {
+		t.Fatalf("stats json: %v", err)
+	}
+	if st["sub_computations"] != 4 || st["threads"] != 2 {
+		t.Errorf("stats json = %v", st)
+	}
+
+	var ver map[string]bool
+	if err := json.Unmarshal([]byte(query(t, "-cpg", cpg, "-format", "json", "verify")), &ver); err != nil {
+		t.Fatalf("verify json: %v", err)
+	}
+	if !ver["valid"] {
+		t.Errorf("verify json = %v", ver)
+	}
+
+	var lins []map[string]any
+	if err := json.Unmarshal([]byte(query(t, "-cpg", cpg, "-format", "json", "lineage", "101", "T0.1")), &lins); err != nil {
+		t.Fatalf("lineage json: %v", err)
+	}
+	if len(lins) != 1 || lins[0]["writer"] != "T1.0" || lins[0]["reader"] != "T0.1" {
+		t.Errorf("lineage json = %v", lins)
 	}
 }

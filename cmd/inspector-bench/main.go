@@ -6,20 +6,22 @@
 //
 //	inspector-bench [flags]
 //
-//	-experiment all|fig5|fig6|table7|fig8|table9|mem|pt
+//	-experiment all|fig5|fig6|table7|fig8|table9|mem|pt|cpg
 //	-size small|medium|large     input scale for fig5/fig6/tables
 //	-threads 2,4,8,16            thread sweep for fig5
 //	-breakdown 16                thread count for fig6/tables
 //	-apps a,b,c                  restrict to a subset of the 12 apps
 //	-seed 1                      input-generation seed
-//	-out path                    mem/pt output path ("-" = stdout)
-//	-baseline path               prior BENCH_{mem,pt}.json whose baseline carries forward
+//	-out path                    mem/pt/cpg output path ("-" = stdout)
+//	-baseline path               prior BENCH_{mem,pt,cpg}.json whose baseline carries forward
 //
 // The mem experiment benchmarks the tracked-memory substrate hot path
 // (diff, commit, read/write fast path) and writes the BENCH_mem.json
 // snapshot that records the repo's perf trajectory; the pt experiment
 // does the same for the branch-trace pipeline (encode, decode, round
-// trip) into BENCH_pt.json.
+// trip) into BENCH_pt.json, and the cpg experiment for the provenance
+// graph core (vertex append, data-edge derivation, analysis, queries)
+// into BENCH_cpg.json.
 //
 // Absolute numbers come from the deterministic virtual-time model, not
 // the authors' Xeon D-1540; the claims to compare are relative (who is
@@ -47,19 +49,19 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("inspector-bench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "experiment to run: all|fig5|work|fig6|table7|fig8|table9|mem|pt")
+	experiment := fs.String("experiment", "all", "experiment to run: all|fig5|work|fig6|table7|fig8|table9|mem|pt|cpg")
 	sizeFlag := fs.String("size", "medium", "input size: small|medium|large")
 	threadsFlag := fs.String("threads", "2,4,8,16", "comma-separated thread sweep for fig5")
 	breakdown := fs.Int("breakdown", 16, "thread count for fig6/table7/fig8/table9")
 	appsFlag := fs.String("apps", "", "comma-separated subset of applications (default all)")
 	seed := fs.Int64("seed", 1, "input generation seed")
-	outPath := fs.String("out", "", `mem/pt experiment output path ("-" = stdout; default BENCH_mem.json / BENCH_pt.json)`)
-	baseline := fs.String("baseline", "", "prior BENCH_{mem,pt}.json whose baseline section carries forward")
+	outPath := fs.String("out", "", `mem/pt/cpg experiment output path ("-" = stdout; default BENCH_<experiment>.json)`)
+	baseline := fs.String("baseline", "", "prior BENCH_{mem,pt,cpg}.json whose baseline section carries forward")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	if *experiment == "mem" || *experiment == "pt" {
+	if *experiment == "mem" || *experiment == "pt" || *experiment == "cpg" {
 		out := *outPath
 		if out == "" {
 			out = "BENCH_" + *experiment + ".json"
@@ -70,10 +72,14 @@ func run(args []string) error {
 		if out == "-" {
 			progress = os.Stderr
 		}
-		if *experiment == "pt" {
+		switch *experiment {
+		case "pt":
 			return runPTBench(progress, out, *baseline)
+		case "cpg":
+			return runCPGBench(progress, out, *baseline)
+		default:
+			return runMemBench(progress, out, *baseline)
 		}
-		return runMemBench(progress, out, *baseline)
 	}
 
 	size, err := parseSize(*sizeFlag)

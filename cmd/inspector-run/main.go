@@ -11,7 +11,7 @@
 //
 //	inspector-run -app histogram [-native] [-threads 4] [-size medium]
 //	              [-cpg out.gob] [-dot out.dot] [-json out.json]
-//	              [-decode] [-seed 1]
+//	              [-decode] [-verify] [-seed 1]
 package main
 
 import (
@@ -45,6 +45,7 @@ func run(args []string) error {
 	perfOut := fs.String("perfdata", "", "write the perf session (for pt-dump) to this file")
 	imageOut := fs.String("imageout", "", "write the image sidecar (for pt-dump -events) to this file")
 	decode := fs.Bool("decode", false, "decode all PT traces and report event counts")
+	verify := fs.Bool("verify", false, "check the recorded CPG's structural invariants before exporting")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -109,6 +110,13 @@ func run(args []string) error {
 			rep.SubComputations, len(rt.Graph().SyncEdges()))
 		fmt.Printf("breakdown:        app=%v threading=%v pt=%v\n",
 			rep.AppCycles, rep.ThreadingCycles, rep.PTCycles)
+	}
+
+	if *verify && mode == threading.ModeInspector {
+		if err := rt.Graph().Analyze().Verify(); err != nil {
+			return fmt.Errorf("CPG verification failed: %w", err)
+		}
+		fmt.Println("CPG verified:    happens-before DAG, edge pages contained in recorded sets")
 	}
 
 	if *decode && mode == threading.ModeInspector {

@@ -1,0 +1,70 @@
+package core_test
+
+// The CPG-core benchmark suite. Scenario bodies live in
+// internal/core/cpgbench — shared verbatim with `inspector-bench
+// -experiment cpg`, which snapshots them into the committed
+// BENCH_cpg.json (baseline = the pre-columnar core). See ROADMAP.md
+// ("perf trajectory convention") for the regeneration workflow.
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/repro/inspector/internal/core/cpgbench"
+)
+
+// cases memoizes cpgbench.Cases(): its fixtures (three random graphs and
+// two analyses) are read-only across scenarios, so each benchmark — and
+// the CI 1-iteration smoke — pays the setup once, not per lookup.
+var cases = sync.OnceValue(cpgbench.Cases)
+
+// runCase looks a scenario up by name so benchmark names stay stable
+// even if the case list reorders.
+func runCase(b *testing.B, name string) {
+	b.Helper()
+	for _, c := range cases() {
+		if c.Name == name {
+			b.ReportAllocs()
+			b.ResetTimer()
+			c.Fn(b)
+			return
+		}
+	}
+	b.Fatalf("no cpgbench case %q", name)
+}
+
+// BenchmarkEndSub measures the vertex-append path: one op records 1000
+// sub-computations (4 reads, 4 writes, 2 branches each) into a fresh
+// graph through a single recorder.
+func BenchmarkEndSub(b *testing.B) { runCase(b, "EndSub/serial") }
+
+// BenchmarkEndSubParallel records the same 1000 sub-computations per op
+// split across 8 concurrent recorders — the decentralization check: with
+// per-thread shards this should approach EndSub/8, where the global
+// RWMutex of the pre-columnar store kept it at EndSub or worse.
+func BenchmarkEndSubParallel(b *testing.B) { runCase(b, "EndSub/parallel8") }
+
+// BenchmarkDataEdges measures the update-use derivation over a
+// 2000-vertex, 64-page random execution.
+func BenchmarkDataEdges(b *testing.B) { runCase(b, "DataEdges/sparse") }
+
+// BenchmarkDataEdgesDense is the high-sharing variant (24 pages, 4
+// accesses per sub-computation).
+func BenchmarkDataEdgesDense(b *testing.B) { runCase(b, "DataEdges/dense") }
+
+// BenchmarkAnalyze measures full analysis construction (edge derivation
+// plus CSR adjacency).
+func BenchmarkAnalyze(b *testing.B) { runCase(b, "Analyze/sparse") }
+
+// BenchmarkSliceWide measures a backward slice whose closure spans
+// nearly the whole 4000-vertex graph — the regression guard for the
+// quadratic insertion sort that used to live in sortSubIDs.
+func BenchmarkSliceWide(b *testing.B) { runCase(b, "Slice/wide") }
+
+// BenchmarkVerify measures the full invariant check (clock order,
+// acyclicity, and the data-edge page-containment of invariant 3).
+func BenchmarkVerify(b *testing.B) { runCase(b, "Verify/sparse") }
+
+// BenchmarkPageSetAdd measures the read/write-set hot path: 96 inserts
+// (with duplicates) over a 1024-page range.
+func BenchmarkPageSetAdd(b *testing.B) { runCase(b, "PageSet/add") }

@@ -19,6 +19,14 @@
 // acquirers, and every completed sub-computation is stamped with its
 // thread's clock. Standard vector-clock comparison over those stamps is
 // the happens-before relation.
+//
+// The store mirrors that decentralization: vertices live in per-thread
+// shards (a Recorder appends to its own shard without any global lock),
+// synchronization edges in per-thread logs keyed by the acquiring thread,
+// and symbols — branch-site labels, indirect targets, synchronization
+// object names — are interned once into dense refs so the per-vertex
+// records carry ints, not strings. String forms are materialized only at
+// export and query time.
 package core
 
 import (
@@ -50,16 +58,20 @@ func (id SubID) Less(other SubID) bool {
 
 // Thunk is one branch-delimited instruction run within a sub-computation
 // (Lt[α].∆[β]). It records the control-path decision that terminated it.
+// Sites and targets are interned refs into the owning Graph's Interner
+// (16 bytes of string header replaced by 4 bytes each); Graph.SiteName
+// recovers the labels, and exports materialize them transparently.
 type Thunk struct {
 	// Index is β, the thunk counter within the sub-computation.
 	Index uint64
 	// Site labels the branch site that ended the thunk.
-	Site string
+	Site SiteRef
 	// Taken is the conditional outcome (conditional sites).
 	Taken bool
-	// Indirect marks an indirect transfer; Target names its destination.
+	// Indirect marks an indirect transfer; Target names its destination
+	// (ref 0, the empty string, when unresolved).
 	Indirect bool
-	Target   string
+	Target   SiteRef
 	// Instructions counts instructions retired within the thunk.
 	Instructions uint64
 }
@@ -93,10 +105,11 @@ func (k SyncOpKind) String() string {
 }
 
 // SyncEvent describes the synchronization call at a sub-computation
-// boundary.
+// boundary. Object is the interned name of the synchronization object
+// (Graph.ObjectName recovers the string).
 type SyncEvent struct {
 	Kind   SyncOpKind
-	Object string
+	Object ObjRef
 }
 
 // SubComputation is a CPG vertex.
@@ -145,7 +158,9 @@ func (k EdgeKind) String() string {
 	}
 }
 
-// Edge is one CPG edge.
+// Edge is one CPG edge, in query/export form: Object carries the
+// materialized synchronization-object name. The in-graph sync-edge logs
+// store interned refs (syncEdgeRec); edges are materialized when derived.
 type Edge struct {
 	From, To SubID
 	Kind     EdgeKind
@@ -155,101 +170,179 @@ type Edge struct {
 	Pages []uint64
 }
 
-// Graph is the Concurrent Provenance Graph under construction or analysis.
-// Methods are safe for concurrent use by the recording threads.
-type Graph struct {
+// syncEdgeRec is the stored form of a schedule-dependency edge.
+type syncEdgeRec struct {
+	From, To SubID
+	Object   ObjRef
+}
+
+// graphShard holds one thread slot's vertex sequence and the sync edges
+// whose acquiring side is that thread. Both are appended only by the
+// owning thread's Recorder, so the shard mutex is uncontended on the
+// recording path; it exists to order appends against concurrent readers
+// (queries, the snapshot facility). The trailing pad keeps adjacent
+// shards off each other's cache lines.
+type graphShard struct {
 	mu        sync.RWMutex
-	threads   int
-	seqs      map[int][]*SubComputation
-	syncEdges []Edge
+	seq       []*SubComputation
+	syncEdges []syncEdgeRec
+	_         [56]byte
+}
+
+// Graph is the Concurrent Provenance Graph under construction or analysis.
+// Methods are safe for concurrent use by the recording threads; each
+// thread's appends touch only its own shard (the algorithm's
+// decentralization property, §IV-B, reflected in the store layout).
+type Graph struct {
+	threads  int
+	interner *Interner
+	shards   []graphShard
 }
 
 // NewGraph creates an empty CPG for up to threads thread slots.
 func NewGraph(threads int) *Graph {
-	return &Graph{
-		threads: threads,
-		seqs:    make(map[int][]*SubComputation),
+	g := &Graph{
+		threads:  threads,
+		interner: NewInterner(),
+		shards:   make([]graphShard, threads),
 	}
+	// Ref 0 is the empty string, so zero-valued SiteRef/ObjRef fields
+	// materialize as "".
+	g.interner.Intern("")
+	return g
 }
 
 // Threads returns the thread-slot capacity.
 func (g *Graph) Threads() int { return g.threads }
 
-// add appends a completed sub-computation to its thread sequence. The
-// recorder guarantees alphas are dense per thread.
-func (g *Graph) add(sc *SubComputation) error {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	seq := g.seqs[sc.ID.Thread]
-	if uint64(len(seq)) != sc.ID.Alpha {
-		return fmt.Errorf("core: thread %d alpha %d out of order (have %d)",
-			sc.ID.Thread, sc.ID.Alpha, len(seq))
+// InternSite interns a branch-site label (or indirect target).
+func (g *Graph) InternSite(label string) SiteRef { return SiteRef(g.interner.Intern(label)) }
+
+// SiteName returns the label for an interned site ref.
+func (g *Graph) SiteName(ref SiteRef) string { return g.interner.Name(uint32(ref)) }
+
+// InternObject interns a synchronization-object name.
+func (g *Graph) InternObject(name string) ObjRef { return ObjRef(g.interner.Intern(name)) }
+
+// ObjectName returns the name for an interned object ref.
+func (g *Graph) ObjectName(ref ObjRef) string { return g.interner.Name(uint32(ref)) }
+
+// Symbols returns the graph's symbol table in ref order (snapshots embed
+// it so offline consumers can resolve refs without the live graph).
+func (g *Graph) Symbols() []string { return g.interner.Snapshot() }
+
+// shard returns the shard for thread t, or nil if out of range.
+func (g *Graph) shard(t int) *graphShard {
+	if t < 0 || t >= len(g.shards) {
+		return nil
 	}
-	g.seqs[sc.ID.Thread] = append(seq, sc)
+	return &g.shards[t]
+}
+
+// add appends a completed sub-computation to its thread's shard. The
+// recorder guarantees alphas are dense per thread. This is the EndSub
+// append path: it takes only the owning shard's (uncontended) lock.
+func (g *Graph) add(sc *SubComputation) error {
+	sh := g.shard(sc.ID.Thread)
+	if sh == nil {
+		return fmt.Errorf("core: thread slot %d out of range [0,%d)", sc.ID.Thread, g.threads)
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if uint64(len(sh.seq)) != sc.ID.Alpha {
+		return fmt.Errorf("core: thread %d alpha %d out of order (have %d)",
+			sc.ID.Thread, sc.ID.Alpha, len(sh.seq))
+	}
+	sh.seq = append(sh.seq, sc)
 	return nil
 }
 
-// addSyncEdge records a release -> acquire schedule dependency.
-func (g *Graph) addSyncEdge(from, to SubID, object string) {
-	g.mu.Lock()
-	g.syncEdges = append(g.syncEdges, Edge{From: from, To: to, Kind: EdgeSync, Object: object})
-	g.mu.Unlock()
+// addSyncEdge records a release -> acquire schedule dependency in the
+// acquiring thread's edge log.
+func (g *Graph) addSyncEdge(from, to SubID, object ObjRef) {
+	sh := g.shard(to.Thread)
+	if sh == nil {
+		return
+	}
+	sh.mu.Lock()
+	sh.syncEdges = append(sh.syncEdges, syncEdgeRec{From: from, To: to, Object: object})
+	sh.mu.Unlock()
 }
 
 // Sub returns the vertex with the given ID.
 func (g *Graph) Sub(id SubID) (*SubComputation, bool) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	seq := g.seqs[id.Thread]
-	if id.Alpha >= uint64(len(seq)) {
+	sh := g.shard(id.Thread)
+	if sh == nil {
 		return nil, false
 	}
-	return seq[id.Alpha], true
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if id.Alpha >= uint64(len(sh.seq)) {
+		return nil, false
+	}
+	return sh.seq[id.Alpha], true
 }
 
 // ThreadSeq returns thread t's sub-computation sequence Lt.
 func (g *Graph) ThreadSeq(t int) []*SubComputation {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	out := make([]*SubComputation, len(g.seqs[t]))
-	copy(out, g.seqs[t])
+	sh := g.shard(t)
+	if sh == nil {
+		return nil
+	}
+	sh.mu.RLock()
+	out := make([]*SubComputation, len(sh.seq))
+	copy(out, sh.seq)
+	sh.mu.RUnlock()
 	return out
 }
 
 // Subs returns every vertex, ordered by (thread, alpha).
 func (g *Graph) Subs() []*SubComputation {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	var out []*SubComputation
-	threads := make([]int, 0, len(g.seqs))
-	for t := range g.seqs {
-		threads = append(threads, t)
-	}
-	sort.Ints(threads)
-	for _, t := range threads {
-		out = append(out, g.seqs[t]...)
+	out := make([]*SubComputation, 0, g.NumSubs())
+	for t := range g.shards {
+		sh := &g.shards[t]
+		sh.mu.RLock()
+		out = append(out, sh.seq...)
+		sh.mu.RUnlock()
 	}
 	return out
 }
 
 // NumSubs returns the vertex count.
 func (g *Graph) NumSubs() int {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
 	n := 0
-	for _, seq := range g.seqs {
-		n += len(seq)
+	for t := range g.shards {
+		sh := &g.shards[t]
+		sh.mu.RLock()
+		n += len(sh.seq)
+		sh.mu.RUnlock()
 	}
 	return n
 }
 
-// ControlEdges derives the intra-thread program-order edges.
+// threadLens returns the per-shard sequence lengths (the dense-index
+// layout the Analysis CSR uses).
+func (g *Graph) threadLens() []int {
+	out := make([]int, len(g.shards))
+	for t := range g.shards {
+		sh := &g.shards[t]
+		sh.mu.RLock()
+		out[t] = len(sh.seq)
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// ControlEdges derives the intra-thread program-order edges, ordered by
+// (thread, alpha) by construction.
 func (g *Graph) ControlEdges() []Edge {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
 	var out []Edge
-	for t, seq := range g.seqs {
-		for i := 1; i < len(seq); i++ {
+	for t := range g.shards {
+		sh := &g.shards[t]
+		sh.mu.RLock()
+		n := len(sh.seq)
+		sh.mu.RUnlock()
+		for i := 1; i < n; i++ {
 			out = append(out, Edge{
 				From: SubID{Thread: t, Alpha: uint64(i - 1)},
 				To:   SubID{Thread: t, Alpha: uint64(i)},
@@ -257,16 +350,26 @@ func (g *Graph) ControlEdges() []Edge {
 			})
 		}
 	}
-	sortEdges(out)
 	return out
 }
 
-// SyncEdges returns the recorded schedule-dependency edges.
+// SyncEdges returns the recorded schedule-dependency edges with
+// materialized object names, sorted by (From, To, Kind, Object).
 func (g *Graph) SyncEdges() []Edge {
-	g.mu.RLock()
-	out := make([]Edge, len(g.syncEdges))
-	copy(out, g.syncEdges)
-	g.mu.RUnlock()
+	out := []Edge{} // non-nil even when empty: the JSON dump renders []
+	for t := range g.shards {
+		sh := &g.shards[t]
+		sh.mu.RLock()
+		for _, rec := range sh.syncEdges {
+			out = append(out, Edge{
+				From:   rec.From,
+				To:     rec.To,
+				Kind:   EdgeSync,
+				Object: g.ObjectName(rec.Object),
+			})
+		}
+		sh.mu.RUnlock()
+	}
 	sortEdges(out)
 	return out
 }
@@ -302,95 +405,6 @@ func (g *Graph) Concurrent(a, b SubID) bool {
 	return !g.HappensBefore(a, b) && !g.HappensBefore(b, a) && a != b
 }
 
-// DataEdges derives the update-use edges (§IV-A III): for every reader n
-// and page p in its read set, an edge from each maximal writer m (under
-// happens-before) with p in its write set and m -> n. Writers hidden by a
-// later writer of the same page that still precedes the reader are
-// excluded, so each edge names a write that may actually have produced
-// the value read.
-//
-// Two structural facts keep this tractable on sync-heavy executions with
-// tens of thousands of vertices: (1) a thread's writers of a page are
-// totally ordered by program order, so at most the *latest* one that
-// happens-before n can be maximal — earlier ones are hidden by it; and
-// (2) "happens-before n" is monotone along a thread's sequence (if a
-// later sub-computation precedes n, so do all earlier ones), so the
-// latest qualifying writer per thread is found by binary search. The
-// maximal filter then runs over at most one candidate per thread.
-func (g *Graph) DataEdges() []Edge {
-	subs := g.Subs()
-	hb := func(a, b *SubComputation) bool {
-		if a.ID.Thread == b.ID.Thread {
-			return a.ID.Alpha < b.ID.Alpha
-		}
-		return a.Clock.Compare(b.Clock) == vclock.Before
-	}
-	// writersByPage[p][t] = thread t's writers of p in program order
-	// (Subs() is (thread, alpha)-sorted, so appends preserve order).
-	writersByPage := make(map[uint64]map[int][]*SubComputation)
-	for _, sc := range subs {
-		for p := range sc.WriteSet {
-			byT := writersByPage[p]
-			if byT == nil {
-				byT = make(map[int][]*SubComputation)
-				writersByPage[p] = byT
-			}
-			byT[sc.ID.Thread] = append(byT[sc.ID.Thread], sc)
-		}
-	}
-	type key struct {
-		from, to SubID
-	}
-	pages := make(map[key][]uint64)
-	var cands []*SubComputation
-	for _, n := range subs {
-		for p := range n.ReadSet {
-			byT := writersByPage[p]
-			if byT == nil {
-				continue
-			}
-			cands = cands[:0]
-			for _, seq := range byT {
-				// Binary search for the first writer NOT before n; the
-				// candidate is its predecessor. n itself never
-				// satisfies hb(n, n), so self-writes are excluded.
-				lo, hi := 0, len(seq)
-				for lo < hi {
-					mid := (lo + hi) / 2
-					if hb(seq[mid], n) {
-						lo = mid + 1
-					} else {
-						hi = mid
-					}
-				}
-				if lo > 0 {
-					cands = append(cands, seq[lo-1])
-				}
-			}
-			for _, m := range cands {
-				hidden := false
-				for _, m2 := range cands {
-					if m2 != m && hb(m, m2) {
-						hidden = true
-						break
-					}
-				}
-				if !hidden {
-					k := key{from: m.ID, to: n.ID}
-					pages[k] = append(pages[k], p)
-				}
-			}
-		}
-	}
-	out := make([]Edge, 0, len(pages))
-	for k, ps := range pages {
-		sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
-		out = append(out, Edge{From: k.from, To: k.to, Kind: EdgeData, Pages: ps})
-	}
-	sortEdges(out)
-	return out
-}
-
 // Edges returns control, sync, and data edges combined.
 func (g *Graph) Edges() []Edge {
 	out := g.ControlEdges()
@@ -399,6 +413,10 @@ func (g *Graph) Edges() []Edge {
 	return out
 }
 
+// sortEdges orders edges by (From, To, Kind, Object). The object
+// tiebreaker is unreachable for edges derived from one graph (a single
+// acquire binds to one fresh sub-computation, so (From, To, Kind) is
+// unique) but keeps the order total for hand-built inputs.
 func sortEdges(edges []Edge) {
 	sort.Slice(edges, func(i, j int) bool {
 		a, b := edges[i], edges[j]
@@ -408,6 +426,9 @@ func sortEdges(edges []Edge) {
 		if a.To != b.To {
 			return a.To.Less(b.To)
 		}
-		return a.Kind < b.Kind
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Object < b.Object
 	})
 }

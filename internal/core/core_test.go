@@ -35,10 +35,10 @@ func TestRecorderLifecycle(t *testing.T) {
 	r.OnRead(10)
 	r.OnWrite(11)
 	r.OnInstructions(5)
-	r.OnBranch("loop", true)
+	r.OnBranch(g.InternSite("loop"), true)
 	r.OnInstructions(3)
-	r.OnIndirect("dispatch", "handler")
-	sc := endSub(t, r, SyncEvent{Kind: SyncRelease, Object: "m"})
+	r.OnIndirect(g.InternSite("dispatch"), g.InternSite("handler"))
+	sc := endSub(t, r, SyncEvent{Kind: SyncRelease, Object: g.InternObject("m")})
 
 	if !sc.ReadSet.Contains(10) || !sc.WriteSet.Contains(11) {
 		t.Error("read/write sets not recorded")
@@ -46,10 +46,10 @@ func TestRecorderLifecycle(t *testing.T) {
 	if len(sc.Thunks) != 2 {
 		t.Fatalf("thunks = %d, want 2", len(sc.Thunks))
 	}
-	if sc.Thunks[0].Site != "loop" || !sc.Thunks[0].Taken || sc.Thunks[0].Index != 0 {
+	if g.SiteName(sc.Thunks[0].Site) != "loop" || !sc.Thunks[0].Taken || sc.Thunks[0].Index != 0 {
 		t.Errorf("thunk 0 = %+v", sc.Thunks[0])
 	}
-	if !sc.Thunks[1].Indirect || sc.Thunks[1].Target != "handler" || sc.Thunks[1].Index != 1 {
+	if !sc.Thunks[1].Indirect || g.SiteName(sc.Thunks[1].Target) != "handler" || sc.Thunks[1].Index != 1 {
 		t.Errorf("thunk 1 = %+v", sc.Thunks[1])
 	}
 	if sc.Thunks[0].Instructions != 5 || sc.Thunks[1].Instructions != 3 {
@@ -58,14 +58,14 @@ func TestRecorderLifecycle(t *testing.T) {
 	if sc.Instructions != 8 {
 		t.Errorf("sub instructions = %d", sc.Instructions)
 	}
-	if sc.End.Kind != SyncRelease || sc.End.Object != "m" {
+	if sc.End.Kind != SyncRelease || g.ObjectName(sc.End.Object) != "m" {
 		t.Errorf("end event = %+v", sc.End)
 	}
 	// Next sub-computation has alpha 1, fresh thunk counter.
 	if r.Alpha() != 1 {
 		t.Errorf("alpha after EndSub = %d", r.Alpha())
 	}
-	r.OnBranch("x", false)
+	r.OnBranch(g.InternSite("x"), false)
 	sc2 := endSub(t, r, SyncEvent{Kind: SyncNone})
 	if sc2.Thunks[0].Index != 0 {
 		t.Error("thunk counter not reset across sub-computations")
@@ -79,7 +79,7 @@ func TestRecorderClockSemantics(t *testing.T) {
 	// Algorithm 2: startSub sets Ct[t] = alpha and stamps the sub.
 	g := NewGraph(3)
 	r := mustRecorder(t, g, 1)
-	sc0 := endSub(t, r, SyncEvent{Kind: SyncRelease, Object: "s"})
+	sc0 := endSub(t, r, SyncEvent{Kind: SyncRelease, Object: g.InternObject("s")})
 	if got := sc0.Clock.Get(1); got != 1 {
 		t.Errorf("sub 0 clock[1] = %d, want 1 (1-based slots)", got)
 	}
@@ -112,7 +112,7 @@ func TestRecorderThreadSlotRange(t *testing.T) {
 func buildFigure1(t *testing.T) (*Graph, *SyncObject) {
 	t.Helper()
 	g := NewGraph(2)
-	lock := NewSyncObject("lock", 2, false)
+	lock := g.NewSyncObject("lock", false)
 
 	t1 := mustRecorder(t, g, 0)
 	t2 := mustRecorder(t, g, 1)
@@ -121,15 +121,15 @@ func buildFigure1(t *testing.T) (*Graph, *SyncObject) {
 	t1.OnRead(101)
 	t1.OnWrite(100)
 	t1.OnWrite(101)
-	t1.OnBranch("flag.if", true)
-	t1a := endSub(t, t1, SyncEvent{Kind: SyncRelease, Object: "lock"})
+	t1.OnBranch(g.InternSite("flag.if"), true)
+	t1a := endSub(t, t1, SyncEvent{Kind: SyncRelease, Object: g.InternObject("lock")})
 	t1.Release(lock, t1a)
 
 	// T2.a acquires, executes, releases.
 	t2.Acquire(lock)
 	t2.OnRead(100)
 	t2.OnWrite(101)
-	t2a := endSub(t, t2, SyncEvent{Kind: SyncRelease, Object: "lock"})
+	t2a := endSub(t, t2, SyncEvent{Kind: SyncRelease, Object: g.InternObject("lock")})
 	t2.Release(lock, t2a)
 
 	// T1.b acquires and executes.
@@ -254,14 +254,14 @@ func TestFigure1Queries(t *testing.T) {
 
 func TestMutexReplacesReleasers(t *testing.T) {
 	g := NewGraph(3)
-	m := NewSyncObject("m", 3, false)
+	m := g.NewSyncObject("m", false)
 	r0 := mustRecorder(t, g, 0)
 	r1 := mustRecorder(t, g, 1)
 	r2 := mustRecorder(t, g, 2)
 
-	s0 := endSub(t, r0, SyncEvent{Kind: SyncRelease, Object: "m"})
+	s0 := endSub(t, r0, SyncEvent{Kind: SyncRelease, Object: g.InternObject("m")})
 	r0.Release(m, s0)
-	s1 := endSub(t, r1, SyncEvent{Kind: SyncRelease, Object: "m"})
+	s1 := endSub(t, r1, SyncEvent{Kind: SyncRelease, Object: g.InternObject("m")})
 	r1.Release(m, s1)
 
 	// r2 acquires: with mutex semantics only the LAST release forms an
@@ -288,12 +288,12 @@ func TestMutexReplacesReleasers(t *testing.T) {
 
 func TestBarrierAccumulatesReleasers(t *testing.T) {
 	g := NewGraph(3)
-	b := NewSyncObject("bar", 3, true)
+	b := g.NewSyncObject("bar", true)
 	recs := []*Recorder{mustRecorder(t, g, 0), mustRecorder(t, g, 1), mustRecorder(t, g, 2)}
 
 	// All three arrive (release), then all three depart (acquire).
 	for _, r := range recs {
-		sc := endSub(t, r, SyncEvent{Kind: SyncRelease, Object: "bar"})
+		sc := endSub(t, r, SyncEvent{Kind: SyncRelease, Object: g.InternObject("bar")})
 		r.Release(b, sc)
 	}
 	for _, r := range recs {

@@ -1,0 +1,186 @@
+// Package cpgbench is the shared CPG-core benchmark harness: one set of
+// scenario bodies consumed both by internal/core's go-test suite and by
+// `inspector-bench -experiment cpg`, so the committed BENCH_cpg.json
+// snapshot measures exactly what `go test -bench` measures and the two
+// can never drift apart. Everything drives the public core API only, so
+// the same scenarios remain valid across store rewrites — the baseline
+// section of BENCH_cpg.json was produced by running these scenario
+// shapes against the pre-columnar (global-RWMutex, map-backed) core.
+package cpgbench
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/repro/inspector/internal/core"
+)
+
+const (
+	// endSubBatch is the sub-computations recorded per op in the EndSub
+	// scenarios; batching keeps the graph (which retains every vertex)
+	// freshly rebuilt each op so memory stays bounded at any b.N.
+	endSubBatch = 1000
+	// endSubWorkers is the recording-thread count of the parallel
+	// scenario. Serial and parallel record the same total work per op,
+	// so their ns/op are directly comparable: the gap is pure
+	// contention on the vertex-append path.
+	endSubWorkers = 8
+)
+
+func newRecorder(g *core.Graph, slot int) *core.Recorder {
+	r, err := core.NewRecorder(g, slot, 0)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// endSubs drives n sub-computations through one recorder: 4 reads, 4
+// writes, 2 branches, then the sync boundary.
+func endSubs(g *core.Graph, rec *core.Recorder, n int, pageBase uint64) {
+	sa := g.InternSite("bench.a")
+	sb := g.InternSite("bench.b")
+	ev := core.SyncEvent{Kind: core.SyncRelease, Object: g.InternObject("l")}
+	for i := 0; i < n; i++ {
+		p := pageBase + uint64(i%29)
+		rec.OnRead(p)
+		rec.OnRead(p + 3)
+		rec.OnRead(p + 7)
+		rec.OnRead(p + 11)
+		rec.OnWrite(p + 1)
+		rec.OnWrite(p + 5)
+		rec.OnWrite(p + 9)
+		rec.OnWrite(p + 13)
+		rec.OnBranch(sa, i%2 == 0)
+		rec.OnBranch(sb, i%3 == 0)
+		if _, err := rec.EndSub(ev, 0); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// BuildRandomGraph records a deterministic random execution: steps
+// sub-computations spread over threads recorders, each reading/writing rw
+// random pages in [0, pageRange) and transferring one mutex, which gives
+// the derivation a rich happens-before web.
+func BuildRandomGraph(threads, steps, pageRange, rw int, seed int64) *core.Graph {
+	r := rand.New(rand.NewSource(seed))
+	g := core.NewGraph(threads)
+	recs := make([]*core.Recorder, threads)
+	for i := range recs {
+		recs[i] = newRecorder(g, i)
+	}
+	lock := g.NewSyncObject("l", false)
+	ev := core.SyncEvent{Kind: core.SyncRelease, Object: lock.Ref()}
+	for s := 0; s < steps; s++ {
+		rec := recs[r.Intn(threads)]
+		for i := 0; i < rw; i++ {
+			rec.OnRead(uint64(r.Intn(pageRange)))
+			rec.OnWrite(uint64(r.Intn(pageRange)))
+		}
+		sc, err := rec.EndSub(ev, 0)
+		if err != nil {
+			panic(err)
+		}
+		rec.Release(lock, sc)
+		rec.Acquire(lock)
+	}
+	return g
+}
+
+// pageSetInput is the PageSet/add workload: 96 draws over 1024 pages
+// (duplicates included, as fault streams produce them).
+var pageSetInput = func() []uint64 {
+	r := rand.New(rand.NewSource(7))
+	out := make([]uint64, 96)
+	for i := range out {
+		out[i] = uint64(r.Intn(1024))
+	}
+	return out
+}()
+
+// Case is one benchmark scenario.
+type Case struct {
+	// Name follows the BENCH_cpg.json row naming ("EndSub/serial", ...).
+	Name string
+	// Bytes, when non-zero, is the payload size per op for MB/s.
+	Bytes int64
+	Fn    func(b *testing.B)
+}
+
+// Cases returns the CPG-core scenarios: the EndSub append path serial
+// and contended, the data-edge derivation sparse and dense, analysis
+// construction, a wide backward slice (the sortSubIDs regression), the
+// full invariant check, and the PageSet hot path.
+func Cases() []Case {
+	sparse := BuildRandomGraph(8, 2000, 64, 1, 42)
+	dense := BuildRandomGraph(8, 2000, 24, 4, 43)
+	wide := BuildRandomGraph(4, 4000, 16, 1, 44)
+	wideA := wide.Analyze()
+	var wideTarget core.SubID
+	for _, sc := range wide.Subs() {
+		if sc.ID.Thread == 0 {
+			wideTarget = sc.ID
+		}
+	}
+	sparseA := sparse.Analyze()
+
+	return []Case{
+		{Name: "EndSub/serial", Fn: func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g := core.NewGraph(endSubWorkers)
+				endSubs(g, newRecorder(g, 0), endSubBatch, 0)
+			}
+		}},
+		{Name: "EndSub/parallel8", Fn: func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g := core.NewGraph(endSubWorkers)
+				var wg sync.WaitGroup
+				for w := 0; w < endSubWorkers; w++ {
+					wg.Add(1)
+					go func(slot int) {
+						defer wg.Done()
+						endSubs(g, newRecorder(g, slot), endSubBatch/endSubWorkers, uint64(slot)*64)
+					}(w)
+				}
+				wg.Wait()
+			}
+		}},
+		{Name: "DataEdges/sparse", Fn: func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sparse.DataEdges()
+			}
+		}},
+		{Name: "DataEdges/dense", Fn: func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				dense.DataEdges()
+			}
+		}},
+		{Name: "Analyze/sparse", Fn: func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sparse.Analyze()
+			}
+		}},
+		{Name: "Slice/wide", Fn: func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				wideA.Slice(wideTarget)
+			}
+		}},
+		{Name: "Verify/sparse", Fn: func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := sparseA.Verify(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{Name: "PageSet/add", Fn: func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := core.NewPageSet()
+				for _, p := range pageSetInput {
+					s.Add(p)
+				}
+			}
+		}},
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// edgesEqual compares edge slices including page lists.
+func edgesEqual(a, b []Edge) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].From != b[i].From || a[i].To != b[i].To ||
+			a[i].Kind != b[i].Kind || a[i].Object != b[i].Object ||
+			len(a[i].Pages) != len(b[i].Pages) {
+			return false
+		}
+		for j := range a[i].Pages {
+			if a[i].Pages[j] != b[i].Pages[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestQuickDataEdgesMatchReference pins the indexed parallel derivation
+// to the retained reference implementation: identical edges (including
+// page lists) on random executions, at every worker count.
+func TestQuickDataEdgesMatchReference(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomExecution(t, r, 2+r.Intn(4), 1+r.Intn(3), 100+r.Intn(300))
+		subs := g.Subs()
+		want := dataEdgesReference(subs)
+		for _, workers := range []int{1, 2, 8} {
+			if !edgesEqual(deriveDataEdges(subs, workers), want) {
+				return false
+			}
+		}
+		return edgesEqual(g.DataEdges(), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDataEdgesParallelDeterministic re-derives the same large graph
+// repeatedly with the production worker count and asserts byte-stable
+// output (the worker pool must not leak scheduling into results).
+func TestDataEdgesParallelDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	g := randomExecution(t, r, 6, 2, 2000)
+	subs := g.Subs()
+	want := deriveDataEdges(subs, 1)
+	for i := 0; i < 4; i++ {
+		if !edgesEqual(deriveDataEdges(subs, 8), want) {
+			t.Fatalf("parallel derivation diverged on round %d", i)
+		}
+	}
+}
+
+// TestQuickAnalysisClosureMatchesMapAdjacency pins the CSR traversals to
+// a straightforward map-of-slices adjacency built inside the test (the
+// shape the pre-columnar Analysis stored).
+func TestQuickAnalysisClosureMatchesMapAdjacency(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomExecution(t, r, 2+r.Intn(3), 2, 100+r.Intn(150))
+		a := g.Analyze()
+		preds := make(map[SubID][]Edge)
+		succs := make(map[SubID][]Edge)
+		for _, e := range a.Edges() {
+			preds[e.To] = append(preds[e.To], e)
+			succs[e.From] = append(succs[e.From], e)
+		}
+		refClosure := func(id SubID, forward bool, kinds ...EdgeKind) []SubID {
+			seen := map[SubID]bool{id: true}
+			stack := []SubID{id}
+			var out []SubID
+			for len(stack) > 0 {
+				cur := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				adj := preds[cur]
+				if forward {
+					adj = succs[cur]
+				}
+				for _, e := range adj {
+					next := e.From
+					if forward {
+						next = e.To
+					}
+					if !kindIn(e.Kind, kinds) || seen[next] {
+						continue
+					}
+					seen[next] = true
+					out = append(out, next)
+					stack = append(stack, next)
+				}
+			}
+			sortSubIDs(out)
+			return out
+		}
+		idsEqual := func(a, b []SubID) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+			return true
+		}
+		for _, sc := range g.Subs() {
+			if !idsEqual(a.Ancestors(sc.ID), refClosure(sc.ID, false)) {
+				return false
+			}
+			if !idsEqual(a.Descendants(sc.ID), refClosure(sc.ID, true)) {
+				return false
+			}
+			if !idsEqual(a.TaintedBy(sc.ID), refClosure(sc.ID, true, EdgeData)) {
+				return false
+			}
+			if !idsEqual(a.Ancestors(sc.ID, EdgeControl, EdgeSync), refClosure(sc.ID, false, EdgeControl, EdgeSync)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -5,7 +5,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"slices"
 	"sort"
+
+	"github.com/repro/inspector/internal/vclock"
+	"github.com/repro/inspector/internal/vtime"
 )
 
 // MarshalJSON renders a PageSet as a sorted array of page IDs.
@@ -27,37 +31,148 @@ func (s *PageSet) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
+// The wire types below are the serialized forms of the graph. They mirror
+// the in-memory structures field for field but materialize every interned
+// ref as its string — refs are process-local, strings are the contract.
+// Field names and order reproduce the pre-columnar export exactly, so the
+// JSON artifacts are byte-identical to the seed implementation's; the gob
+// artifacts additionally became deterministic (the seed's map-backed page
+// sets encoded in random iteration order).
+
+// wireThunk is the serialized Thunk, with materialized site labels.
+type wireThunk struct {
+	Index        uint64
+	Site         string
+	Taken        bool
+	Indirect     bool
+	Target       string
+	Instructions uint64
+}
+
+// wireSyncEvent is the serialized SyncEvent, with a materialized object
+// name.
+type wireSyncEvent struct {
+	Kind   SyncOpKind
+	Object string
+}
+
+// wireSub is the serialized SubComputation. Page sets are sorted slices
+// (never nil: the JSON form renders empty sets as []); Thunks stays nil
+// for branchless sub-computations (rendered as null).
+type wireSub struct {
+	ID            SubID
+	Clock         vclock.Clock
+	ReadSet       []uint64
+	WriteSet      []uint64
+	Thunks        []wireThunk
+	End           wireSyncEvent
+	Start, Finish vtime.Cycles
+	Instructions  uint64
+}
+
 // Dump is the serializable form of a Graph.
 type Dump struct {
 	Threads   int
-	Subs      []*SubComputation
+	Subs      []*wireSub
 	SyncEdges []Edge
 }
 
-// Dump extracts the graph's full state.
+// Dump extracts the graph's full state in wire form.
 func (g *Graph) Dump() *Dump {
+	subs := g.Subs()
+	out := make([]*wireSub, len(subs))
+	for i, sc := range subs {
+		ws := &wireSub{
+			ID:           sc.ID,
+			Clock:        sc.Clock,
+			ReadSet:      sc.ReadSet.Sorted(),
+			WriteSet:     sc.WriteSet.Sorted(),
+			End:          wireSyncEvent{Kind: sc.End.Kind, Object: g.ObjectName(sc.End.Object)},
+			Start:        sc.Start,
+			Finish:       sc.Finish,
+			Instructions: sc.Instructions,
+		}
+		if len(sc.Thunks) > 0 {
+			ws.Thunks = make([]wireThunk, len(sc.Thunks))
+			for j, th := range sc.Thunks {
+				ws.Thunks[j] = wireThunk{
+					Index:        th.Index,
+					Site:         g.SiteName(th.Site),
+					Taken:        th.Taken,
+					Indirect:     th.Indirect,
+					Target:       g.SiteName(th.Target),
+					Instructions: th.Instructions,
+				}
+			}
+		}
+		out[i] = ws
+	}
 	return &Dump{
 		Threads:   g.Threads(),
-		Subs:      g.Subs(),
+		Subs:      out,
 		SyncEdges: g.SyncEdges(),
 	}
 }
 
-// FromDump reconstructs a Graph.
+// FromDump reconstructs a Graph, re-interning every symbol.
 func FromDump(d *Dump) (*Graph, error) {
 	g := NewGraph(d.Threads)
-	subs := make([]*SubComputation, len(d.Subs))
+	subs := make([]*wireSub, len(d.Subs))
 	copy(subs, d.Subs)
 	sort.Slice(subs, func(i, j int) bool { return subs[i].ID.Less(subs[j].ID) })
-	for _, sc := range subs {
+	for _, ws := range subs {
+		sc := &SubComputation{
+			ID:           ws.ID,
+			Clock:        ws.Clock,
+			ReadSet:      pageSetFromSorted(sortedPages(ws.ReadSet)),
+			WriteSet:     pageSetFromSorted(sortedPages(ws.WriteSet)),
+			End:          SyncEvent{Kind: ws.End.Kind, Object: g.InternObject(ws.End.Object)},
+			Start:        ws.Start,
+			Finish:       ws.Finish,
+			Instructions: ws.Instructions,
+		}
+		if len(ws.Thunks) > 0 {
+			sc.Thunks = make([]Thunk, len(ws.Thunks))
+			for j, th := range ws.Thunks {
+				sc.Thunks[j] = Thunk{
+					Index:        th.Index,
+					Site:         g.InternSite(th.Site),
+					Taken:        th.Taken,
+					Indirect:     th.Indirect,
+					Target:       g.InternSite(th.Target),
+					Instructions: th.Instructions,
+				}
+			}
+		}
 		if err := g.add(sc); err != nil {
 			return nil, err
 		}
 	}
-	g.mu.Lock()
-	g.syncEdges = append(g.syncEdges, d.SyncEdges...)
-	g.mu.Unlock()
+	for _, e := range d.SyncEdges {
+		if g.shard(e.To.Thread) == nil {
+			return nil, fmt.Errorf("core: sync edge to out-of-range thread %d", e.To.Thread)
+		}
+		g.addSyncEdge(e.From, e.To, g.InternObject(e.Object))
+	}
 	return g, nil
+}
+
+// sortedPages returns pages sorted and deduplicated (wire input from our
+// own encoders is already both; tolerate hand-edited files).
+func sortedPages(pages []uint64) []uint64 {
+	strict := true
+	for i := 1; i < len(pages); i++ {
+		if pages[i] <= pages[i-1] {
+			strict = false
+			break
+		}
+	}
+	if strict {
+		return pages
+	}
+	out := slices.Clone(pages)
+	slices.Sort(out)
+	return slices.Compact(out)
 }
 
 // EncodeGob serializes the graph in gob format.
@@ -122,7 +237,7 @@ func (g *Graph) WriteDOT(w io.Writer) error {
 			p("    %q [label=\"%s\\nR:%d W:%d\\nend:%s %s\"];\n",
 				sc.ID.String(), sc.ID.String(),
 				sc.ReadSet.Len(), sc.WriteSet.Len(),
-				sc.End.Kind, sc.End.Object)
+				sc.End.Kind, g.ObjectName(sc.End.Object))
 		}
 		p("  }\n")
 	}

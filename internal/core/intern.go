@@ -1,0 +1,28 @@
+package core
+
+import "github.com/repro/inspector/internal/intern"
+
+// SiteRef is an interned branch-site label (or indirect-transfer target).
+// The hot recording path stores refs, never strings: a Thunk carries two
+// 4-byte refs where it used to carry two 16-byte string headers, and
+// comparing or hashing a site is integer work. Ref 0 always names the
+// empty string.
+type SiteRef uint32
+
+// ObjRef is an interned synchronization-object name, with the same
+// conventions as SiteRef.
+type ObjRef uint32
+
+// Interner is the string intern table backing a Graph's site and object
+// symbols (the implementation lives in internal/intern so lower layers —
+// internal/image's label table — can reuse it without depending on the
+// provenance core; the image keeps its own instance because its ids
+// double as synthetic instruction addresses, see DESIGN.md).
+//
+// Intern order — and therefore the numeric value of a ref — may differ
+// between runs of a multithreaded program. Nothing exported depends on
+// it: every serialization materializes the string form.
+type Interner = intern.Interner
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner { return intern.New() }

@@ -17,10 +17,12 @@ func randomExecution(t *testing.T, r *rand.Rand, nThreads, nLocks, steps int) *G
 	for i := range recs {
 		recs[i] = mustRecorder(t, g, i)
 	}
+	site := g.InternSite("b")
+	lockObj := g.InternObject("lock")
 	locks := make([]*SyncObject, nLocks)
 	held := make([]int, nLocks) // -1 = free, else thread
 	for i := range locks {
-		locks[i] = NewSyncObject("lock", nThreads, false)
+		locks[i] = g.NewSyncObject("lock", false)
 		held[i] = -1
 	}
 	for s := 0; s < steps; s++ {
@@ -32,12 +34,12 @@ func randomExecution(t *testing.T, r *rand.Rand, nThreads, nLocks, steps int) *G
 		case 1:
 			rec.OnWrite(uint64(r.Intn(12)))
 		case 2:
-			rec.OnBranch("b", r.Intn(2) == 0)
+			rec.OnBranch(site, r.Intn(2) == 0)
 		case 3:
 			l := r.Intn(nLocks)
 			if held[l] == th {
 				// Release it.
-				sc, err := rec.EndSub(SyncEvent{Kind: SyncRelease, Object: "lock"}, 0)
+				sc, err := rec.EndSub(SyncEvent{Kind: SyncRelease, Object: lockObj}, 0)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -45,7 +47,7 @@ func randomExecution(t *testing.T, r *rand.Rand, nThreads, nLocks, steps int) *G
 				held[l] = -1
 			} else if held[l] == -1 {
 				// Acquire it.
-				if _, err := rec.EndSub(SyncEvent{Kind: SyncAcquire, Object: "lock"}, 0); err != nil {
+				if _, err := rec.EndSub(SyncEvent{Kind: SyncAcquire, Object: lockObj}, 0); err != nil {
 					t.Fatal(err)
 				}
 				rec.Acquire(locks[l])
@@ -208,35 +210,5 @@ func TestQuickExportRoundTripPreservesEdges(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Error(err)
-	}
-}
-
-func BenchmarkDataEdges(b *testing.B) {
-	r := rand.New(rand.NewSource(42))
-	g := NewGraph(8)
-	recs := make([]*Recorder, 8)
-	for i := range recs {
-		rec, err := NewRecorder(g, i, 0)
-		if err != nil {
-			b.Fatal(err)
-		}
-		recs[i] = rec
-	}
-	lock := NewSyncObject("l", 8, false)
-	for s := 0; s < 2000; s++ {
-		rec := recs[r.Intn(8)]
-		rec.OnRead(uint64(r.Intn(64)))
-		rec.OnWrite(uint64(r.Intn(64)))
-		sc, err := rec.EndSub(SyncEvent{Kind: SyncRelease, Object: "l"}, 0)
-		if err != nil {
-			b.Fatal(err)
-		}
-		rec.Release(lock, sc)
-		rec.Acquire(lock)
-	}
-	b.ResetTimer()
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		g.DataEdges()
 	}
 }

@@ -2,33 +2,95 @@ package core
 
 import (
 	"fmt"
+	"slices"
 
 	"github.com/repro/inspector/internal/vclock"
 )
 
 // Analysis is a queryable view of a completed CPG with precomputed edges
 // and adjacency. Build one with Graph.Analyze after recording finishes.
+//
+// Vertices are densely indexed in (thread, alpha) order — index(id) =
+// base[thread] + alpha — and adjacency is stored in compressed sparse row
+// form over that indexing: predecessor/successor lists are slices of
+// indices into the sorted edge slice, grouped per vertex by one offset
+// array. Traversals touch flat arrays and a []bool visited set instead of
+// the map-of-slices adjacency the pre-columnar core used.
 type Analysis struct {
 	g     *Graph
 	edges []Edge
-	preds map[SubID][]Edge
-	succs map[SubID][]Edge
+	// ids[i] is the SubID at dense index i; base[t] is thread t's first
+	// dense index; lens[t] its sequence length.
+	ids  []SubID
+	base []int32
+	lens []int
+
+	succOff, predOff   []int32
+	succEdge, predEdge []int32
 }
 
-// Analyze derives all edges and builds adjacency indexes.
+// Analyze derives all edges and builds the CSR adjacency indexes.
 func (g *Graph) Analyze() *Analysis {
-	a := &Analysis{
-		g:     g,
-		edges: g.Edges(),
-		preds: make(map[SubID][]Edge),
-		succs: make(map[SubID][]Edge),
+	a := &Analysis{g: g, edges: g.Edges(), lens: g.threadLens()}
+	a.base = make([]int32, len(a.lens)+1)
+	for t, n := range a.lens {
+		a.base[t+1] = a.base[t] + int32(n)
 	}
+	n := int(a.base[len(a.lens)])
+	a.ids = make([]SubID, n)
+	for t, ln := range a.lens {
+		for i := 0; i < ln; i++ {
+			a.ids[a.base[t]+int32(i)] = SubID{Thread: t, Alpha: uint64(i)}
+		}
+	}
+	// Counting sort of edge indices by From (successors) and To
+	// (predecessors). Edges whose endpoints are not recorded vertices
+	// (possible only in hand-built graphs; Verify reports them) are left
+	// out of the adjacency.
+	a.succOff = make([]int32, n+1)
+	a.predOff = make([]int32, n+1)
 	for _, e := range a.edges {
-		a.preds[e.To] = append(a.preds[e.To], e)
-		a.succs[e.From] = append(a.succs[e.From], e)
+		if vi, ok := a.vertexIndex(e.From); ok {
+			a.succOff[vi+1]++
+		}
+		if vi, ok := a.vertexIndex(e.To); ok {
+			a.predOff[vi+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		a.succOff[i+1] += a.succOff[i]
+		a.predOff[i+1] += a.predOff[i]
+	}
+	a.succEdge = make([]int32, a.succOff[n])
+	a.predEdge = make([]int32, a.predOff[n])
+	sFill := make([]int32, n)
+	pFill := make([]int32, n)
+	for ei, e := range a.edges {
+		if vi, ok := a.vertexIndex(e.From); ok {
+			a.succEdge[a.succOff[vi]+sFill[vi]] = int32(ei)
+			sFill[vi]++
+		}
+		if vi, ok := a.vertexIndex(e.To); ok {
+			a.predEdge[a.predOff[vi]+pFill[vi]] = int32(ei)
+			pFill[vi]++
+		}
 	}
 	return a
 }
+
+// vertexIndex maps a SubID to its dense index.
+func (a *Analysis) vertexIndex(id SubID) (int32, bool) {
+	if id.Thread < 0 || id.Thread >= len(a.lens) || id.Alpha >= uint64(a.lens[id.Thread]) {
+		return 0, false
+	}
+	return a.base[id.Thread] + int32(id.Alpha), true
+}
+
+// succs returns the edge indices leaving dense vertex vi.
+func (a *Analysis) succs(vi int32) []int32 { return a.succEdge[a.succOff[vi]:a.succOff[vi+1]] }
+
+// preds returns the edge indices entering dense vertex vi.
+func (a *Analysis) preds(vi int32) []int32 { return a.predEdge[a.predOff[vi]:a.predOff[vi+1]] }
 
 // Graph returns the underlying CPG.
 func (a *Analysis) Graph() *Graph { return a.g }
@@ -49,49 +111,58 @@ func kindIn(k EdgeKind, kinds []EdgeKind) bool {
 	return false
 }
 
-// Ancestors returns the backward closure of id over the selected edge
-// kinds (all kinds if none given), excluding id itself, ordered by
-// (thread, alpha).
-func (a *Analysis) Ancestors(id SubID, kinds ...EdgeKind) []SubID {
-	seen := map[SubID]bool{id: true}
-	stack := []SubID{id}
+// closure runs a DFS from id over the selected edge kinds, following
+// either predecessor or successor edges, and returns the visited vertex
+// ids (excluding id), ordered by (thread, alpha).
+func (a *Analysis) closure(id SubID, kinds []EdgeKind, forward bool) []SubID {
+	start, ok := a.vertexIndex(id)
+	if !ok {
+		return nil
+	}
+	seen := make([]bool, len(a.ids))
+	seen[start] = true
+	stack := []int32{start}
 	var out []SubID
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, e := range a.preds[cur] {
-			if !kindIn(e.Kind, kinds) || seen[e.From] {
+		edgeIdxs := a.preds(cur)
+		if forward {
+			edgeIdxs = a.succs(cur)
+		}
+		for _, ei := range edgeIdxs {
+			e := &a.edges[ei]
+			if !kindIn(e.Kind, kinds) {
 				continue
 			}
-			seen[e.From] = true
-			out = append(out, e.From)
-			stack = append(stack, e.From)
+			next := e.From
+			if forward {
+				next = e.To
+			}
+			ni, ok := a.vertexIndex(next)
+			if !ok || seen[ni] {
+				continue
+			}
+			seen[ni] = true
+			out = append(out, next)
+			stack = append(stack, ni)
 		}
 	}
 	sortSubIDs(out)
 	return out
 }
 
+// Ancestors returns the backward closure of id over the selected edge
+// kinds (all kinds if none given), excluding id itself, ordered by
+// (thread, alpha).
+func (a *Analysis) Ancestors(id SubID, kinds ...EdgeKind) []SubID {
+	return a.closure(id, kinds, false)
+}
+
 // Descendants returns the forward closure of id over the selected edge
 // kinds, excluding id itself.
 func (a *Analysis) Descendants(id SubID, kinds ...EdgeKind) []SubID {
-	seen := map[SubID]bool{id: true}
-	stack := []SubID{id}
-	var out []SubID
-	for len(stack) > 0 {
-		cur := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, e := range a.succs[cur] {
-			if !kindIn(e.Kind, kinds) || seen[e.To] {
-				continue
-			}
-			seen[e.To] = true
-			out = append(out, e.To)
-			stack = append(stack, e.To)
-		}
-	}
-	sortSubIDs(out)
-	return out
+	return a.closure(id, kinds, true)
 }
 
 // Slice returns the backward program slice of id: every sub-computation
@@ -105,8 +176,13 @@ func (a *Analysis) Slice(id SubID) []SubID {
 // may have come from: the maximal writers of p that happen-before `at`,
 // each paired with its own data-dependency ancestors.
 func (a *Analysis) PageLineage(p uint64, at SubID) []Lineage {
+	vi, ok := a.vertexIndex(at)
+	if !ok {
+		return nil
+	}
 	var out []Lineage
-	for _, e := range a.preds[at] {
+	for _, ei := range a.preds(vi) {
+		e := &a.edges[ei]
 		if e.Kind != EdgeData {
 			continue
 		}
@@ -144,14 +220,83 @@ func (a *Analysis) TaintedBy(source SubID) []SubID {
 	return a.Descendants(source, EdgeData)
 }
 
+// Path returns one dependency chain from `from` to `to` — the "why does B
+// depend on A" debugging query (§VIII) — as the sequence of edges of a
+// shortest such chain over the selected kinds (all kinds if none given).
+// It returns nil if no chain exists.
+func (a *Analysis) Path(from, to SubID, kinds ...EdgeKind) []Edge {
+	src, ok := a.vertexIndex(from)
+	if !ok {
+		return nil
+	}
+	dst, ok := a.vertexIndex(to)
+	if !ok {
+		return nil
+	}
+	if src == dst {
+		return nil
+	}
+	// BFS forward from src; parentEdge remembers the edge that first
+	// reached each vertex.
+	parentEdge := make([]int32, len(a.ids))
+	for i := range parentEdge {
+		parentEdge[i] = -1
+	}
+	queue := []int32{src}
+	found := false
+	for len(queue) > 0 && !found {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, ei := range a.succs(cur) {
+			e := &a.edges[ei]
+			if !kindIn(e.Kind, kinds) {
+				continue
+			}
+			ni, ok := a.vertexIndex(e.To)
+			if !ok || ni == src || parentEdge[ni] >= 0 {
+				continue
+			}
+			parentEdge[ni] = ei
+			if ni == dst {
+				found = true
+				break
+			}
+			queue = append(queue, ni)
+		}
+	}
+	if !found {
+		return nil
+	}
+	var chain []Edge
+	for cur := dst; cur != src; {
+		e := a.edges[parentEdge[cur]]
+		chain = append(chain, e)
+		cur, _ = a.vertexIndex(e.From)
+	}
+	slices.Reverse(chain)
+	return chain
+}
+
 // Verify checks structural invariants of the recorded CPG:
 //
 //  1. every edge agrees with the vector-clock happens-before order;
 //  2. the combined edge relation is acyclic;
-//  3. read/write sets only appear on recorded vertices.
+//  3. read/write sets only appear on recorded vertices: every vertex
+//     occupies the (thread, alpha) slot its ID names, and every data
+//     edge's pages are contained in the writer's write set and the
+//     reader's read set — no edge can smuggle in pages its endpoints
+//     never recorded.
 //
 // It returns nil if the graph is a valid CPG.
 func (a *Analysis) Verify() error {
+	// Invariant 3a: stored vertices sit at their recorded slots.
+	for t := 0; t < len(a.lens); t++ {
+		for i, sc := range a.g.ThreadSeq(t) {
+			if want := (SubID{Thread: t, Alpha: uint64(i)}); sc.ID != want {
+				return fmt.Errorf("core: vertex at slot %v records ID %v", want, sc.ID)
+			}
+		}
+	}
 	for _, e := range a.edges {
 		sa, ok := a.g.Sub(e.From)
 		if !ok {
@@ -160,6 +305,22 @@ func (a *Analysis) Verify() error {
 		sb, ok := a.g.Sub(e.To)
 		if !ok {
 			return fmt.Errorf("core: edge to unknown vertex %v", e.To)
+		}
+		// Invariant 3b: data-edge pages come from the endpoints' sets.
+		if e.Kind == EdgeData {
+			if len(e.Pages) == 0 {
+				return fmt.Errorf("core: data edge %v -> %v carries no pages", e.From, e.To)
+			}
+			for _, p := range e.Pages {
+				if !sa.WriteSet.Contains(p) {
+					return fmt.Errorf("core: data edge %v -> %v page %d not in writer's write set",
+						e.From, e.To, p)
+				}
+				if !sb.ReadSet.Contains(p) {
+					return fmt.Errorf("core: data edge %v -> %v page %d not in reader's read set",
+						e.From, e.To, p)
+				}
+			}
 		}
 		if e.From.Thread == e.To.Thread {
 			if e.From.Alpha >= e.To.Alpha {
@@ -177,17 +338,17 @@ func (a *Analysis) Verify() error {
 
 // checkAcyclic runs Kahn's algorithm over the explicit edge set.
 func (a *Analysis) checkAcyclic() error {
-	indeg := make(map[SubID]int)
-	for _, sc := range a.g.Subs() {
-		indeg[sc.ID] = 0
-	}
+	n := len(a.ids)
+	indeg := make([]int32, n)
 	for _, e := range a.edges {
-		indeg[e.To]++
+		if vi, ok := a.vertexIndex(e.To); ok {
+			indeg[vi]++
+		}
 	}
-	var queue []SubID
-	for id, d := range indeg {
+	var queue []int32
+	for i, d := range indeg {
 		if d == 0 {
-			queue = append(queue, id)
+			queue = append(queue, int32(i))
 		}
 	}
 	removed := 0
@@ -195,23 +356,38 @@ func (a *Analysis) checkAcyclic() error {
 		cur := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 		removed++
-		for _, e := range a.succs[cur] {
-			indeg[e.To]--
-			if indeg[e.To] == 0 {
-				queue = append(queue, e.To)
+		for _, ei := range a.succs(cur) {
+			vi, ok := a.vertexIndex(a.edges[ei].To)
+			if !ok {
+				continue
+			}
+			indeg[vi]--
+			if indeg[vi] == 0 {
+				queue = append(queue, vi)
 			}
 		}
 	}
-	if removed != len(indeg) {
-		return fmt.Errorf("core: CPG contains a cycle (%d of %d vertices sorted)", removed, len(indeg))
+	if removed != n {
+		return fmt.Errorf("core: CPG contains a cycle (%d of %d vertices sorted)", removed, n)
 	}
 	return nil
 }
 
+// sortSubIDs orders ids by (thread, alpha). The pre-columnar core used an
+// insertion sort here, which made Slice/TaintedBy quadratic on wide
+// closures (BenchmarkSliceWide pins the fix).
 func sortSubIDs(ids []SubID) {
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j].Less(ids[j-1]); j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
+	slices.SortFunc(ids, func(a, b SubID) int {
+		if a.Thread != b.Thread {
+			return a.Thread - b.Thread
 		}
-	}
+		switch {
+		case a.Alpha < b.Alpha:
+			return -1
+		case a.Alpha > b.Alpha:
+			return 1
+		default:
+			return 0
+		}
+	})
 }

@@ -15,6 +15,7 @@ import (
 // the threading library; this object only records causality.
 type SyncObject struct {
 	name string
+	ref  ObjRef
 
 	mu        sync.Mutex
 	clock     vclock.Clock
@@ -25,19 +26,25 @@ type SyncObject struct {
 	accumulate bool
 }
 
-// NewSyncObject creates the provenance state for object name with the
-// given vector-clock width. accumulate selects whether successive releases
-// pile up (barrier/cond/sem semantics) or replace (mutex semantics).
-func NewSyncObject(name string, threads int, accumulate bool) *SyncObject {
+// NewSyncObject creates the provenance state for object name, interned
+// into the graph's symbol table, with the graph's vector-clock width.
+// accumulate selects whether successive releases pile up (barrier/cond/
+// sem semantics) or replace (mutex semantics).
+func (g *Graph) NewSyncObject(name string, accumulate bool) *SyncObject {
 	return &SyncObject{
 		name:       name,
-		clock:      vclock.New(threads),
+		ref:        g.InternObject(name),
+		clock:      vclock.New(g.Threads()),
 		accumulate: accumulate,
 	}
 }
 
 // Name returns the object's name.
 func (s *SyncObject) Name() string { return s.name }
+
+// Ref returns the object's interned name; boundary events and schedule
+// edges carry this instead of the string.
+func (s *SyncObject) Ref() ObjRef { return s.ref }
 
 // release folds the releasing thread's clock into CS and records the
 // releasing sub-computation: ∀i: CS[i] <- max(CS[i], Ct[i]).
@@ -75,7 +82,8 @@ func (s *SyncObject) ResetReleasers() {
 // clock Ct, the sub-computation counter α, the thunk counter β, and the
 // in-progress sub-computation. A Recorder is owned by one thread; only the
 // SyncObject interactions synchronize with other threads — the algorithm's
-// decentralization property (§IV-B).
+// decentralization property (§IV-B). EndSub appends to the thread's own
+// graph shard, so the append path takes no global lock.
 type Recorder struct {
 	graph  *Graph
 	thread int
@@ -120,6 +128,9 @@ func (r *Recorder) Alpha() uint64 { return r.alpha }
 // must not mutate it).
 func (r *Recorder) Clock() vclock.Clock { return r.clock }
 
+// Graph returns the graph the recorder appends to.
+func (r *Recorder) Graph() *Graph { return r.graph }
+
 // Current returns the in-progress sub-computation's ID.
 func (r *Recorder) Current() SubID {
 	return SubID{Thread: r.thread, Alpha: r.alpha}
@@ -140,11 +151,9 @@ func (r *Recorder) startSub(now vtime.Cycles) {
 	r.instructions = 0
 	r.clock.Set(r.thread, r.alpha+1)
 	r.cur = &SubComputation{
-		ID:       SubID{Thread: r.thread, Alpha: r.alpha},
-		Clock:    r.clock.Copy(),
-		ReadSet:  NewPageSet(),
-		WriteSet: NewPageSet(),
-		Start:    now,
+		ID:    SubID{Thread: r.thread, Alpha: r.alpha},
+		Clock: r.clock.Copy(),
+		Start: now,
 	}
 	if r.thunkCap > 0 {
 		r.cur.Thunks = make([]Thunk, 0, r.thunkCap)
@@ -180,14 +189,16 @@ func (r *Recorder) closeThunk(th Thunk) {
 	r.instructions = 0
 }
 
-// OnBranch closes the current thunk with the branch that terminated it
-// and opens thunk β+1 (onBranchAccess in Algorithm 2).
-func (r *Recorder) OnBranch(site string, taken bool) {
+// OnBranch closes the current thunk with the (interned) branch site that
+// terminated it and opens thunk β+1 (onBranchAccess in Algorithm 2).
+func (r *Recorder) OnBranch(site SiteRef, taken bool) {
 	r.closeThunk(Thunk{Site: site, Taken: taken})
 }
 
-// OnIndirect is OnBranch for indirect transfers.
-func (r *Recorder) OnIndirect(site, target string) {
+// OnIndirect is OnBranch for indirect transfers. Target 0 (the empty
+// string) marks an unresolved destination; the PT decoder resolves
+// targets offline from the trace.
+func (r *Recorder) OnIndirect(site, target SiteRef) {
 	r.closeThunk(Thunk{Site: site, Indirect: true, Target: target})
 }
 
@@ -251,7 +262,7 @@ func (r *Recorder) Acquire(s *SyncObject) {
 			// Program order already covers this edge.
 			continue
 		}
-		r.graph.addSyncEdge(from, to, s.Name())
+		r.graph.addSyncEdge(from, to, s.Ref())
 	}
 }
 
@@ -268,7 +279,7 @@ func (r *Recorder) MergeAcquire(s *SyncObject) {
 // AddScheduleEdge records an explicit release -> acquire edge from a
 // known releaser to the recorder's current sub-computation, skipping
 // edges already implied by program order.
-func (r *Recorder) AddScheduleEdge(from SubID, object string) {
+func (r *Recorder) AddScheduleEdge(from SubID, object ObjRef) {
 	to := r.Current()
 	if from.Thread == to.Thread && from.Alpha+1 == to.Alpha {
 		return

@@ -1,0 +1,216 @@
+package harness
+
+// Cross-workload CPG export drift test. The columnar core refactor (interned
+// sites, compact page sets, sharded vertex store) must not move a single byte
+// of the exported provenance artifacts: testdata/cpg_drift.json pins the
+// SHA-256 of the JSON and DOT exports of every workload, single- and
+// multi-thread, as produced by the pre-refactor (seed) implementation.
+//
+// The JSON dump contains the complete graph state (IDs, clocks, read/write
+// sets, thunks with site labels, sync events, virtual times, sync edges), so
+// JSON byte-identity is full semantic identity. Two caveats, both properties
+// of the seed rather than of the refactor:
+//
+//   - Multi-thread runs of mutex-contended workloads are scheduling-dependent
+//     (which thread wins a lock changes the recorded vector clocks), so their
+//     exports legitimately differ run to run. The update mode runs every
+//     configuration three times and byte-pins only the stable ones; unstable
+//     configurations are pinned on their deterministic counters (vertex
+//     count) and still get the gob self-consistency checks.
+//   - The gob artifact cannot be byte-pinned against the seed at all: the
+//     seed's map-backed PageSet made gob bytes depend on map iteration order.
+//     The refactor fixes that (sorted page sets encode canonically); here gob
+//     is held to byte-determinism across encodes and to decoding back to
+//     exactly the JSON-pinned content.
+//
+// Regenerate after an intentional format change with:
+//
+//	go test ./internal/harness -run TestCPGExportDriftAgainstSeed -update-cpg-drift
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"github.com/repro/inspector/internal/core"
+	"github.com/repro/inspector/internal/threading"
+	"github.com/repro/inspector/internal/workloads"
+)
+
+var updateCPGDrift = flag.Bool("update-cpg-drift", false,
+	"rewrite testdata/cpg_drift.json from the current implementation")
+
+const driftPath = "testdata/cpg_drift.json"
+
+// driftEntry pins one workload configuration. Stable configurations carry
+// export hashes; scheduling-dependent ones only their deterministic counters.
+type driftEntry struct {
+	App     string `json:"app"`
+	Threads int    `json:"threads"`
+	Subs    int    `json:"subs"`
+	// Stable marks runs whose exports are byte-reproducible (three
+	// consecutive seed runs agreed).
+	Stable  bool   `json:"stable"`
+	JSONSHA string `json:"json_sha256,omitempty"`
+	DOTSHA  string `json:"dot_sha256,omitempty"`
+}
+
+type driftFile struct {
+	Note    string       `json:"note"`
+	Size    string       `json:"size"`
+	Seed    int64        `json:"seed"`
+	Entries []driftEntry `json:"entries"`
+}
+
+// exportCPG runs one configuration under INSPECTOR and returns the three
+// export artifacts plus the vertex count.
+func exportCPG(t *testing.T, app string, threads int) (jsonB, dotB, gobB []byte, subs int) {
+	t.Helper()
+	w, err := workloads.Get(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := workloads.Config{Size: workloads.Small, Threads: threads, Seed: 1}
+	rt, err := threading.NewRuntime(threading.Options{
+		AppName:    app,
+		Mode:       threading.ModeInspector,
+		MaxThreads: w.MaxThreads(cfg),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(rt, cfg); err != nil {
+		t.Fatalf("%s t=%d: %v", app, threads, err)
+	}
+	var jw, dw, gw bytes.Buffer
+	if err := rt.Graph().EncodeJSON(&jw); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Graph().WriteDOT(&dw); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Graph().EncodeGob(&gw); err != nil {
+		t.Fatal(err)
+	}
+	return jw.Bytes(), dw.Bytes(), gw.Bytes(), rt.Graph().NumSubs()
+}
+
+func sha(b []byte) string {
+	h := sha256.Sum256(b)
+	return hex.EncodeToString(h[:])
+}
+
+func updateDriftFile(t *testing.T) {
+	df := driftFile{
+		Note: "SHA-256 of CPG exports as produced by the pre-refactor (seed) core; " +
+			"stable=false marks scheduling-dependent multi-thread runs (pinned on counters only); " +
+			"see cpgdrift_test.go for the regeneration command",
+		Size: "small",
+		Seed: 1,
+	}
+	for _, app := range workloads.Names() {
+		for _, threads := range []int{1, 4} {
+			ent := driftEntry{App: app, Threads: threads, Stable: true}
+			for rep := 0; rep < 3; rep++ {
+				jsonB, dotB, _, subs := exportCPG(t, app, threads)
+				js, ds := sha(jsonB), sha(dotB)
+				if rep == 0 {
+					ent.JSONSHA, ent.DOTSHA, ent.Subs = js, ds, subs
+					continue
+				}
+				if subs != ent.Subs {
+					t.Fatalf("%s t=%d: vertex count varies across seed runs (%d vs %d)",
+						app, threads, subs, ent.Subs)
+				}
+				if js != ent.JSONSHA || ds != ent.DOTSHA {
+					ent.Stable = false
+				}
+			}
+			if !ent.Stable {
+				ent.JSONSHA, ent.DOTSHA = "", ""
+			}
+			df.Entries = append(df.Entries, ent)
+		}
+	}
+	data, err := json.MarshalIndent(df, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.MkdirAll(filepath.Dir(driftPath), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(driftPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stable := 0
+	for _, e := range df.Entries {
+		if e.Stable {
+			stable++
+		}
+	}
+	t.Logf("wrote %s (%d entries, %d byte-pinned)", driftPath, len(df.Entries), stable)
+}
+
+func TestCPGExportDriftAgainstSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload sweep")
+	}
+	if *updateCPGDrift {
+		updateDriftFile(t)
+		return
+	}
+
+	data, err := os.ReadFile(driftPath)
+	if err != nil {
+		t.Fatalf("missing pinned hashes (run with -update-cpg-drift to create): %v", err)
+	}
+	var df driftFile
+	if err := json.Unmarshal(data, &df); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range df.Entries {
+		want := want
+		t.Run(want.App+"/t"+strconv.Itoa(want.Threads), func(t *testing.T) {
+			jsonB, dotB, gobB, subs := exportCPG(t, want.App, want.Threads)
+			if subs != want.Subs {
+				t.Errorf("sub-computations = %d, seed recorded %d", subs, want.Subs)
+			}
+			if want.Stable {
+				if got := sha(jsonB); got != want.JSONSHA {
+					t.Errorf("JSON export drifted from seed: sha %s, want %s", got, want.JSONSHA)
+				}
+				if got := sha(dotB); got != want.DOTSHA {
+					t.Errorf("DOT export drifted from seed: sha %s, want %s", got, want.DOTSHA)
+				}
+			}
+			// Gob must decode back to exactly this run's content...
+			g, err := core.DecodeGob(bytes.NewReader(gobB))
+			if err != nil {
+				t.Fatalf("decode gob: %v", err)
+			}
+			var rejson bytes.Buffer
+			if err := g.EncodeJSON(&rejson); err != nil {
+				t.Fatal(err)
+			}
+			if got := sha(rejson.Bytes()); got != sha(jsonB) {
+				t.Errorf("gob round-trip disagrees with the JSON export")
+			}
+			// ...and, unlike the seed's map-backed encoding, be deterministic:
+			// re-encoding the decoded graph reproduces the bytes exactly.
+			var regob bytes.Buffer
+			if err := g.EncodeGob(&regob); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(gobB, regob.Bytes()) {
+				t.Error("gob export is not byte-deterministic")
+			}
+		})
+	}
+}

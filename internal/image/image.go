@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"github.com/repro/inspector/internal/intern"
 )
 
 // CodeBase is the synthetic text-segment base address. Branch sites are
@@ -75,22 +77,30 @@ func (s *Site) Addr() uint64 {
 // Image is the synthetic binary image: the set of branch sites and the
 // address mapping a PT decoder needs. It is shared by all threads of a
 // run and safe for concurrent use.
+//
+// The label table is an intern.Interner — the same string-intern machinery
+// that backs the CPG's symbol table — whose dense ids double as SiteIDs.
+// The image deliberately keeps its *own* interner rather than sharing the
+// graph's instance: SiteIDs feed the synthetic address scheme (Site.Addr)
+// and therefore the trace bytes, so they must be assigned only by site
+// registration order, never perturbed by sync-object names the graph
+// interns alongside.
 type Image struct {
-	mu      sync.RWMutex
-	sites   []*Site
-	byLabel map[string]SiteID
+	mu       sync.RWMutex
+	interner *intern.Interner
+	sites    []*Site
 }
 
 // New returns an empty image.
 func New() *Image {
-	return &Image{byLabel: make(map[string]SiteID)}
+	return &Image{interner: intern.New()}
 }
 
 // Site returns the site for label, registering it on first use. Kind must
 // be consistent across registrations of the same label.
 func (im *Image) Site(label string, kind SiteKind) (*Site, error) {
-	im.mu.RLock()
-	if id, ok := im.byLabel[label]; ok {
+	if id, ok := im.interner.Find(label); ok {
+		im.mu.RLock()
 		s := im.sites[id]
 		im.mu.RUnlock()
 		if s.Kind != kind {
@@ -98,20 +108,24 @@ func (im *Image) Site(label string, kind SiteKind) (*Site, error) {
 		}
 		return s, nil
 	}
-	im.mu.RUnlock()
 
 	im.mu.Lock()
 	defer im.mu.Unlock()
-	if id, ok := im.byLabel[label]; ok {
+	if id, ok := im.interner.Find(label); ok {
 		s := im.sites[id]
 		if s.Kind != kind {
 			return nil, fmt.Errorf("image: site %q registered as %v, requested %v", label, s.Kind, kind)
 		}
 		return s, nil
 	}
-	s := &Site{ID: SiteID(len(im.sites)), Label: label, Kind: kind}
+	id := im.interner.Intern(label)
+	if int(id) != len(im.sites) {
+		// The interner is private to the image, so ids track the site
+		// slice exactly; a gap means a bug, not a recoverable state.
+		panic(fmt.Sprintf("image: interner id %d does not match site count %d", id, len(im.sites)))
+	}
+	s := &Site{ID: SiteID(id), Label: label, Kind: kind}
 	im.sites = append(im.sites, s)
-	im.byLabel[label] = s.ID
 	return s, nil
 }
 
@@ -157,12 +171,13 @@ func (im *Image) ByAddr(addr uint64) *Site {
 
 // ByLabel returns the site registered under label, or nil.
 func (im *Image) ByLabel(label string) *Site {
+	id, ok := im.interner.Find(label)
+	if !ok {
+		return nil
+	}
 	im.mu.RLock()
 	defer im.mu.RUnlock()
-	if id, ok := im.byLabel[label]; ok {
-		return im.sites[id]
-	}
-	return nil
+	return im.sites[id]
 }
 
 // Len returns the number of registered sites.
@@ -174,12 +189,7 @@ func (im *Image) Len() int {
 
 // Labels returns all registered labels in sorted order.
 func (im *Image) Labels() []string {
-	im.mu.RLock()
-	out := make([]string, 0, len(im.byLabel))
-	for l := range im.byLabel {
-		out = append(out, l)
-	}
-	im.mu.RUnlock()
+	out := im.interner.Snapshot()
 	sort.Strings(out)
 	return out
 }

@@ -64,10 +64,30 @@ type Snapshot struct {
 	Subs []*core.SubComputation
 	// SyncEdges are the schedule edges fully inside the cut.
 	SyncEdges []core.Edge
+	// Symbols is the graph's interned symbol table at capture time, so an
+	// offline consumer can resolve the SiteRef/ObjRef fields the vertices
+	// carry without the live graph.
+	Symbols []string
 	// PTWindows holds the captured AUX window per process.
 	PTWindows map[int32][]byte
 	// TruncatedPT reports PT bytes dropped to fit the slot budget.
 	TruncatedPT uint64
+}
+
+// SiteName resolves an interned site ref against the captured symbols.
+func (s *Snapshot) SiteName(ref core.SiteRef) string {
+	if int(ref) >= len(s.Symbols) {
+		return ""
+	}
+	return s.Symbols[ref]
+}
+
+// ObjectName resolves an interned object ref against the captured symbols.
+func (s *Snapshot) ObjectName(ref core.ObjRef) string {
+	if int(ref) >= len(s.Symbols) {
+		return ""
+	}
+	return s.Symbols[ref]
 }
 
 // Bytes estimates the slot's storage footprint.
@@ -165,7 +185,7 @@ func (s *Snapshotter) TakeSnapshot() *Snapshot {
 		cut.Time = s.clock()
 	}
 
-	snap := &Snapshot{Cut: cut, PTWindows: make(map[int32][]byte)}
+	snap := &Snapshot{Cut: cut, Symbols: g.Symbols(), PTWindows: make(map[int32][]byte)}
 	for _, sc := range g.Subs() {
 		if cut.Contains(sc.ID) {
 			snap.Subs = append(snap.Subs, sc)

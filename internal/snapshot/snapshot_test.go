@@ -27,7 +27,7 @@ func (f *fakeSource) SyncSeq() uint64        { return f.seq }
 func buildGraph(t *testing.T) *core.Graph {
 	t.Helper()
 	g := core.NewGraph(2)
-	lock := core.NewSyncObject("lock", 2, false)
+	lock := g.NewSyncObject("lock", false)
 	r0, err := core.NewRecorder(g, 0, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -36,12 +36,12 @@ func buildGraph(t *testing.T) *core.Graph {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s0, err := r0.EndSub(core.SyncEvent{Kind: core.SyncRelease, Object: "lock"}, 0)
+	s0, err := r0.EndSub(core.SyncEvent{Kind: core.SyncRelease, Object: g.InternObject("lock")}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	r0.Release(lock, s0)
-	if _, err := r1.EndSub(core.SyncEvent{Kind: core.SyncAcquire, Object: "lock"}, 0); err != nil {
+	if _, err := r1.EndSub(core.SyncEvent{Kind: core.SyncAcquire, Object: g.InternObject("lock")}, 0); err != nil {
 		t.Fatal(err)
 	}
 	r1.Acquire(lock)
@@ -77,7 +77,7 @@ func TestCutRetreatsDanglingAcquire(t *testing.T) {
 	// releaser's is NOT (simulates capture racing a slow thread):
 	// the cut must exclude the acquire.
 	g := core.NewGraph(2)
-	lock := core.NewSyncObject("lock", 2, false)
+	lock := g.NewSyncObject("lock", false)
 	r1, err := core.NewRecorder(g, 1, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -86,7 +86,7 @@ func TestCutRetreatsDanglingAcquire(t *testing.T) {
 	// graph (thread 0 hasn't completed it yet).
 	ghost := &core.SubComputation{ID: core.SubID{Thread: 0, Alpha: 5}, Clock: nil}
 	lockRelease(lock, ghost)
-	if _, err := r1.EndSub(core.SyncEvent{Kind: core.SyncAcquire, Object: "lock"}, 0); err != nil {
+	if _, err := r1.EndSub(core.SyncEvent{Kind: core.SyncAcquire, Object: g.InternObject("lock")}, 0); err != nil {
 		t.Fatal(err)
 	}
 	r1.Acquire(lock)
@@ -273,21 +273,21 @@ func TestQuickCutAlwaysConsistent(t *testing.T) {
 			}
 			recs[i] = rec
 		}
-		lock := core.NewSyncObject("l", 3, false)
+		lock := g.NewSyncObject("l", false)
 		held := -1
 		for step := 0; step < 60; step++ {
 			th := r.Intn(3)
 			rec := recs[th]
 			switch {
 			case held == th:
-				sc, err := rec.EndSub(core.SyncEvent{Kind: core.SyncRelease, Object: "l"}, 0)
+				sc, err := rec.EndSub(core.SyncEvent{Kind: core.SyncRelease, Object: g.InternObject("l")}, 0)
 				if err != nil {
 					return false
 				}
 				rec.Release(lock, sc)
 				held = -1
 			case held == -1 && r.Intn(2) == 0:
-				if _, err := rec.EndSub(core.SyncEvent{Kind: core.SyncAcquire, Object: "l"}, 0); err != nil {
+				if _, err := rec.EndSub(core.SyncEvent{Kind: core.SyncAcquire, Object: g.InternObject("l")}, 0); err != nil {
 					return false
 				}
 				rec.Acquire(lock)

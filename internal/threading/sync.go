@@ -24,7 +24,7 @@ func (rt *Runtime) NewMutex(name string) *Mutex {
 	return &Mutex{
 		rt:   rt,
 		name: name,
-		obj:  core.NewSyncObject("mutex:"+name, rt.opts.MaxThreads, false),
+		obj:  rt.graph.NewSyncObject("mutex:"+name, false),
 	}
 }
 
@@ -34,7 +34,7 @@ func (m *Mutex) Name() string { return m.name }
 // Lock acquires the mutex (an acquire operation in the RC model).
 func (m *Mutex) Lock(t *Thread) {
 	if t.rec != nil {
-		t.syncBoundary(core.SyncEvent{Kind: core.SyncAcquire, Object: m.obj.Name()})
+		t.syncBoundary(core.SyncEvent{Kind: core.SyncAcquire, Object: m.obj.Ref()})
 	} else {
 		t.charge(CatApp, t.rt.model.SyncOp)
 	}
@@ -48,7 +48,7 @@ func (m *Mutex) Lock(t *Thread) {
 // Unlock releases the mutex (a release operation in the RC model).
 func (m *Mutex) Unlock(t *Thread) {
 	if t.rec != nil {
-		sub := t.syncBoundary(core.SyncEvent{Kind: core.SyncRelease, Object: m.obj.Name()})
+		sub := t.syncBoundary(core.SyncEvent{Kind: core.SyncRelease, Object: m.obj.Ref()})
 		t.rec.Release(m.obj, sub)
 	} else {
 		t.charge(CatApp, t.rt.model.SyncOp)
@@ -85,7 +85,7 @@ func (rt *Runtime) NewBarrier(name string, n int) *Barrier {
 		rt:   rt,
 		name: name,
 		n:    n,
-		obj:  core.NewSyncObject("barrier:"+name, rt.opts.MaxThreads, true),
+		obj:  rt.graph.NewSyncObject("barrier:"+name, true),
 		gate: make(chan struct{}),
 	}
 }
@@ -98,7 +98,7 @@ func (b *Barrier) Wait(t *Thread) {
 	// Arrival: release.
 	var sub *core.SubComputation
 	if t.rec != nil {
-		sub = t.syncBoundary(core.SyncEvent{Kind: core.SyncRelease, Object: b.obj.Name()})
+		sub = t.syncBoundary(core.SyncEvent{Kind: core.SyncRelease, Object: b.obj.Ref()})
 		t.rec.Release(b.obj, sub)
 	} else {
 		t.charge(CatApp, t.rt.model.SyncOp)
@@ -137,7 +137,7 @@ func (b *Barrier) Wait(t *Thread) {
 			if from.Thread == t.p.Slot {
 				continue
 			}
-			t.rec.AddScheduleEdge(from, b.obj.Name())
+			t.rec.AddScheduleEdge(from, b.obj.Ref())
 		}
 		t.charge(CatThreading, vtime.Cycles(t.rt.opts.MaxThreads)*t.rt.model.VectorClockPerSlot)
 	}
@@ -158,7 +158,7 @@ func (rt *Runtime) NewSemaphore(name string, initial int) *Semaphore {
 		rt:   rt,
 		name: name,
 		ch:   make(chan struct{}, 1<<20),
-		obj:  core.NewSyncObject("sem:"+name, rt.opts.MaxThreads, true),
+		obj:  rt.graph.NewSyncObject("sem:"+name, true),
 	}
 	for i := 0; i < initial; i++ {
 		s.ch <- struct{}{}
@@ -172,7 +172,7 @@ func (s *Semaphore) Name() string { return s.name }
 // Post increments the semaphore (release).
 func (s *Semaphore) Post(t *Thread) {
 	if t.rec != nil {
-		sub := t.syncBoundary(core.SyncEvent{Kind: core.SyncRelease, Object: s.obj.Name()})
+		sub := t.syncBoundary(core.SyncEvent{Kind: core.SyncRelease, Object: s.obj.Ref()})
 		t.rec.Release(s.obj, sub)
 	} else {
 		t.charge(CatApp, t.rt.model.SyncOp)
@@ -184,7 +184,7 @@ func (s *Semaphore) Post(t *Thread) {
 // Wait decrements the semaphore, blocking at zero (acquire).
 func (s *Semaphore) Wait(t *Thread) {
 	if t.rec != nil {
-		t.syncBoundary(core.SyncEvent{Kind: core.SyncAcquire, Object: s.obj.Name()})
+		t.syncBoundary(core.SyncEvent{Kind: core.SyncAcquire, Object: s.obj.Ref()})
 	} else {
 		t.charge(CatApp, t.rt.model.SyncOp)
 	}
@@ -212,7 +212,7 @@ func (rt *Runtime) NewCond(name string, m *Mutex) *Cond {
 		name: name,
 		m:    m,
 		c:    sync.NewCond(&m.mu),
-		obj:  core.NewSyncObject("cond:"+name, rt.opts.MaxThreads, true),
+		obj:  rt.graph.NewSyncObject("cond:"+name, true),
 	}
 }
 
@@ -223,7 +223,7 @@ func (c *Cond) Name() string { return c.name }
 // re-acquires the mutex: release(m); ...; acquire(c); acquire(m).
 func (c *Cond) Wait(t *Thread) {
 	if t.rec != nil {
-		sub := t.syncBoundary(core.SyncEvent{Kind: core.SyncRelease, Object: c.m.obj.Name()})
+		sub := t.syncBoundary(core.SyncEvent{Kind: core.SyncRelease, Object: c.m.obj.Ref()})
 		t.rec.Release(c.m.obj, sub)
 	} else {
 		t.charge(CatApp, t.rt.model.SyncOp)
@@ -245,7 +245,7 @@ func (c *Cond) Wait(t *Thread) {
 // the same.
 func (c *Cond) Signal(t *Thread) {
 	if t.rec != nil {
-		sub := t.syncBoundary(core.SyncEvent{Kind: core.SyncRelease, Object: c.obj.Name()})
+		sub := t.syncBoundary(core.SyncEvent{Kind: core.SyncRelease, Object: c.obj.Ref()})
 		t.rec.Release(c.obj, sub)
 	} else {
 		t.charge(CatApp, t.rt.model.SyncOp)
@@ -257,7 +257,7 @@ func (c *Cond) Signal(t *Thread) {
 // Broadcast wakes all waiters.
 func (c *Cond) Broadcast(t *Thread) {
 	if t.rec != nil {
-		sub := t.syncBoundary(core.SyncEvent{Kind: core.SyncRelease, Object: c.obj.Name()})
+		sub := t.syncBoundary(core.SyncEvent{Kind: core.SyncRelease, Object: c.obj.Ref()})
 		t.rec.Release(c.obj, sub)
 	} else {
 		t.charge(CatApp, t.rt.model.SyncOp)

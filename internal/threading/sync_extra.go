@@ -24,7 +24,7 @@ func (rt *Runtime) NewRWMutex(name string) *RWMutex {
 	return &RWMutex{
 		rt:   rt,
 		name: name,
-		obj:  core.NewSyncObject("rwlock:"+name, rt.opts.MaxThreads, false),
+		obj:  rt.graph.NewSyncObject("rwlock:"+name, false),
 	}
 }
 
@@ -34,7 +34,7 @@ func (rw *RWMutex) Name() string { return rw.name }
 // Lock acquires the lock exclusively (write side).
 func (rw *RWMutex) Lock(t *Thread) {
 	if t.rec != nil {
-		t.syncBoundary(core.SyncEvent{Kind: core.SyncAcquire, Object: rw.obj.Name()})
+		t.syncBoundary(core.SyncEvent{Kind: core.SyncAcquire, Object: rw.obj.Ref()})
 	} else {
 		t.charge(CatApp, t.rt.model.SyncOp)
 	}
@@ -48,7 +48,7 @@ func (rw *RWMutex) Lock(t *Thread) {
 // Unlock releases the exclusive lock.
 func (rw *RWMutex) Unlock(t *Thread) {
 	if t.rec != nil {
-		sub := t.syncBoundary(core.SyncEvent{Kind: core.SyncRelease, Object: rw.obj.Name()})
+		sub := t.syncBoundary(core.SyncEvent{Kind: core.SyncRelease, Object: rw.obj.Ref()})
 		t.rec.Release(rw.obj, sub)
 	} else {
 		t.charge(CatApp, t.rt.model.SyncOp)
@@ -61,7 +61,7 @@ func (rw *RWMutex) Unlock(t *Thread) {
 // publication.
 func (rw *RWMutex) RLock(t *Thread) {
 	if t.rec != nil {
-		t.syncBoundary(core.SyncEvent{Kind: core.SyncAcquire, Object: rw.obj.Name()})
+		t.syncBoundary(core.SyncEvent{Kind: core.SyncAcquire, Object: rw.obj.Ref()})
 	} else {
 		t.charge(CatApp, t.rt.model.SyncOp)
 	}
@@ -77,7 +77,7 @@ func (rw *RWMutex) RLock(t *Thread) {
 // not publish causality into the lock object.
 func (rw *RWMutex) RUnlock(t *Thread) {
 	if t.rec != nil {
-		t.syncBoundary(core.SyncEvent{Kind: core.SyncRelease, Object: rw.obj.Name()})
+		t.syncBoundary(core.SyncEvent{Kind: core.SyncRelease, Object: rw.obj.Ref()})
 	} else {
 		t.charge(CatApp, t.rt.model.SyncOp)
 	}
@@ -98,7 +98,7 @@ func (m *Mutex) TryLock(t *Thread) bool {
 	// sub-computation split happens after the successful CAS, which is
 	// safe because no blocking occurred.
 	if t.rec != nil {
-		t.syncBoundary(core.SyncEvent{Kind: core.SyncAcquire, Object: m.obj.Name()})
+		t.syncBoundary(core.SyncEvent{Kind: core.SyncAcquire, Object: m.obj.Ref()})
 	} else {
 		t.charge(CatApp, t.rt.model.SyncOp)
 	}
@@ -125,7 +125,7 @@ func (rt *Runtime) NewOnce(name string) *Once {
 	return &Once{
 		rt:   rt,
 		name: name,
-		obj:  core.NewSyncObject("once:"+name, rt.opts.MaxThreads, false),
+		obj:  rt.graph.NewSyncObject("once:"+name, false),
 	}
 }
 
@@ -133,7 +133,7 @@ func (rt *Runtime) NewOnce(name string) *Once {
 // with the initializer's completion.
 func (o *Once) Do(t *Thread, fn func(*Thread)) {
 	if t.rec != nil {
-		t.syncBoundary(core.SyncEvent{Kind: core.SyncAcquire, Object: o.obj.Name()})
+		t.syncBoundary(core.SyncEvent{Kind: core.SyncAcquire, Object: o.obj.Ref()})
 	} else {
 		t.charge(CatApp, t.rt.model.SyncOp)
 	}
@@ -142,7 +142,7 @@ func (o *Once) Do(t *Thread, fn func(*Thread)) {
 		fn(t)
 		o.done = true
 		if t.rec != nil {
-			sub := t.syncBoundary(core.SyncEvent{Kind: core.SyncRelease, Object: o.obj.Name()})
+			sub := t.syncBoundary(core.SyncEvent{Kind: core.SyncRelease, Object: o.obj.Ref()})
 			t.rec.Release(o.obj, sub)
 		}
 		o.vt.Release(t.clk.Now())

@@ -176,7 +176,7 @@ func TestThunksMatchPTDecode(t *testing.T) {
 		var recorded []ev
 		for _, sc := range rt.Graph().ThreadSeq(slot) {
 			for _, th := range sc.Thunks {
-				recorded = append(recorded, ev{site: th.Site, taken: th.Taken, indirect: th.Indirect})
+				recorded = append(recorded, ev{site: rt.Graph().SiteName(th.Site), taken: th.Taken, indirect: th.Indirect})
 			}
 		}
 		// Decode the same thread's PT stream.

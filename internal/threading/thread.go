@@ -42,12 +42,15 @@ type Thread struct {
 	lastPTBytes uint64
 
 	// condSites/indSites cache label -> site resolutions per thread, so
-	// the per-branch path skips the image's RWMutex + shared map. Kind
+	// the per-branch path skips the image's RWMutex + shared map. Each
+	// entry pairs the image site (for the PT tracer) with the CPG's
+	// interned site ref (for the recorder), so a branch resolves both
+	// with one lookup and the recorder never sees a string. Kind
 	// consistency still holds: each cache is only ever filled through
 	// MustSite with its own kind, so a label misused across kinds fails
 	// on its first use exactly as before.
-	condSites map[string]*image.Site
-	indSites  map[string]*image.Site
+	condSites map[string]cachedSite
+	indSites  map[string]cachedSite
 
 	appCycles       vtime.Cycles
 	threadingCycles vtime.Cycles
@@ -60,6 +63,13 @@ type Thread struct {
 	joinCh   chan struct{}
 	joinSub  core.SubID
 	finished bool
+}
+
+// cachedSite is one thread-local site-cache entry: the image site the PT
+// encoder needs and the interned ref the CPG recorder stores.
+type cachedSite struct {
+	site *image.Site
+	ref  core.SiteRef
 }
 
 // faultSink routes protection faults into the thread's recorder and cost
@@ -141,11 +151,11 @@ func (rt *Runtime) newThread(parent *Thread, slot int, name string) (*Thread, er
 			return nil, err
 		}
 		t.tracer = tracer
-		t.condSites = make(map[string]*image.Site)
-		t.indSites = make(map[string]*image.Site)
+		t.condSites = make(map[string]cachedSite)
+		t.indSites = make(map[string]cachedSite)
 	}
 
-	t.joinObj = core.NewSyncObject(fmt.Sprintf("join:t%d", slot), rt.opts.MaxThreads, false)
+	t.joinObj = rt.graph.NewSyncObject(fmt.Sprintf("join:t%d", slot), false)
 	t.joinVT = &vtime.SyncPoint{}
 	t.joinCh = make(chan struct{})
 
@@ -366,13 +376,16 @@ func (t *Thread) Branch(label string, cond bool) bool {
 	t.branches++
 	t.charge(CatApp, t.rt.model.Branch)
 	if t.rec != nil {
-		t.rec.OnBranch(label, cond)
-		site := t.condSites[label]
-		if site == nil {
-			site = t.rt.img.MustSite(label, image.Conditional)
-			t.condSites[label] = site
+		cs, ok := t.condSites[label]
+		if !ok {
+			cs = cachedSite{
+				site: t.rt.img.MustSite(label, image.Conditional),
+				ref:  t.rt.graph.InternSite(label),
+			}
+			t.condSites[label] = cs
 		}
-		t.tracer.OnCond(site, cond)
+		t.rec.OnBranch(cs.ref, cond)
+		t.tracer.OnCond(cs.site, cond)
 		t.charge(CatPT, t.rt.model.PTBranchOverhead)
 		t.chargePTBytes()
 	}
@@ -385,16 +398,19 @@ func (t *Thread) Indirect(label string) {
 	t.branches++
 	t.charge(CatApp, t.rt.model.Branch)
 	if t.rec != nil {
-		site := t.indSites[label]
-		if site == nil {
-			site = t.rt.img.MustSite(label, image.Indirect)
-			t.indSites[label] = site
+		cs, ok := t.indSites[label]
+		if !ok {
+			cs = cachedSite{
+				site: t.rt.img.MustSite(label, image.Indirect),
+				ref:  t.rt.graph.InternSite(label),
+			}
+			t.indSites[label] = cs
 		}
 		// The indirect's target is the next executed site; the recorder
-		// thunk records the site now and the tracer resolves the target
-		// from the following event.
-		t.rec.OnIndirect(label, "")
-		t.tracer.OnIndirect(site)
+		// thunk records the site now (target ref 0 = unresolved) and the
+		// tracer resolves the target from the following event.
+		t.rec.OnIndirect(cs.ref, 0)
+		t.tracer.OnIndirect(cs.site)
 		t.charge(CatPT, t.rt.model.PTBranchOverhead)
 		t.chargePTBytes()
 	}
@@ -475,13 +491,13 @@ func (t *Thread) Spawn(fn func(*Thread)) *Thread {
 	if err != nil {
 		panic(fmt.Sprintf("thread %d: spawn: %v", t.p.Slot, err))
 	}
-	spawnObj := core.NewSyncObject(fmt.Sprintf("spawn:t%d", slot), rt.opts.MaxThreads, false)
+	spawnObj := rt.graph.NewSyncObject(fmt.Sprintf("spawn:t%d", slot), false)
 	spawnVT := &vtime.SyncPoint{}
 
 	// Parent side: the spawn is a release to the child.
 	if rt.opts.Mode == ModeInspector {
 		t.charge(CatThreading, rt.model.ProcessSpawn)
-		sub := t.syncBoundary(core.SyncEvent{Kind: core.SyncRelease, Object: spawnObj.Name()})
+		sub := t.syncBoundary(core.SyncEvent{Kind: core.SyncRelease, Object: spawnObj.Ref()})
 		t.rec.Release(spawnObj, sub)
 	} else {
 		t.charge(CatApp, rt.model.ThreadSpawn)
@@ -514,7 +530,7 @@ func (t *Thread) Spawn(fn func(*Thread)) *Thread {
 // Join blocks until the child thread finishes — the pthread_join wrapper.
 func (t *Thread) Join(child *Thread) {
 	if t.rec != nil {
-		t.syncBoundary(core.SyncEvent{Kind: core.SyncAcquire, Object: child.joinObj.Name()})
+		t.syncBoundary(core.SyncEvent{Kind: core.SyncAcquire, Object: child.joinObj.Ref()})
 	} else {
 		t.charge(CatApp, t.rt.model.SyncOp)
 	}
@@ -533,7 +549,7 @@ func (t *Thread) finish() {
 	}
 	t.finished = true
 	if t.rec != nil {
-		sub := t.syncBoundary(core.SyncEvent{Kind: core.SyncRelease, Object: t.joinObj.Name()})
+		sub := t.syncBoundary(core.SyncEvent{Kind: core.SyncRelease, Object: t.joinObj.Ref()})
 		t.rec.Release(t.joinObj, sub)
 		t.joinSub = sub.ID
 		t.tracer.Close()
