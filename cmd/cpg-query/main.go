@@ -1,5 +1,6 @@
 // Command cpg-query runs provenance queries against a Concurrent
-// Provenance Graph saved by inspector-run (gob format).
+// Provenance Graph saved by inspector-run (gob format), or against a
+// running inspector-serve daemon.
 //
 // Usage:
 //
@@ -10,14 +11,25 @@
 //	cpg-query -cpg run.gob lineage <page> T1.3
 //	cpg-query -cpg run.gob [-format json] edges [control|sync|data]
 //	cpg-query -cpg run.gob [-format json] path T0.0 T1.3
+//	cpg-query -remote http://localhost:7070 [-id run] slice T1.3
 //
 // path prints one dependency chain between two sub-computations — the
 // "why does B depend on A" debugging query of the paper's §VIII case
 // studies. -format json switches any subcommand's output to JSON for
 // downstream tooling.
+//
+// Every subcommand is a thin rendering of one provenance.Query: with
+// -cpg the query executes in process (local engine), with -remote it is
+// sent to an inspector-serve daemon speaking the same provenance/v1
+// wire format, and the two modes produce identical bytes. -id selects
+// the graph when the daemon serves several (defaults to the only one).
+//
+// Exit codes: 0 success, 1 query error (unreadable graph, failed
+// verification, no dependency chain, server error), 2 usage error.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -28,13 +40,51 @@ import (
 	"strings"
 
 	"github.com/repro/inspector/internal/core"
+	"github.com/repro/inspector/provenance"
 )
+
+// newFlagSet builds the command's flag set.
+func newFlagSet() *flag.FlagSet {
+	return flag.NewFlagSet("cpg-query", flag.ContinueOnError)
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "cpg-query:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
+}
+
+// usageError marks errors in how the command was invoked, as opposed to
+// errors answering a well-formed query.
+type usageError struct{ err error }
+
+func (u *usageError) Error() string { return u.err.Error() }
+func (u *usageError) Unwrap() error { return u.err }
+
+// usagef builds a usageError.
+func usagef(format string, args ...any) error {
+	return &usageError{err: fmt.Errorf(format, args...)}
+}
+
+// exitCode maps an error to the process exit status: 2 for usage
+// errors, 1 for query errors, 0 for success.
+func exitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	var u *usageError
+	if errors.As(err, &u) {
+		return 2
+	}
+	return 1
+}
+
+// writeJSON renders v the way every JSON subcommand always has.
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
 }
 
 // edgeJSON is the -format json rendering of one edge.
@@ -46,36 +96,20 @@ type edgeJSON struct {
 	Pages  []uint64 `json:"pages,omitempty"`
 }
 
-func toEdgeJSON(e core.Edge) edgeJSON {
-	return edgeJSON{
-		From:   e.From.String(),
-		To:     e.To.String(),
-		Kind:   e.Kind.String(),
-		Object: e.Object,
-		Pages:  e.Pages,
-	}
-}
-
-func writeJSON(w io.Writer, v any) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(v)
-}
-
 // printEdges renders an edge list in the selected format.
-func printEdges(w io.Writer, edges []core.Edge, asJSON bool) error {
+func printEdges(w io.Writer, edges []provenance.Edge, asJSON bool) error {
 	if asJSON {
 		out := make([]edgeJSON, 0, len(edges))
 		for _, e := range edges {
-			out = append(out, toEdgeJSON(e))
+			out = append(out, edgeJSON{From: e.From, To: e.To, Kind: e.Kind, Object: e.Object, Pages: e.Pages})
 		}
 		return writeJSON(w, out)
 	}
 	for _, e := range edges {
 		switch e.Kind {
-		case core.EdgeSync:
+		case "sync":
 			fmt.Fprintf(w, "%v -> %v [%v via %s]\n", e.From, e.To, e.Kind, e.Object)
-		case core.EdgeData:
+		case "data":
 			fmt.Fprintf(w, "%v -> %v [%v pages=%v]\n", e.From, e.To, e.Kind, e.Pages)
 		default:
 			fmt.Fprintf(w, "%v -> %v [%v]\n", e.From, e.To, e.Kind)
@@ -85,12 +119,10 @@ func printEdges(w io.Writer, edges []core.Edge, asJSON bool) error {
 }
 
 // printIDs renders a sub-computation list in the selected format.
-func printIDs(w io.Writer, ids []core.SubID, asJSON bool) error {
+func printIDs(w io.Writer, ids []string, asJSON bool) error {
 	if asJSON {
 		out := make([]string, 0, len(ids))
-		for _, id := range ids {
-			out = append(out, id.String())
-		}
+		out = append(out, ids...)
 		return writeJSON(w, out)
 	}
 	for _, id := range ids {
@@ -100,14 +132,16 @@ func printIDs(w io.Writer, ids []core.SubID, asJSON bool) error {
 }
 
 func run(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("cpg-query", flag.ContinueOnError)
+	fs := newFlagSet()
 	cpgPath := fs.String("cpg", "", "CPG gob file written by inspector-run -cpg")
 	format := fs.String("format", "text", "output format: text|json")
+	remote := fs.String("remote", "", "inspector-serve base URL (query remotely instead of -cpg)")
+	cpgID := fs.String("id", "", "served CPG id for -remote (defaults to the only one)")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return &usageError{err: err}
 	}
-	if *cpgPath == "" || fs.NArg() < 1 {
-		return errors.New("usage: cpg-query -cpg file.gob [-format json] <stats|verify|slice|taint|lineage|edges|path> [args]")
+	if (*cpgPath == "" && *remote == "") || fs.NArg() < 1 {
+		return usagef("usage: cpg-query {-cpg file.gob | -remote url [-id cpg]} [-format json] <stats|verify|slice|taint|lineage|edges|path> [args]")
 	}
 	asJSON := false
 	switch *format {
@@ -115,56 +149,191 @@ func run(args []string, w io.Writer) error {
 	case "json":
 		asJSON = true
 	default:
-		return fmt.Errorf("unknown format %q (want text or json)", *format)
+		return usagef("unknown format %q (want text or json)", *format)
 	}
-	f, err := os.Open(*cpgPath)
+
+	q, err := buildQuery(fs.Arg(0), fs.Args()[1:])
 	if err != nil {
 		return err
+	}
+
+	ctx := context.Background()
+	var res *provenance.Result
+	if *remote != "" {
+		res, err = runRemote(ctx, *remote, *cpgID, q)
+	} else {
+		res, err = runLocal(ctx, *cpgPath, q)
+	}
+	if err != nil {
+		return err
+	}
+	return render(w, q, res, asJSON)
+}
+
+// buildQuery translates one subcommand invocation into a provenance
+// Query, validating arguments up front so malformed invocations fail as
+// usage errors in both local and remote mode.
+func buildQuery(cmd string, args []string) (provenance.Query, error) {
+	switch cmd {
+	case "stats":
+		return provenance.Query{Kind: provenance.KindStats}, nil
+	case "verify":
+		return provenance.Query{Kind: provenance.KindVerify}, nil
+	case "slice", "taint":
+		if len(args) < 1 {
+			return provenance.Query{}, usagef("usage: cpg-query %s <subID>", cmd)
+		}
+		if _, err := parseSubID(args[0]); err != nil {
+			return provenance.Query{}, &usageError{err: err}
+		}
+		kind := provenance.KindSlice
+		if cmd == "taint" {
+			kind = provenance.KindTaint
+		}
+		return provenance.Query{Kind: kind, Target: args[0]}, nil
+	case "lineage":
+		if len(args) < 2 {
+			return provenance.Query{}, usagef("usage: cpg-query lineage <page> <subID>")
+		}
+		page, err := strconv.ParseUint(args[0], 10, 64)
+		if err != nil {
+			return provenance.Query{}, usagef("bad page %q: %v", args[0], err)
+		}
+		if _, err := parseSubID(args[1]); err != nil {
+			return provenance.Query{}, &usageError{err: err}
+		}
+		return provenance.Query{Kind: provenance.KindLineage, Page: &page, Target: args[1]}, nil
+	case "edges":
+		q := provenance.Query{Kind: provenance.KindEdges}
+		if len(args) > 0 {
+			if _, err := provenance.ParseEdgeKind(args[0]); err != nil {
+				return provenance.Query{}, usagef("unknown edge kind %q", args[0])
+			}
+			q.EdgeKinds = []string{args[0]}
+		}
+		return q, nil
+	case "path":
+		if len(args) < 2 {
+			return provenance.Query{}, usagef("usage: cpg-query path <fromID> <toID>")
+		}
+		for _, arg := range args[:2] {
+			if _, err := parseSubID(arg); err != nil {
+				return provenance.Query{}, &usageError{err: err}
+			}
+		}
+		return provenance.Query{Kind: provenance.KindPath, From: args[0], To: args[1]}, nil
+	default:
+		return provenance.Query{}, usagef("unknown command %q", cmd)
+	}
+}
+
+// runLocal executes the query in process over a gob file.
+func runLocal(ctx context.Context, cpgPath string, q provenance.Query) (*provenance.Result, error) {
+	f, err := os.Open(cpgPath)
+	if err != nil {
+		return nil, err
 	}
 	defer f.Close()
 	g, err := core.DecodeGob(f)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	a := g.Analyze()
+	eng := provenance.NewEngine(g.Analyze(), provenance.EngineOptions{})
+	return eng.Execute(ctx, q)
+}
 
-	switch cmd := fs.Arg(0); cmd {
-	case "stats":
-		return stats(w, g, a, asJSON)
-	case "verify":
-		if err := a.Verify(); err != nil {
-			return err
+// runRemote sends the query to an inspector-serve daemon, following the
+// cursor chain so the rendered output covers the full result set even
+// when the server caps page sizes.
+func runRemote(ctx context.Context, baseURL, id string, q provenance.Query) (*provenance.Result, error) {
+	c := &provenance.Client{BaseURL: baseURL}
+	if id == "" {
+		cpgs, err := c.List(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if len(cpgs) != 1 {
+			ids := make([]string, len(cpgs))
+			for i, info := range cpgs {
+				ids[i] = info.ID
+			}
+			return nil, fmt.Errorf("server hosts %d CPGs %v; pick one with -id", len(cpgs), ids)
+		}
+		id = cpgs[0].ID
+	}
+	res, err := c.Query(ctx, id, q)
+	if err != nil {
+		return nil, err
+	}
+	for res.NextCursor != "" {
+		q.Cursor = res.NextCursor
+		next, err := c.Query(ctx, id, q)
+		if err != nil {
+			return nil, err
+		}
+		res.IDs = append(res.IDs, next.IDs...)
+		res.Edges = append(res.Edges, next.Edges...)
+		res.Lineages = append(res.Lineages, next.Lineages...)
+		res.NextCursor = next.NextCursor
+	}
+	return res, nil
+}
+
+// render writes one result in the exact shapes the subcommands have
+// always printed.
+func render(w io.Writer, q provenance.Query, res *provenance.Result, asJSON bool) error {
+	switch res.Kind {
+	case provenance.KindStats:
+		st := res.Stats
+		if st == nil {
+			return errors.New("malformed stats result")
+		}
+		if asJSON {
+			return writeJSON(w, map[string]int{
+				"sub_computations": st.SubComputations,
+				"threads":          st.Threads,
+				"thunks":           st.Thunks,
+				"read_set_pages":   st.ReadSetPages,
+				"write_set_pages":  st.WriteSetPages,
+				"control_edges":    st.ControlEdges,
+				"sync_edges":       st.SyncEdges,
+				"data_edges":       st.DataEdges,
+			})
+		}
+		fmt.Fprintf(w, "sub-computations: %d across %d threads\n", st.SubComputations, st.Threads)
+		fmt.Fprintf(w, "thunks:           %d\n", st.Thunks)
+		fmt.Fprintf(w, "read-set pages:   %d   write-set pages: %d\n", st.ReadSetPages, st.WriteSetPages)
+		fmt.Fprintf(w, "edges:            %d control, %d sync, %d data\n",
+			st.ControlEdges, st.SyncEdges, st.DataEdges)
+		return nil
+
+	case provenance.KindVerify:
+		if res.Valid == nil {
+			return errors.New("malformed verify result")
+		}
+		if !*res.Valid {
+			return errors.New(res.Detail)
 		}
 		if asJSON {
 			return writeJSON(w, map[string]bool{"valid": true})
 		}
 		fmt.Fprintln(w, "CPG is a valid happens-before DAG")
 		return nil
-	case "slice":
-		id, err := parseSubID(fs.Arg(1))
-		if err != nil {
-			return err
+
+	case provenance.KindSlice, provenance.KindTaint:
+		return printIDs(w, res.IDs, asJSON)
+
+	case provenance.KindEdges:
+		return printEdges(w, res.Edges, asJSON)
+
+	case provenance.KindPath:
+		if len(res.Edges) == 0 {
+			return fmt.Errorf("no dependency chain %v -> %v (%v does not depend on %v)",
+				q.From, q.To, q.To, q.From)
 		}
-		return printIDs(w, a.Slice(id), asJSON)
-	case "taint":
-		id, err := parseSubID(fs.Arg(1))
-		if err != nil {
-			return err
-		}
-		return printIDs(w, a.TaintedBy(id), asJSON)
-	case "lineage":
-		if fs.NArg() < 3 {
-			return errors.New("usage: cpg-query lineage <page> <subID>")
-		}
-		page, err := strconv.ParseUint(fs.Arg(1), 10, 64)
-		if err != nil {
-			return fmt.Errorf("bad page %q: %w", fs.Arg(1), err)
-		}
-		id, err := parseSubID(fs.Arg(2))
-		if err != nil {
-			return err
-		}
-		lins := a.PageLineage(page, id)
+		return printEdges(w, res.Edges, asJSON)
+
+	case provenance.KindLineage:
 		if asJSON {
 			type lineageJSON struct {
 				Page     uint64   `json:"page"`
@@ -172,130 +341,31 @@ func run(args []string, w io.Writer) error {
 				Writer   string   `json:"writer"`
 				Upstream []string `json:"upstream,omitempty"`
 			}
-			out := make([]lineageJSON, 0, len(lins))
-			for _, l := range lins {
-				lj := lineageJSON{Page: l.Page, Reader: id.String(), Writer: l.Writer.String()}
-				for _, u := range l.Upstream {
-					lj.Upstream = append(lj.Upstream, u.String())
-				}
-				out = append(out, lj)
+			out := make([]lineageJSON, 0, len(res.Lineages))
+			for _, l := range res.Lineages {
+				out = append(out, lineageJSON{Page: l.Page, Reader: l.Reader, Writer: l.Writer, Upstream: l.Upstream})
 			}
 			return writeJSON(w, out)
 		}
-		if len(lins) == 0 {
+		if len(res.Lineages) == 0 {
 			fmt.Fprintln(w, "no recorded writer for that page at that vertex")
 			return nil
 		}
-		for _, l := range lins {
-			fmt.Fprintf(w, "page %d read by %v was written by %v", l.Page, id, l.Writer)
+		for _, l := range res.Lineages {
+			fmt.Fprintf(w, "page %d read by %v was written by %v", l.Page, l.Reader, l.Writer)
 			if len(l.Upstream) > 0 {
-				ups := make([]string, len(l.Upstream))
-				for i, u := range l.Upstream {
-					ups[i] = u.String()
-				}
-				fmt.Fprintf(w, " (upstream sources: %s)", strings.Join(ups, ", "))
+				fmt.Fprintf(w, " (upstream sources: %s)", strings.Join(l.Upstream, ", "))
 			}
 			fmt.Fprintln(w)
 		}
 		return nil
-	case "edges":
-		kinds := map[string]core.EdgeKind{
-			"control": core.EdgeControl, "sync": core.EdgeSync, "data": core.EdgeData,
-		}
-		var filter core.EdgeKind
-		if fs.NArg() > 1 {
-			k, ok := kinds[fs.Arg(1)]
-			if !ok {
-				return fmt.Errorf("unknown edge kind %q", fs.Arg(1))
-			}
-			filter = k
-		}
-		var out []core.Edge
-		for _, e := range a.Edges() {
-			if filter != 0 && e.Kind != filter {
-				continue
-			}
-			out = append(out, e)
-		}
-		return printEdges(w, out, asJSON)
-	case "path":
-		if fs.NArg() < 3 {
-			return errors.New("usage: cpg-query path <fromID> <toID>")
-		}
-		from, err := parseSubID(fs.Arg(1))
-		if err != nil {
-			return err
-		}
-		to, err := parseSubID(fs.Arg(2))
-		if err != nil {
-			return err
-		}
-		chain := a.Path(from, to)
-		if chain == nil {
-			return fmt.Errorf("no dependency chain %v -> %v (%v does not depend on %v)", from, to, to, from)
-		}
-		return printEdges(w, chain, asJSON)
-	default:
-		return fmt.Errorf("unknown command %q", cmd)
-	}
-}
 
-func stats(w io.Writer, g *core.Graph, a *core.Analysis, asJSON bool) error {
-	subs := g.Subs()
-	threads := map[int]int{}
-	var thunks, reads, writes int
-	for _, sc := range subs {
-		threads[sc.ID.Thread]++
-		thunks += len(sc.Thunks)
-		reads += sc.ReadSet.Len()
-		writes += sc.WriteSet.Len()
+	default:
+		return fmt.Errorf("unexpected result kind %q", res.Kind)
 	}
-	var ctrl, syncE, data int
-	for _, e := range a.Edges() {
-		switch e.Kind {
-		case core.EdgeControl:
-			ctrl++
-		case core.EdgeSync:
-			syncE++
-		case core.EdgeData:
-			data++
-		}
-	}
-	if asJSON {
-		return writeJSON(w, map[string]int{
-			"sub_computations": len(subs),
-			"threads":          len(threads),
-			"thunks":           thunks,
-			"read_set_pages":   reads,
-			"write_set_pages":  writes,
-			"control_edges":    ctrl,
-			"sync_edges":       syncE,
-			"data_edges":       data,
-		})
-	}
-	fmt.Fprintf(w, "sub-computations: %d across %d threads\n", len(subs), len(threads))
-	fmt.Fprintf(w, "thunks:           %d\n", thunks)
-	fmt.Fprintf(w, "read-set pages:   %d   write-set pages: %d\n", reads, writes)
-	fmt.Fprintf(w, "edges:            %d control, %d sync, %d data\n", ctrl, syncE, data)
-	return nil
 }
 
 // parseSubID parses "T<thread>.<alpha>".
 func parseSubID(s string) (core.SubID, error) {
-	if !strings.HasPrefix(s, "T") {
-		return core.SubID{}, fmt.Errorf("bad sub-computation id %q (want T<thread>.<alpha>)", s)
-	}
-	parts := strings.SplitN(s[1:], ".", 2)
-	if len(parts) != 2 {
-		return core.SubID{}, fmt.Errorf("bad sub-computation id %q", s)
-	}
-	th, err := strconv.Atoi(parts[0])
-	if err != nil {
-		return core.SubID{}, fmt.Errorf("bad thread in %q: %w", s, err)
-	}
-	alpha, err := strconv.ParseUint(parts[1], 10, 64)
-	if err != nil {
-		return core.SubID{}, fmt.Errorf("bad alpha in %q: %w", s, err)
-	}
-	return core.SubID{Thread: th, Alpha: alpha}, nil
+	return provenance.ParseSubID(s)
 }

@@ -4,12 +4,14 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"github.com/repro/inspector/internal/core"
+	"github.com/repro/inspector/provenance"
 )
 
 func TestParseSubID(t *testing.T) {
@@ -48,6 +50,104 @@ func TestRunRequiresArgs(t *testing.T) {
 	}
 	if err := run([]string{"-cpg", "x", "-format", "yaml", "stats"}, io.Discard); err == nil {
 		t.Error("unknown format accepted")
+	}
+}
+
+// TestExitCodes pins the exit-code contract: 2 for usage errors, 1 for
+// query errors, 0 for success.
+func TestExitCodes(t *testing.T) {
+	cpg := writeTestCPG(t)
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"success", []string{"-cpg", cpg, "stats"}, 0},
+		{"no args", nil, 2},
+		{"missing subcommand", []string{"-cpg", cpg}, 2},
+		{"unknown flag", []string{"-cpg", cpg, "-bogus", "stats"}, 2},
+		{"unknown format", []string{"-cpg", cpg, "-format", "yaml", "stats"}, 2},
+		{"unknown subcommand", []string{"-cpg", cpg, "frobnicate"}, 2},
+		{"slice missing target", []string{"-cpg", cpg, "slice"}, 2},
+		{"slice bad target", []string{"-cpg", cpg, "slice", "banana"}, 2},
+		{"taint bad target", []string{"-cpg", cpg, "taint", "T0"}, 2},
+		{"lineage missing args", []string{"-cpg", cpg, "lineage", "101"}, 2},
+		{"lineage bad page", []string{"-cpg", cpg, "lineage", "xyz", "T0.1"}, 2},
+		{"edges unknown kind", []string{"-cpg", cpg, "edges", "banana"}, 2},
+		{"path missing to", []string{"-cpg", cpg, "path", "T0.0"}, 2},
+		{"path bad endpoint", []string{"-cpg", cpg, "path", "nope", "T0.1"}, 2},
+		{"missing file", []string{"-cpg", "/nonexistent/file.gob", "stats"}, 1},
+		{"no dependency chain", []string{"-cpg", cpg, "path", "T0.1", "T0.0"}, 1},
+		{"unreachable server", []string{"-remote", "http://127.0.0.1:1", "stats"}, 1},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			err := run(tt.args, io.Discard)
+			if got := exitCode(err); got != tt.want {
+				t.Errorf("run(%v) exit = %d (err %v), want %d", tt.args, got, err, tt.want)
+			}
+		})
+	}
+}
+
+// TestRemoteMatchesLocal holds the acceptance bar: remote mode against
+// an inspector-serve handler produces byte-identical output to local
+// mode, for every subcommand, in both formats — including when the
+// server paginates and the client has to follow cursors.
+func TestRemoteMatchesLocal(t *testing.T) {
+	cpgPath := writeTestCPG(t)
+	f, err := os.Open(cpgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := core.DecodeGob(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, maxResults := range []int{0, 1} {
+		eng := provenance.NewEngine(g.Analyze(), provenance.EngineOptions{MaxResults: maxResults})
+		ts := httptest.NewServer(provenance.NewServer(
+			map[string]*provenance.Engine{"cpg": eng}, provenance.ServerOptions{}))
+		defer ts.Close()
+
+		invocations := [][]string{
+			{"stats"},
+			{"verify"},
+			{"edges"},
+			{"edges", "sync"},
+			{"edges", "data"},
+			{"slice", "T0.1"},
+			{"taint", "T0.0"},
+			{"lineage", "101", "T0.1"},
+			{"path", "T0.0", "T0.1"},
+		}
+		for _, inv := range invocations {
+			for _, format := range []string{"text", "json"} {
+				local := append([]string{"-cpg", cpgPath, "-format", format}, inv...)
+				remote := append([]string{"-remote", ts.URL, "-format", format}, inv...)
+				var lw, rw bytes.Buffer
+				if err := run(local, &lw); err != nil {
+					t.Fatalf("local %v: %v", inv, err)
+				}
+				if err := run(remote, &rw); err != nil {
+					t.Fatalf("remote %v (max-results %d): %v", inv, maxResults, err)
+				}
+				if !bytes.Equal(lw.Bytes(), rw.Bytes()) {
+					t.Errorf("remote output differs for %v -format %s (max-results %d):\nlocal:\n%s\nremote:\n%s",
+						inv, format, maxResults, lw.String(), rw.String())
+				}
+			}
+		}
+		// -id selects among several graphs; a wrong id is a query error.
+		withID := []string{"-remote", ts.URL, "-id", "cpg", "stats"}
+		var buf bytes.Buffer
+		if err := run(withID, &buf); err != nil {
+			t.Errorf("-id cpg: %v", err)
+		}
+		if err := run([]string{"-remote", ts.URL, "-id", "wrong", "stats"}, io.Discard); exitCode(err) != 1 {
+			t.Errorf("wrong -id exit = %d (%v)", exitCode(err), err)
+		}
 	}
 }
 

@@ -3,12 +3,15 @@ package main
 // The cpg experiment: self-timed microbenchmarks of the Concurrent
 // Provenance Graph core — the EndSub append path (serial and contended),
 // the indexed data-edge derivation, analysis construction, wide slices,
-// invariant checking, and the page-set hot path. The scenario bodies live
-// in internal/core/cpgbench — shared verbatim with internal/core's
-// go-test suite — and the snapshot goes through the same
-// baseline-carrying plumbing as the mem and pt experiments
-// (benchsnap.go). The committed baseline is the pre-columnar core
-// (global RWMutex, map page sets, string thunks, map adjacency). See
+// invariant checking, and the page-set hot path — plus the provenance
+// query engine (slice and taint, serial and 8-way parallel). The
+// scenario bodies live in internal/core/cpgbench and
+// provenance/enginebench — shared verbatim with those packages' go-test
+// suites — and the snapshot goes through the same baseline-carrying
+// plumbing as the mem and pt experiments (benchsnap.go). The committed
+// baseline is the pre-columnar core (global RWMutex, map page sets,
+// string thunks, map adjacency); the QueryEngine rows have no baseline
+// counterpart (the engine is new with the provenance package). See
 // ROADMAP.md ("perf trajectory convention") for the regeneration
 // workflow.
 
@@ -16,16 +19,20 @@ import (
 	"io"
 
 	"github.com/repro/inspector/internal/core/cpgbench"
+	"github.com/repro/inspector/provenance/enginebench"
 )
 
 // cpgBenchSchema versions the BENCH_cpg.json format.
 const cpgBenchSchema = "inspector-cpgbench/v1"
 
-// runCPGBench measures the shared CPG-core scenarios and writes the
-// BENCH_cpg.json snapshot.
+// runCPGBench measures the shared CPG-core and query-engine scenarios
+// and writes the BENCH_cpg.json snapshot.
 func runCPGBench(w io.Writer, outPath, baselinePath string) error {
 	var cases []benchCase
 	for _, c := range cpgbench.Cases() {
+		cases = append(cases, benchCase{name: c.Name, bytes: c.Bytes, fn: c.Fn})
+	}
+	for _, c := range enginebench.Cases() {
 		cases = append(cases, benchCase{name: c.Name, bytes: c.Bytes, fn: c.Fn})
 	}
 	return runBenchSnapshot(w, outPath, baselinePath, cpgBenchSchema, 0, cases)

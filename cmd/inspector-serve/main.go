@@ -1,0 +1,158 @@
+// Command inspector-serve is the provenance query daemon: it loads one
+// or more Concurrent Provenance Graphs (gob files written by
+// inspector-run -cpg, or a workload recorded on the spot with -workload)
+// and serves the provenance/v1 HTTP API to any number of concurrent
+// clients off a shared immutable analysis.
+//
+// Usage:
+//
+//	inspector-serve -cpg run.gob [-cpg other.gob] [-addr :7070]
+//	inspector-serve -workload histogram [-threads 4] [-size small] [-seed 1]
+//
+//	GET  /v1/cpgs              list the served graphs
+//	GET  /v1/cpgs/{id}/stats   summary of one graph
+//	POST /v1/cpgs/{id}/query   run a provenance/v1 Query (JSON body)
+//
+// Each -cpg file is served under the id of its base name without the
+// extension (run.gob -> "run"); -workload serves under the workload
+// name. -timeout bounds each request's graph traversal (the deadline
+// cancels the traversal inside the engine, not just the response), and
+// -max-results caps any single result page — clients follow the
+// next_cursor contract for the rest.
+//
+// cpg-query -remote http://host:port is the matching client:
+//
+//	cpg-query -remote http://localhost:7070 -id run slice T0.3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/repro/inspector/internal/core"
+	"github.com/repro/inspector/internal/threading"
+	"github.com/repro/inspector/internal/workloads"
+	"github.com/repro/inspector/provenance"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "inspector-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// multiFlag collects repeated -cpg flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("inspector-serve", flag.ContinueOnError)
+	var cpgPaths multiFlag
+	fs.Var(&cpgPaths, "cpg", "CPG gob file to serve (repeatable)")
+	workload := fs.String("workload", "", "record this workload at startup and serve its CPG")
+	threads := fs.Int("threads", 4, "worker thread count for -workload")
+	sizeFlag := fs.String("size", "small", "input size for -workload: small|medium|large")
+	seed := fs.Int64("seed", 1, "input generation seed for -workload")
+	addr := fs.String("addr", ":7070", "listen address")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request query deadline (0 = none)")
+	maxResults := fs.Int("max-results", 10000, "result page cap; clients page with cursors (0 = unlimited)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+
+	srv, err := buildServer(cpgPaths, *workload, *threads, *sizeFlag, *seed,
+		provenance.ServerOptions{Timeout: *timeout}, provenance.EngineOptions{MaxResults: *maxResults})
+	if err != nil {
+		return err
+	}
+	// Bind before announcing, so -addr :0 (tests, smoke scripts) prints
+	// the actual port.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("inspector-serve: serving %v on %s\n", srv.IDs(), ln.Addr())
+	return http.Serve(ln, srv)
+}
+
+// buildServer assembles the engine set from gob files and/or a recorded
+// workload. Everything behind it is immutable, so the returned handler
+// is safe for arbitrary client concurrency.
+func buildServer(cpgPaths []string, workload string, threads int, sizeFlag string, seed int64,
+	sopts provenance.ServerOptions, eopts provenance.EngineOptions) (*provenance.Server, error) {
+	engines := map[string]*provenance.Engine{}
+	for _, path := range cpgPaths {
+		id := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		if _, dup := engines[id]; dup {
+			return nil, fmt.Errorf("duplicate cpg id %q (from %s)", id, path)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		g, err := core.DecodeGob(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		engines[id] = provenance.NewEngine(g.Analyze(), eopts)
+	}
+	if workload != "" {
+		g, err := recordWorkload(workload, threads, sizeFlag, seed)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := engines[workload]; dup {
+			return nil, fmt.Errorf("duplicate cpg id %q (from -workload)", workload)
+		}
+		engines[workload] = provenance.NewEngine(g.Analyze(), eopts)
+	}
+	if len(engines) == 0 {
+		return nil, fmt.Errorf("nothing to serve (need -cpg or -workload)")
+	}
+	return provenance.NewServer(engines, sopts), nil
+}
+
+// recordWorkload runs one workload under INSPECTOR and returns its CPG.
+func recordWorkload(app string, threads int, sizeFlag string, seed int64) (*core.Graph, error) {
+	w, err := workloads.Get(app)
+	if err != nil {
+		return nil, err
+	}
+	var size workloads.Size
+	switch sizeFlag {
+	case "small":
+		size = workloads.Small
+	case "medium":
+		size = workloads.Medium
+	case "large":
+		size = workloads.Large
+	default:
+		return nil, fmt.Errorf("unknown size %q", sizeFlag)
+	}
+	cfg := workloads.Config{Size: size, Threads: threads, Seed: seed}
+	rt, err := threading.NewRuntime(threading.Options{
+		AppName:    app,
+		Mode:       threading.ModeInspector,
+		MaxThreads: w.MaxThreads(cfg),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Run(rt, cfg); err != nil {
+		return nil, fmt.Errorf("%s: %w", app, err)
+	}
+	return rt.Graph(), nil
+}

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/repro/inspector/internal/core"
+	"github.com/repro/inspector/provenance"
+)
+
+// writeGob records a tiny two-thread execution and writes its gob.
+func writeGob(t *testing.T, path string) {
+	t.Helper()
+	g := core.NewGraph(2)
+	lock := g.NewSyncObject("lock", false)
+	rel := core.SyncEvent{Kind: core.SyncRelease, Object: lock.Ref()}
+	r0, err := core.NewRecorder(g, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := core.NewRecorder(g, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0.OnWrite(100)
+	s0, err := r0.EndSub(rel, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0.Release(lock, s0)
+	r1.Acquire(lock)
+	r1.OnRead(100)
+	if _, err := r1.EndSub(core.SyncEvent{Kind: core.SyncNone}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r0.EndSub(core.SyncEvent{Kind: core.SyncNone}, 0); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := g.EncodeGob(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildServerFromGobs(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "alpha.gob")
+	b := filepath.Join(dir, "beta.gob")
+	writeGob(t, a)
+	writeGob(t, b)
+
+	srv, err := buildServer([]string{a, b}, "", 0, "", 0,
+		provenance.ServerOptions{}, provenance.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := srv.IDs()
+	if len(ids) != 2 || ids[0] != "alpha" || ids[1] != "beta" {
+		t.Fatalf("ids = %v", ids)
+	}
+
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := &provenance.Client{BaseURL: ts.URL}
+	res, err := c.Query(context.Background(), "alpha", provenance.Query{
+		Kind: provenance.KindTaint, Target: "T0.0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) == 0 {
+		t.Error("no taint flow served from gob-loaded graph")
+	}
+}
+
+func TestBuildServerErrors(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "x.gob")
+	writeGob(t, a)
+
+	if _, err := buildServer(nil, "", 0, "", 0,
+		provenance.ServerOptions{}, provenance.EngineOptions{}); err == nil {
+		t.Error("empty server accepted")
+	}
+	// Two files with the same base name collide.
+	sub := filepath.Join(dir, "sub")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	b := filepath.Join(sub, "x.gob")
+	writeGob(t, b)
+	if _, err := buildServer([]string{a, b}, "", 0, "", 0,
+		provenance.ServerOptions{}, provenance.EngineOptions{}); err == nil {
+		t.Error("duplicate ids accepted")
+	}
+	// Missing file.
+	if _, err := buildServer([]string{filepath.Join(dir, "absent.gob")}, "", 0, "", 0,
+		provenance.ServerOptions{}, provenance.EngineOptions{}); err == nil {
+		t.Error("missing file accepted")
+	}
+	// Unknown workload and size.
+	if _, err := buildServer(nil, "not-a-workload", 1, "small", 1,
+		provenance.ServerOptions{}, provenance.EngineOptions{}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := buildServer(nil, "histogram", 1, "gigantic", 1,
+		provenance.ServerOptions{}, provenance.EngineOptions{}); err == nil {
+		t.Error("unknown size accepted")
+	}
+}
+
+func TestBuildServerFromWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("records a workload")
+	}
+	srv, err := buildServer(nil, "histogram", 2, "small", 1,
+		provenance.ServerOptions{Timeout: 10 * time.Second},
+		provenance.EngineOptions{MaxResults: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := &provenance.Client{BaseURL: ts.URL}
+	ctx := context.Background()
+
+	cpgs, err := c.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cpgs) != 1 || cpgs[0].ID != "histogram" || cpgs[0].SubComputations == 0 {
+		t.Fatalf("list = %+v", cpgs)
+	}
+	st, err := c.Stats(ctx, "histogram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats == nil || st.Stats.SubComputations != cpgs[0].SubComputations {
+		t.Errorf("stats disagree with listing: %+v vs %+v", st.Stats, cpgs[0])
+	}
+	// The page cap holds.
+	res, err := c.Query(ctx, "histogram", provenance.Query{Kind: provenance.KindEdges})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Edges) > 100 {
+		t.Errorf("page cap exceeded: %d edges", len(res.Edges))
+	}
+	if res.Total > 100 && res.NextCursor == "" {
+		t.Error("truncated page without cursor")
+	}
+}

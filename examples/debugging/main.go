@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -59,12 +60,22 @@ func main() {
 
 	fmt.Printf("final balance: %d (1400 if the fee ran first, 1350 if the deposit ran first)\n\n", final)
 
-	// Post-mortem: walk the provenance of the balance page at the final
-	// read. The data edges name the exact sub-computations whose writes
-	// produced the value, and the sync edges expose the schedule.
-	analysis := rt.CPG().Analyze()
-	if err := analysis.Verify(); err != nil {
+	// Live snapshots are a separate facility: TakeSnapshot's ok result
+	// distinguishes "snapshot mode is off" (this run) from "an empty
+	// capture" (possible early in a SnapshotMode run).
+	if _, ok := rt.TakeSnapshot(); !ok {
+		fmt.Println("(no live snapshots: set Options.SnapshotMode to capture consistent cuts mid-run)")
+	}
+
+	// Post-mortem through the versioned query API — the same queries
+	// cpg-query and inspector-serve answer. The data edges name the
+	// exact sub-computations whose writes produced the value, and the
+	// sync edges expose the schedule.
+	ctx := context.Background()
+	if res, err := rt.Query(ctx, inspector.Query{Kind: inspector.QueryVerify}); err != nil {
 		log.Fatal(err)
+	} else if !*res.Valid {
+		log.Fatalf("CPG invalid: %s", res.Detail)
 	}
 
 	// Find the main thread's final balance-reading sub-computation.
@@ -77,7 +88,15 @@ func main() {
 	}
 	fmt.Printf("the final read of the balance page happened in %v\n", lastReader)
 
-	for _, lin := range analysis.PageLineage(page, lastReader) {
+	lineage, err := rt.Query(ctx, inspector.Query{
+		Kind:   inspector.QueryLineage,
+		Target: lastReader.String(),
+		Page:   &page,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, lin := range lineage.Lineages {
 		fmt.Printf("value came from a write in %v", lin.Writer)
 		if len(lin.Upstream) > 0 {
 			fmt.Printf(", which itself consumed data from %v", lin.Upstream)
@@ -86,14 +105,28 @@ func main() {
 	}
 
 	fmt.Println("\nschedule dependencies through the account lock:")
-	for _, e := range rt.CPG().SyncEdges() {
+	edges, err := rt.Query(ctx, inspector.Query{
+		Kind:      inspector.QueryEdges,
+		EdgeKinds: []string{"sync"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range edges.Edges {
 		if e.Object == "mutex:account" {
 			fmt.Printf("  %v released the lock to %v\n", e.From, e.To)
 		}
 	}
 
 	fmt.Println("\nbackward slice of the final read (everything that may have affected it):")
-	for _, id := range analysis.Slice(lastReader) {
+	slice, err := rt.Query(ctx, inspector.Query{
+		Kind:   inspector.QuerySlice,
+		Target: lastReader.String(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, id := range slice.IDs {
 		fmt.Printf("  %v\n", id)
 	}
 }

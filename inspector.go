@@ -32,6 +32,16 @@
 //	cpg := rt.CPG()            // query the provenance graph
 //	_ = cpg.Analyze().Verify() // it is a valid happens-before DAG
 //
+// After a run, provenance questions go through the versioned query API
+// (the provenance package; also served remotely by inspector-serve):
+//
+//	res, err := rt.Query(ctx, inspector.Query{
+//	    Kind:   inspector.QuerySlice, // everything that affected addr
+//	    Target: "T0.1",
+//	})
+//	if err != nil { ... }
+//	for _, id := range res.IDs { fmt.Println(id) }
+//
 // Threads spawned through the library are isolated like processes
 // (release consistency: writes propagate at synchronization points), all
 // branches announced through Thread.Branch are traced into per-thread
@@ -40,13 +50,18 @@
 package inspector
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"io"
+	"sync"
 
 	"github.com/repro/inspector/internal/core"
 	"github.com/repro/inspector/internal/mem"
 	"github.com/repro/inspector/internal/perf"
 	"github.com/repro/inspector/internal/snapshot"
 	"github.com/repro/inspector/internal/threading"
+	"github.com/repro/inspector/provenance"
 )
 
 // Re-exported fundamental types. Aliases keep one implementation while
@@ -78,6 +93,12 @@ type (
 	Analysis = core.Analysis
 	// Snapshot is one consistent-cut capture.
 	Snapshot = snapshot.Snapshot
+	// Query is one typed provenance question (the provenance package's
+	// versioned query surface, usable in process via Runtime.Query,
+	// from the cpg-query CLI, or against an inspector-serve daemon).
+	Query = provenance.Query
+	// QueryResult is a Query's answer in provenance/v1 wire form.
+	QueryResult = provenance.Result
 )
 
 // Edge kinds, re-exported for query filters.
@@ -85,6 +106,17 @@ const (
 	EdgeControl = core.EdgeControl
 	EdgeSync    = core.EdgeSync
 	EdgeData    = core.EdgeData
+)
+
+// Query kinds, re-exported from the provenance package.
+const (
+	QueryEdges   = provenance.KindEdges
+	QuerySlice   = provenance.KindSlice
+	QueryTaint   = provenance.KindTaint
+	QueryLineage = provenance.KindLineage
+	QueryPath    = provenance.KindPath
+	QueryStats   = provenance.KindStats
+	QueryVerify  = provenance.KindVerify
 )
 
 // Options configure a runtime.
@@ -116,10 +148,45 @@ type Options struct {
 type Runtime struct {
 	rt    *threading.Runtime
 	snaps *snapshot.Snapshotter
+
+	engineOnce sync.Once
+	engine     *provenance.Engine
 }
 
-// New creates a runtime.
+// ErrBadOptions tags Options validation failures from New.
+var ErrBadOptions = errors.New("inspector: bad options")
+
+// validate rejects option values that New used to accept silently (and
+// then misbehaved on deep in the substrate). Zero values mean "use the
+// default" and always pass.
+func (o Options) validate() error {
+	if o.MaxThreads < 0 {
+		return fmt.Errorf("%w: MaxThreads %d is negative (0 means the default of 64)",
+			ErrBadOptions, o.MaxThreads)
+	}
+	if o.PageSize != 0 {
+		if o.PageSize < 64 {
+			return fmt.Errorf("%w: PageSize %d below the 64-byte minimum (0 means the default of 4096)",
+				ErrBadOptions, o.PageSize)
+		}
+		if o.PageSize&(o.PageSize-1) != 0 {
+			return fmt.Errorf("%w: PageSize %d is not a power of two", ErrBadOptions, o.PageSize)
+		}
+	}
+	if o.SnapshotSlots < 0 {
+		return fmt.Errorf("%w: SnapshotSlots %d is negative (0 means the default of 4)",
+			ErrBadOptions, o.SnapshotSlots)
+	}
+	return nil
+}
+
+// New creates a runtime. Options are validated up front: a negative
+// MaxThreads or SnapshotSlots, or a PageSize that is set but below 64
+// or not a power of two, fail with an error wrapping ErrBadOptions.
 func New(opts Options) (*Runtime, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	mode := threading.ModeInspector
 	if opts.Native {
 		mode = threading.ModeNative
@@ -189,6 +256,20 @@ func (r *Runtime) GlobalsBase() Addr { return r.rt.GlobalsBase() }
 // CPG returns the recorded Concurrent Provenance Graph.
 func (r *Runtime) CPG() *CPG { return r.rt.Graph() }
 
+// Query executes one typed provenance question against the recorded
+// CPG — the same API cpg-query and inspector-serve expose, run in
+// process. Call it after Run returns: the first Query analyzes the
+// graph once and caches the engine, so repeated queries (and concurrent
+// queries from several goroutines) share one immutable analysis.
+// Cancellation is honored mid-traversal: a canceled ctx stops the
+// closure walk and returns the context's error.
+func (r *Runtime) Query(ctx context.Context, q Query) (*QueryResult, error) {
+	r.engineOnce.Do(func() {
+		r.engine = provenance.NewEngine(r.rt.Graph().Analyze(), provenance.EngineOptions{})
+	})
+	return r.engine.Execute(ctx, q)
+}
+
 // WriteDOT renders the CPG in Graphviz form.
 func (r *Runtime) WriteDOT(w io.Writer) error { return r.rt.Graph().WriteDOT(w) }
 
@@ -201,8 +282,14 @@ func (r *Runtime) WriteCPG(w io.Writer) error { return r.rt.Graph().EncodeGob(w)
 // packet streams carry the full control flow.
 func (r *Runtime) DecodeTraces() (map[int32]int, error) { return r.rt.DecodeTraces() }
 
-// Snapshots returns the retained consistent-cut snapshots, oldest first
-// (empty unless SnapshotMode was set).
+// Snapshots returns the retained consistent-cut snapshots, oldest first.
+//
+// The snapshot facility only exists when the runtime was created with
+// Options.SnapshotMode set (and not Native): without it, Snapshots
+// always returns nil — indistinguishable from "snapshot mode is on but
+// nothing has been captured yet". Callers that need to tell the two
+// apart should check the ok result of TakeSnapshot, which reports
+// whether the facility is available at all.
 func (r *Runtime) Snapshots() []*Snapshot {
 	if r.snaps == nil {
 		return nil
@@ -210,13 +297,20 @@ func (r *Runtime) Snapshots() []*Snapshot {
 	return r.snaps.Snapshots()
 }
 
-// TakeSnapshot forces an immediate consistent cut (the SIGUSR2 trigger of
-// the paper's perf integration). Returns nil unless SnapshotMode is set.
-func (r *Runtime) TakeSnapshot() *Snapshot {
+// TakeSnapshot forces an immediate consistent cut (the SIGUSR2 trigger
+// of the paper's perf integration) and stores it in the snapshot ring.
+//
+// The ok result reports whether the snapshot facility exists: it is
+// false — with a nil snapshot — when the runtime was created without
+// Options.SnapshotMode (or with Native set), and true otherwise. This
+// is the contract that distinguishes "snapshot mode is off" from "an
+// empty capture": with ok true the returned snapshot is never nil, even
+// when the cut it captures contains no sub-computations yet.
+func (r *Runtime) TakeSnapshot() (*Snapshot, bool) {
 	if r.snaps == nil {
-		return nil
+		return nil, false
 	}
-	return r.snaps.TakeSnapshot()
+	return r.snaps.TakeSnapshot(), true
 }
 
 // Unwrap exposes the underlying threading runtime for advanced use

@@ -2,7 +2,10 @@ package inspector_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
+	"sync"
 	"testing"
 
 	inspector "github.com/repro/inspector"
@@ -103,7 +106,7 @@ func TestPublicAPINativeMode(t *testing.T) {
 	if rep.TraceBytes != 0 || rep.SubComputations != 0 {
 		t.Errorf("native mode recorded provenance: %+v", rep)
 	}
-	if rt.TakeSnapshot() != nil {
+	if s, ok := rt.TakeSnapshot(); ok || s != nil {
 		t.Error("native mode produced a snapshot")
 	}
 	if rt.Snapshots() != nil {
@@ -144,8 +147,100 @@ func TestPublicAPISnapshotMode(t *testing.T) {
 			t.Errorf("snapshot %d: %v", i, err)
 		}
 	}
-	// Manual snapshot on top.
-	if s := rt.TakeSnapshot(); s == nil {
-		t.Error("manual snapshot failed")
+	// Manual snapshot on top: with snapshot mode on, ok is true and the
+	// snapshot is never nil.
+	if s, ok := rt.TakeSnapshot(); !ok || s == nil {
+		t.Errorf("manual snapshot = %v, %v", s, ok)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	bad := []inspector.Options{
+		{MaxThreads: -1},
+		{PageSize: -4096},
+		{PageSize: 32},   // below the minimum
+		{PageSize: 100},  // not a power of two
+		{PageSize: 4095}, // off by one
+		{SnapshotSlots: -2},
+	}
+	for _, opts := range bad {
+		rt, err := inspector.New(opts)
+		if err == nil || rt != nil {
+			t.Errorf("New(%+v) accepted nonsense options", opts)
+			continue
+		}
+		if !errors.Is(err, inspector.ErrBadOptions) {
+			t.Errorf("New(%+v) error %v does not wrap ErrBadOptions", opts, err)
+		}
+	}
+	// Zero values and valid explicit settings still pass.
+	good := []inspector.Options{
+		{},
+		{MaxThreads: 2, PageSize: 1024, SnapshotSlots: 0},
+		{PageSize: 64},
+		{SnapshotMode: true, SnapshotSlots: 2},
+	}
+	for _, opts := range good {
+		if _, err := inspector.New(opts); err != nil {
+			t.Errorf("New(%+v): %v", opts, err)
+		}
+	}
+}
+
+func TestRuntimeQuery(t *testing.T) {
+	rt, err := inspector.New(inspector.Options{AppName: "query-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rt.NewMutex("m")
+	if _, err := rt.Run(func(main *inspector.Thread) {
+		addr := main.Malloc(8)
+		main.Store64(addr, 1)
+		child := main.Spawn(func(w *inspector.Thread) {
+			m.Lock(w)
+			w.Store64(addr, w.Load64(addr)+1)
+			m.Unlock(w)
+		})
+		main.Join(child)
+		m.Lock(main)
+		_ = main.Load64(addr)
+		m.Unlock(main)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	res, err := rt.Query(ctx, inspector.Query{Kind: inspector.QueryStats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats == nil || res.Stats.SubComputations == 0 {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+
+	res, err = rt.Query(ctx, inspector.Query{Kind: inspector.QueryVerify})
+	if err != nil || res.Valid == nil || !*res.Valid {
+		t.Errorf("verify = %+v, %v", res, err)
+	}
+
+	// The same engine answers concurrent queries; results agree with the
+	// direct core API.
+	want := rt.CPG().Analyze().TaintedBy(inspector.SubID{Thread: 1, Alpha: 0})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := rt.Query(ctx, inspector.Query{Kind: inspector.QueryTaint, Target: "T1.0"})
+			if err != nil || len(res.IDs) != len(want) {
+				t.Errorf("concurrent taint = %d ids, %v (want %d)", len(res.IDs), err, len(want))
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Bad queries surface the provenance package's validation.
+	if _, err := rt.Query(ctx, inspector.Query{Kind: "nope"}); err == nil {
+		t.Error("unknown query kind accepted")
 	}
 }

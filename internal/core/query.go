@@ -1,11 +1,18 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"slices"
 
 	"github.com/repro/inspector/internal/vclock"
 )
+
+// cancelCheckEvery is the traversal granularity of context cancellation:
+// closures, path searches, and verification probe ctx.Err() once per this
+// many visited vertices (or checked edges), bounding both the check
+// overhead and the latency of honoring a cancellation.
+const cancelCheckEvery = 64
 
 // Analysis is a queryable view of a completed CPG with precomputed edges
 // and adjacency. Build one with Graph.Analyze after recording finishes.
@@ -113,19 +120,27 @@ func kindIn(k EdgeKind, kinds []EdgeKind) bool {
 
 // closure runs a DFS from id over the selected edge kinds, following
 // either predecessor or successor edges, and returns the visited vertex
-// ids (excluding id), ordered by (thread, alpha).
-func (a *Analysis) closure(id SubID, kinds []EdgeKind, forward bool) []SubID {
+// ids (excluding id), ordered by (thread, alpha). It checks ctx every
+// cancelCheckEvery visited vertices and returns ctx's error (with the
+// partial result discarded) once the context is done.
+func (a *Analysis) closure(ctx context.Context, id SubID, kinds []EdgeKind, forward bool) ([]SubID, error) {
 	start, ok := a.vertexIndex(id)
 	if !ok {
-		return nil
+		return nil, nil
 	}
 	seen := make([]bool, len(a.ids))
 	seen[start] = true
 	stack := []int32{start}
 	var out []SubID
+	popped := 0
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
+		if popped++; popped%cancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		edgeIdxs := a.preds(cur)
 		if forward {
 			edgeIdxs = a.succs(cur)
@@ -149,20 +164,33 @@ func (a *Analysis) closure(id SubID, kinds []EdgeKind, forward bool) []SubID {
 		}
 	}
 	sortSubIDs(out)
-	return out
+	return out, nil
 }
 
 // Ancestors returns the backward closure of id over the selected edge
 // kinds (all kinds if none given), excluding id itself, ordered by
 // (thread, alpha).
 func (a *Analysis) Ancestors(id SubID, kinds ...EdgeKind) []SubID {
-	return a.closure(id, kinds, false)
+	out, _ := a.closure(context.Background(), id, kinds, false)
+	return out
+}
+
+// AncestorsCtx is Ancestors with cancellation: it stops the traversal and
+// returns ctx's error once the context is done.
+func (a *Analysis) AncestorsCtx(ctx context.Context, id SubID, kinds ...EdgeKind) ([]SubID, error) {
+	return a.closure(ctx, id, kinds, false)
 }
 
 // Descendants returns the forward closure of id over the selected edge
 // kinds, excluding id itself.
 func (a *Analysis) Descendants(id SubID, kinds ...EdgeKind) []SubID {
-	return a.closure(id, kinds, true)
+	out, _ := a.closure(context.Background(), id, kinds, true)
+	return out
+}
+
+// DescendantsCtx is Descendants with cancellation.
+func (a *Analysis) DescendantsCtx(ctx context.Context, id SubID, kinds ...EdgeKind) ([]SubID, error) {
+	return a.closure(ctx, id, kinds, true)
 }
 
 // Slice returns the backward program slice of id: every sub-computation
@@ -172,13 +200,25 @@ func (a *Analysis) Slice(id SubID) []SubID {
 	return a.Ancestors(id)
 }
 
+// SliceCtx is Slice with cancellation.
+func (a *Analysis) SliceCtx(ctx context.Context, id SubID) ([]SubID, error) {
+	return a.AncestorsCtx(ctx, id)
+}
+
 // PageLineage explains where the contents of page p seen by reader `at`
 // may have come from: the maximal writers of p that happen-before `at`,
 // each paired with its own data-dependency ancestors.
 func (a *Analysis) PageLineage(p uint64, at SubID) []Lineage {
+	out, _ := a.PageLineageCtx(context.Background(), p, at)
+	return out
+}
+
+// PageLineageCtx is PageLineage with cancellation: the upstream-closure
+// walks stop once the context is done.
+func (a *Analysis) PageLineageCtx(ctx context.Context, p uint64, at SubID) ([]Lineage, error) {
 	vi, ok := a.vertexIndex(at)
 	if !ok {
-		return nil
+		return nil, nil
 	}
 	var out []Lineage
 	for _, ei := range a.preds(vi) {
@@ -188,17 +228,21 @@ func (a *Analysis) PageLineage(p uint64, at SubID) []Lineage {
 		}
 		for _, page := range e.Pages {
 			if page == p {
+				up, err := a.AncestorsCtx(ctx, e.From, EdgeData)
+				if err != nil {
+					return nil, err
+				}
 				out = append(out, Lineage{
 					Writer:    e.From,
 					Page:      p,
-					Upstream:  a.Ancestors(e.From, EdgeData),
+					Upstream:  up,
 					ViaObject: e.Object,
 				})
 				break
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Lineage is one provenance explanation for a page read.
@@ -220,21 +264,33 @@ func (a *Analysis) TaintedBy(source SubID) []SubID {
 	return a.Descendants(source, EdgeData)
 }
 
+// TaintedByCtx is TaintedBy with cancellation.
+func (a *Analysis) TaintedByCtx(ctx context.Context, source SubID) ([]SubID, error) {
+	return a.DescendantsCtx(ctx, source, EdgeData)
+}
+
 // Path returns one dependency chain from `from` to `to` — the "why does B
 // depend on A" debugging query (§VIII) — as the sequence of edges of a
 // shortest such chain over the selected kinds (all kinds if none given).
 // It returns nil if no chain exists.
 func (a *Analysis) Path(from, to SubID, kinds ...EdgeKind) []Edge {
+	out, _ := a.PathCtx(context.Background(), from, to, kinds...)
+	return out
+}
+
+// PathCtx is Path with cancellation: the BFS stops and returns ctx's
+// error once the context is done.
+func (a *Analysis) PathCtx(ctx context.Context, from, to SubID, kinds ...EdgeKind) ([]Edge, error) {
 	src, ok := a.vertexIndex(from)
 	if !ok {
-		return nil
+		return nil, nil
 	}
 	dst, ok := a.vertexIndex(to)
 	if !ok {
-		return nil
+		return nil, nil
 	}
 	if src == dst {
-		return nil
+		return nil, nil
 	}
 	// BFS forward from src; parentEdge remembers the edge that first
 	// reached each vertex.
@@ -244,9 +300,15 @@ func (a *Analysis) Path(from, to SubID, kinds ...EdgeKind) []Edge {
 	}
 	queue := []int32{src}
 	found := false
+	popped := 0
 	for len(queue) > 0 && !found {
 		cur := queue[0]
 		queue = queue[1:]
+		if popped++; popped%cancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		for _, ei := range a.succs(cur) {
 			e := &a.edges[ei]
 			if !kindIn(e.Kind, kinds) {
@@ -265,7 +327,7 @@ func (a *Analysis) Path(from, to SubID, kinds ...EdgeKind) []Edge {
 		}
 	}
 	if !found {
-		return nil
+		return nil, nil
 	}
 	var chain []Edge
 	for cur := dst; cur != src; {
@@ -274,7 +336,7 @@ func (a *Analysis) Path(from, to SubID, kinds ...EdgeKind) []Edge {
 		cur, _ = a.vertexIndex(e.From)
 	}
 	slices.Reverse(chain)
-	return chain
+	return chain, nil
 }
 
 // Verify checks structural invariants of the recorded CPG:
@@ -289,6 +351,12 @@ func (a *Analysis) Path(from, to SubID, kinds ...EdgeKind) []Edge {
 //
 // It returns nil if the graph is a valid CPG.
 func (a *Analysis) Verify() error {
+	return a.VerifyCtx(context.Background())
+}
+
+// VerifyCtx is Verify with cancellation: the edge sweep and the
+// acyclicity check stop and return ctx's error once the context is done.
+func (a *Analysis) VerifyCtx(ctx context.Context) error {
 	// Invariant 3a: stored vertices sit at their recorded slots.
 	for t := 0; t < len(a.lens); t++ {
 		for i, sc := range a.g.ThreadSeq(t) {
@@ -297,7 +365,12 @@ func (a *Analysis) Verify() error {
 			}
 		}
 	}
-	for _, e := range a.edges {
+	for ei, e := range a.edges {
+		if ei%cancelCheckEvery == cancelCheckEvery-1 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		sa, ok := a.g.Sub(e.From)
 		if !ok {
 			return fmt.Errorf("core: edge from unknown vertex %v", e.From)
@@ -333,11 +406,11 @@ func (a *Analysis) Verify() error {
 				e.Kind, e.From, e.To, ord)
 		}
 	}
-	return a.checkAcyclic()
+	return a.checkAcyclic(ctx)
 }
 
 // checkAcyclic runs Kahn's algorithm over the explicit edge set.
-func (a *Analysis) checkAcyclic() error {
+func (a *Analysis) checkAcyclic(ctx context.Context) error {
 	n := len(a.ids)
 	indeg := make([]int32, n)
 	for _, e := range a.edges {
@@ -356,6 +429,11 @@ func (a *Analysis) checkAcyclic() error {
 		cur := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 		removed++
+		if removed%cancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		for _, ei := range a.succs(cur) {
 			vi, ok := a.vertexIndex(a.edges[ei].To)
 			if !ok {

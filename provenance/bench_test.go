@@ -1,0 +1,46 @@
+package provenance_test
+
+// The query-engine benchmark suite. Scenario bodies live in
+// provenance/enginebench — shared verbatim with `inspector-bench
+// -experiment cpg`, which snapshots them into the committed
+// BENCH_cpg.json next to the core scenarios. This file is an external
+// test package because enginebench imports provenance.
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/repro/inspector/provenance/enginebench"
+)
+
+// cases memoizes enginebench.Cases(): the fixture (one dense graph and
+// its analysis) is read-only across scenarios.
+var cases = sync.OnceValue(enginebench.Cases)
+
+func runCase(b *testing.B, name string) {
+	b.Helper()
+	for _, c := range cases() {
+		if c.Name == name {
+			b.ReportAllocs()
+			b.ResetTimer()
+			c.Fn(b)
+			return
+		}
+	}
+	b.Fatalf("no enginebench case %q", name)
+}
+
+// BenchmarkQueryEngine measures one backward slice through the Engine
+// (query validation, closure traversal, wire conversion) on the dense
+// cpgbench scenario.
+func BenchmarkQueryEngine(b *testing.B) { runCase(b, "QueryEngine/slice") }
+
+// BenchmarkQueryEngineParallel runs 8 concurrent slices per op against
+// the shared engine — the inspector-serve concurrency story.
+func BenchmarkQueryEngineParallel(b *testing.B) { runCase(b, "QueryEngine/slice-par8") }
+
+// BenchmarkQueryEngineTaint measures forward taint through the Engine.
+func BenchmarkQueryEngineTaint(b *testing.B) { runCase(b, "QueryEngine/taint") }
+
+// BenchmarkQueryEngineTaintParallel is the 8-way taint variant.
+func BenchmarkQueryEngineTaintParallel(b *testing.B) { runCase(b, "QueryEngine/taint-par8") }

@@ -1,0 +1,100 @@
+package provenance
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client speaks the provenance/v1 HTTP API (inspector-serve, or any
+// handler built from NewServer). The zero HTTPClient uses
+// http.DefaultClient. cpg-query -remote is a thin wrapper around it.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:7777".
+	BaseURL string
+	// HTTPClient overrides the transport (nil = http.DefaultClient).
+	HTTPClient *http.Client
+}
+
+// List fetches the served CPGs.
+func (c *Client) List(ctx context.Context) ([]CPGInfo, error) {
+	var list CPGList
+	if err := c.do(ctx, http.MethodGet, "/v1/cpgs", nil, &list); err != nil {
+		return nil, err
+	}
+	if list.Version != Version {
+		return nil, fmt.Errorf("provenance: server speaks %q, this client %q", list.Version, Version)
+	}
+	return list.CPGs, nil
+}
+
+// Query executes q against the CPG with the given id.
+func (c *Client) Query(ctx context.Context, id string, q Query) (*Result, error) {
+	body, err := json.Marshal(q)
+	if err != nil {
+		return nil, err
+	}
+	var res Result
+	if err := c.do(ctx, http.MethodPost, "/v1/cpgs/"+id+"/query", body, &res); err != nil {
+		return nil, err
+	}
+	return checkVersion(&res)
+}
+
+// Stats fetches the summary of one CPG.
+func (c *Client) Stats(ctx context.Context, id string) (*Result, error) {
+	var res Result
+	if err := c.do(ctx, http.MethodGet, "/v1/cpgs/"+id+"/stats", nil, &res); err != nil {
+		return nil, err
+	}
+	return checkVersion(&res)
+}
+
+func checkVersion(res *Result) (*Result, error) {
+	if res.Version != Version {
+		return nil, fmt.Errorf("provenance: server speaks %q, this client %q", res.Version, Version)
+	}
+	return res, nil
+}
+
+// do issues one request and decodes the JSON response, surfacing the
+// server's error body on non-2xx statuses.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	url := strings.TrimSuffix(c.BaseURL, "/") + path
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var ae apiError
+		if json.Unmarshal(data, &ae) == nil && ae.Error != "" {
+			return fmt.Errorf("provenance: server: %s (HTTP %d)", ae.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("provenance: server returned HTTP %d", resp.StatusCode)
+	}
+	return json.Unmarshal(data, out)
+}

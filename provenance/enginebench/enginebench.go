@@ -1,0 +1,96 @@
+// Package enginebench is the query-engine benchmark harness: the
+// scenario bodies behind BenchmarkQueryEngine* in the provenance
+// package's go-test suite and the QueryEngine/* rows of
+// `inspector-bench -experiment cpg` (BENCH_cpg.json). It lives beside
+// the engine (rather than in internal/core/cpgbench) because it drives
+// the public provenance API, which internal/core's tests cannot import
+// without a cycle.
+//
+// The scenarios run slice and taint — the two closure-heavy query
+// kinds — against the dense cpgbench scenario (24 pages, 4 accesses per
+// sub-computation over 8 threads: a rich happens-before web), serially
+// and 8-way parallel. Serial and parallel perform the same per-op work,
+// so their ratio exposes how well concurrent clients share one
+// immutable Analysis — the inspector-serve scaling story.
+package enginebench
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"github.com/repro/inspector/internal/core"
+	"github.com/repro/inspector/internal/core/cpgbench"
+	"github.com/repro/inspector/provenance"
+)
+
+// queryWorkers is the fan-out of the parallel scenarios.
+const queryWorkers = 8
+
+// Case is one benchmark scenario (mirrors cpgbench.Case).
+type Case struct {
+	// Name follows the BENCH_cpg.json row naming ("QueryEngine/slice", ...).
+	Name string
+	// Bytes, when non-zero, is the payload size per op for MB/s.
+	Bytes int64
+	Fn    func(b *testing.B)
+}
+
+// Cases returns the query-engine scenarios.
+func Cases() []Case {
+	// The dense cpgbench scenario (same shape and seed as
+	// DataEdges/dense, so BENCH_cpg.json rows describe one graph).
+	g := cpgbench.BuildRandomGraph(8, 2000, 24, 4, 43)
+	eng := provenance.NewEngine(g.Analyze(), provenance.EngineOptions{})
+	var target core.SubID
+	for _, sc := range g.Subs() {
+		if sc.ID.Thread == 0 {
+			target = sc.ID
+		}
+	}
+	ctx := context.Background()
+	sliceQ := provenance.Query{Kind: provenance.KindSlice, Target: target.String()}
+	taintQ := provenance.Query{Kind: provenance.KindTaint, Target: "T1.0"}
+
+	serial := func(q provenance.Query) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Execute(ctx, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	// parallel runs queryWorkers concurrent executions per op (the same
+	// total work as queryWorkers serial ops), so ns/op divided by the
+	// serial row measures scaling, not a smaller workload.
+	parallel := func(q provenance.Query) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				errs := make(chan error, queryWorkers)
+				for w := 0; w < queryWorkers; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						if _, err := eng.Execute(ctx, q); err != nil {
+							errs <- err
+						}
+					}()
+				}
+				wg.Wait()
+				close(errs)
+				for err := range errs {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+
+	return []Case{
+		{Name: "QueryEngine/slice", Fn: serial(sliceQ)},
+		{Name: "QueryEngine/slice-par8", Fn: parallel(sliceQ)},
+		{Name: "QueryEngine/taint", Fn: serial(taintQ)},
+		{Name: "QueryEngine/taint-par8", Fn: parallel(taintQ)},
+	}
+}

@@ -1,0 +1,150 @@
+package provenance
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// CPGInfo describes one graph a server exposes (the GET /v1/cpgs
+// listing).
+type CPGInfo struct {
+	ID              string `json:"id"`
+	SubComputations int    `json:"sub_computations"`
+	Threads         int    `json:"threads"`
+	Edges           int    `json:"edges"`
+}
+
+// CPGList is the GET /v1/cpgs response body.
+type CPGList struct {
+	Version string    `json:"version"`
+	CPGs    []CPGInfo `json:"cpgs"`
+}
+
+// apiError is the JSON error body every non-2xx response carries.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// ServerOptions configure the HTTP query service.
+type ServerOptions struct {
+	// Timeout bounds each request's query execution; the deadline
+	// cancels the in-flight graph traversal. 0 means no server-imposed
+	// deadline (client disconnects still cancel).
+	Timeout time.Duration
+}
+
+// Server is the provenance/v1 HTTP API over a set of completed graphs:
+//
+//	GET  /v1/cpgs             list the served graphs
+//	GET  /v1/cpgs/{id}/stats  summary of one graph
+//	POST /v1/cpgs/{id}/query  execute a Query (JSON body) against one graph
+//
+// All state is immutable after construction — engines only read their
+// Analysis — so the handler serves any number of concurrent clients
+// without synchronization. inspector-serve wraps this in a daemon;
+// httptest wraps it in tests; cpg-query -remote speaks to either.
+type Server struct {
+	engines map[string]*Engine
+	infos   []CPGInfo
+	opts    ServerOptions
+	mux     *http.ServeMux
+}
+
+// NewServer builds the handler over the given engines, keyed by CPG id
+// (the id segment of the URL paths). The listing is sorted by id.
+func NewServer(engines map[string]*Engine, opts ServerOptions) *Server {
+	s := &Server{engines: engines, opts: opts, mux: http.NewServeMux()}
+	for id, eng := range engines {
+		st := eng.stats()
+		s.infos = append(s.infos, CPGInfo{
+			ID:              id,
+			SubComputations: st.SubComputations,
+			Threads:         st.Threads,
+			Edges:           st.ControlEdges + st.SyncEdges + st.DataEdges,
+		})
+	}
+	sort.Slice(s.infos, func(i, j int) bool { return s.infos[i].ID < s.infos[j].ID })
+	s.mux.HandleFunc("GET /v1/cpgs", s.handleList)
+	s.mux.HandleFunc("GET /v1/cpgs/{id}/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/cpgs/{id}/query", s.handleQuery)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// IDs returns the served CPG ids, sorted.
+func (s *Server) IDs() []string {
+	out := make([]string, len(s.infos))
+	for i, info := range s.infos {
+		out[i] = info.ID
+	}
+	return out
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, CPGList{Version: Version, CPGs: s.infos})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	eng, ok := s.engines[r.PathValue("id")]
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown cpg " + r.PathValue("id")})
+		return
+	}
+	s.execute(w, r, eng, Query{Kind: KindStats})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	eng, ok := s.engines[r.PathValue("id")]
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown cpg " + r.PathValue("id")})
+		return
+	}
+	var q Query
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&q); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad query body: " + err.Error()})
+		return
+	}
+	s.execute(w, r, eng, q)
+}
+
+// execute runs one query under the request context (plus the
+// server-imposed deadline) and writes the wire result.
+func (s *Server) execute(w http.ResponseWriter, r *http.Request, eng *Engine, q Query) {
+	ctx := r.Context()
+	if s.opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.Timeout)
+		defer cancel()
+	}
+	res, err := eng.Execute(ctx, q)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, res)
+	case errors.Is(err, ErrBadQuery):
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusGatewayTimeout,
+			apiError{Error: fmt.Sprintf("query exceeded the %v server deadline", s.opts.Timeout)})
+	case errors.Is(err, context.Canceled):
+		// The client went away; the traversal already stopped and
+		// nothing can be written back.
+	default:
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is out; a write error has no recourse
+}

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# inspector-serve smoke: record a histogram CPG, serve it, and check
+# that every query kind answers remotely with byte-identical output to
+# the local engine (the provenance/v1 contract CI holds the daemon to).
+#
+# Run from the repository root: ./scripts/serve-smoke.sh
+set -euo pipefail
+
+workdir=$(mktemp -d)
+serve_pid=""
+cleanup() {
+  [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/inspector-run" ./cmd/inspector-run
+go build -o "$workdir/inspector-serve" ./cmd/inspector-serve
+go build -o "$workdir/cpg-query" ./cmd/cpg-query
+
+cpg="$workdir/histogram.gob"
+"$workdir/inspector-run" -app histogram -threads 1 -size small -seed 1 -cpg "$cpg" >/dev/null
+
+# Bind an OS-assigned port (no collisions on shared runners); the
+# daemon prints the actual address once it is listening.
+"$workdir/inspector-serve" -cpg "$cpg" -addr 127.0.0.1:0 >"$workdir/serve.log" 2>&1 &
+serve_pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's/.* on \(127\.0\.0\.1:[0-9]*\)$/\1/p' "$workdir/serve.log")
+  if [ -n "$addr" ] && "$workdir/cpg-query" -remote "http://$addr" stats >/dev/null 2>&1; then
+    break
+  fi
+  addr=""
+  sleep 0.1
+done
+[ -n "$addr" ] || { echo "serve-smoke: daemon never became ready" >&2; cat "$workdir/serve.log" >&2; exit 1; }
+
+# Deterministic query targets from the single-thread run: the slice and
+# path target is thread 0's last sub-computation, the lineage probe is
+# the first data edge.
+subs=$("$workdir/cpg-query" -cpg "$cpg" -format json stats | sed -n 's/.*"sub_computations": \([0-9]*\).*/\1/p')
+last="T0.$((subs - 1))"
+"$workdir/cpg-query" -cpg "$cpg" edges data >"$workdir/data-edges.out"
+data_edge=$(head -n 1 "$workdir/data-edges.out")
+reader=$(echo "$data_edge" | awk '{print $3}')
+page=$(echo "$data_edge" | sed -n 's/.*pages=\[\([0-9]*\).*/\1/p')
+
+check() {
+  echo "serve-smoke: cpg-query $*"
+  "$workdir/cpg-query" -cpg "$cpg" "$@" >"$workdir/local.out"
+  "$workdir/cpg-query" -remote "http://$addr" "$@" >"$workdir/remote.out"
+  diff -u "$workdir/local.out" "$workdir/remote.out" || {
+    echo "serve-smoke: remote output diverges for: $*" >&2
+    exit 1
+  }
+}
+
+check stats
+check verify
+check edges
+check edges data
+check slice "$last"
+check taint T0.0
+check path T0.0 "$last"
+if [ -n "$page" ] && [ -n "$reader" ]; then
+  check lineage "$page" "$reader"
+fi
+check -format json stats
+check -format json slice "$last"
+
+echo "serve-smoke: all query kinds byte-identical local vs remote"
