@@ -289,7 +289,7 @@ func render(w io.Writer, q provenance.Query, res *provenance.Result, asJSON bool
 			return errors.New("malformed stats result")
 		}
 		if asJSON {
-			return writeJSON(w, map[string]int{
+			doc := map[string]any{
 				"sub_computations": st.SubComputations,
 				"threads":          st.Threads,
 				"thunks":           st.Thunks,
@@ -298,13 +298,22 @@ func render(w io.Writer, q provenance.Query, res *provenance.Result, asJSON bool
 				"control_edges":    st.ControlEdges,
 				"sync_edges":       st.SyncEdges,
 				"data_edges":       st.DataEdges,
-			})
+			}
+			// Live (epoch > 0) answers say which epoch they describe;
+			// post-mortem output is byte-identical to what it always was.
+			if res.Epoch > 0 {
+				doc["epoch"] = res.Epoch
+			}
+			return writeJSON(w, doc)
 		}
 		fmt.Fprintf(w, "sub-computations: %d across %d threads\n", st.SubComputations, st.Threads)
 		fmt.Fprintf(w, "thunks:           %d\n", st.Thunks)
 		fmt.Fprintf(w, "read-set pages:   %d   write-set pages: %d\n", st.ReadSetPages, st.WriteSetPages)
 		fmt.Fprintf(w, "edges:            %d control, %d sync, %d data\n",
 			st.ControlEdges, st.SyncEdges, st.DataEdges)
+		if res.Epoch > 0 {
+			fmt.Fprintf(w, "epoch:            %d (live analysis)\n", res.Epoch)
+		}
 		return nil
 
 	case provenance.KindVerify:

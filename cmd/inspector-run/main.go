@@ -11,17 +11,27 @@
 //
 //	inspector-run -app histogram [-native] [-threads 4] [-size medium]
 //	              [-cpg out.gob] [-dot out.dot] [-json out.json]
-//	              [-decode] [-verify] [-seed 1]
+//	              [-decode] [-verify] [-live-stats] [-seed 1]
+//
+// -live-stats turns on the live analysis pipeline for the run: the CPG
+// is folded into queryable epochs while the workload executes, progress
+// lines ("live: epoch N ...") stream during execution, and the final
+// line summarizes what the online analysis saw — the same machinery
+// inspector-serve -live serves over HTTP.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
+	"github.com/repro/inspector/internal/core"
 	"github.com/repro/inspector/internal/threading"
 	"github.com/repro/inspector/internal/workloads"
+	"github.com/repro/inspector/provenance"
 )
 
 func main() {
@@ -46,6 +56,7 @@ func run(args []string) error {
 	imageOut := fs.String("imageout", "", "write the image sidecar (for pt-dump -events) to this file")
 	decode := fs.Bool("decode", false, "decode all PT traces and report event counts")
 	verify := fs.Bool("verify", false, "check the recorded CPG's structural invariants before exporting")
+	liveStats := fs.Bool("live-stats", false, "fold the CPG incrementally during the run and stream per-epoch stats")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -87,8 +98,34 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	var live *provenance.LiveEngine
+	stopWatch := func() {}
+	if *liveStats && mode == threading.ModeInspector {
+		live = provenance.NewLiveEngine(rt.Graph(), provenance.EngineOptions{})
+		rt.RegisterCommitHook(func(core.SubID) { live.Notify() })
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		watcherDone := make(chan struct{})
+		stopWatch = func() { cancel(); <-watcherDone }
+		go func() {
+			defer close(watcherDone)
+			watchEpochs(ctx, live)
+		}()
+	}
 	if err := w.Run(rt, cfg); err != nil {
 		return err
+	}
+	if live != nil {
+		live.Close()
+		// Stop the sampler before the summary so progress lines cannot
+		// interleave with the report.
+		stopWatch()
+		st, err := liveStatsSummary(live)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("live analysis:    %d epochs folded; final epoch saw %d sub-computations, %d edges\n",
+			live.Epoch(), st.SubComputations, st.ControlEdges+st.SyncEdges+st.DataEdges)
 	}
 	rep := rt.LastReport()
 
@@ -166,6 +203,43 @@ func run(args []string) error {
 		fmt.Printf("wrote image:      %s\n", *imageOut)
 	}
 	return nil
+}
+
+// watchEpochs streams live-analysis progress while the workload runs.
+// It samples rather than subscribing per epoch: folds can seal hundreds
+// of epochs per second, and one line per sample keeps the output
+// readable for any workload size.
+func watchEpochs(ctx context.Context, live *provenance.LiveEngine) {
+	tick := time.NewTicker(250 * time.Millisecond)
+	defer tick.Stop()
+	var last uint64
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		epoch := live.Epoch()
+		if epoch == last {
+			continue
+		}
+		last = epoch
+		st, err := liveStatsSummary(live)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("live: epoch %d: %d sub-computations, %d edges (queryable mid-run)\n",
+			epoch, st.SubComputations, st.ControlEdges+st.SyncEdges+st.DataEdges)
+	}
+}
+
+// liveStatsSummary runs a stats query against the newest epoch.
+func liveStatsSummary(live *provenance.LiveEngine) (*provenance.Stats, error) {
+	res, err := live.Engine().Execute(context.Background(), provenance.Query{Kind: provenance.KindStats})
+	if err != nil {
+		return nil, err
+	}
+	return res.Stats, nil
 }
 
 func writeFile(path string, enc func(w io.Writer) error) error {

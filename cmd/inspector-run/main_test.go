@@ -32,6 +32,17 @@ func TestRunEndToEndWithArtifacts(t *testing.T) {
 	}
 }
 
+func TestRunLiveStats(t *testing.T) {
+	if err := run([]string{"-app", "histogram", "-threads", "2", "-size", "small", "-live-stats", "-verify"}); err != nil {
+		t.Fatal(err)
+	}
+	// -live-stats is meaningless without tracking, but must not break
+	// the native baseline.
+	if err := run([]string{"-app", "histogram", "-threads", "2", "-size", "small", "-native", "-live-stats"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunNative(t *testing.T) {
 	if err := run([]string{"-app", "histogram", "-threads", "2", "-size", "small", "-native"}); err != nil {
 		t.Fatal(err)

@@ -8,6 +8,7 @@
 //
 //	inspector-serve -cpg run.gob [-cpg other.gob] [-addr :7070]
 //	inspector-serve -workload histogram [-threads 4] [-size small] [-seed 1]
+//	inspector-serve -workload histogram -live [-live-slowdown 10ms]
 //
 //	GET  /v1/cpgs              list the served graphs
 //	GET  /v1/cpgs/{id}/stats   summary of one graph
@@ -19,6 +20,16 @@
 // cancels the traversal inside the engine, not just the response), and
 // -max-results caps any single result page — clients follow the
 // next_cursor contract for the rest.
+//
+// With -live the daemon does not wait for the workload: recording and
+// serving start together, the CPG is folded into successive analysis
+// epochs as sub-computations seal, and every response carries the epoch
+// it was answered from (each request pins one epoch, so cursors stay
+// valid within it). Once the workload finishes, the final epoch serves
+// the complete graph — the daemon degrades gracefully into the
+// post-mortem form. -live-slowdown stretches the recording by sleeping
+// at every commit boundary, which keeps short demo workloads alive long
+// enough to watch epochs advance.
 //
 // cpg-query -remote http://host:port is the matching client:
 //
@@ -65,71 +76,110 @@ func run(args []string) error {
 	addr := fs.String("addr", ":7070", "listen address")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request query deadline (0 = none)")
 	maxResults := fs.Int("max-results", 10000, "result page cap; clients page with cursors (0 = unlimited)")
+	live := fs.Bool("live", false, "with -workload: serve the CPG while it records (epoch-based incremental analysis)")
+	liveSlowdown := fs.Duration("live-slowdown", 0, "with -live: sleep this long at every commit boundary (stretches short workloads for demos/tests)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
 	}
+	if *live && *workload == "" {
+		return fmt.Errorf("-live needs -workload (post-mortem -cpg graphs are already complete)")
+	}
 
-	srv, err := buildServer(cpgPaths, *workload, *threads, *sizeFlag, *seed,
+	srv, start, err := buildServer(cpgPaths, *workload, *threads, *sizeFlag, *seed, *live, *liveSlowdown,
 		provenance.ServerOptions{Timeout: *timeout}, provenance.EngineOptions{MaxResults: *maxResults})
 	if err != nil {
 		return err
 	}
 	// Bind before announcing, so -addr :0 (tests, smoke scripts) prints
-	// the actual port.
+	// the actual port. The live workload starts only now: the daemon is
+	// queryable from the first sealed sub-computation.
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
+	}
+	if start != nil {
+		go start()
 	}
 	fmt.Printf("inspector-serve: serving %v on %s\n", srv.IDs(), ln.Addr())
 	return http.Serve(ln, srv)
 }
 
-// buildServer assembles the engine set from gob files and/or a recorded
-// workload. Everything behind it is immutable, so the returned handler
-// is safe for arbitrary client concurrency.
+// buildServer assembles the engine sources from gob files and/or a
+// recorded workload. The post-mortem sources are immutable; a live
+// source publishes a new immutable epoch per fold, and each request pins
+// one epoch — either way the handler is safe for arbitrary client
+// concurrency. The returned start function (nil unless live) launches
+// the workload recording; call it once the listener is up.
 func buildServer(cpgPaths []string, workload string, threads int, sizeFlag string, seed int64,
-	sopts provenance.ServerOptions, eopts provenance.EngineOptions) (*provenance.Server, error) {
-	engines := map[string]*provenance.Engine{}
+	live bool, liveSlowdown time.Duration,
+	sopts provenance.ServerOptions, eopts provenance.EngineOptions) (*provenance.Server, func(), error) {
+	sources := map[string]provenance.EngineSource{}
 	for _, path := range cpgPaths {
 		id := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
-		if _, dup := engines[id]; dup {
-			return nil, fmt.Errorf("duplicate cpg id %q (from %s)", id, path)
+		if _, dup := sources[id]; dup {
+			return nil, nil, fmt.Errorf("duplicate cpg id %q (from %s)", id, path)
 		}
 		f, err := os.Open(path)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		g, err := core.DecodeGob(f)
 		f.Close()
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", path, err)
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
 		}
-		engines[id] = provenance.NewEngine(g.Analyze(), eopts)
+		sources[id] = provenance.StaticSource(provenance.NewEngine(g.Analyze(), eopts))
 	}
+	var start func()
 	if workload != "" {
-		g, err := recordWorkload(workload, threads, sizeFlag, seed)
+		if _, dup := sources[workload]; dup {
+			return nil, nil, fmt.Errorf("duplicate cpg id %q (from -workload)", workload)
+		}
+		rt, w, cfg, err := workloadRuntime(workload, threads, sizeFlag, seed)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		if _, dup := engines[workload]; dup {
-			return nil, fmt.Errorf("duplicate cpg id %q (from -workload)", workload)
+		if live {
+			eng := provenance.NewLiveEngine(rt.Graph(), eopts)
+			rt.RegisterCommitHook(func(core.SubID) {
+				if liveSlowdown > 0 {
+					time.Sleep(liveSlowdown)
+				}
+				eng.Notify()
+			})
+			sources[workload] = eng
+			start = func() {
+				err := w.Run(rt, cfg)
+				eng.Close()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "inspector-serve: live workload %s failed: %v (serving the recorded prefix)\n", workload, err)
+					return
+				}
+				fmt.Printf("inspector-serve: live workload %s finished (epoch %d, final graph served)\n",
+					workload, eng.Epoch())
+			}
+		} else {
+			if err := w.Run(rt, cfg); err != nil {
+				return nil, nil, fmt.Errorf("%s: %w", workload, err)
+			}
+			sources[workload] = provenance.StaticSource(provenance.NewEngine(rt.Graph().Analyze(), eopts))
 		}
-		engines[workload] = provenance.NewEngine(g.Analyze(), eopts)
 	}
-	if len(engines) == 0 {
-		return nil, fmt.Errorf("nothing to serve (need -cpg or -workload)")
+	if len(sources) == 0 {
+		return nil, nil, fmt.Errorf("nothing to serve (need -cpg or -workload)")
 	}
-	return provenance.NewServer(engines, sopts), nil
+	return provenance.NewServerSources(sources, sopts), start, nil
 }
 
-// recordWorkload runs one workload under INSPECTOR and returns its CPG.
-func recordWorkload(app string, threads int, sizeFlag string, seed int64) (*core.Graph, error) {
+// workloadRuntime prepares (but does not run) one workload under
+// INSPECTOR.
+func workloadRuntime(app string, threads int, sizeFlag string, seed int64) (*threading.Runtime, workloads.Workload, workloads.Config, error) {
 	w, err := workloads.Get(app)
 	if err != nil {
-		return nil, err
+		return nil, nil, workloads.Config{}, err
 	}
 	var size workloads.Size
 	switch sizeFlag {
@@ -140,7 +190,7 @@ func recordWorkload(app string, threads int, sizeFlag string, seed int64) (*core
 	case "large":
 		size = workloads.Large
 	default:
-		return nil, fmt.Errorf("unknown size %q", sizeFlag)
+		return nil, nil, workloads.Config{}, fmt.Errorf("unknown size %q", sizeFlag)
 	}
 	cfg := workloads.Config{Size: size, Threads: threads, Seed: seed}
 	rt, err := threading.NewRuntime(threading.Options{
@@ -149,10 +199,7 @@ func recordWorkload(app string, threads int, sizeFlag string, seed int64) (*core
 		MaxThreads: w.MaxThreads(cfg),
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, workloads.Config{}, err
 	}
-	if err := w.Run(rt, cfg); err != nil {
-		return nil, fmt.Errorf("%s: %w", app, err)
-	}
-	return rt.Graph(), nil
+	return rt, w, cfg, nil
 }

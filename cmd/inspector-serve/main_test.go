@@ -57,7 +57,7 @@ func TestBuildServerFromGobs(t *testing.T) {
 	writeGob(t, a)
 	writeGob(t, b)
 
-	srv, err := buildServer([]string{a, b}, "", 0, "", 0,
+	srv, _, err := buildServer([]string{a, b}, "", 0, "", 0, false, 0,
 		provenance.ServerOptions{}, provenance.EngineOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -86,7 +86,7 @@ func TestBuildServerErrors(t *testing.T) {
 	a := filepath.Join(dir, "x.gob")
 	writeGob(t, a)
 
-	if _, err := buildServer(nil, "", 0, "", 0,
+	if _, _, err := buildServer(nil, "", 0, "", 0, false, 0,
 		provenance.ServerOptions{}, provenance.EngineOptions{}); err == nil {
 		t.Error("empty server accepted")
 	}
@@ -97,21 +97,21 @@ func TestBuildServerErrors(t *testing.T) {
 	}
 	b := filepath.Join(sub, "x.gob")
 	writeGob(t, b)
-	if _, err := buildServer([]string{a, b}, "", 0, "", 0,
+	if _, _, err := buildServer([]string{a, b}, "", 0, "", 0, false, 0,
 		provenance.ServerOptions{}, provenance.EngineOptions{}); err == nil {
 		t.Error("duplicate ids accepted")
 	}
 	// Missing file.
-	if _, err := buildServer([]string{filepath.Join(dir, "absent.gob")}, "", 0, "", 0,
+	if _, _, err := buildServer([]string{filepath.Join(dir, "absent.gob")}, "", 0, "", 0, false, 0,
 		provenance.ServerOptions{}, provenance.EngineOptions{}); err == nil {
 		t.Error("missing file accepted")
 	}
 	// Unknown workload and size.
-	if _, err := buildServer(nil, "not-a-workload", 1, "small", 1,
+	if _, _, err := buildServer(nil, "not-a-workload", 1, "small", 1, false, 0,
 		provenance.ServerOptions{}, provenance.EngineOptions{}); err == nil {
 		t.Error("unknown workload accepted")
 	}
-	if _, err := buildServer(nil, "histogram", 1, "gigantic", 1,
+	if _, _, err := buildServer(nil, "histogram", 1, "gigantic", 1, false, 0,
 		provenance.ServerOptions{}, provenance.EngineOptions{}); err == nil {
 		t.Error("unknown size accepted")
 	}
@@ -121,11 +121,14 @@ func TestBuildServerFromWorkload(t *testing.T) {
 	if testing.Short() {
 		t.Skip("records a workload")
 	}
-	srv, err := buildServer(nil, "histogram", 2, "small", 1,
+	srv, start, err := buildServer(nil, "histogram", 2, "small", 1, false, 0,
 		provenance.ServerOptions{Timeout: 10 * time.Second},
 		provenance.EngineOptions{MaxResults: 100})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if start != nil {
+		t.Fatal("non-live build returned a start function")
 	}
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
@@ -156,5 +159,86 @@ func TestBuildServerFromWorkload(t *testing.T) {
 	}
 	if res.Total > 100 && res.NextCursor == "" {
 		t.Error("truncated page without cursor")
+	}
+}
+
+// TestBuildServerLiveWorkload is the acceptance check for the daemon's
+// live mode: the server is queryable while the workload records (every
+// response carries an epoch), and after the workload finishes the final
+// epoch serves the complete graph.
+func TestBuildServerLiveWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("records a workload")
+	}
+	srv, start, err := buildServer(nil, "histogram", 2, "small", 1, true, 500*time.Microsecond,
+		provenance.ServerOptions{Timeout: 10 * time.Second},
+		provenance.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start == nil {
+		t.Fatal("live build returned no start function")
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := &provenance.Client{BaseURL: ts.URL}
+	ctx := context.Background()
+
+	// Queryable before the workload even starts: the initial epoch is an
+	// empty-but-valid graph.
+	st, err := c.Stats(ctx, "histogram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch == 0 {
+		t.Fatal("live stats carry no epoch before the workload starts")
+	}
+
+	workloadDone := make(chan struct{})
+	go func() { start(); close(workloadDone) }()
+
+	// Mid-run: wait for an epoch with sealed sub-computations; the
+	// slowdown keeps the recording alive while we poll.
+	var mid *provenance.Result
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		mid, err = c.Stats(ctx, "histogram")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mid.Stats.SubComputations > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if mid.Stats.SubComputations == 0 {
+		t.Fatal("no sealed sub-computations observable during the live run")
+	}
+
+	<-workloadDone
+	final, err := c.Stats(ctx, "histogram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Epoch < mid.Epoch || final.Stats.SubComputations < mid.Stats.SubComputations {
+		t.Fatalf("final epoch %d/%d subs regressed from mid-run %d/%d",
+			final.Epoch, final.Stats.SubComputations, mid.Epoch, mid.Stats.SubComputations)
+	}
+	// The final epoch must agree with a post-mortem rebuild of the same
+	// deterministic workload.
+	post, _, err := buildServer(nil, "histogram", 2, "small", 1, false, 0,
+		provenance.ServerOptions{}, provenance.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := httptest.NewServer(post)
+	defer pts.Close()
+	pc := &provenance.Client{BaseURL: pts.URL}
+	want, err := pc.Stats(ctx, "histogram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *final.Stats != *want.Stats {
+		t.Fatalf("live final stats %+v != post-mortem stats %+v", final.Stats, want.Stats)
 	}
 }

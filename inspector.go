@@ -142,12 +142,23 @@ type Options struct {
 	SnapshotEverySyncs uint64
 	// SnapshotSlots is the snapshot ring capacity (default 4).
 	SnapshotSlots int
+	// Live folds the CPG incrementally while the workload executes, so
+	// Query answers against the newest completed epoch *during* Run
+	// instead of only after it returns — the paper's online-provenance
+	// property. Epoch and WaitEpoch expose the fold progress.
+	// Incompatible with Native (there is no graph to fold).
+	Live bool
 }
 
 // Runtime is one provenance-recording execution context.
 type Runtime struct {
 	rt    *threading.Runtime
 	snaps *snapshot.Snapshotter
+
+	// live is the epoch-folding analysis pipeline (Options.Live); when
+	// set, Query serves the newest epoch instead of the lazy post-Run
+	// engine.
+	live *provenance.LiveEngine
 
 	engineOnce sync.Once
 	engine     *provenance.Engine
@@ -176,6 +187,9 @@ func (o Options) validate() error {
 	if o.SnapshotSlots < 0 {
 		return fmt.Errorf("%w: SnapshotSlots %d is negative (0 means the default of 4)",
 			ErrBadOptions, o.SnapshotSlots)
+	}
+	if o.Live && o.Native {
+		return fmt.Errorf("%w: Live requires provenance tracking (drop Native)", ErrBadOptions)
 	}
 	return nil
 }
@@ -221,13 +235,23 @@ func New(opts Options) (*Runtime, error) {
 		rt.snaps = s
 		inner.RegisterSnapshotHook(s.Hook())
 	}
+	if opts.Live && !opts.Native {
+		rt.live = provenance.NewLiveEngine(inner.Graph(), provenance.EngineOptions{})
+		inner.RegisterCommitHook(func(core.SubID) { rt.live.Notify() })
+	}
 	return rt, nil
 }
 
 // Run executes main as the program's first thread and returns the run
-// report. Run may be called once per Runtime.
+// report. Run may be called once per Runtime. Under Options.Live the
+// final analysis epoch is folded before Run returns, so queries issued
+// afterwards always see the complete graph.
 func (r *Runtime) Run(main func(*Thread)) (*Report, error) {
-	return r.rt.Run(main)
+	rep, err := r.rt.Run(main)
+	if r.live != nil {
+		r.live.Close()
+	}
+	return rep, err
 }
 
 // MapInput maps input data into the tracked address space (the mmap'd
@@ -258,16 +282,55 @@ func (r *Runtime) CPG() *CPG { return r.rt.Graph() }
 
 // Query executes one typed provenance question against the recorded
 // CPG — the same API cpg-query and inspector-serve expose, run in
-// process. Call it after Run returns: the first Query analyzes the
-// graph once and caches the engine, so repeated queries (and concurrent
-// queries from several goroutines) share one immutable analysis.
-// Cancellation is honored mid-traversal: a canceled ctx stops the
-// closure walk and returns the context's error.
+// process. Cancellation is honored mid-traversal: a canceled ctx stops
+// the closure walk and returns the context's error.
+//
+// Without Options.Live, call it after Run returns: the first Query
+// analyzes the graph once and caches the engine, so repeated queries
+// (and concurrent queries from several goroutines) share one immutable
+// analysis.
+//
+// With Options.Live, Query may be called at any time — including from
+// other goroutines while Run is still executing. Each call pins the
+// newest completed epoch's immutable analysis: results cover every
+// sub-computation sealed up to that epoch's causally consistent cut and
+// carry the epoch id (QueryResult.Epoch). Cursors are valid against the
+// epoch that issued them; WaitEpoch subscribes to fold progress.
 func (r *Runtime) Query(ctx context.Context, q Query) (*QueryResult, error) {
+	if r.live != nil {
+		return r.live.Engine().Execute(ctx, q)
+	}
 	r.engineOnce.Do(func() {
 		r.engine = provenance.NewEngine(r.rt.Graph().Analyze(), provenance.EngineOptions{})
 	})
 	return r.engine.Execute(ctx, q)
+}
+
+// ErrNotLive tags live-only calls on a runtime built without
+// Options.Live.
+var ErrNotLive = errors.New("inspector: runtime not in live mode (set Options.Live)")
+
+// Epoch returns the newest completed analysis epoch (≥ 1 once the
+// runtime exists; the pipeline folds epoch 1 eagerly). It requires
+// Options.Live and returns 0 otherwise.
+func (r *Runtime) Epoch() uint64 {
+	if r.live == nil {
+		return 0
+	}
+	return r.live.Epoch()
+}
+
+// WaitEpoch blocks until the live analysis has folded epoch min (or
+// further) and returns the epoch that satisfied the wait — the
+// Subscribe primitive for monitors that follow a run's provenance as it
+// grows. It fails with ErrNotLive without Options.Live, with ctx's
+// error if the context ends first, and with provenance.ErrLiveClosed if
+// the final epoch has been folded and still falls short of min.
+func (r *Runtime) WaitEpoch(ctx context.Context, min uint64) (uint64, error) {
+	if r.live == nil {
+		return 0, ErrNotLive
+	}
+	return r.live.WaitEpoch(ctx, min)
 }
 
 // WriteDOT renders the CPG in Graphviz form.

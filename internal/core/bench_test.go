@@ -18,11 +18,14 @@ import (
 // the CI 1-iteration smoke — pays the setup once, not per lookup.
 var cases = sync.OnceValue(cpgbench.Cases)
 
+// liveCases memoizes the live-pipeline scenarios the same way.
+var liveCases = sync.OnceValue(cpgbench.LiveCases)
+
 // runCase looks a scenario up by name so benchmark names stay stable
 // even if the case list reorders.
 func runCase(b *testing.B, name string) {
 	b.Helper()
-	for _, c := range cases() {
+	for _, c := range append(cases(), liveCases()...) {
 		if c.Name == name {
 			b.ReportAllocs()
 			b.ResetTimer()
@@ -68,3 +71,18 @@ func BenchmarkVerify(b *testing.B) { runCase(b, "Verify/sparse") }
 // BenchmarkPageSetAdd measures the read/write-set hot path: 96 inserts
 // (with duplicates) over a 1024-page range.
 func BenchmarkPageSetAdd(b *testing.B) { runCase(b, "PageSet/add") }
+
+// BenchmarkIncrementalAnalyze measures the live pipeline's cumulative
+// analysis cost over the DataEdges/sparse execution folded at an
+// 8-epoch cadence; the /1 and /64 variants bracket it. Compare against
+// BenchmarkReAnalyze at the same cadence: the fold derives each
+// vertex's edges once, the naive re-Analyze pays the whole prefix at
+// every epoch.
+func BenchmarkIncrementalAnalyze(b *testing.B)   { runCase(b, "IncrementalAnalyze/epochs8") }
+func BenchmarkIncrementalAnalyze1(b *testing.B)  { runCase(b, "IncrementalAnalyze/epochs1") }
+func BenchmarkIncrementalAnalyze64(b *testing.B) { runCase(b, "IncrementalAnalyze/epochs64") }
+
+// BenchmarkReAnalyze is the naive live baseline: one full batch Analyze
+// at every epoch boundary of the same schedule.
+func BenchmarkReAnalyze(b *testing.B)   { runCase(b, "ReAnalyze/epochs8") }
+func BenchmarkReAnalyze64(b *testing.B) { runCase(b, "ReAnalyze/epochs64") }

@@ -1,32 +1,3 @@
-// Package core implements the paper's central contribution: the Concurrent
-// Provenance Graph (CPG, §IV-A) and the parallel provenance algorithm that
-// builds it (§IV-B, Algorithms 1 and 2).
-//
-// The CPG is a DAG whose vertices are sub-computations — the instruction
-// sequences a thread executes between two pthreads synchronization calls —
-// and whose edges record three dependency kinds:
-//
-//   - control edges: intra-thread program order, refined within each
-//     sub-computation by thunks (branch-delimited instruction runs);
-//   - synchronization edges: inter-thread happens-before derived from the
-//     acquire/release ordering of synchronization operations;
-//   - data edges: update-use relationships derived from per-sub-computation
-//     page-granularity read/write sets combined with the happens-before
-//     partial order.
-//
-// The algorithm is fully decentralized: each thread maintains a vector
-// clock, synchronization objects carry clocks between releasers and
-// acquirers, and every completed sub-computation is stamped with its
-// thread's clock. Standard vector-clock comparison over those stamps is
-// the happens-before relation.
-//
-// The store mirrors that decentralization: vertices live in per-thread
-// shards (a Recorder appends to its own shard without any global lock),
-// synchronization edges in per-thread logs keyed by the acquiring thread,
-// and symbols — branch-site labels, indirect targets, synchronization
-// object names — are interned once into dense refs so the per-vertex
-// records carry ints, not strings. String forms are materialized only at
-// export and query time.
 package core
 
 import (
@@ -320,6 +291,71 @@ func (g *Graph) NumSubs() int {
 	return n
 }
 
+// shardLen returns thread t's current sequence length.
+func (g *Graph) shardLen(t int) int {
+	sh := g.shard(t)
+	if sh == nil {
+		return 0
+	}
+	sh.mu.RLock()
+	n := len(sh.seq)
+	sh.mu.RUnlock()
+	return n
+}
+
+// threadTail copies thread t's sub-computations with alpha in [lo, hi),
+// clamped to the shard's current length. The incremental fold uses it to
+// pull exactly the vertices sealed since the previous epoch.
+func (g *Graph) threadTail(t, lo, hi int) []*SubComputation {
+	sh := g.shard(t)
+	if sh == nil {
+		return nil
+	}
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if hi > len(sh.seq) {
+		hi = len(sh.seq)
+	}
+	if lo >= hi {
+		return nil
+	}
+	out := make([]*SubComputation, hi-lo)
+	copy(out, sh.seq[lo:hi])
+	return out
+}
+
+// syncEdgeTail copies thread t's sync-edge log entries from index `from`
+// on. Logs are append-only, so successive calls with the previous return
+// length see each entry exactly once.
+func (g *Graph) syncEdgeTail(t, from int) []syncEdgeRec {
+	sh := g.shard(t)
+	if sh == nil {
+		return nil
+	}
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if from >= len(sh.syncEdges) {
+		return nil
+	}
+	out := make([]syncEdgeRec, len(sh.syncEdges)-from)
+	copy(out, sh.syncEdges[from:])
+	return out
+}
+
+// prefixSubs returns the vertices of the prefix bounded by lens, ordered
+// by (thread, alpha).
+func (g *Graph) prefixSubs(lens []int) []*SubComputation {
+	total := 0
+	for _, n := range lens {
+		total += n
+	}
+	out := make([]*SubComputation, 0, total)
+	for t, n := range lens {
+		out = append(out, g.threadTail(t, 0, n)...)
+	}
+	return out
+}
+
 // threadLens returns the per-shard sequence lengths (the dense-index
 // layout the Analysis CSR uses).
 func (g *Graph) threadLens() []int {
@@ -418,17 +454,20 @@ func (g *Graph) Edges() []Edge {
 // acquire binds to one fresh sub-computation, so (From, To, Kind) is
 // unique) but keeps the order total for hand-built inputs.
 func sortEdges(edges []Edge) {
-	sort.Slice(edges, func(i, j int) bool {
-		a, b := edges[i], edges[j]
-		if a.From != b.From {
-			return a.From.Less(b.From)
-		}
-		if a.To != b.To {
-			return a.To.Less(b.To)
-		}
-		if a.Kind != b.Kind {
-			return a.Kind < b.Kind
-		}
-		return a.Object < b.Object
-	})
+	sort.Slice(edges, func(i, j int) bool { return edgeLess(edges[i], edges[j]) })
+}
+
+// edgeLess is the canonical edge order shared by sortEdges and the
+// incremental fold's sorted-run merge.
+func edgeLess(a, b Edge) bool {
+	if a.From != b.From {
+		return a.From.Less(b.From)
+	}
+	if a.To != b.To {
+		return a.To.Less(b.To)
+	}
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	return a.Object < b.Object
 }

@@ -9,6 +9,7 @@
 package cpgbench
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -109,10 +110,83 @@ type Case struct {
 	Fn    func(b *testing.B)
 }
 
+// liveSchedule is one deterministic pre-drawn recording schedule, so
+// the incremental-analysis scenarios replay identical executions per op
+// without re-seeding rand inside the timed region.
+type liveSchedule struct {
+	threads int
+	// thread[i], pages[i] drive step i: thread[i] reads pages[i][0..rw)
+	// and writes pages[i][rw..2rw), then transfers the mutex.
+	thread []int
+	pages  [][]uint64
+}
+
+func drawSchedule(threads, steps, pageRange, rw int, seed int64) *liveSchedule {
+	r := rand.New(rand.NewSource(seed))
+	s := &liveSchedule{threads: threads}
+	for i := 0; i < steps; i++ {
+		s.thread = append(s.thread, r.Intn(threads))
+		ps := make([]uint64, 2*rw)
+		for j := range ps {
+			ps[j] = uint64(r.Intn(pageRange))
+		}
+		s.pages = append(s.pages, ps)
+	}
+	return s
+}
+
+// replay records schedule steps [lo, hi) into g.
+func (s *liveSchedule) replay(g *core.Graph, recs []*core.Recorder, lock *core.SyncObject, lo, hi int) {
+	ev := core.SyncEvent{Kind: core.SyncRelease, Object: lock.Ref()}
+	for i := lo; i < hi; i++ {
+		rec := recs[s.thread[i]]
+		ps := s.pages[i]
+		for j := 0; j < len(ps)/2; j++ {
+			rec.OnRead(ps[j])
+			rec.OnWrite(ps[len(ps)/2+j])
+		}
+		sc, err := rec.EndSub(ev, 0)
+		if err != nil {
+			panic(err)
+		}
+		rec.Release(lock, sc)
+		rec.Acquire(lock)
+	}
+}
+
+// runLive replays the schedule in `epochs` evenly sized chunks, calling
+// analyze after each chunk. Recording happens off the clock
+// (b.StopTimer), so the measured cost is purely the analysis work — the
+// number the live pipeline pays per run at a given epoch cadence.
+func (s *liveSchedule) runLive(b *testing.B, epochs int, analyze func(g *core.Graph) *core.Analysis) {
+	steps := len(s.thread)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g := core.NewGraph(s.threads)
+		recs := make([]*core.Recorder, s.threads)
+		for t := range recs {
+			recs[t] = newRecorder(g, t)
+		}
+		lock := g.NewSyncObject("l", false)
+		done := 0
+		for e := 1; e <= epochs; e++ {
+			upto := steps * e / epochs
+			s.replay(g, recs, lock, done, upto)
+			done = upto
+			b.StartTimer()
+			analyze(g)
+			b.StopTimer()
+		}
+		b.StartTimer()
+	}
+}
+
 // Cases returns the CPG-core scenarios: the EndSub append path serial
 // and contended, the data-edge derivation sparse and dense, analysis
 // construction, a wide backward slice (the sortSubIDs regression), the
-// full invariant check, and the PageSet hot path.
+// full invariant check, the PageSet hot path, and the live pipeline's
+// epoch folds (IncrementalAnalyze vs. the naive full re-Analyze at the
+// same cadence).
 func Cases() []Case {
 	sparse := BuildRandomGraph(8, 2000, 64, 1, 42)
 	dense := BuildRandomGraph(8, 2000, 24, 4, 43)
@@ -183,4 +257,39 @@ func Cases() []Case {
 			}
 		}},
 	}
+}
+
+// LiveCases returns the live-pipeline scenarios: the same 2000-step
+// 8-thread execution as DataEdges/sparse, recorded off the clock and
+// analyzed at a 1/8/64-epoch cadence. IncrementalAnalyze/* folds each
+// epoch with one shared IncrementalAnalyzer; ReAnalyze/* runs the
+// post-mortem batch Analyze at every epoch boundary instead — the
+// naive way to serve queries mid-run, quadratic in total graph size.
+// The per-op number is the cumulative analysis cost of the whole run
+// at that cadence.
+func LiveCases() []Case {
+	sched := drawSchedule(8, 2000, 64, 1, 42)
+	cases := []Case{}
+	for _, epochs := range []int{1, 8, 64} {
+		epochs := epochs
+		cases = append(cases,
+			Case{Name: fmt.Sprintf("IncrementalAnalyze/epochs%d", epochs), Fn: func(b *testing.B) {
+				var inc *core.IncrementalAnalyzer
+				var last *core.Graph
+				sched.runLive(b, epochs, func(g *core.Graph) *core.Analysis {
+					if g != last {
+						inc = core.NewIncrementalAnalyzer(g)
+						last = g
+					}
+					return inc.Fold()
+				})
+			}},
+			Case{Name: fmt.Sprintf("ReAnalyze/epochs%d", epochs), Fn: func(b *testing.B) {
+				sched.runLive(b, epochs, func(g *core.Graph) *core.Analysis {
+					return g.Analyze()
+				})
+			}},
+		)
+	}
+	return cases
 }

@@ -35,8 +35,11 @@ import (
 // map-of-maps single-threaded derivation as the executable
 // specification; property tests assert the two never diverge.
 func (g *Graph) DataEdges() []Edge {
-	return deriveDataEdges(g.Subs(), runtime.GOMAXPROCS(0))
+	return deriveDataEdges(g.Subs(), runtimeWorkers())
 }
+
+// runtimeWorkers is the derivation worker-pool bound.
+func runtimeWorkers() int { return runtime.GOMAXPROCS(0) }
 
 // hbSubs is the happens-before relation over materialized vertices.
 func hbSubs(a, b *SubComputation) bool {

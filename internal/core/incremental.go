@@ -1,0 +1,359 @@
+package core
+
+import (
+	"slices"
+	"sort"
+)
+
+// IncrementalAnalyzer folds a still-growing CPG into successive immutable
+// Analyses — the live half of the paper's claim that provenance is
+// usable *while* the traced program runs. Each Fold call captures the
+// vertices and sync edges sealed since the previous epoch and extends
+// the accumulated analysis state instead of re-deriving it:
+//
+//   - the page → writer-runs index (the structure DataEdges builds from
+//     scratch on every batch run) persists across epochs and only the new
+//     writers are appended to it;
+//   - data edges are derived only for the epoch's new readers, using the
+//     same per-(reader, thread) happens-before thresholds the batch
+//     derivation exploits — a vertex already analyzed can never gain a
+//     new *incoming* edge (see the cut argument below), so earlier
+//     epochs' derivations are final;
+//   - sync edges accumulate as a sorted run that each epoch merges with
+//     the newly sealed entries, deferring entries whose acquiring
+//     sub-computation has not sealed yet;
+//   - the interned symbol table is the graph's own append-only interner,
+//     so materialized names never need recomputing.
+//
+// Only the cheap flat structures — the concatenated edge sequence and
+// the CSR offset arrays — are rebuilt per epoch, with pure copies and
+// counting sorts (no re-derivation). The result is constructed by the
+// same newAnalysis the batch path uses, so an epoch's Analysis is
+// structurally identical to what Graph.Analyze would build over the same
+// prefix; the equivalence property tests pin the two byte-identical.
+//
+// # Why folding is sound: causally consistent cuts
+//
+// A fold must not analyze a reader before all its potential writers are
+// visible, or it would derive an update-use edge from a hidden (stale)
+// writer and freeze it into every later epoch. Fold therefore closes the
+// captured per-thread lengths under happens-before: a sealed
+// sub-computation's clock component Ct[u] names the latest thread-u
+// vertex it has observed, and the recording discipline publishes a
+// vertex to its shard (EndSub) before its clock can flow to any other
+// thread (Release → Acquire). So extending the cut until lens[u] ≥
+// Ct[u] for every captured vertex only ever pulls vertices already
+// present in the shards, and the resulting prefix is closed: every
+// happens-before predecessor of an included vertex is included. Under a
+// closed cut, a writer sealed later cannot happen-before an
+// already-included reader — which is exactly what makes per-epoch
+// derivations final.
+//
+// An IncrementalAnalyzer is safe to drive from one goroutine while any
+// number of recording threads append to the graph; Fold itself is
+// serialized internally.
+type IncrementalAnalyzer struct {
+	g *Graph
+
+	epoch uint64
+	// lens is the folded prefix: thread t's vertices [0, lens[t]) are
+	// analyzed.
+	lens []int
+	// seqs mirrors the folded prefix per thread (append-only, so slices
+	// handed to earlier epochs stay valid).
+	seqs [][]*SubComputation
+	// syncSeen counts the consumed entries of each shard's sync-edge log.
+	syncSeen []int
+	// pendingSync holds log entries seen before their endpoints sealed.
+	pendingSync []syncEdgeRec
+	// syncEdges and dataEdges are the accumulated derived edges, each
+	// maintained in the canonical sorted order.
+	syncEdges []Edge
+	dataEdges []Edge
+	// writers is the persistent page → writer-runs index: for each page,
+	// one run per writing thread with alphas ascending.
+	writers map[uint64][]incRun
+
+	// Per-fold scratch, reused across readers.
+	cands    []incCand
+	accFrom  []incCand
+	accPages [][]uint64
+}
+
+// incRun is one thread's writers of one page, alphas ascending.
+type incRun struct {
+	thread int32
+	alphas []int32
+}
+
+// incCand identifies one candidate writer during derivation.
+type incCand struct {
+	thread int32
+	alpha  int32
+}
+
+// NewIncrementalAnalyzer prepares an empty fold state over g. No epoch
+// exists until the first Fold.
+func NewIncrementalAnalyzer(g *Graph) *IncrementalAnalyzer {
+	n := g.Threads()
+	return &IncrementalAnalyzer{
+		g:        g,
+		lens:     make([]int, n),
+		seqs:     make([][]*SubComputation, n),
+		syncSeen: make([]int, n),
+		writers:  make(map[uint64][]incRun),
+	}
+}
+
+// Graph returns the graph being folded.
+func (inc *IncrementalAnalyzer) Graph() *Graph { return inc.g }
+
+// Epoch returns the number of completed folds.
+func (inc *IncrementalAnalyzer) Epoch() uint64 { return inc.epoch }
+
+// Fold seals one epoch: it captures everything recorded since the last
+// fold, extends the analysis state, and returns the new epoch's
+// Analysis. Calling Fold with nothing new still produces a (cheap) new
+// epoch over the unchanged prefix. Fold must not be called concurrently
+// with itself; recording threads may keep appending throughout.
+func (inc *IncrementalAnalyzer) Fold() *Analysis {
+	newSubs := inc.captureCut()
+
+	// Extend the writer index with every new vertex before deriving any
+	// reader: a new reader's writers may be new vertices of this same
+	// epoch.
+	for _, sc := range newSubs {
+		th := int32(sc.ID.Thread)
+		for _, p := range sc.WriteSet.view() {
+			runs := inc.writers[p]
+			found := false
+			for i := range runs {
+				if runs[i].thread == th {
+					runs[i].alphas = append(runs[i].alphas, int32(sc.ID.Alpha))
+					found = true
+					break
+				}
+			}
+			if !found {
+				inc.writers[p] = append(runs, incRun{thread: th, alphas: []int32{int32(sc.ID.Alpha)}})
+			}
+		}
+	}
+
+	// Derive the new readers' incoming data edges; everything older is
+	// final (closed cut: no new writer can happen-before an old reader).
+	var newData []Edge
+	for _, sc := range newSubs {
+		newData = append(newData, inc.readerEdges(sc)...)
+	}
+	sortEdges(newData)
+	inc.dataEdges = mergeSortedEdges(inc.dataEdges, newData)
+
+	// Fold the sync-edge logs: include entries whose endpoints are both
+	// sealed, defer the rest (an acquire logs its edge before the
+	// acquiring sub-computation seals).
+	entries := inc.pendingSync
+	for t := range inc.syncSeen {
+		tail := inc.g.syncEdgeTail(t, inc.syncSeen[t])
+		inc.syncSeen[t] += len(tail)
+		entries = append(entries, tail...)
+	}
+	var newSync []Edge
+	inc.pendingSync = nil
+	for _, rec := range entries {
+		if !subInPrefix(rec.From, inc.lens) || !subInPrefix(rec.To, inc.lens) {
+			inc.pendingSync = append(inc.pendingSync, rec)
+			continue
+		}
+		newSync = append(newSync, Edge{
+			From:   rec.From,
+			To:     rec.To,
+			Kind:   EdgeSync,
+			Object: inc.g.ObjectName(rec.Object),
+		})
+	}
+	sortEdges(newSync)
+	inc.syncEdges = mergeSortedEdges(inc.syncEdges, newSync)
+
+	// Assemble the canonical edge sequence (control, sync, data — the
+	// batch prefixEdges order) and rebuild the flat indexes.
+	control := controlEdgesFor(inc.lens)
+	edges := make([]Edge, 0, len(control)+len(inc.syncEdges)+len(inc.dataEdges))
+	edges = append(edges, control...)
+	edges = append(edges, inc.syncEdges...)
+	edges = append(edges, inc.dataEdges...)
+
+	inc.epoch++
+	return newAnalysis(inc.g, edges, slices.Clone(inc.lens), inc.epoch)
+}
+
+// captureCut advances inc.lens to a causally closed snapshot of the
+// shard lengths, pulls the newly covered vertices into inc.seqs, and
+// returns them sorted by (thread, alpha).
+func (inc *IncrementalAnalyzer) captureCut() []*SubComputation {
+	target := make([]int, len(inc.lens))
+	for t := range target {
+		target[t] = inc.g.shardLen(t)
+		if target[t] < inc.lens[t] {
+			target[t] = inc.lens[t]
+		}
+	}
+	var newSubs []*SubComputation
+	for {
+		grew := false
+		for t := range inc.seqs {
+			have := len(inc.seqs[t])
+			if have >= target[t] {
+				continue
+			}
+			tail := inc.g.threadTail(t, have, target[t])
+			if len(tail) < target[t]-have {
+				// threadTail clamps to the live shard; shrink the target
+				// so a hand-built graph that never publishes the wanted
+				// vertices cannot spin this loop.
+				target[t] = have + len(tail)
+			}
+			inc.seqs[t] = append(inc.seqs[t], tail...)
+			newSubs = append(newSubs, tail...)
+			if len(tail) > 0 {
+				grew = true
+			}
+			for _, sc := range tail {
+				for u := range target {
+					need := int(sc.Clock.Get(u))
+					if need <= target[u] {
+						continue
+					}
+					// The recording discipline publishes a vertex before
+					// its clock flows anywhere, so the needed vertices
+					// are already in the shard; the clamp only guards
+					// hand-built graphs that break that discipline.
+					if n := inc.g.shardLen(u); need > n {
+						need = n
+					}
+					if need > target[u] {
+						target[u] = need
+					}
+				}
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+	for t := range target {
+		// threadTail clamps to the live shard, so seqs can trail a
+		// hand-built target; the folded prefix is what was actually
+		// pulled.
+		inc.lens[t] = len(inc.seqs[t])
+	}
+	sort.Slice(newSubs, func(i, j int) bool { return newSubs[i].ID.Less(newSubs[j].ID) })
+	return newSubs
+}
+
+// readerEdges derives reader n's incoming data edges against the folded
+// prefix — the incremental counterpart of dataWorker.readerEdges, with
+// the identical threshold logic: thread u's candidate writer is the
+// latest one with alpha ≤ n.Clock[u]-1 (program order for n's own
+// thread), and a candidate m is hidden iff another candidate has seen
+// m's tick.
+func (inc *IncrementalAnalyzer) readerEdges(n *SubComputation) []Edge {
+	inc.accFrom = inc.accFrom[:0]
+	inc.accPages = inc.accPages[:0]
+	for _, p := range n.ReadSet.view() {
+		runs := inc.writers[p]
+		if runs == nil {
+			continue
+		}
+		inc.cands = inc.cands[:0]
+		for _, run := range runs {
+			var lim int32
+			if int(run.thread) == n.ID.Thread {
+				lim = int32(n.ID.Alpha) - 1
+			} else {
+				lim = int32(n.Clock.Get(int(run.thread))) - 1
+			}
+			seq := run.alphas
+			if len(seq) == 0 || seq[0] > lim {
+				continue
+			}
+			lo, hi := 1, len(seq)
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if seq[mid] <= lim {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			inc.cands = append(inc.cands, incCand{thread: run.thread, alpha: seq[lo-1]})
+		}
+		for _, m := range inc.cands {
+			hidden := false
+			for _, m2 := range inc.cands {
+				if m2 != m && int32(inc.seqs[m2.thread][m2.alpha].Clock.Get(int(m.thread))) >= m.alpha+1 {
+					hidden = true
+					break
+				}
+			}
+			if hidden {
+				continue
+			}
+			slot := -1
+			for k, f := range inc.accFrom {
+				if f == m {
+					slot = k
+					break
+				}
+			}
+			if slot < 0 {
+				inc.accFrom = append(inc.accFrom, m)
+				inc.accPages = append(inc.accPages, nil)
+				slot = len(inc.accFrom) - 1
+			}
+			// Pages arrive ascending from the read-set view, so each
+			// list comes out sorted without a final sort.
+			inc.accPages[slot] = append(inc.accPages[slot], p)
+		}
+	}
+	if len(inc.accFrom) == 0 {
+		return nil
+	}
+	out := make([]Edge, len(inc.accFrom))
+	for k, m := range inc.accFrom {
+		out[k] = Edge{
+			From:  SubID{Thread: int(m.thread), Alpha: uint64(m.alpha)},
+			To:    n.ID,
+			Kind:  EdgeData,
+			Pages: inc.accPages[k],
+		}
+	}
+	return out
+}
+
+// mergeSortedEdges merges two canonically sorted edge runs into a fresh
+// slice (left-biased on ties, which preserves the multiset order
+// sortEdges would produce). The inputs are never mutated, so earlier
+// epochs' analyses keep their views.
+func mergeSortedEdges(a, b []Edge) []Edge {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	out := make([]Edge, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if edgeLess(b[j], a[i]) {
+			out = append(out, b[j])
+			j++
+		} else {
+			out = append(out, a[i])
+			i++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

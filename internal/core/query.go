@@ -2,7 +2,9 @@ package core
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"slices"
 
 	"github.com/repro/inspector/internal/vclock"
@@ -14,8 +16,13 @@ import (
 // overhead and the latency of honoring a cancellation.
 const cancelCheckEvery = 64
 
-// Analysis is a queryable view of a completed CPG with precomputed edges
-// and adjacency. Build one with Graph.Analyze after recording finishes.
+// Analysis is a queryable view of a CPG prefix with precomputed edges
+// and adjacency. Build one with Graph.Analyze after recording finishes,
+// or fold successive ones during recording with an IncrementalAnalyzer.
+// Either way the Analysis itself is immutable: it covers exactly the
+// per-thread vertex prefix captured at construction and never observes
+// later appends, which is what lets one Analysis serve any number of
+// concurrent readers (and lets cursors stay valid within one epoch).
 //
 // Vertices are densely indexed in (thread, alpha) order — index(id) =
 // base[thread] + alpha — and adjacency is stored in compressed sparse row
@@ -26,6 +33,9 @@ const cancelCheckEvery = 64
 type Analysis struct {
 	g     *Graph
 	edges []Edge
+	// epoch numbers the fold that produced this Analysis: 0 for a batch
+	// Analyze, 1.. for successive IncrementalAnalyzer folds.
+	epoch uint64
 	// ids[i] is the SubID at dense index i; base[t] is thread t's first
 	// dense index; lens[t] its sequence length.
 	ids  []SubID
@@ -36,9 +46,76 @@ type Analysis struct {
 	succEdge, predEdge []int32
 }
 
-// Analyze derives all edges and builds the CSR adjacency indexes.
+// Analyze derives all edges over the graph's current vertex prefix and
+// builds the CSR adjacency indexes. Sync-edge log entries whose endpoints
+// are not yet recorded vertices (an acquire logs its edge before the
+// acquiring sub-computation seals, so mid-run graphs contain such
+// entries) are left out: the analysis covers exactly the recorded prefix,
+// the same contract the incremental fold maintains per epoch. After a
+// completed Run no such entries remain, so post-mortem analyses see every
+// logged edge.
 func (g *Graph) Analyze() *Analysis {
-	a := &Analysis{g: g, edges: g.Edges(), lens: g.threadLens()}
+	lens := g.threadLens()
+	return newAnalysis(g, g.prefixEdges(lens), lens, 0)
+}
+
+// prefixEdges derives the canonical edge sequence of the vertex prefix
+// bounded by lens: control edges in (thread, alpha) order, then sync
+// edges with both endpoints inside the prefix (sorted), then data edges
+// derived over the prefix vertices (sorted). The incremental fold
+// produces the identical sequence by extension; the equivalence property
+// tests hold the two byte-identical.
+func (g *Graph) prefixEdges(lens []int) []Edge {
+	control := controlEdgesFor(lens)
+	var sync []Edge
+	for t := range lens {
+		for _, rec := range g.syncEdgeTail(t, 0) {
+			if !subInPrefix(rec.From, lens) || !subInPrefix(rec.To, lens) {
+				continue
+			}
+			sync = append(sync, Edge{
+				From:   rec.From,
+				To:     rec.To,
+				Kind:   EdgeSync,
+				Object: g.ObjectName(rec.Object),
+			})
+		}
+	}
+	sortEdges(sync)
+	data := deriveDataEdges(g.prefixSubs(lens), runtimeWorkers())
+	out := make([]Edge, 0, len(control)+len(sync)+len(data))
+	out = append(out, control...)
+	out = append(out, sync...)
+	out = append(out, data...)
+	return out
+}
+
+// controlEdgesFor generates the program-order edges of a vertex prefix.
+func controlEdgesFor(lens []int) []Edge {
+	var out []Edge
+	for t, n := range lens {
+		for i := 1; i < n; i++ {
+			out = append(out, Edge{
+				From: SubID{Thread: t, Alpha: uint64(i - 1)},
+				To:   SubID{Thread: t, Alpha: uint64(i)},
+				Kind: EdgeControl,
+			})
+		}
+	}
+	return out
+}
+
+// subInPrefix reports whether id lies inside the prefix bounded by lens.
+func subInPrefix(id SubID, lens []int) bool {
+	return id.Thread >= 0 && id.Thread < len(lens) && id.Alpha < uint64(lens[id.Thread])
+}
+
+// newAnalysis builds the dense vertex indexing and CSR adjacency over an
+// already-derived edge sequence. Both the batch Analyze and the
+// incremental fold land here, so the two produce structurally identical
+// analyses for the same prefix.
+func newAnalysis(g *Graph, edges []Edge, lens []int, epoch uint64) *Analysis {
+	a := &Analysis{g: g, edges: edges, lens: lens, epoch: epoch}
 	a.base = make([]int32, len(a.lens)+1)
 	for t, n := range a.lens {
 		a.base[t+1] = a.base[t] + int32(n)
@@ -104,6 +181,47 @@ func (a *Analysis) Graph() *Graph { return a.g }
 
 // Edges returns all derived edges.
 func (a *Analysis) Edges() []Edge { return a.edges }
+
+// Epoch returns the fold number that produced this Analysis: 0 for a
+// batch Analyze, 1.. for successive IncrementalAnalyzer folds. Query
+// results carry it so clients can tell which prefix of a still-running
+// execution they are looking at.
+func (a *Analysis) Epoch() uint64 { return a.epoch }
+
+// NumVertices returns the vertex count of the analyzed prefix.
+func (a *Analysis) NumVertices() int { return len(a.ids) }
+
+// Subs returns the analyzed prefix's vertices in (thread, alpha) order.
+// Unlike Graph.Subs it never sees vertices appended after the fold, so
+// consumers that must stay consistent with the analysis (stats, exports)
+// read the prefix through it.
+func (a *Analysis) Subs() []*SubComputation {
+	out := make([]*SubComputation, len(a.ids))
+	for i, id := range a.ids {
+		out[i], _ = a.g.Sub(id)
+	}
+	return out
+}
+
+// ExportJSON writes a deterministic JSON document of the analysis: the
+// per-thread vertex counts of the analyzed prefix and every derived edge
+// in the canonical order. Two analyses over the same prefix — however
+// they were built, batch or folded — export byte-identical documents;
+// the incremental equivalence property tests pin exactly that. The
+// epoch number is deliberately excluded: it describes how the analysis
+// was reached, not what it contains.
+func (a *Analysis) ExportJSON(w io.Writer) error {
+	doc := struct {
+		ThreadLens []int  `json:"thread_lens"`
+		Edges      []Edge `json:"edges"`
+	}{ThreadLens: a.lens, Edges: a.edges}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("core: export analysis: %w", err)
+	}
+	return nil
+}
 
 // kindIn reports whether k is in kinds (empty kinds means all).
 func kindIn(k EdgeKind, kinds []EdgeKind) bool {
@@ -357,9 +475,15 @@ func (a *Analysis) Verify() error {
 // VerifyCtx is Verify with cancellation: the edge sweep and the
 // acyclicity check stop and return ctx's error once the context is done.
 func (a *Analysis) VerifyCtx(ctx context.Context) error {
-	// Invariant 3a: stored vertices sit at their recorded slots.
+	// Invariant 3a: stored vertices sit at their recorded slots. Only the
+	// analyzed prefix is checked — vertices sealed after the fold belong
+	// to a later epoch's analysis.
 	for t := 0; t < len(a.lens); t++ {
-		for i, sc := range a.g.ThreadSeq(t) {
+		seq := a.g.ThreadSeq(t)
+		if len(seq) > a.lens[t] {
+			seq = seq[:a.lens[t]]
+		}
+		for i, sc := range seq {
 			if want := (SubID{Thread: t, Alpha: uint64(i)}); sc.ID != want {
 				return fmt.Errorf("core: vertex at slot %v records ID %v", want, sc.ID)
 			}

@@ -1,0 +1,40 @@
+// Package pt implements a software model of Intel Processor Trace: the
+// compressed packet grammar (PSB, TNT, TIP, FUP, TSC, OVF, PAD), a
+// per-thread trace encoder with TNT bit-packing and last-IP compression,
+// and a decoder that reconstructs the executed control-flow path by
+// walking the program image — the same division of labour as the hardware
+// PT unit plus the Intel Processor Decoder Library used by the paper
+// (§V-B).
+//
+// Packet encodings follow the Intel SDM layouts where practical:
+//
+//	PAD      0x00
+//	PSB      (0x02 0x82) x 8 — 16-byte synchronization boundary
+//	PSBEND   0x02 0x23
+//	OVF      0x02 0xF3 — overflow, data lost upstream of the ring
+//	Long TNT 0x02 0xA3 + 6-byte payload, up to 47 taken/not-taken bits
+//	Short TNT one byte, bit0 = 0, 1..6 TNT bits plus a stop bit
+//	TIP      (ipBytes<<5)|0x0D + compressed IP — indirect branch target
+//	TIP.PGE  (ipBytes<<5)|0x11 + compressed IP — trace enable
+//	TIP.PGD  (ipBytes<<5)|0x01 + compressed IP — trace disable
+//	FUP      (ipBytes<<5)|0x1D + compressed IP — bound control-flow update
+//	TSC      0x19 + 7-byte little-endian timestamp
+//
+// IP payloads use last-IP compression: the encoder sends only the low 2,
+// 4, or 6 bytes when the upper bytes match the previously sent IP, or a
+// full 8 bytes otherwise; code 0 means "IP unchanged".
+//
+// # Contract
+//
+// An Encoder is owned by one recording thread and writes through a
+// ByteSink (the perf AUX ring); it is allocation-free on the per-branch
+// path and its byte output is pinned — trace bytes are part of the
+// drift-checked artifact surface, so any encoding change must be
+// deliberate and re-pinned. The Decoder consumes a trace against the
+// program image either wholesale (DecodeAll) or as a resumable stream
+// (Next/Reset for chunked decoding); after ring loss (OVF) it resyncs
+// at the next PSB. Round-trip property and fuzz tests hold
+// encoder→decoder to exact branch-event reconstruction.
+//
+// See DESIGN.md, section "The branch-trace fast path".
+package pt

@@ -121,9 +121,10 @@ type Runtime struct {
 	ptStats    pt.Stats
 	lastReport *Report
 
-	snapMu    sync.Mutex
-	snapHooks []func()
-	syncSeq   uint64
+	snapMu      sync.Mutex
+	snapHooks   []func()
+	commitHooks []func(core.SubID)
+	syncSeq     uint64
 }
 
 // Errors returned by the runtime.
@@ -301,6 +302,29 @@ func (rt *Runtime) RegisterSnapshotHook(fn func()) {
 	rt.snapMu.Lock()
 	rt.snapHooks = append(rt.snapHooks, fn)
 	rt.snapMu.Unlock()
+}
+
+// RegisterCommitHook adds a callback invoked after every sub-computation
+// is sealed and published to the graph — the commit boundary of §V-A,
+// which is also the publication point of the live analysis pipeline: by
+// the time the hook fires, the vertex is visible to Graph readers, so a
+// fold triggered by it will observe the vertex. Hooks run on the
+// recording thread's goroutine and must be cheap (the live pipeline just
+// pokes a buffered channel). Register hooks before Run.
+func (rt *Runtime) RegisterCommitHook(fn func(id core.SubID)) {
+	rt.snapMu.Lock()
+	rt.commitHooks = append(rt.commitHooks, fn)
+	rt.snapMu.Unlock()
+}
+
+// notifyCommit runs commit hooks for one sealed sub-computation.
+func (rt *Runtime) notifyCommit(id core.SubID) {
+	rt.snapMu.Lock()
+	hooks := rt.commitHooks
+	rt.snapMu.Unlock()
+	for _, fn := range hooks {
+		fn(id)
+	}
 }
 
 // notifySyncPoint runs snapshot hooks; called at every synchronization

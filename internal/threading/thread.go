@@ -477,6 +477,7 @@ func (t *Thread) syncBoundary(ev core.SyncEvent) *core.SubComputation {
 		// An out-of-order alpha is an internal invariant violation.
 		panic(fmt.Sprintf("thread %d: %v", t.p.Slot, err))
 	}
+	t.rt.notifyCommit(sub.ID)
 	t.rt.notifySyncPoint()
 	return sub
 }

@@ -40,11 +40,15 @@ func NewEngine(a *core.Analysis, opts EngineOptions) *Engine {
 // Analysis returns the wrapped Analysis.
 func (e *Engine) Analysis() *core.Analysis { return e.a }
 
+// Epoch returns the analysis epoch this engine serves: 0 for a
+// post-mortem batch analysis, ≥ 1 for a live fold (see LiveEngine).
+func (e *Engine) Epoch() uint64 { return e.a.Epoch() }
+
 // Execute answers one query. Malformed queries fail with an error
 // wrapping ErrBadQuery; a canceled or expired context surfaces as that
 // context's error with the traversal stopped early.
 func (e *Engine) Execute(ctx context.Context, q Query) (*Result, error) {
-	res := &Result{Version: Version, Kind: q.Kind}
+	res := &Result{Version: Version, Kind: q.Kind, Epoch: e.a.Epoch()}
 	offset, err := decodeCursor(q.Cursor)
 	if err != nil {
 		return nil, err
@@ -185,10 +189,12 @@ func (e *Engine) stats() *Stats {
 }
 
 func (e *Engine) computeStats() *Stats {
-	g := e.a.Graph()
 	st := &Stats{}
 	threads := map[int]bool{}
-	for _, sc := range g.Subs() {
+	// The analysis prefix, not Graph.Subs: during a live run the graph
+	// may already hold vertices this epoch does not cover, and the stats
+	// must describe the epoch the response's cursors refer to.
+	for _, sc := range e.a.Subs() {
 		st.SubComputations++
 		threads[sc.ID.Thread] = true
 		st.Thunks += len(sc.Thunks)

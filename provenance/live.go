@@ -1,0 +1,158 @@
+package provenance
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"github.com/repro/inspector/internal/core"
+)
+
+// ErrLiveClosed reports that the live pipeline has published its final
+// epoch: no epoch a WaitEpoch caller is still waiting for will ever
+// arrive.
+var ErrLiveClosed = errors.New("provenance: live analysis closed")
+
+// EngineSource yields the Engine a request should execute against. A
+// static source always returns the same Engine (a completed, post-mortem
+// analysis); a LiveEngine returns the newest folded epoch's Engine. The
+// Server resolves its source exactly once per request, so each request
+// is pinned to one epoch: its cursors, totals, and ordering all refer to
+// that epoch's immutable Analysis, however far the live fold has moved
+// on by the time the response is written.
+type EngineSource interface {
+	Engine() *Engine
+}
+
+// staticSource pins one completed engine forever.
+type staticSource struct{ e *Engine }
+
+func (s staticSource) Engine() *Engine { return s.e }
+
+// StaticSource wraps a completed Engine as an EngineSource.
+func StaticSource(e *Engine) EngineSource { return staticSource{e: e} }
+
+// LiveEngine serves provenance queries against a CPG that is still being
+// recorded. It owns an analysis goroutine that folds the graph into
+// successive immutable epoch Analyses (core.IncrementalAnalyzer) and
+// republishes an Engine over the newest one; Notify — wired to the
+// threading runtime's commit hook — wakes the goroutine whenever new
+// sub-computations seal. Signals coalesce: however fast the workload
+// commits, at most one fold is in flight, and each fold sweeps
+// everything sealed since the last.
+//
+// Engine never returns nil (construction folds epoch 1 immediately, even
+// over an empty graph), and every returned Engine is an ordinary
+// read-only Engine any number of goroutines may share. Close performs
+// the final fold after recording quiesces, so post-run queries see the
+// complete graph.
+type LiveEngine struct {
+	inc  *core.IncrementalAnalyzer
+	opts EngineOptions
+	cur  atomic.Pointer[Engine]
+
+	notify    chan struct{}
+	done      chan struct{}
+	closed    chan struct{}
+	closeOnce sync.Once
+
+	// watch is replaced (and the old one closed) on every publish;
+	// WaitEpoch blocks on it.
+	mu    sync.Mutex
+	watch chan struct{}
+}
+
+// NewLiveEngine starts the analysis pipeline over g. The first epoch is
+// folded synchronously, so the returned LiveEngine is immediately
+// queryable.
+func NewLiveEngine(g *core.Graph, opts EngineOptions) *LiveEngine {
+	l := &LiveEngine{
+		inc:    core.NewIncrementalAnalyzer(g),
+		opts:   opts,
+		notify: make(chan struct{}, 1),
+		done:   make(chan struct{}),
+		closed: make(chan struct{}),
+		watch:  make(chan struct{}),
+	}
+	l.publish(l.inc.Fold())
+	go l.loop()
+	return l
+}
+
+// loop is the analysis goroutine: fold on demand until Close.
+func (l *LiveEngine) loop() {
+	for {
+		select {
+		case <-l.notify:
+			l.publish(l.inc.Fold())
+		case <-l.done:
+			// Final fold: recording has quiesced, so this epoch covers
+			// the complete graph (including anything a pending notify
+			// would have announced).
+			l.publish(l.inc.Fold())
+			close(l.closed)
+			return
+		}
+	}
+}
+
+// publish installs the engine for a freshly folded epoch and wakes
+// waiters.
+func (l *LiveEngine) publish(a *core.Analysis) {
+	l.cur.Store(NewEngine(a, l.opts))
+	l.mu.Lock()
+	close(l.watch)
+	l.watch = make(chan struct{})
+	l.mu.Unlock()
+}
+
+// Engine returns the newest epoch's engine (EngineSource).
+func (l *LiveEngine) Engine() *Engine { return l.cur.Load() }
+
+// Epoch returns the newest published epoch (≥ 1).
+func (l *LiveEngine) Epoch() uint64 { return l.Engine().Epoch() }
+
+// Notify announces that new sub-computations have sealed. It never
+// blocks; signals coalesce into at most one pending fold.
+func (l *LiveEngine) Notify() {
+	select {
+	case l.notify <- struct{}{}:
+	default:
+	}
+}
+
+// WaitEpoch blocks until the published epoch reaches min (returning the
+// epoch that satisfied it) or ctx is done (returning the newest epoch
+// alongside ctx's error). It is the subscription primitive monitors
+// poll-free consumers build on.
+func (l *LiveEngine) WaitEpoch(ctx context.Context, min uint64) (uint64, error) {
+	for {
+		l.mu.Lock()
+		w := l.watch
+		l.mu.Unlock()
+		if e := l.Epoch(); e >= min {
+			return e, nil
+		}
+		select {
+		case <-w:
+		case <-ctx.Done():
+			return l.Epoch(), ctx.Err()
+		case <-l.closed:
+			// No further folds are coming; re-check once and give up.
+			if e := l.Epoch(); e >= min {
+				return e, nil
+			}
+			return l.Epoch(), ErrLiveClosed
+		}
+	}
+}
+
+// Close performs the final fold and stops the analysis goroutine. Call
+// it after recording has quiesced (the workload's Run returned); queries
+// issued after Close see the complete graph. Close is idempotent and
+// returns once the final epoch is published.
+func (l *LiveEngine) Close() {
+	l.closeOnce.Do(func() { close(l.done) })
+	<-l.closed
+}

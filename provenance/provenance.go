@@ -1,33 +1,3 @@
-// Package provenance is the versioned query surface over a Concurrent
-// Provenance Graph: one typed Query, one Engine that executes it against
-// a completed core.Analysis, and one wire representation (provenance/v1
-// JSON) shared by the library API (inspector.Runtime.Query), the
-// cpg-query CLI, and the inspector-serve HTTP daemon.
-//
-// The paper's end product is not the trace but the queries it answers —
-// lineage, slicing, and taint over the CPG (§V, §VIII). This package
-// makes that the single public surface:
-//
-//	a := graph.Analyze()
-//	eng := provenance.NewEngine(a, provenance.EngineOptions{})
-//	res, err := eng.Execute(ctx, provenance.Query{
-//	    Kind:   provenance.KindSlice,
-//	    Target: "T0.3",
-//	})
-//
-// Every query result is deterministic: sub-computation lists are ordered
-// by (thread, alpha) and edge lists follow the canonical core order
-// (control edges in program order, then sync edges, then data edges,
-// each sorted by (From, To)). Determinism plus the immutability of a
-// completed Analysis is what makes cursor-based pagination sound: a
-// cursor is an opaque position in the fixed result sequence, so paging
-// through a large slice from many concurrent clients needs no
-// server-side session state.
-//
-// Execution honors context cancellation end to end — a canceled context
-// stops closure traversal inside internal/core, not just the response
-// write — and an Engine is safe for concurrent use by any number of
-// goroutines (it only reads the Analysis).
 package provenance
 
 import (
@@ -163,6 +133,14 @@ type Result struct {
 	Version string `json:"version"`
 	// Kind echoes the query.
 	Kind Kind `json:"kind"`
+	// Epoch identifies the analysis prefix the result was computed over:
+	// 0 (omitted on the wire) for a post-mortem batch analysis, ≥ 1 for
+	// an epoch of a live, still-recording execution. The field is
+	// additive and backward compatible — provenance/v1 consumers that
+	// predate it see the same documents for post-mortem graphs. Cursors
+	// are only valid against the epoch that issued them; a client that
+	// sees the epoch advance between pages should restart the listing.
+	Epoch uint64 `json:"epoch,omitempty"`
 
 	// IDs answers slice and taint queries, ordered by (thread, alpha).
 	IDs []string `json:"ids,omitempty"`

@@ -11,12 +11,15 @@ import (
 )
 
 // CPGInfo describes one graph a server exposes (the GET /v1/cpgs
-// listing).
+// listing). Epoch is 0 (omitted) for post-mortem graphs and the newest
+// published epoch for live ones, so monitors can watch a live graph
+// grow from the listing alone.
 type CPGInfo struct {
 	ID              string `json:"id"`
 	SubComputations int    `json:"sub_computations"`
 	Threads         int    `json:"threads"`
 	Edges           int    `json:"edges"`
+	Epoch           uint64 `json:"epoch,omitempty"`
 }
 
 // CPGList is the GET /v1/cpgs response body.
@@ -38,37 +41,46 @@ type ServerOptions struct {
 	Timeout time.Duration
 }
 
-// Server is the provenance/v1 HTTP API over a set of completed graphs:
+// Server is the provenance/v1 HTTP API over a set of graphs:
 //
 //	GET  /v1/cpgs             list the served graphs
 //	GET  /v1/cpgs/{id}/stats  summary of one graph
 //	POST /v1/cpgs/{id}/query  execute a Query (JSON body) against one graph
 //
-// All state is immutable after construction — engines only read their
-// Analysis — so the handler serves any number of concurrent clients
-// without synchronization. inspector-serve wraps this in a daemon;
-// httptest wraps it in tests; cpg-query -remote speaks to either.
+// Each id is backed by an EngineSource: a static source for a completed
+// (post-mortem) graph, or a LiveEngine for an execution still being
+// recorded. A request resolves its source exactly once, so every request
+// is pinned to one immutable epoch Analysis — concurrent clients need no
+// synchronization, cursors stay valid within the epoch that issued them,
+// and responses carry the epoch id. inspector-serve wraps this in a
+// daemon; httptest wraps it in tests; cpg-query -remote speaks to
+// either.
 type Server struct {
-	engines map[string]*Engine
-	infos   []CPGInfo
+	sources map[string]EngineSource
+	ids     []string
 	opts    ServerOptions
 	mux     *http.ServeMux
 }
 
-// NewServer builds the handler over the given engines, keyed by CPG id
-// (the id segment of the URL paths). The listing is sorted by id.
+// NewServer builds the handler over completed engines, keyed by CPG id
+// (the id segment of the URL paths) — the post-mortem form. Use
+// NewServerSources to mix in live graphs.
 func NewServer(engines map[string]*Engine, opts ServerOptions) *Server {
-	s := &Server{engines: engines, opts: opts, mux: http.NewServeMux()}
+	sources := make(map[string]EngineSource, len(engines))
 	for id, eng := range engines {
-		st := eng.stats()
-		s.infos = append(s.infos, CPGInfo{
-			ID:              id,
-			SubComputations: st.SubComputations,
-			Threads:         st.Threads,
-			Edges:           st.ControlEdges + st.SyncEdges + st.DataEdges,
-		})
+		sources[id] = StaticSource(eng)
 	}
-	sort.Slice(s.infos, func(i, j int) bool { return s.infos[i].ID < s.infos[j].ID })
+	return NewServerSources(sources, opts)
+}
+
+// NewServerSources builds the handler over engine sources, keyed by CPG
+// id. The listing is sorted by id.
+func NewServerSources(sources map[string]EngineSource, opts ServerOptions) *Server {
+	s := &Server{sources: sources, opts: opts, mux: http.NewServeMux()}
+	for id := range sources {
+		s.ids = append(s.ids, id)
+	}
+	sort.Strings(s.ids)
 	s.mux.HandleFunc("GET /v1/cpgs", s.handleList)
 	s.mux.HandleFunc("GET /v1/cpgs/{id}/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/cpgs/{id}/query", s.handleQuery)
@@ -80,30 +92,52 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 
 // IDs returns the served CPG ids, sorted.
 func (s *Server) IDs() []string {
-	out := make([]string, len(s.infos))
-	for i, info := range s.infos {
-		out[i] = info.ID
-	}
+	out := make([]string, len(s.ids))
+	copy(out, s.ids)
 	return out
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, CPGList{Version: Version, CPGs: s.infos})
+	// The listing is assembled per request: live sources advance between
+	// requests, and each entry must describe one pinned epoch. Static
+	// engines cache their stats, so repeated listings of post-mortem
+	// graphs stay O(1) per graph.
+	infos := make([]CPGInfo, 0, len(s.ids))
+	for _, id := range s.ids {
+		eng := s.sources[id].Engine()
+		st := eng.stats()
+		infos = append(infos, CPGInfo{
+			ID:              id,
+			SubComputations: st.SubComputations,
+			Threads:         st.Threads,
+			Edges:           st.ControlEdges + st.SyncEdges + st.DataEdges,
+			Epoch:           eng.Epoch(),
+		})
+	}
+	writeJSON(w, http.StatusOK, CPGList{Version: Version, CPGs: infos})
+}
+
+// resolve pins one epoch's engine for a request.
+func (s *Server) resolve(w http.ResponseWriter, r *http.Request) (*Engine, bool) {
+	src, ok := s.sources[r.PathValue("id")]
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown cpg " + r.PathValue("id")})
+		return nil, false
+	}
+	return src.Engine(), true
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	eng, ok := s.engines[r.PathValue("id")]
+	eng, ok := s.resolve(w, r)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown cpg " + r.PathValue("id")})
 		return
 	}
 	s.execute(w, r, eng, Query{Kind: KindStats})
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	eng, ok := s.engines[r.PathValue("id")]
+	eng, ok := s.resolve(w, r)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown cpg " + r.PathValue("id")})
 		return
 	}
 	var q Query
