@@ -246,7 +246,9 @@ func runLocal(ctx context.Context, cpgPath string, q provenance.Query) (*provena
 // cursor chain so the rendered output covers the full result set even
 // when the server caps page sizes.
 func runRemote(ctx context.Context, baseURL, id string, q provenance.Query) (*provenance.Result, error) {
-	c := &provenance.Client{BaseURL: baseURL}
+	// A few retries ride out a daemon that is draining or shedding load
+	// (503 + Retry-After) without the caller scripting a retry loop.
+	c := &provenance.Client{BaseURL: baseURL, MaxRetries: 3}
 	if id == "" {
 		cpgs, err := c.List(ctx)
 		if err != nil {
@@ -299,10 +301,18 @@ func render(w io.Writer, q provenance.Query, res *provenance.Result, asJSON bool
 				"sync_edges":       st.SyncEdges,
 				"data_edges":       st.DataEdges,
 			}
-			// Live (epoch > 0) answers say which epoch they describe;
-			// post-mortem output is byte-identical to what it always was.
+			// Live (epoch > 0) answers say which epoch they describe, and
+			// degraded graphs carry their loss summary; post-mortem output
+			// for complete recordings is byte-identical to what it always
+			// was.
 			if res.Epoch > 0 {
 				doc["epoch"] = res.Epoch
+			}
+			if res.Degraded {
+				doc["degraded"] = true
+				doc["gap_threads"] = st.GapThreads
+				doc["gap_intervals"] = st.GapIntervals
+				doc["lost_trace_bytes"] = st.LostTraceBytes
 			}
 			return writeJSON(w, doc)
 		}
@@ -314,6 +324,10 @@ func render(w io.Writer, q provenance.Query, res *provenance.Result, asJSON bool
 		if res.Epoch > 0 {
 			fmt.Fprintf(w, "epoch:            %d (live analysis)\n", res.Epoch)
 		}
+		if res.Degraded {
+			fmt.Fprintf(w, "trace gaps:       %d intervals on %d threads, %d bytes lost (degraded)\n",
+				st.GapIntervals, st.GapThreads, st.LostTraceBytes)
+		}
 		return nil
 
 	case provenance.KindVerify:
@@ -321,6 +335,16 @@ func render(w io.Writer, q provenance.Query, res *provenance.Result, asJSON bool
 			return errors.New("malformed verify result")
 		}
 		if !*res.Valid {
+			// Distinguish "the invariant is violated" from "its witnesses
+			// fall inside a trace gap": the latter is a property of a
+			// degraded recording, not a wrong graph, and exits 0.
+			if res.Degraded && strings.Contains(res.Detail, "unverifiable") {
+				if asJSON {
+					return writeJSON(w, map[string]any{"valid": false, "unverifiable": true, "detail": res.Detail})
+				}
+				fmt.Fprintf(w, "CPG unverifiable across a trace gap: %s\n", res.Detail)
+				return nil
+			}
 			return errors.New(res.Detail)
 		}
 		if asJSON {

@@ -18,10 +18,19 @@
 // lines ("live: epoch N ...") stream during execution, and the final
 // line summarizes what the online analysis saw — the same machinery
 // inspector-serve -live serves over HTTP.
+//
+// -faults executes the run under a deterministic fault-injection
+// schedule (internal/faultinject): "aux-loss" truncates PT sink writes
+// like an overrunning AUX ring, "panic" crashes the workload at a commit
+// boundary, "slow-fold" delays live analysis folds. The run completes
+// (artifacts are still exported), the report names the faults that
+// fired, and the recorded CPG carries its trace gaps and completeness —
+// the same schedule reproduces the same faults run after run.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -29,6 +38,7 @@ import (
 	"time"
 
 	"github.com/repro/inspector/internal/core"
+	"github.com/repro/inspector/internal/faultinject"
 	"github.com/repro/inspector/internal/threading"
 	"github.com/repro/inspector/internal/workloads"
 	"github.com/repro/inspector/provenance"
@@ -57,6 +67,7 @@ func run(args []string) error {
 	decode := fs.Bool("decode", false, "decode all PT traces and report event counts")
 	verify := fs.Bool("verify", false, "check the recorded CPG's structural invariants before exporting")
 	liveStats := fs.Bool("live-stats", false, "fold the CPG incrementally during the run and stream per-epoch stats")
+	faults := fs.String("faults", "", `deterministic fault-injection schedule, e.g. "aux-loss:after=20,every=7;panic:count=1"`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -90,18 +101,46 @@ func run(args []string) error {
 		mode = threading.ModeNative
 	}
 	cfg := workloads.Config{Size: size, Threads: *threads, Seed: *seed}
-	rt, err := threading.NewRuntime(threading.Options{
+	topts := threading.Options{
 		AppName:    *app,
 		Mode:       mode,
 		MaxThreads: w.MaxThreads(cfg),
-	})
+	}
+	var injector *faultinject.Injector
+	if *faults != "" {
+		if mode != threading.ModeInspector {
+			return fmt.Errorf("-faults injects into the recording pipeline; it needs INSPECTOR mode (drop -native)")
+		}
+		sched, err := faultinject.Parse(*faults)
+		if err != nil {
+			return err
+		}
+		injector = faultinject.New(sched)
+		topts.WrapTraceSink = injector.WrapSink
+	}
+	rt, err := threading.NewRuntime(topts)
 	if err != nil {
 		return err
+	}
+	if injector != nil {
+		rt.RegisterCommitHook(func(id core.SubID) {
+			if injector.Fire(faultinject.WorkloadPanic) {
+				panic(fmt.Sprintf("injected workload panic after %v", id))
+			}
+		})
 	}
 	var live *provenance.LiveEngine
 	stopWatch := func() {}
 	if *liveStats && mode == threading.ModeInspector {
-		live = provenance.NewLiveEngine(rt.Graph(), provenance.EngineOptions{})
+		var foldHooks []func()
+		if injector != nil {
+			foldHooks = append(foldHooks, func() {
+				if injector.Fire(faultinject.SlowFold) {
+					time.Sleep(time.Millisecond)
+				}
+			})
+		}
+		live = provenance.NewLiveEngine(rt.Graph(), provenance.EngineOptions{}, foldHooks...)
 		rt.RegisterCommitHook(func(core.SubID) { live.Notify() })
 		ctx, cancel := context.WithCancel(context.Background())
 		defer cancel()
@@ -112,14 +151,25 @@ func run(args []string) error {
 			watchEpochs(ctx, live)
 		}()
 	}
-	if err := w.Run(rt, cfg); err != nil {
-		return err
+	// Under -faults an erroring run (an injected panic) still reports and
+	// exports: the partial CPG with its gap marks is precisely the
+	// artifact a degraded run exists to produce. The error surfaces at
+	// the end, so the exit code still says the run did not complete.
+	runErr := w.Run(rt, cfg)
+	if runErr != nil {
+		if injector == nil {
+			return runErr
+		}
+		fmt.Printf("workload error:   %v (continuing under -faults)\n", runErr)
 	}
 	if live != nil {
-		live.Close()
+		cerr := live.Close()
 		// Stop the sampler before the summary so progress lines cannot
 		// interleave with the report.
 		stopWatch()
+		if cerr != nil {
+			return cerr
+		}
 		st, err := liveStatsSummary(live)
 		if err != nil {
 			return err
@@ -147,13 +197,30 @@ func run(args []string) error {
 			rep.SubComputations, len(rt.Graph().SyncEdges()))
 		fmt.Printf("breakdown:        app=%v threading=%v pt=%v\n",
 			rep.AppCycles, rep.ThreadingCycles, rep.PTCycles)
+		if comp := rt.Graph().Completeness(); !comp.Complete {
+			fmt.Printf("trace gaps:       %d intervals on %d threads, %d bytes lost (CPG marked degraded)\n",
+				comp.GapIntervals, comp.GapThreads, comp.LostBytes)
+		}
+	}
+	if injector != nil {
+		if s := injector.Summary(); s != "" {
+			fmt.Printf("faults fired:     %s\n", s)
+		} else {
+			fmt.Println("faults fired:     none (schedule never triggered)")
+		}
 	}
 
 	if *verify && mode == threading.ModeInspector {
-		if err := rt.Graph().Analyze().Verify(); err != nil {
+		switch err := rt.Graph().Analyze().Verify(); {
+		case err == nil:
+			fmt.Println("CPG verified:    happens-before DAG, edge pages contained in recorded sets")
+		case errors.Is(err, core.ErrUnverifiable):
+			// Not a violation: the invariant's witnesses fall inside a
+			// trace gap, so the graph is degraded, not wrong.
+			fmt.Printf("CPG unverifiable: %v\n", err)
+		default:
 			return fmt.Errorf("CPG verification failed: %w", err)
 		}
-		fmt.Println("CPG verified:    happens-before DAG, edge pages contained in recorded sets")
 	}
 
 	if *decode && mode == threading.ModeInspector {
@@ -202,7 +269,7 @@ func run(args []string) error {
 		}
 		fmt.Printf("wrote image:      %s\n", *imageOut)
 	}
-	return nil
+	return runErr
 }
 
 // watchEpochs streams live-analysis progress while the workload runs.

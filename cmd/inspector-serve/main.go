@@ -31,19 +31,32 @@
 // at every commit boundary, which keeps short demo workloads alive long
 // enough to watch epochs advance.
 //
+// The daemon is hardened for unattended operation: GET /healthz answers
+// as soon as the listener is up, GET /readyz answers 503 until every CPG
+// is loaded (and reports live epoch progress once ready), -max-inflight
+// sheds excess concurrent queries with 503 + Retry-After, a panicking
+// handler is answered with 500 instead of killing the process, and
+// SIGTERM/SIGINT drain in-flight requests (bounded by -drain-timeout)
+// before exiting 0. -lenient skips unreadable -cpg files instead of
+// refusing to start.
+//
 // cpg-query -remote http://host:port is the matching client:
 //
 //	cpg-query -remote http://localhost:7070 -id run slice T0.3
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"github.com/repro/inspector/internal/core"
@@ -78,6 +91,9 @@ func run(args []string) error {
 	maxResults := fs.Int("max-results", 10000, "result page cap; clients page with cursors (0 = unlimited)")
 	live := fs.Bool("live", false, "with -workload: serve the CPG while it records (epoch-based incremental analysis)")
 	liveSlowdown := fs.Duration("live-slowdown", 0, "with -live: sleep this long at every commit boundary (stretches short workloads for demos/tests)")
+	lenient := fs.Bool("lenient", false, "skip unreadable -cpg files (log and serve the rest) instead of refusing to start")
+	maxInflight := fs.Int("max-inflight", 0, "max concurrently executing /v1/ requests; excess shed with 503 + Retry-After (0 = unlimited)")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "on SIGTERM/SIGINT, wait this long for in-flight requests before exiting (0 = wait forever)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -88,23 +104,91 @@ func run(args []string) error {
 		return fmt.Errorf("-live needs -workload (post-mortem -cpg graphs are already complete)")
 	}
 
-	srv, start, err := buildServer(cpgPaths, *workload, *threads, *sizeFlag, *seed, *live, *liveSlowdown,
-		provenance.ServerOptions{Timeout: *timeout}, provenance.EngineOptions{MaxResults: *maxResults})
-	if err != nil {
-		return err
-	}
-	// Bind before announcing, so -addr :0 (tests, smoke scripts) prints
-	// the actual port. The live workload starts only now: the daemon is
-	// queryable from the first sealed sub-computation.
+	// Bind before loading anything: /healthz answers (and /readyz says
+	// not-ready) while big gob files decode, so orchestrators probing the
+	// daemon distinguish "starting" from "dead". -addr :0 (tests, smoke
+	// scripts) still prints the actual port with the announce line.
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(sig)
+	build := func() (*provenance.Server, func(), error) {
+		return buildServer(cpgPaths, *workload, *threads, *sizeFlag, *seed, *live, *liveSlowdown, *lenient,
+			provenance.ServerOptions{Timeout: *timeout, MaxInflight: *maxInflight},
+			provenance.EngineOptions{MaxResults: *maxResults})
+	}
+	return serve(ln, build, sig, *drainTimeout, os.Stdout)
+}
+
+// bootHandler answers during startup: /healthz reports liveness as soon
+// as the listener is up; everything else (including /readyz) answers 503
+// until the fully built Server is installed.
+type bootHandler struct {
+	real atomic.Pointer[provenance.Server]
+}
+
+func (b *bootHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if srv := b.real.Load(); srv != nil {
+		srv.ServeHTTP(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if r.URL.Path == "/healthz" {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, `{"ok":true}`)
+		return
+	}
+	w.Header().Set("Retry-After", "1")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	fmt.Fprintln(w, `{"error":"starting up"}`)
+}
+
+// serve is the daemon loop: listener up first, then CPGs loaded and the
+// real server installed, then wait for a fatal serve error or a shutdown
+// signal — on signal, in-flight requests drain (bounded by drainTimeout)
+// and the daemon exits cleanly. Factored out of run so tests drive it
+// with their own listener and signal channel.
+func serve(ln net.Listener, build func() (*provenance.Server, func(), error),
+	sig <-chan os.Signal, drainTimeout time.Duration, out *os.File) error {
+	boot := &bootHandler{}
+	hs := &http.Server{Handler: boot}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	srv, start, err := build()
+	if err != nil {
+		hs.Close()
+		return err
+	}
+	boot.real.Store(srv)
+	srv.SetReady(true)
 	if start != nil {
 		go start()
 	}
-	fmt.Printf("inspector-serve: serving %v on %s\n", srv.IDs(), ln.Addr())
-	return http.Serve(ln, srv)
+	fmt.Fprintf(out, "inspector-serve: serving %v on %s\n", srv.IDs(), ln.Addr())
+
+	select {
+	case err := <-serveErr:
+		return err
+	case s := <-sig:
+		fmt.Fprintf(out, "inspector-serve: %v: draining in-flight requests (limit %v)\n", s, drainTimeout)
+		srv.SetReady(false) // readiness probes steer new traffic away first
+		ctx := context.Background()
+		if drainTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, drainTimeout)
+			defer cancel()
+		}
+		if err := hs.Shutdown(ctx); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		<-serveErr // http.ErrServerClosed: the accept loop has exited
+		fmt.Fprintln(out, "inspector-serve: drained, exiting")
+		return nil
+	}
 }
 
 // buildServer assembles the engine sources from gob files and/or a
@@ -113,8 +197,12 @@ func run(args []string) error {
 // one epoch — either way the handler is safe for arbitrary client
 // concurrency. The returned start function (nil unless live) launches
 // the workload recording; call it once the listener is up.
+//
+// A corrupt or truncated gob file fails startup with the offending path
+// named; with lenient it is logged and skipped so the healthy graphs
+// still serve.
 func buildServer(cpgPaths []string, workload string, threads int, sizeFlag string, seed int64,
-	live bool, liveSlowdown time.Duration,
+	live bool, liveSlowdown time.Duration, lenient bool,
 	sopts provenance.ServerOptions, eopts provenance.EngineOptions) (*provenance.Server, func(), error) {
 	sources := map[string]provenance.EngineSource{}
 	for _, path := range cpgPaths {
@@ -122,14 +210,13 @@ func buildServer(cpgPaths []string, workload string, threads int, sizeFlag strin
 		if _, dup := sources[id]; dup {
 			return nil, nil, fmt.Errorf("duplicate cpg id %q (from %s)", id, path)
 		}
-		f, err := os.Open(path)
+		g, err := loadCPG(path)
 		if err != nil {
+			if lenient {
+				fmt.Fprintf(os.Stderr, "inspector-serve: skipping %v (-lenient)\n", err)
+				continue
+			}
 			return nil, nil, err
-		}
-		g, err := core.DecodeGob(f)
-		f.Close()
-		if err != nil {
-			return nil, nil, fmt.Errorf("%s: %w", path, err)
 		}
 		sources[id] = provenance.StaticSource(provenance.NewEngine(g.Analyze(), eopts))
 	}
@@ -153,7 +240,9 @@ func buildServer(cpgPaths []string, workload string, threads int, sizeFlag strin
 			sources[workload] = eng
 			start = func() {
 				err := w.Run(rt, cfg)
-				eng.Close()
+				if cerr := eng.Close(); err == nil {
+					err = cerr
+				}
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "inspector-serve: live workload %s failed: %v (serving the recorded prefix)\n", workload, err)
 					return
@@ -172,6 +261,21 @@ func buildServer(cpgPaths []string, workload string, threads int, sizeFlag strin
 		return nil, nil, fmt.Errorf("nothing to serve (need -cpg or -workload)")
 	}
 	return provenance.NewServerSources(sources, sopts), start, nil
+}
+
+// loadCPG decodes one gob file, naming the file in every failure so a
+// corrupt artifact among many is immediately identifiable.
+func loadCPG(path string) (*core.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("cpg %s: %w", path, err)
+	}
+	defer f.Close()
+	g, err := core.DecodeGob(f)
+	if err != nil {
+		return nil, fmt.Errorf("cpg %s: corrupt or truncated: %w", path, err)
+	}
+	return g, nil
 }
 
 // workloadRuntime prepares (but does not run) one workload under

@@ -2,9 +2,13 @@ package main
 
 import (
 	"context"
+	"net"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
+	"syscall"
 	"testing"
 	"time"
 
@@ -14,6 +18,20 @@ import (
 
 // writeGob records a tiny two-thread execution and writes its gob.
 func writeGob(t *testing.T, path string) {
+	t.Helper()
+	g := buildGraph(t)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := g.EncodeGob(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// buildGraph records a tiny two-thread execution.
+func buildGraph(t *testing.T) *core.Graph {
 	t.Helper()
 	g := core.NewGraph(2)
 	lock := g.NewSyncObject("lock", false)
@@ -40,14 +58,7 @@ func writeGob(t *testing.T, path string) {
 	if _, err := r0.EndSub(core.SyncEvent{Kind: core.SyncNone}, 0); err != nil {
 		t.Fatal(err)
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer f.Close()
-	if err := g.EncodeGob(f); err != nil {
-		t.Fatal(err)
-	}
+	return g
 }
 
 func TestBuildServerFromGobs(t *testing.T) {
@@ -57,7 +68,7 @@ func TestBuildServerFromGobs(t *testing.T) {
 	writeGob(t, a)
 	writeGob(t, b)
 
-	srv, _, err := buildServer([]string{a, b}, "", 0, "", 0, false, 0,
+	srv, _, err := buildServer([]string{a, b}, "", 0, "", 0, false, 0, false,
 		provenance.ServerOptions{}, provenance.EngineOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -86,7 +97,7 @@ func TestBuildServerErrors(t *testing.T) {
 	a := filepath.Join(dir, "x.gob")
 	writeGob(t, a)
 
-	if _, _, err := buildServer(nil, "", 0, "", 0, false, 0,
+	if _, _, err := buildServer(nil, "", 0, "", 0, false, 0, false,
 		provenance.ServerOptions{}, provenance.EngineOptions{}); err == nil {
 		t.Error("empty server accepted")
 	}
@@ -97,21 +108,21 @@ func TestBuildServerErrors(t *testing.T) {
 	}
 	b := filepath.Join(sub, "x.gob")
 	writeGob(t, b)
-	if _, _, err := buildServer([]string{a, b}, "", 0, "", 0, false, 0,
+	if _, _, err := buildServer([]string{a, b}, "", 0, "", 0, false, 0, false,
 		provenance.ServerOptions{}, provenance.EngineOptions{}); err == nil {
 		t.Error("duplicate ids accepted")
 	}
 	// Missing file.
-	if _, _, err := buildServer([]string{filepath.Join(dir, "absent.gob")}, "", 0, "", 0, false, 0,
+	if _, _, err := buildServer([]string{filepath.Join(dir, "absent.gob")}, "", 0, "", 0, false, 0, false,
 		provenance.ServerOptions{}, provenance.EngineOptions{}); err == nil {
 		t.Error("missing file accepted")
 	}
 	// Unknown workload and size.
-	if _, _, err := buildServer(nil, "not-a-workload", 1, "small", 1, false, 0,
+	if _, _, err := buildServer(nil, "not-a-workload", 1, "small", 1, false, 0, false,
 		provenance.ServerOptions{}, provenance.EngineOptions{}); err == nil {
 		t.Error("unknown workload accepted")
 	}
-	if _, _, err := buildServer(nil, "histogram", 1, "gigantic", 1, false, 0,
+	if _, _, err := buildServer(nil, "histogram", 1, "gigantic", 1, false, 0, false,
 		provenance.ServerOptions{}, provenance.EngineOptions{}); err == nil {
 		t.Error("unknown size accepted")
 	}
@@ -121,7 +132,7 @@ func TestBuildServerFromWorkload(t *testing.T) {
 	if testing.Short() {
 		t.Skip("records a workload")
 	}
-	srv, start, err := buildServer(nil, "histogram", 2, "small", 1, false, 0,
+	srv, start, err := buildServer(nil, "histogram", 2, "small", 1, false, 0, false,
 		provenance.ServerOptions{Timeout: 10 * time.Second},
 		provenance.EngineOptions{MaxResults: 100})
 	if err != nil {
@@ -170,7 +181,7 @@ func TestBuildServerLiveWorkload(t *testing.T) {
 	if testing.Short() {
 		t.Skip("records a workload")
 	}
-	srv, start, err := buildServer(nil, "histogram", 2, "small", 1, true, 500*time.Microsecond,
+	srv, start, err := buildServer(nil, "histogram", 2, "small", 1, true, 500*time.Microsecond, false,
 		provenance.ServerOptions{Timeout: 10 * time.Second},
 		provenance.EngineOptions{})
 	if err != nil {
@@ -226,7 +237,7 @@ func TestBuildServerLiveWorkload(t *testing.T) {
 	}
 	// The final epoch must agree with a post-mortem rebuild of the same
 	// deterministic workload.
-	post, _, err := buildServer(nil, "histogram", 2, "small", 1, false, 0,
+	post, _, err := buildServer(nil, "histogram", 2, "small", 1, false, 0, false,
 		provenance.ServerOptions{}, provenance.EngineOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -240,5 +251,174 @@ func TestBuildServerLiveWorkload(t *testing.T) {
 	}
 	if *final.Stats != *want.Stats {
 		t.Fatalf("live final stats %+v != post-mortem stats %+v", final.Stats, want.Stats)
+	}
+}
+
+// TestCorruptGobRefused is the satellite check for corrupt artifacts: a
+// truncated gob fails startup with the offending file named, and
+// -lenient skips it while the healthy graphs still serve.
+func TestCorruptGobRefused(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.gob")
+	writeGob(t, good)
+	data, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "bad.gob")
+	if err := os.WriteFile(bad, data[:len(data)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, err = buildServer([]string{good, bad}, "", 0, "", 0, false, 0, false,
+		provenance.ServerOptions{}, provenance.EngineOptions{})
+	if err == nil {
+		t.Fatal("truncated gob accepted")
+	}
+	if !strings.Contains(err.Error(), "bad.gob") || !strings.Contains(err.Error(), "corrupt or truncated") {
+		t.Errorf("error does not name the broken file: %v", err)
+	}
+
+	srv, _, err := buildServer([]string{good, bad}, "", 0, "", 0, false, 0, true,
+		provenance.ServerOptions{}, provenance.EngineOptions{})
+	if err != nil {
+		t.Fatalf("-lenient still refused: %v", err)
+	}
+	if ids := srv.IDs(); len(ids) != 1 || ids[0] != "good" {
+		t.Errorf("lenient server ids = %v, want [good]", ids)
+	}
+}
+
+// gateSource holds resolution until released, pinning one request
+// in-flight so the drain test can observe it.
+type gateSource struct {
+	e    *provenance.Engine
+	gate chan struct{}
+}
+
+func (g gateSource) Engine() *provenance.Engine { <-g.gate; return g.e }
+
+// TestServeGracefulDrain drives the daemon loop through its shutdown
+// path: SIGTERM stops accepting, the in-flight request completes, and
+// serve returns nil (the process would exit 0).
+func TestServeGracefulDrain(t *testing.T) {
+	gate := make(chan struct{})
+	srv := provenance.NewServerSources(map[string]provenance.EngineSource{
+		"slow": gateSource{e: provenance.NewEngine(buildGraph(t).Analyze(), provenance.EngineOptions{}), gate: gate},
+	}, provenance.ServerOptions{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.Create(filepath.Join(t.TempDir(), "serve.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	sig := make(chan os.Signal, 1)
+	serveDone := make(chan error, 1)
+	go func() {
+		serveDone <- serve(ln, func() (*provenance.Server, func(), error) { return srv, nil, nil },
+			sig, 30*time.Second, out)
+	}()
+	base := "http://" + ln.Addr().String()
+
+	// Wait until the real server is installed. /readyz would resolve the
+	// gated source's Engine() and block, so probe a path that answers
+	// without touching sources: the boot handler 503s it, the real server
+	// 404s it.
+	waitStatus(t, base+"/v1/cpgs/absent/stats", 404)
+
+	reqDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Get(base + "/v1/cpgs/slow/stats")
+		if err != nil {
+			reqDone <- -1
+			return
+		}
+		resp.Body.Close()
+		reqDone <- resp.StatusCode
+	}()
+	// Give the request time to reach the handler and block on the gate.
+	time.Sleep(50 * time.Millisecond)
+
+	sig <- syscall.SIGTERM
+	select {
+	case err := <-serveDone:
+		t.Fatalf("serve returned before the in-flight request finished: %v", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(gate)
+	if code := <-reqDone; code != http.StatusOK {
+		t.Errorf("in-flight request finished with %d during drain", code)
+	}
+	if err := <-serveDone; err != nil {
+		t.Errorf("drained serve returned %v, want nil", err)
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("listener still accepting after drain")
+	}
+}
+
+// TestServeNotReadyWhileLoading checks the startup window: with the
+// listener up but CPGs still loading, /healthz answers 200 and /readyz
+// answers 503; once loading finishes, /readyz flips to 200.
+func TestServeNotReadyWhileLoading(t *testing.T) {
+	loading := make(chan struct{})
+	srv := provenance.NewServer(map[string]*provenance.Engine{
+		"g": provenance.NewEngine(buildGraph(t).Analyze(), provenance.EngineOptions{}),
+	}, provenance.ServerOptions{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.Create(filepath.Join(t.TempDir(), "serve.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	sig := make(chan os.Signal, 1)
+	serveDone := make(chan error, 1)
+	go func() {
+		serveDone <- serve(ln, func() (*provenance.Server, func(), error) {
+			<-loading // a big gob decoding
+			return srv, nil, nil
+		}, sig, time.Second, out)
+	}()
+	base := "http://" + ln.Addr().String()
+
+	waitStatus(t, base+"/healthz", 200)
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz while loading = %d, want 503", resp.StatusCode)
+	}
+	close(loading)
+	waitStatus(t, base+"/readyz", 200)
+	sig <- syscall.SIGTERM
+	if err := <-serveDone; err != nil {
+		t.Errorf("serve returned %v", err)
+	}
+}
+
+// waitStatus polls url until it answers with the wanted status.
+func waitStatus(t *testing.T, url string, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == want {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never answered %d (last: %v %v)", url, want, resp, err)
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }

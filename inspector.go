@@ -249,7 +249,9 @@ func New(opts Options) (*Runtime, error) {
 func (r *Runtime) Run(main func(*Thread)) (*Report, error) {
 	rep, err := r.rt.Run(main)
 	if r.live != nil {
-		r.live.Close()
+		if cerr := r.live.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
 	}
 	return rep, err
 }

@@ -157,7 +157,10 @@ type graphShard struct {
 	mu        sync.RWMutex
 	seq       []*SubComputation
 	syncEdges []syncEdgeRec
-	_         [56]byte
+	// gaps records intervals of trace loss on this thread (see gaps.go);
+	// empty for complete recordings.
+	gaps []Gap
+	_    [56]byte
 }
 
 // Graph is the Concurrent Provenance Graph under construction or analysis.

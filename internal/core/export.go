@@ -75,6 +75,10 @@ type Dump struct {
 	Threads   int
 	Subs      []*wireSub
 	SyncEdges []Edge
+	// Gaps records per-thread trace-loss intervals. Nil for complete
+	// recordings, which keeps the JSON artifact byte-identical to the
+	// pre-gap format (omitempty) — only degraded graphs carry the field.
+	Gaps []ThreadGaps `json:",omitempty"`
 }
 
 // Dump extracts the graph's full state in wire form.
@@ -111,6 +115,7 @@ func (g *Graph) Dump() *Dump {
 		Threads:   g.Threads(),
 		Subs:      out,
 		SyncEdges: g.SyncEdges(),
+		Gaps:      g.Gaps(),
 	}
 }
 
@@ -153,6 +158,14 @@ func FromDump(d *Dump) (*Graph, error) {
 			return nil, fmt.Errorf("core: sync edge to out-of-range thread %d", e.To.Thread)
 		}
 		g.addSyncEdge(e.From, e.To, g.InternObject(e.Object))
+	}
+	for _, tg := range d.Gaps {
+		if g.shard(tg.Thread) == nil {
+			return nil, fmt.Errorf("core: gap on out-of-range thread %d", tg.Thread)
+		}
+		for _, gp := range tg.Gaps {
+			g.AddGap(tg.Thread, gp)
+		}
 	}
 	return g, nil
 }

@@ -3,12 +3,19 @@ package core
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"slices"
 
 	"github.com/repro/inspector/internal/vclock"
 )
+
+// ErrUnverifiable tags Verify failures whose implicated vertices lie
+// inside a recorded trace-loss gap: the invariant could not be
+// established from the degraded recording, which is different from
+// having observed a violation. errors.Is distinguishes the two.
+var ErrUnverifiable = errors.New("core: unverifiable across a trace gap")
 
 // cancelCheckEvery is the traversal granularity of context cancellation:
 // closures, path searches, and verification probe ctx.Err() once per this
@@ -41,6 +48,10 @@ type Analysis struct {
 	ids  []SubID
 	base []int32
 	lens []int
+	// comp snapshots the trace-loss gaps visible inside the analyzed
+	// prefix at construction time, so completeness answers stay
+	// consistent with the epoch even while the graph keeps recording.
+	comp Completeness
 
 	succOff, predOff   []int32
 	succEdge, predEdge []int32
@@ -116,6 +127,7 @@ func subInPrefix(id SubID, lens []int) bool {
 // analyses for the same prefix.
 func newAnalysis(g *Graph, edges []Edge, lens []int, epoch uint64) *Analysis {
 	a := &Analysis{g: g, edges: edges, lens: lens, epoch: epoch}
+	a.comp = summarizeGaps(g.gapsForPrefix(lens))
 	a.base = make([]int32, len(a.lens)+1)
 	for t, n := range a.lens {
 		a.base[t+1] = a.base[t] + int32(n)
@@ -190,6 +202,43 @@ func (a *Analysis) Epoch() uint64 { return a.epoch }
 
 // NumVertices returns the vertex count of the analyzed prefix.
 func (a *Analysis) NumVertices() int { return len(a.ids) }
+
+// Completeness returns the trace-loss summary of the analyzed prefix,
+// snapshotted at construction. Complete=true is the common case.
+func (a *Analysis) Completeness() Completeness { return a.comp }
+
+// Degraded reports whether the analyzed prefix contains any trace-loss
+// gap — results over a degraded analysis are sound for what was
+// recorded but may miss dependencies inside the gap intervals.
+func (a *Analysis) Degraded() bool { return !a.comp.Complete }
+
+// inGap reports whether id falls inside a recorded gap interval.
+func (a *Analysis) inGap(id SubID) bool {
+	for _, tg := range a.comp.Gaps {
+		if tg.Thread != id.Thread {
+			continue
+		}
+		for _, gp := range tg.Gaps {
+			if id.Alpha >= gp.FromAlpha && id.Alpha <= gp.ToAlpha {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// gapVerdict downgrades a verification failure to ErrUnverifiable when
+// any implicated vertex lies inside a trace-loss gap: the recording
+// cannot vouch for the invariant there, which is weaker than having
+// witnessed a violation.
+func (a *Analysis) gapVerdict(err error, ids ...SubID) error {
+	for _, id := range ids {
+		if a.inGap(id) {
+			return fmt.Errorf("%w: %v", ErrUnverifiable, err)
+		}
+	}
+	return err
+}
 
 // Subs returns the analyzed prefix's vertices in (thread, alpha) order.
 // Unlike Graph.Subs it never sees vertices appended after the fold, so
@@ -467,7 +516,10 @@ func (a *Analysis) PathCtx(ctx context.Context, from, to SubID, kinds ...EdgeKin
 //     reader's read set — no edge can smuggle in pages its endpoints
 //     never recorded.
 //
-// It returns nil if the graph is a valid CPG.
+// It returns nil if the graph is a valid CPG. A failure whose implicated
+// vertices lie inside a recorded trace-loss gap comes back wrapping
+// ErrUnverifiable instead: the degraded recording cannot establish the
+// invariant there, which is distinct from a witnessed violation.
 func (a *Analysis) Verify() error {
 	return a.VerifyCtx(context.Background())
 }
@@ -485,7 +537,8 @@ func (a *Analysis) VerifyCtx(ctx context.Context) error {
 		}
 		for i, sc := range seq {
 			if want := (SubID{Thread: t, Alpha: uint64(i)}); sc.ID != want {
-				return fmt.Errorf("core: vertex at slot %v records ID %v", want, sc.ID)
+				return a.gapVerdict(
+					fmt.Errorf("core: vertex at slot %v records ID %v", want, sc.ID), want)
 			}
 		}
 	}
@@ -497,37 +550,47 @@ func (a *Analysis) VerifyCtx(ctx context.Context) error {
 		}
 		sa, ok := a.g.Sub(e.From)
 		if !ok {
-			return fmt.Errorf("core: edge from unknown vertex %v", e.From)
+			return a.gapVerdict(fmt.Errorf("core: edge from unknown vertex %v", e.From), e.From, e.To)
 		}
 		sb, ok := a.g.Sub(e.To)
 		if !ok {
-			return fmt.Errorf("core: edge to unknown vertex %v", e.To)
+			return a.gapVerdict(fmt.Errorf("core: edge to unknown vertex %v", e.To), e.From, e.To)
 		}
 		// Invariant 3b: data-edge pages come from the endpoints' sets.
 		if e.Kind == EdgeData {
 			if len(e.Pages) == 0 {
-				return fmt.Errorf("core: data edge %v -> %v carries no pages", e.From, e.To)
+				return a.gapVerdict(
+					fmt.Errorf("core: data edge %v -> %v carries no pages", e.From, e.To),
+					e.From, e.To)
 			}
 			for _, p := range e.Pages {
 				if !sa.WriteSet.Contains(p) {
-					return fmt.Errorf("core: data edge %v -> %v page %d not in writer's write set",
-						e.From, e.To, p)
+					return a.gapVerdict(
+						fmt.Errorf("core: data edge %v -> %v page %d not in writer's write set",
+							e.From, e.To, p),
+						e.From, e.To)
 				}
 				if !sb.ReadSet.Contains(p) {
-					return fmt.Errorf("core: data edge %v -> %v page %d not in reader's read set",
-						e.From, e.To, p)
+					return a.gapVerdict(
+						fmt.Errorf("core: data edge %v -> %v page %d not in reader's read set",
+							e.From, e.To, p),
+						e.From, e.To)
 				}
 			}
 		}
 		if e.From.Thread == e.To.Thread {
 			if e.From.Alpha >= e.To.Alpha {
-				return fmt.Errorf("core: intra-thread edge %v -> %v against program order", e.From, e.To)
+				return a.gapVerdict(
+					fmt.Errorf("core: intra-thread edge %v -> %v against program order", e.From, e.To),
+					e.From, e.To)
 			}
 			continue
 		}
 		if ord := sa.Clock.Compare(sb.Clock); ord != vclock.Before {
-			return fmt.Errorf("core: %s edge %v -> %v has clock order %v, want ->",
-				e.Kind, e.From, e.To, ord)
+			return a.gapVerdict(
+				fmt.Errorf("core: %s edge %v -> %v has clock order %v, want ->",
+					e.Kind, e.From, e.To, ord),
+				e.From, e.To)
 		}
 	}
 	return a.checkAcyclic(ctx)
@@ -570,7 +633,13 @@ func (a *Analysis) checkAcyclic(ctx context.Context) error {
 		}
 	}
 	if removed != n {
-		return fmt.Errorf("core: CPG contains a cycle (%d of %d vertices sorted)", removed, n)
+		err := fmt.Errorf("core: CPG contains a cycle (%d of %d vertices sorted)", removed, n)
+		// A cycle has no single implicated vertex; over a degraded
+		// recording it cannot be pinned on observed behaviour.
+		if a.Degraded() {
+			return fmt.Errorf("%w: %v", ErrUnverifiable, err)
+		}
+		return err
 	}
 	return nil
 }

@@ -232,6 +232,15 @@ func (r *Recorder) EndSub(ev SyncEvent, now vtime.Cycles) (*SubComputation, erro
 	return done, nil
 }
 
+// MarkGap records a trace-loss interval on the recorder's thread. The
+// instrumentation layer calls it when it observes lost trace bytes at a
+// sub-computation boundary (AUX ring overrun, truncated stream) or when
+// the workload body unwinds mid-sub-computation; the interval names the
+// alphas whose recorded detail the loss affects.
+func (r *Recorder) MarkGap(gp Gap) {
+	r.graph.AddGap(r.thread, gp)
+}
+
 // Release performs the provenance side of a release operation on S
 // (case release(S) in onSynchronization): the *completed* sub-computation
 // from is what the next acquirer synchronizes with, and it is from's

@@ -106,6 +106,12 @@ func (e *Encoder) Stats() Stats { return e.stats }
 // callers need not copy the whole struct every branch.
 func (e *Encoder) BytesWritten() uint64 { return e.stats.Bytes }
 
+// LostBytes returns the trace bytes the sink refused so far (AUX ring
+// overruns, or injected loss in fault-injection runs). The threading
+// layer polls it at sub-computation boundaries to mark trace gaps in
+// the CPG, so the accessor avoids copying the whole Stats struct.
+func (e *Encoder) LostBytes() uint64 { return e.stats.LostBytes }
+
 // emit sends buffered packet bytes to the sink, accounting loss.
 func (e *Encoder) emit() {
 	if len(e.buf) == 0 {

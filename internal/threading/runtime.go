@@ -84,6 +84,12 @@ type Options struct {
 	DisableAutoDrain bool
 	// PSBPeriod is the PT sync-point interval in bytes (default 4096).
 	PSBPeriod int
+	// WrapTraceSink, when set, wraps each thread's PT byte sink before
+	// the encoder attaches. Fault injection uses it to interpose a lossy
+	// sink (internal/faultinject); loss shows up exactly as a real AUX
+	// ring overrun would — a partial WriteTrace accept — so every layer
+	// above sees injected and genuine loss identically.
+	WrapTraceSink func(pt.ByteSink) pt.ByteSink
 }
 
 // Runtime is one execution of one workload.
@@ -125,6 +131,9 @@ type Runtime struct {
 	snapHooks   []func()
 	commitHooks []func(core.SubID)
 	syncSeq     uint64
+
+	errMu   sync.Mutex
+	runErrs []error
 }
 
 // Errors returned by the runtime.
@@ -132,6 +141,10 @@ var (
 	ErrTooManyThreads = errors.New("threading: thread slots exhausted (raise Options.MaxThreads)")
 	ErrFinished       = errors.New("threading: runtime already finished")
 	ErrInputTooLarge  = errors.New("threading: input region exhausted")
+	// ErrWorkloadPanic tags Run errors caused by a panicking workload
+	// body: the run still completes with a partial, gap-marked CPG
+	// instead of crashing the host process.
+	ErrWorkloadPanic = errors.New("threading: workload panicked")
 )
 
 // NewRuntime builds a runtime for the given options.
@@ -269,6 +282,11 @@ func (rt *Runtime) allocSlot() (int, error) {
 
 // Run executes main as thread slot 0 and waits for every spawned thread
 // to finish, then assembles the report. Run may be called once.
+//
+// A panicking workload body does not crash the host process: the panic
+// is recovered, the interrupted sub-computation is marked as a trace gap,
+// and Run returns an error wrapping ErrWorkloadPanic alongside the
+// partial report — the graph remains queryable, flagged degraded.
 func (rt *Runtime) Run(main func(*Thread)) (*Report, error) {
 	if rt.finished {
 		return nil, ErrFinished
@@ -281,15 +299,75 @@ func (rt *Runtime) Run(main func(*Thread)) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	main(t)
-	t.finish()
+	rt.runBody(t, main)
+	rt.finishThread(t)
 	// Wait for any threads the workload spawned but never joined (the
 	// process would reap them at exit).
 	rt.wg.Wait()
 	rt.finished = true
-	rep, err := rt.buildReport(t)
+	rep, rerr := rt.buildReport(t)
 	rt.lastReport = rep
-	return rep, err
+	return rep, errors.Join(rt.runErr(), rerr)
+}
+
+// runBody executes one thread's workload function, converting a panic
+// into a recorded error plus a gap on the interrupted sub-computation.
+func (rt *Runtime) runBody(t *Thread, fn func(*Thread)) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if t.rec != nil {
+			cur := t.rec.Alpha()
+			t.rec.MarkGap(core.Gap{FromAlpha: cur, ToAlpha: cur, Kind: core.GapPanic})
+		}
+		rt.noteErr(fmt.Errorf("%w: thread %d: %v", ErrWorkloadPanic, t.p.Slot, r))
+	}()
+	fn(t)
+}
+
+// finishThread closes a thread, absorbing a teardown panic: either the
+// workload body already failed and left the recorder unable to seal
+// cleanly, or third-party code on the teardown path (a commit hook on
+// the final seal) panicked. Both count as workload panics and mark a
+// gap; the join channel always ends up closed, so parents blocked in
+// Join are released either way.
+func (rt *Runtime) finishThread(t *Thread) {
+	defer func() {
+		if r := recover(); r != nil {
+			if t.rec != nil {
+				// The recorder may itself be the broken party here; a
+				// failed gap mark must not mask the original panic.
+				func() {
+					defer func() { _ = recover() }()
+					cur := t.rec.Alpha()
+					t.rec.MarkGap(core.Gap{FromAlpha: cur, ToAlpha: cur, Kind: core.GapPanic})
+				}()
+			}
+			rt.noteErr(fmt.Errorf("%w: thread %d teardown: %v", ErrWorkloadPanic, t.p.Slot, r))
+			select {
+			case <-t.joinCh:
+			default:
+				close(t.joinCh)
+			}
+		}
+	}()
+	t.finish()
+}
+
+// noteErr records one thread's failure; Run joins them all.
+func (rt *Runtime) noteErr(err error) {
+	rt.errMu.Lock()
+	rt.runErrs = append(rt.runErrs, err)
+	rt.errMu.Unlock()
+}
+
+// runErr joins the recorded thread failures (nil when none).
+func (rt *Runtime) runErr() error {
+	rt.errMu.Lock()
+	defer rt.errMu.Unlock()
+	return errors.Join(rt.runErrs...)
 }
 
 // LastReport returns the report of the completed Run (nil before Run

@@ -40,6 +40,10 @@ type Thread struct {
 	clk    *vtime.Clock
 
 	lastPTBytes uint64
+	// lastLostBytes is the encoder loss counter observed at the previous
+	// boundary check; a positive delta marks a trace gap on the sealing
+	// sub-computation.
+	lastLostBytes uint64
 
 	// condSites/indSites cache label -> site resolutions per thread, so
 	// the per-branch path skips the image's RWMutex + shared map. Each
@@ -142,7 +146,11 @@ func (rt *Runtime) newThread(parent *Thread, slot int, name string) (*Thread, er
 		}
 		rt.sess.RecordComm(t.p.PID, name)
 		rt.sess.RecordMMAP(t.p.PID, image.CodeBase, uint64(rt.img.Len()*image.SiteSpacing), rt.opts.AppName+".text")
-		t.enc = pt.NewEncoder(stream, pt.EncoderOptions{
+		var sink pt.ByteSink = stream
+		if rt.opts.WrapTraceSink != nil {
+			sink = rt.opts.WrapTraceSink(stream)
+		}
+		t.enc = pt.NewEncoder(sink, pt.EncoderOptions{
 			PSBPeriod: rt.opts.PSBPeriod,
 			TSC:       func() uint64 { return uint64(t.clk.Now()) },
 		})
@@ -472,6 +480,7 @@ func (t *Thread) syncBoundary(ev core.SyncEvent) *core.SubComputation {
 		vtime.Cycles(res.DiffedBytes)*m.DiffPerByte+
 			vtime.Cycles(res.CommittedBytes)*m.CommitPerByte+
 			vtime.Cycles(t.rt.opts.MaxThreads)*m.VectorClockPerSlot)
+	t.checkTraceLoss(core.GapAuxLoss)
 	sub, err := t.rec.EndSub(ev, t.clk.Now())
 	if err != nil {
 		// An out-of-order alpha is an internal invariant violation.
@@ -480,6 +489,25 @@ func (t *Thread) syncBoundary(ev core.SyncEvent) *core.SubComputation {
 	t.rt.notifyCommit(sub.ID)
 	t.rt.notifySyncPoint()
 	return sub
+}
+
+// checkTraceLoss polls the encoder's loss counter and, on a positive
+// delta since the previous check, marks a gap of the given kind on the
+// sub-computation currently being sealed. Between two boundaries exactly
+// one sub-computation records, so the delta attributes to the current
+// alpha. This is how AUX ring overruns (and injected loss — both appear
+// as partial sink accepts) become first-class uncertainty in the CPG.
+func (t *Thread) checkTraceLoss(kind core.GapKind) {
+	if t.enc == nil {
+		return
+	}
+	lost := t.enc.LostBytes()
+	if lost <= t.lastLostBytes {
+		return
+	}
+	cur := t.rec.Alpha()
+	t.rec.MarkGap(core.Gap{FromAlpha: cur, ToAlpha: cur, Kind: kind, Bytes: lost - t.lastLostBytes})
+	t.lastLostBytes = lost
 }
 
 // Spawn creates a new thread running fn — the pthread_create wrapper.
@@ -522,8 +550,11 @@ func (t *Thread) Spawn(fn func(*Thread)) *Thread {
 			child.charge(CatThreading, rt.model.ProcessSpawn)
 			child.rec.Acquire(spawnObj)
 		}
-		fn(child)
-		child.finish()
+		// A panicking child degrades the recording (gap + error on the
+		// runtime) instead of crashing the process; finishThread still
+		// seals the thread and releases any parent blocked in Join.
+		rt.runBody(child, fn)
+		rt.finishThread(child)
 	}()
 	return child
 }
@@ -555,6 +586,17 @@ func (t *Thread) finish() {
 		t.joinSub = sub.ID
 		t.tracer.Close()
 		t.chargePTBytes()
+		// Trace bytes flushed by the tracer teardown can still be refused
+		// by the ring; that loss belongs to the just-sealed final
+		// sub-computation and marks the stream as truncated.
+		if lost := t.enc.LostBytes(); lost > t.lastLostBytes {
+			last := sub.ID.Alpha
+			t.rec.MarkGap(core.Gap{
+				FromAlpha: last, ToAlpha: last,
+				Kind: core.GapTruncated, Bytes: lost - t.lastLostBytes,
+			})
+			t.lastLostBytes = lost
+		}
 		if stream, ok := t.rt.sess.Stream(t.p.PID); ok {
 			stream.Drain()
 		}

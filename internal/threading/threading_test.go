@@ -1,6 +1,7 @@
 package threading
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -440,29 +441,35 @@ func TestThreadSlotExhaustion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic on slot exhaustion")
-		}
-	}()
-	_, _ = rt.Run(func(main *Thread) {
+	// The spawn panic is recovered by Run and surfaces as an error; the
+	// host process must survive.
+	_, err = rt.Run(func(main *Thread) {
 		c1 := main.Spawn(func(*Thread) {})
 		main.Join(c1)
 		c2 := main.Spawn(func(*Thread) {}) // slot 2 of 2: must fail
 		main.Join(c2)
 	})
+	if !errors.Is(err, ErrWorkloadPanic) {
+		t.Fatalf("Run error = %v, want ErrWorkloadPanic", err)
+	}
+	if !strings.Contains(err.Error(), ErrTooManyThreads.Error()) {
+		t.Errorf("error %q does not name the slot exhaustion", err)
+	}
 }
 
 func TestSegfaultPanics(t *testing.T) {
 	rt := newRT(t, ModeInspector)
-	defer func() {
-		if recover() == nil {
-			t.Error("expected simulated SIGSEGV panic")
-		}
-	}()
-	_, _ = rt.Run(func(main *Thread) {
+	// The simulated SIGSEGV unwinds the workload body; Run recovers it
+	// into an error instead of killing the process.
+	_, err := rt.Run(func(main *Thread) {
 		main.Load64(0xdeadbeef0000)
 	})
+	if !errors.Is(err, ErrWorkloadPanic) {
+		t.Fatalf("Run error = %v, want ErrWorkloadPanic", err)
+	}
+	if !strings.Contains(err.Error(), "load64") {
+		t.Errorf("error %q does not describe the faulting access", err)
+	}
 }
 
 func TestFalseSharingPenalizesNativeOnly(t *testing.T) {

@@ -6,8 +6,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 )
 
 // Client speaks the provenance/v1 HTTP API (inspector-serve, or any
@@ -18,6 +21,16 @@ type Client struct {
 	BaseURL string
 	// HTTPClient overrides the transport (nil = http.DefaultClient).
 	HTTPClient *http.Client
+	// MaxRetries bounds retry attempts after a retryable failure — a
+	// transport error, or HTTP 502/503/504 (the statuses a draining or
+	// load-shedding daemon answers with). 0 disables retries: each call
+	// issues exactly one request, the pre-hardening behaviour.
+	MaxRetries int
+	// RetryBase is the first backoff delay (default 100ms). Delays
+	// double per attempt with ±50% jitter, capped at 5s; a server
+	// Retry-After hint overrides the computed delay, and context
+	// cancellation interrupts the wait.
+	RetryBase time.Duration
 }
 
 // List fetches the served CPGs.
@@ -61,9 +74,45 @@ func checkVersion(res *Result) (*Result, error) {
 	return res, nil
 }
 
-// do issues one request and decodes the JSON response, surfacing the
-// server's error body on non-2xx statuses.
+// do issues a request with bounded retries and decodes the JSON
+// response, surfacing the server's error body on non-2xx statuses.
+// Retryable failures (transport errors, 502/503/504) back off
+// exponentially with jitter, honoring the server's Retry-After hint and
+// the context's cancellation; everything else fails immediately.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	delay := c.RetryBase
+	if delay <= 0 {
+		delay = 100 * time.Millisecond
+	}
+	const maxDelay = 5 * time.Second
+	for attempt := 0; ; attempt++ {
+		err, retryAfter, retryable := c.doOnce(ctx, method, path, body, out)
+		if err == nil || !retryable || attempt >= c.MaxRetries || ctx.Err() != nil {
+			return err
+		}
+		wait := delay
+		if retryAfter > 0 {
+			wait = retryAfter
+		}
+		// ±50% jitter keeps retrying clients from re-converging on the
+		// very load spike that shed them.
+		wait = wait/2 + time.Duration(rand.Int63n(int64(wait)))
+		timer := time.NewTimer(wait)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return ctx.Err()
+		case <-timer.C:
+		}
+		if delay *= 2; delay > maxDelay {
+			delay = maxDelay
+		}
+	}
+}
+
+// doOnce issues exactly one request. It reports the server's Retry-After
+// hint (0 when absent) and whether the failure is worth retrying.
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, out any) (err error, retryAfter time.Duration, retryable bool) {
 	url := strings.TrimSuffix(c.BaseURL, "/") + path
 	var rd io.Reader
 	if body != nil {
@@ -71,7 +120,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 	}
 	req, err := http.NewRequestWithContext(ctx, method, url, rd)
 	if err != nil {
-		return err
+		return err, 0, false
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
@@ -82,19 +131,29 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 	}
 	resp, err := hc.Do(req)
 	if err != nil {
-		return err
+		// Transport-level failures (connection refused, reset) are the
+		// textbook retry case — unless the caller's context ended.
+		return err, 0, ctx.Err() == nil
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
-		return err
+		return err, 0, ctx.Err() == nil
 	}
 	if resp.StatusCode != http.StatusOK {
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if secs, perr := strconv.Atoi(s); perr == nil && secs >= 0 {
+				retryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		retryable = resp.StatusCode == http.StatusBadGateway ||
+			resp.StatusCode == http.StatusServiceUnavailable ||
+			resp.StatusCode == http.StatusGatewayTimeout
 		var ae apiError
 		if json.Unmarshal(data, &ae) == nil && ae.Error != "" {
-			return fmt.Errorf("provenance: server: %s (HTTP %d)", ae.Error, resp.StatusCode)
+			return fmt.Errorf("provenance: server: %s (HTTP %d)", ae.Error, resp.StatusCode), retryAfter, retryable
 		}
-		return fmt.Errorf("provenance: server returned HTTP %d", resp.StatusCode)
+		return fmt.Errorf("provenance: server returned HTTP %d", resp.StatusCode), retryAfter, retryable
 	}
-	return json.Unmarshal(data, out)
+	return json.Unmarshal(data, out), 0, false
 }

@@ -48,7 +48,7 @@ func (e *Engine) Epoch() uint64 { return e.a.Epoch() }
 // wrapping ErrBadQuery; a canceled or expired context surfaces as that
 // context's error with the traversal stopped early.
 func (e *Engine) Execute(ctx context.Context, q Query) (*Result, error) {
-	res := &Result{Version: Version, Kind: q.Kind, Epoch: e.a.Epoch()}
+	res := &Result{Version: Version, Kind: q.Kind, Epoch: e.a.Epoch(), Degraded: e.a.Degraded()}
 	offset, err := decodeCursor(q.Cursor)
 	if err != nil {
 		return nil, err
@@ -202,6 +202,10 @@ func (e *Engine) computeStats() *Stats {
 		st.WriteSetPages += sc.WriteSet.Len()
 	}
 	st.Threads = len(threads)
+	comp := e.a.Completeness()
+	st.GapThreads = comp.GapThreads
+	st.GapIntervals = comp.GapIntervals
+	st.LostTraceBytes = comp.LostBytes
 	for _, edge := range e.a.Edges() {
 		switch edge.Kind {
 		case core.EdgeControl:

@@ -3,6 +3,7 @@ package provenance
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -51,6 +52,9 @@ type LiveEngine struct {
 	inc  *core.IncrementalAnalyzer
 	opts EngineOptions
 	cur  atomic.Pointer[Engine]
+	// hooks run before every fold, in order. Fault injection and tests
+	// use them to delay or crash a fold deliberately.
+	hooks []func()
 
 	notify    chan struct{}
 	done      chan struct{}
@@ -58,24 +62,32 @@ type LiveEngine struct {
 	closeOnce sync.Once
 
 	// watch is replaced (and the old one closed) on every publish;
-	// WaitEpoch blocks on it.
-	mu    sync.Mutex
-	watch chan struct{}
+	// WaitEpoch blocks on it. foldErr records the first fold panic.
+	mu      sync.Mutex
+	watch   chan struct{}
+	foldErr error
 }
 
 // NewLiveEngine starts the analysis pipeline over g. The first epoch is
 // folded synchronously, so the returned LiveEngine is immediately
-// queryable.
-func NewLiveEngine(g *core.Graph, opts EngineOptions) *LiveEngine {
+// queryable. The optional foldHooks run before every fold (fault
+// injection; tests).
+func NewLiveEngine(g *core.Graph, opts EngineOptions, foldHooks ...func()) *LiveEngine {
 	l := &LiveEngine{
 		inc:    core.NewIncrementalAnalyzer(g),
 		opts:   opts,
+		hooks:  foldHooks,
 		notify: make(chan struct{}, 1),
 		done:   make(chan struct{}),
 		closed: make(chan struct{}),
 		watch:  make(chan struct{}),
 	}
-	l.publish(l.inc.Fold())
+	if !l.foldAndPublish() {
+		// Even a panicking first fold (only reachable through an
+		// injected hook) must not leave Engine() nil: serve an empty
+		// epoch-0 analysis until a later fold succeeds.
+		l.cur.Store(NewEngine(core.NewGraph(g.Threads()).Analyze(), opts))
+	}
 	go l.loop()
 	return l
 }
@@ -85,16 +97,48 @@ func (l *LiveEngine) loop() {
 	for {
 		select {
 		case <-l.notify:
-			l.publish(l.inc.Fold())
+			l.foldAndPublish()
 		case <-l.done:
 			// Final fold: recording has quiesced, so this epoch covers
 			// the complete graph (including anything a pending notify
 			// would have announced).
-			l.publish(l.inc.Fold())
+			l.foldAndPublish()
 			close(l.closed)
 			return
 		}
 	}
+}
+
+// tryFold runs one fold, converting a panic into an error so a crashing
+// fold cannot kill the analysis goroutine (which would deadlock every
+// WaitEpoch and Close caller).
+func (l *LiveEngine) tryFold() (a *core.Analysis, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("provenance: live analysis fold panicked: %v", r)
+		}
+	}()
+	for _, h := range l.hooks {
+		h()
+	}
+	return l.inc.Fold(), nil
+}
+
+// foldAndPublish runs one fold and publishes its epoch. On a fold panic
+// the last good epoch stays servable, the first error is recorded for
+// Close to surface, and false is returned.
+func (l *LiveEngine) foldAndPublish() bool {
+	a, err := l.tryFold()
+	if err != nil {
+		l.mu.Lock()
+		if l.foldErr == nil {
+			l.foldErr = err
+		}
+		l.mu.Unlock()
+		return false
+	}
+	l.publish(a)
+	return true
 }
 
 // publish installs the engine for a freshly folded epoch and wakes
@@ -150,9 +194,14 @@ func (l *LiveEngine) WaitEpoch(ctx context.Context, min uint64) (uint64, error) 
 
 // Close performs the final fold and stops the analysis goroutine. Call
 // it after recording has quiesced (the workload's Run returned); queries
-// issued after Close see the complete graph. Close is idempotent and
-// returns once the final epoch is published.
-func (l *LiveEngine) Close() {
+// issued after Close see the complete graph. Close is idempotent,
+// returns once the final epoch is published, and surfaces the first
+// fold panic (if any) — the last good epoch remained servable
+// throughout, but the caller learns the analysis did not complete.
+func (l *LiveEngine) Close() error {
 	l.closeOnce.Do(func() { close(l.done) })
 	<-l.closed
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.foldErr
 }

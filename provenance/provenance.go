@@ -114,7 +114,9 @@ type LineageEntry struct {
 	ViaObject string   `json:"via_object,omitempty"`
 }
 
-// Stats summarizes one graph.
+// Stats summarizes one graph. The gap fields are additive and omitted
+// (zero) for complete recordings, so documents for lossless runs are
+// byte-identical to what pre-degradation consumers pinned.
 type Stats struct {
 	SubComputations int `json:"sub_computations"`
 	Threads         int `json:"threads"`
@@ -124,6 +126,13 @@ type Stats struct {
 	ControlEdges    int `json:"control_edges"`
 	SyncEdges       int `json:"sync_edges"`
 	DataEdges       int `json:"data_edges"`
+	// GapThreads / GapIntervals / LostTraceBytes summarize trace loss:
+	// how many threads carry gaps, the total gap interval count, and the
+	// trace bytes the PT layer reported lost. All zero (omitted) for a
+	// complete recording.
+	GapThreads     int    `json:"gap_threads,omitempty"`
+	GapIntervals   int    `json:"gap_intervals,omitempty"`
+	LostTraceBytes uint64 `json:"lost_trace_bytes,omitempty"`
 }
 
 // Result is the answer to one Query, in wire form (provenance/v1).
@@ -141,6 +150,11 @@ type Result struct {
 	// are only valid against the epoch that issued them; a client that
 	// sees the epoch advance between pages should restart the listing.
 	Epoch uint64 `json:"epoch,omitempty"`
+	// Degraded marks results computed over a graph with trace-loss gaps:
+	// the answer is sound for what was recorded, but dependencies inside
+	// a gap are invisible. Omitted (false) for complete recordings, so
+	// lossless documents are unchanged on the wire.
+	Degraded bool `json:"degraded,omitempty"`
 
 	// IDs answers slice and taint queries, ordered by (thread, alpha).
 	IDs []string `json:"ids,omitempty"`

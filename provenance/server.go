@@ -5,21 +5,36 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
 	"time"
 )
 
 // CPGInfo describes one graph a server exposes (the GET /v1/cpgs
 // listing). Epoch is 0 (omitted) for post-mortem graphs and the newest
 // published epoch for live ones, so monitors can watch a live graph
-// grow from the listing alone.
+// grow from the listing alone. Degraded is omitted (false) for complete
+// recordings; true marks graphs carrying trace-loss gaps.
 type CPGInfo struct {
 	ID              string `json:"id"`
 	SubComputations int    `json:"sub_computations"`
 	Threads         int    `json:"threads"`
 	Edges           int    `json:"edges"`
 	Epoch           uint64 `json:"epoch,omitempty"`
+	Degraded        bool   `json:"degraded,omitempty"`
+}
+
+// ReadyStatus is the GET /readyz response body. Epochs maps each
+// live-served CPG id to its newest published epoch (post-mortem graphs,
+// whose epoch is 0, are omitted), so monitors read live analysis
+// progress straight from the readiness probe.
+type ReadyStatus struct {
+	Ready  bool              `json:"ready"`
+	Epochs map[string]uint64 `json:"epochs,omitempty"`
 }
 
 // CPGList is the GET /v1/cpgs response body.
@@ -39,6 +54,16 @@ type ServerOptions struct {
 	// cancels the in-flight graph traversal. 0 means no server-imposed
 	// deadline (client disconnects still cancel).
 	Timeout time.Duration
+	// MaxInflight bounds concurrently executing /v1/ requests; excess
+	// requests are shed with 503 and a Retry-After hint instead of
+	// queueing until the process falls over. 0 means unlimited. Health
+	// probes (/healthz, /readyz) always bypass the limit.
+	MaxInflight int
+	// RetryAfter is the hint (in whole seconds, minimum 1) sent with
+	// shed requests. 0 defaults to 1s.
+	RetryAfter time.Duration
+	// Logf receives panic-recovery log lines (nil = log.Printf).
+	Logf func(format string, args ...any)
 }
 
 // Server is the provenance/v1 HTTP API over a set of graphs:
@@ -60,6 +85,12 @@ type Server struct {
 	ids     []string
 	opts    ServerOptions
 	mux     *http.ServeMux
+	// notReady, while set, makes /readyz answer 503 — the daemon flips
+	// it once its listener is up and every CPG is loaded. Construction
+	// starts ready (embedders already hold loaded sources).
+	notReady atomic.Bool
+	// inflight is the /v1/ admission semaphore (nil = unlimited).
+	inflight chan struct{}
 }
 
 // NewServer builds the handler over completed engines, keyed by CPG id
@@ -81,14 +112,104 @@ func NewServerSources(sources map[string]EngineSource, opts ServerOptions) *Serv
 		s.ids = append(s.ids, id)
 	}
 	sort.Strings(s.ids)
+	if opts.MaxInflight > 0 {
+		s.inflight = make(chan struct{}, opts.MaxInflight)
+	}
 	s.mux.HandleFunc("GET /v1/cpgs", s.handleList)
 	s.mux.HandleFunc("GET /v1/cpgs/{id}/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/cpgs/{id}/query", s.handleQuery)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// SetReady flips the /readyz verdict. The daemon serves not-ready
+// during startup (listener up, CPGs still loading) and flips to ready
+// once every graph is queryable.
+func (s *Server) SetReady(ready bool) { s.notReady.Store(!ready) }
+
+// ServeHTTP implements http.Handler. It is the hardening envelope
+// around the route mux: a panicking handler is logged and answered with
+// 500 instead of killing the daemon's connection goroutine silently,
+// and when MaxInflight is set, excess /v1/ requests are shed with
+// 503 + Retry-After before they touch a graph.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	sw := &statusWriter{ResponseWriter: w}
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.logf("provenance: panic serving %s %s: %v", r.Method, r.URL.Path, rec)
+			if !sw.wrote {
+				writeJSON(sw, http.StatusInternalServerError, apiError{Error: "internal error"})
+			}
+		}
+	}()
+	if s.inflight != nil && strings.HasPrefix(r.URL.Path, "/v1/") {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+		default:
+			retry := s.opts.RetryAfter
+			if retry < time.Second {
+				retry = time.Second
+			}
+			sw.Header().Set("Retry-After", strconv.Itoa(int(retry/time.Second)))
+			writeJSON(sw, http.StatusServiceUnavailable, apiError{Error: "server at capacity"})
+			return
+		}
+	}
+	s.mux.ServeHTTP(sw, r)
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// statusWriter remembers whether a header has been written, so the
+// panic recovery knows if a 500 can still be sent.
+type statusWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (sw *statusWriter) WriteHeader(status int) {
+	sw.wrote = true
+	sw.ResponseWriter.WriteHeader(status)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	sw.wrote = true
+	return sw.ResponseWriter.Write(b)
+}
+
+// handleHealth is the liveness probe: the process can answer HTTP.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		OK bool `json:"ok"`
+	}{OK: true})
+}
+
+// handleReady is the readiness probe: 503 until the daemon marks its
+// CPGs loaded, then 200 with live epoch progress per source.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.notReady.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, ReadyStatus{Ready: false})
+		return
+	}
+	st := ReadyStatus{Ready: true}
+	for _, id := range s.ids {
+		if e := s.sources[id].Engine().Epoch(); e > 0 {
+			if st.Epochs == nil {
+				st.Epochs = make(map[string]uint64)
+			}
+			st.Epochs[id] = e
+		}
+	}
+	writeJSON(w, http.StatusOK, st)
+}
 
 // IDs returns the served CPG ids, sorted.
 func (s *Server) IDs() []string {
@@ -112,6 +233,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 			Threads:         st.Threads,
 			Edges:           st.ControlEdges + st.SyncEdges + st.DataEdges,
 			Epoch:           eng.Epoch(),
+			Degraded:        eng.a.Degraded(),
 		})
 	}
 	writeJSON(w, http.StatusOK, CPGList{Version: Version, CPGs: infos})
