@@ -1,0 +1,170 @@
+// Command inspector-recover replays a write-ahead journal written by
+// inspector-run -journal (or inspector.Options.Journal) and rebuilds
+// the Concurrent Provenance Graph up to the last durable epoch.
+//
+// A journal from a crashed run usually ends in a torn record: a frame
+// cut short mid-write, a half-written length prefix, or a corrupted
+// payload. Recovery stops at the first bad CRC or short read, replays
+// everything before it, and marks the result degraded with a
+// truncated-tail gap — the recovered CPG says truthfully "complete up
+// to epoch N, cut off after". A journal closed by a clean run carries a
+// seal record and recovers complete.
+//
+// Usage:
+//
+//	inspector-recover -journal DIR [-epoch N] [-truncate]
+//	                  [-cpg out.gob] [-json out.json] [-dot out.dot]
+//	                  [-analysis out.json] [-q]
+//
+// -epoch stops the replay at epoch N (a time-travel debugging aid; the
+// result is not marked degraded — the cut was asked for). -truncate
+// physically removes the torn tail so later tools read the journal
+// cleanly. Exit status is 0 even when a tear was found — a recovered
+// prefix is a success; only an unusable journal (no readable header,
+// no directory) fails.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/repro/inspector/internal/atomicio"
+	"github.com/repro/inspector/internal/journal"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "inspector-recover:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("inspector-recover", flag.ContinueOnError)
+	dir := fs.String("journal", "", "journal directory to recover (required)")
+	epoch := fs.Uint64("epoch", 0, "stop the replay at this epoch (0 = replay everything durable)")
+	truncate := fs.Bool("truncate", false, "physically remove the torn tail after recovery")
+	cpgOut := fs.String("cpg", "", "write the recovered CPG (gob) to this file")
+	jsonOut := fs.String("json", "", "write the recovered CPG (JSON) to this file")
+	dotOut := fs.String("dot", "", "write the recovered CPG (Graphviz DOT) to this file")
+	analysisOut := fs.String("analysis", "", "write the recovered analysis (JSON: thread lens + edges) to this file")
+	quiet := fs.Bool("q", false, "suppress the recovery summary")
+	sumJSON := fs.Bool("summary-json", false, "print the recovery summary as one JSON object instead of human lines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("missing -journal DIR")
+	}
+
+	rep, err := journal.Recover(*dir, journal.RecoverOptions{
+		MaxEpoch: *epoch,
+		Truncate: *truncate,
+	})
+	if err != nil {
+		return err
+	}
+
+	if *sumJSON {
+		s := summaryJSON{
+			RunID:    rep.Header.RunID,
+			App:      rep.Header.App,
+			Threads:  rep.Header.Threads,
+			Epoch:    rep.Epoch,
+			Records:  rep.Records,
+			Sealed:   rep.Sealed,
+			Degraded: rep.Degraded(),
+		}
+		if rep.Torn != nil {
+			s.Torn = rep.Torn.String()
+		}
+		enc := json.NewEncoder(out)
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+		*quiet = true
+	}
+	if !*quiet {
+		fmt.Fprintf(out, "run:              %s (%s, %d threads)\n",
+			rep.Header.RunID, appOrUnknown(rep.Header.App), rep.Header.Threads)
+		fmt.Fprintf(out, "recovered:        %d epochs from %d segments\n", rep.Epoch, len(rep.Segments))
+		switch {
+		case rep.Sealed:
+			fmt.Fprintln(out, "journal:          sealed (clean close)")
+		case rep.Stopped:
+			fmt.Fprintf(out, "journal:          stopped at -epoch %d by request\n", rep.Epoch)
+		case rep.Torn != nil:
+			fmt.Fprintf(out, "journal:          torn tail at %s\n", rep.Torn)
+			if *truncate {
+				fmt.Fprintln(out, "journal:          torn tail truncated")
+			}
+		default:
+			fmt.Fprintln(out, "journal:          unsealed (run did not close cleanly)")
+		}
+		comp := rep.Analysis.Completeness()
+		if comp.Complete {
+			fmt.Fprintln(out, "completeness:     complete")
+		} else {
+			fmt.Fprintf(out, "completeness:     degraded (%d gap intervals on %d threads)\n",
+				comp.GapIntervals, comp.GapThreads)
+		}
+	}
+
+	if *cpgOut != "" {
+		if err := write(out, *cpgOut, "CPG", *quiet, rep.Graph.EncodeGob); err != nil {
+			return err
+		}
+	}
+	if *jsonOut != "" {
+		if err := write(out, *jsonOut, "JSON", *quiet, rep.Graph.EncodeJSON); err != nil {
+			return err
+		}
+	}
+	if *dotOut != "" {
+		if err := write(out, *dotOut, "DOT", *quiet, rep.Graph.WriteDOT); err != nil {
+			return err
+		}
+	}
+	if *analysisOut != "" {
+		if err := write(out, *analysisOut, "analysis", *quiet, rep.Analysis.ExportJSON); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func appOrUnknown(app string) string {
+	if app == "" {
+		return "unnamed app"
+	}
+	return app
+}
+
+// write exports one artifact crash-atomically — recovery must never
+// replace a good artifact with a torn one, least of all while cleaning
+// up after a crash.
+func write(out io.Writer, path, what string, quiet bool, enc func(io.Writer) error) error {
+	if err := atomicio.WriteFile(path, enc); err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Fprintf(out, "wrote %-12s %s\n", what+":", path)
+	}
+	return nil
+}
+
+// summaryJSON is the -summary-json shape scripts parse instead of the
+// human lines.
+type summaryJSON struct {
+	RunID    string `json:"run_id"`
+	App      string `json:"app,omitempty"`
+	Threads  int    `json:"threads"`
+	Epoch    uint64 `json:"epoch"`
+	Records  int    `json:"records"`
+	Sealed   bool   `json:"sealed"`
+	Degraded bool   `json:"degraded"`
+	Torn     string `json:"torn,omitempty"`
+}

@@ -25,7 +25,14 @@
 // boundary, "slow-fold" delays live analysis folds. The run completes
 // (artifacts are still exported), the report names the faults that
 // fired, and the recorded CPG carries its trace gaps and completeness —
-// the same schedule reproduces the same faults run after run.
+// the same schedule reproduces the same faults run after run. The
+// "crash" point SIGKILLs the process outright at a commit boundary —
+// nothing is exported; pair it with -journal and inspector-recover.
+//
+// -journal DIR makes the recording crash-durable: every sealed epoch is
+// appended to a write-ahead journal, synchronously at the commit
+// boundary, under the fsync policy of -journal-fsync. After a crash,
+// inspector-recover replays the journal up to the last durable epoch.
 package main
 
 import (
@@ -35,10 +42,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"syscall"
 	"time"
 
+	"github.com/repro/inspector/internal/atomicio"
 	"github.com/repro/inspector/internal/core"
 	"github.com/repro/inspector/internal/faultinject"
+	"github.com/repro/inspector/internal/journal"
 	"github.com/repro/inspector/internal/threading"
 	"github.com/repro/inspector/internal/workloads"
 	"github.com/repro/inspector/provenance"
@@ -68,6 +78,9 @@ func run(args []string) error {
 	verify := fs.Bool("verify", false, "check the recorded CPG's structural invariants before exporting")
 	liveStats := fs.Bool("live-stats", false, "fold the CPG incrementally during the run and stream per-epoch stats")
 	faults := fs.String("faults", "", `deterministic fault-injection schedule, e.g. "aux-loss:after=20,every=7;panic:count=1"`)
+	journalDir := fs.String("journal", "", "write-ahead journal directory: every sealed epoch is appended crash-durably; recover with inspector-recover")
+	journalFsync := fs.String("journal-fsync", "always", `journal fsync policy: always|interval[:N]|none`)
+	journalEvery := fs.Int("journal-every", 1, "journal one epoch each N sealed sub-computations")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -122,8 +135,41 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	var jrec *journal.Recorder
+	if *journalDir != "" {
+		if mode != threading.ModeInspector {
+			return fmt.Errorf("-journal records the provenance pipeline; it needs INSPECTOR mode (drop -native)")
+		}
+		policy, syncEvery, err := journal.ParsePolicy(*journalFsync)
+		if err != nil {
+			return err
+		}
+		w, err := journal.Create(journal.Options{
+			Dir:       *journalDir,
+			Threads:   rt.Graph().Threads(),
+			App:       *app,
+			Fsync:     policy,
+			SyncEvery: syncEvery,
+		})
+		if err != nil {
+			return err
+		}
+		jrec = journal.NewRecorder(rt.Graph(), w, *journalEvery)
+		// Registered before the fault hooks on purpose: commit hooks run
+		// in registration order, so by the time an injected crash kills
+		// the process, the epoch sealed by this very commit is already
+		// on the journal — the kill-recover sweep's determinism anchor.
+		rt.RegisterCommitHook(jrec.CommitHook())
+	}
 	if injector != nil {
 		rt.RegisterCommitHook(func(id core.SubID) {
+			if injector.Fire(faultinject.Crash) {
+				// A real crash, not a panic: no deferred handlers, no
+				// exports, no journal seal. Only what the journal
+				// already holds survives.
+				syscall.Kill(os.Getpid(), syscall.SIGKILL)
+				select {} // unreachable: wait for the signal
+			}
 			if injector.Fire(faultinject.WorkloadPanic) {
 				panic(fmt.Sprintf("injected workload panic after %v", id))
 			}
@@ -176,6 +222,12 @@ func run(args []string) error {
 		}
 		fmt.Printf("live analysis:    %d epochs folded; final epoch saw %d sub-computations, %d edges\n",
 			live.Epoch(), st.SubComputations, st.ControlEdges+st.SyncEdges+st.DataEdges)
+	}
+	if jrec != nil {
+		if err := jrec.Close(); err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+		fmt.Printf("journal:          %d epochs sealed in %s\n", jrec.Epoch(), *journalDir)
 	}
 	rep := rt.LastReport()
 
@@ -309,14 +361,9 @@ func liveStatsSummary(live *provenance.LiveEngine) (*provenance.Stats, error) {
 	return res.Stats, nil
 }
 
+// writeFile exports one artifact crash-atomically: a run killed or
+// powered off mid-export leaves the previous file (or none), never a
+// torn one.
 func writeFile(path string, enc func(w io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := enc(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return atomicio.WriteFile(path, enc)
 }

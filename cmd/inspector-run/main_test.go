@@ -1,9 +1,13 @@
 package main
 
 import (
+	"bytes"
+
 	"os"
 	"path/filepath"
 	"testing"
+
+	"github.com/repro/inspector/internal/journal"
 )
 
 func TestRunEndToEndWithArtifacts(t *testing.T) {
@@ -64,5 +68,48 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-app", "histogram", "-size", "giant"}); err == nil {
 		t.Error("bad size accepted")
+	}
+}
+
+func TestRunJournal(t *testing.T) {
+	dir := t.TempDir()
+	jdir := filepath.Join(dir, "journal")
+	jsn := filepath.Join(dir, "run.json")
+	err := run([]string{
+		"-app", "histogram", "-threads", "2", "-size", "small",
+		"-journal", jdir, "-journal-fsync", "none", "-json", jsn,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := journal.Recover(jdir, journal.RecoverOptions{})
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if !rep.Sealed || rep.Degraded() {
+		t.Fatalf("clean run journal: sealed=%v degraded=%v", rep.Sealed, rep.Degraded())
+	}
+	if rep.Header.App != "histogram" {
+		t.Errorf("journal app = %q", rep.Header.App)
+	}
+	var buf bytes.Buffer
+	if err := rep.Graph.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(jsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatal("journal-recovered CPG diverges from the run's -json export")
+	}
+}
+
+func TestRunJournalRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-app", "histogram", "-native", "-journal", t.TempDir()}); err == nil {
+		t.Error("-journal with -native accepted")
+	}
+	if err := run([]string{"-app", "histogram", "-journal", t.TempDir(), "-journal-fsync", "sometimes"}); err == nil {
+		t.Error("bad -journal-fsync accepted")
 	}
 }

@@ -60,6 +60,7 @@ import (
 	"time"
 
 	"github.com/repro/inspector/internal/core"
+	"github.com/repro/inspector/internal/journal"
 	"github.com/repro/inspector/internal/threading"
 	"github.com/repro/inspector/internal/workloads"
 	"github.com/repro/inspector/provenance"
@@ -82,6 +83,8 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("inspector-serve", flag.ContinueOnError)
 	var cpgPaths multiFlag
 	fs.Var(&cpgPaths, "cpg", "CPG gob file to serve (repeatable)")
+	var journalDirs multiFlag
+	fs.Var(&journalDirs, "journal", "write-ahead journal directory to recover and serve (repeatable; id = directory basename)")
 	workload := fs.String("workload", "", "record this workload at startup and serve its CPG")
 	threads := fs.Int("threads", 4, "worker thread count for -workload")
 	sizeFlag := fs.String("size", "small", "input size for -workload: small|medium|large")
@@ -116,7 +119,7 @@ func run(args []string) error {
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
 	defer signal.Stop(sig)
 	build := func() (*provenance.Server, func(), error) {
-		return buildServer(cpgPaths, *workload, *threads, *sizeFlag, *seed, *live, *liveSlowdown, *lenient,
+		return buildServer(cpgPaths, journalDirs, *workload, *threads, *sizeFlag, *seed, *live, *liveSlowdown, *lenient,
 			provenance.ServerOptions{Timeout: *timeout, MaxInflight: *maxInflight},
 			provenance.EngineOptions{MaxResults: *maxResults})
 	}
@@ -201,10 +204,35 @@ func serve(ln net.Listener, build func() (*provenance.Server, func(), error),
 // A corrupt or truncated gob file fails startup with the offending path
 // named; with lenient it is logged and skipped so the healthy graphs
 // still serve.
-func buildServer(cpgPaths []string, workload string, threads int, sizeFlag string, seed int64,
+func buildServer(cpgPaths, journalDirs []string, workload string, threads int, sizeFlag string, seed int64,
 	live bool, liveSlowdown time.Duration, lenient bool,
 	sopts provenance.ServerOptions, eopts provenance.EngineOptions) (*provenance.Server, func(), error) {
 	sources := map[string]provenance.EngineSource{}
+	for _, dir := range journalDirs {
+		id := filepath.Base(filepath.Clean(dir))
+		if _, dup := sources[id]; dup {
+			return nil, nil, fmt.Errorf("duplicate journal id %q (from %s)", id, dir)
+		}
+		rep, err := journal.Recover(dir, journal.RecoverOptions{})
+		if err != nil {
+			if lenient {
+				fmt.Fprintf(os.Stderr, "inspector-serve: skipping journal %s: %v (-lenient)\n", dir, err)
+				continue
+			}
+			return nil, nil, fmt.Errorf("journal %s: %w", dir, err)
+		}
+		switch {
+		case rep.Sealed:
+			fmt.Fprintf(os.Stderr, "inspector-serve: journal %s: recovered %d epochs (sealed)\n", id, rep.Epoch)
+		case rep.Torn != nil:
+			fmt.Fprintf(os.Stderr, "inspector-serve: journal %s: recovered %d epochs, torn tail at %s (serving degraded prefix)\n",
+				id, rep.Epoch, rep.Torn)
+		default:
+			fmt.Fprintf(os.Stderr, "inspector-serve: journal %s: recovered %d epochs (unsealed: run never closed; serving degraded prefix)\n",
+				id, rep.Epoch)
+		}
+		sources[id] = provenance.StaticSource(provenance.NewEngine(rep.Analysis, eopts))
+	}
 	for _, path := range cpgPaths {
 		id := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
 		if _, dup := sources[id]; dup {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/repro/inspector/internal/core"
+	"github.com/repro/inspector/internal/journal"
 	"github.com/repro/inspector/provenance"
 )
 
@@ -68,7 +69,7 @@ func TestBuildServerFromGobs(t *testing.T) {
 	writeGob(t, a)
 	writeGob(t, b)
 
-	srv, _, err := buildServer([]string{a, b}, "", 0, "", 0, false, 0, false,
+	srv, _, err := buildServer([]string{a, b}, nil, "", 0, "", 0, false, 0, false,
 		provenance.ServerOptions{}, provenance.EngineOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -97,7 +98,7 @@ func TestBuildServerErrors(t *testing.T) {
 	a := filepath.Join(dir, "x.gob")
 	writeGob(t, a)
 
-	if _, _, err := buildServer(nil, "", 0, "", 0, false, 0, false,
+	if _, _, err := buildServer(nil, nil, "", 0, "", 0, false, 0, false,
 		provenance.ServerOptions{}, provenance.EngineOptions{}); err == nil {
 		t.Error("empty server accepted")
 	}
@@ -108,21 +109,21 @@ func TestBuildServerErrors(t *testing.T) {
 	}
 	b := filepath.Join(sub, "x.gob")
 	writeGob(t, b)
-	if _, _, err := buildServer([]string{a, b}, "", 0, "", 0, false, 0, false,
+	if _, _, err := buildServer([]string{a, b}, nil, "", 0, "", 0, false, 0, false,
 		provenance.ServerOptions{}, provenance.EngineOptions{}); err == nil {
 		t.Error("duplicate ids accepted")
 	}
 	// Missing file.
-	if _, _, err := buildServer([]string{filepath.Join(dir, "absent.gob")}, "", 0, "", 0, false, 0, false,
+	if _, _, err := buildServer([]string{filepath.Join(dir, "absent.gob")}, nil, "", 0, "", 0, false, 0, false,
 		provenance.ServerOptions{}, provenance.EngineOptions{}); err == nil {
 		t.Error("missing file accepted")
 	}
 	// Unknown workload and size.
-	if _, _, err := buildServer(nil, "not-a-workload", 1, "small", 1, false, 0, false,
+	if _, _, err := buildServer(nil, nil, "not-a-workload", 1, "small", 1, false, 0, false,
 		provenance.ServerOptions{}, provenance.EngineOptions{}); err == nil {
 		t.Error("unknown workload accepted")
 	}
-	if _, _, err := buildServer(nil, "histogram", 1, "gigantic", 1, false, 0, false,
+	if _, _, err := buildServer(nil, nil, "histogram", 1, "gigantic", 1, false, 0, false,
 		provenance.ServerOptions{}, provenance.EngineOptions{}); err == nil {
 		t.Error("unknown size accepted")
 	}
@@ -132,7 +133,7 @@ func TestBuildServerFromWorkload(t *testing.T) {
 	if testing.Short() {
 		t.Skip("records a workload")
 	}
-	srv, start, err := buildServer(nil, "histogram", 2, "small", 1, false, 0, false,
+	srv, start, err := buildServer(nil, nil, "histogram", 2, "small", 1, false, 0, false,
 		provenance.ServerOptions{Timeout: 10 * time.Second},
 		provenance.EngineOptions{MaxResults: 100})
 	if err != nil {
@@ -181,7 +182,7 @@ func TestBuildServerLiveWorkload(t *testing.T) {
 	if testing.Short() {
 		t.Skip("records a workload")
 	}
-	srv, start, err := buildServer(nil, "histogram", 2, "small", 1, true, 500*time.Microsecond, false,
+	srv, start, err := buildServer(nil, nil, "histogram", 2, "small", 1, true, 500*time.Microsecond, false,
 		provenance.ServerOptions{Timeout: 10 * time.Second},
 		provenance.EngineOptions{})
 	if err != nil {
@@ -237,7 +238,7 @@ func TestBuildServerLiveWorkload(t *testing.T) {
 	}
 	// The final epoch must agree with a post-mortem rebuild of the same
 	// deterministic workload.
-	post, _, err := buildServer(nil, "histogram", 2, "small", 1, false, 0, false,
+	post, _, err := buildServer(nil, nil, "histogram", 2, "small", 1, false, 0, false,
 		provenance.ServerOptions{}, provenance.EngineOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -270,7 +271,7 @@ func TestCorruptGobRefused(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	_, _, err = buildServer([]string{good, bad}, "", 0, "", 0, false, 0, false,
+	_, _, err = buildServer([]string{good, bad}, nil, "", 0, "", 0, false, 0, false,
 		provenance.ServerOptions{}, provenance.EngineOptions{})
 	if err == nil {
 		t.Fatal("truncated gob accepted")
@@ -279,7 +280,7 @@ func TestCorruptGobRefused(t *testing.T) {
 		t.Errorf("error does not name the broken file: %v", err)
 	}
 
-	srv, _, err := buildServer([]string{good, bad}, "", 0, "", 0, false, 0, true,
+	srv, _, err := buildServer([]string{good, bad}, nil, "", 0, "", 0, false, 0, true,
 		provenance.ServerOptions{}, provenance.EngineOptions{})
 	if err != nil {
 		t.Fatalf("-lenient still refused: %v", err)
@@ -420,5 +421,87 @@ func waitStatus(t *testing.T, url string, want int) {
 			t.Fatalf("%s never answered %d (last: %v %v)", url, want, resp, err)
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// writeJournalDir journals the same tiny two-thread execution
+// buildGraph records, into dir/<id>.
+func writeJournalDir(t *testing.T, dir string) {
+	t.Helper()
+	w, err := journal.Create(journal.Options{Dir: dir, Threads: 2, App: "serve-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.NewGraph(2)
+	jr := journal.NewRecorder(g, w, 1)
+	hook := jr.CommitHook()
+	lock := g.NewSyncObject("lock", false)
+	rel := core.SyncEvent{Kind: core.SyncRelease, Object: lock.Ref()}
+	r0, err := core.NewRecorder(g, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := core.NewRecorder(g, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0.OnWrite(100)
+	s0, err := r0.EndSub(rel, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0.Release(lock, s0)
+	hook(core.SubID{})
+	r1.Acquire(lock)
+	r1.OnRead(100)
+	if _, err := r1.EndSub(core.SyncEvent{Kind: core.SyncNone}, 0); err != nil {
+		t.Fatal(err)
+	}
+	hook(core.SubID{})
+	if _, err := r0.EndSub(core.SyncEvent{Kind: core.SyncNone}, 0); err != nil {
+		t.Fatal(err)
+	}
+	hook(core.SubID{})
+	if err := jr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildServerFromJournal(t *testing.T) {
+	dir := t.TempDir()
+	jdir := filepath.Join(dir, "crashed-run")
+	writeJournalDir(t, jdir)
+
+	srv, _, err := buildServer(nil, []string{jdir}, "", 0, "", 0, false, 0, false,
+		provenance.ServerOptions{}, provenance.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids := srv.IDs(); len(ids) != 1 || ids[0] != "crashed-run" {
+		t.Fatalf("ids = %v", ids)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := &provenance.Client{BaseURL: ts.URL}
+	res, err := c.Query(context.Background(), "crashed-run", provenance.Query{
+		Kind: provenance.KindTaint, Target: "T0.0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) == 0 {
+		t.Error("no taint flow served from journal-recovered graph")
+	}
+
+	// A bad journal dir fails startup strictly, and is skipped leniently.
+	if _, _, err := buildServer(nil, []string{jdir, t.TempDir()}, "", 0, "", 0, false, 0, false,
+		provenance.ServerOptions{}, provenance.EngineOptions{}); err == nil {
+		t.Error("unrecoverable journal accepted without -lenient")
+	}
+	if srv2, _, err := buildServer(nil, []string{jdir, t.TempDir()}, "", 0, "", 0, false, 0, true,
+		provenance.ServerOptions{}, provenance.EngineOptions{}); err != nil {
+		t.Errorf("-lenient did not skip the bad journal: %v", err)
+	} else if len(srv2.IDs()) != 1 {
+		t.Errorf("lenient server ids = %v", srv2.IDs())
 	}
 }

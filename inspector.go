@@ -57,6 +57,7 @@ import (
 	"sync"
 
 	"github.com/repro/inspector/internal/core"
+	"github.com/repro/inspector/internal/journal"
 	"github.com/repro/inspector/internal/mem"
 	"github.com/repro/inspector/internal/perf"
 	"github.com/repro/inspector/internal/snapshot"
@@ -148,6 +149,25 @@ type Options struct {
 	// property. Epoch and WaitEpoch expose the fold progress.
 	// Incompatible with Native (there is no graph to fold).
 	Live bool
+	// Journal, when set, makes recording crash-durable: every sealed
+	// epoch is appended to a write-ahead journal in this directory as a
+	// length-prefixed, CRC-checksummed delta, synchronously at the
+	// commit boundary. If the process dies mid-run, inspector-recover
+	// (or journal.Recover) replays the journal up to the last durable
+	// epoch and marks the result degraded with a truncated-tail gap.
+	// The directory must not already contain a journal. Incompatible
+	// with Native (there is nothing to journal).
+	Journal string
+	// JournalFsync selects the journal's fsync policy: "always" (fsync
+	// every record — the strongest durability, one fsync per epoch),
+	// "interval" or "interval:N" (fsync every N records, default 16),
+	// or "none" (leave flushing to the OS; a machine crash may lose the
+	// tail, a process crash does not). Empty means "interval".
+	JournalFsync string
+	// JournalEverySeals folds one journal epoch each N sealed
+	// sub-computations (default 1: every commit boundary journals an
+	// epoch — the tightest recovery point at the highest write rate).
+	JournalEverySeals int
 }
 
 // Runtime is one provenance-recording execution context.
@@ -159,6 +179,10 @@ type Runtime struct {
 	// set, Query serves the newest epoch instead of the lazy post-Run
 	// engine.
 	live *provenance.LiveEngine
+
+	// jrec journals epoch deltas at commit boundaries (Options.Journal);
+	// Run seals the journal when the workload completes.
+	jrec *journal.Recorder
 
 	engineOnce sync.Once
 	engine     *provenance.Engine
@@ -191,6 +215,18 @@ func (o Options) validate() error {
 	if o.Live && o.Native {
 		return fmt.Errorf("%w: Live requires provenance tracking (drop Native)", ErrBadOptions)
 	}
+	if o.Journal != "" && o.Native {
+		return fmt.Errorf("%w: Journal requires provenance tracking (drop Native)", ErrBadOptions)
+	}
+	if o.JournalFsync != "" {
+		if _, _, err := journal.ParsePolicy(o.JournalFsync); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadOptions, err)
+		}
+	}
+	if o.JournalEverySeals < 0 {
+		return fmt.Errorf("%w: JournalEverySeals %d is negative (0 means every seal)",
+			ErrBadOptions, o.JournalEverySeals)
+	}
 	return nil
 }
 
@@ -220,6 +256,27 @@ func New(opts Options) (*Runtime, error) {
 		return nil, err
 	}
 	rt := &Runtime{rt: inner}
+	if opts.Journal != "" && !opts.Native {
+		policy, syncEvery, err := journal.ParsePolicy(opts.JournalFsync)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadOptions, err)
+		}
+		w, err := journal.Create(journal.Options{
+			Dir:       opts.Journal,
+			Threads:   inner.Graph().Threads(),
+			App:       opts.AppName,
+			Fsync:     policy,
+			SyncEvery: syncEvery,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rt.jrec = journal.NewRecorder(inner.Graph(), w, opts.JournalEverySeals)
+		// The journal hook registers first: an epoch must be durable
+		// before any later hook (fault injection in the harness kills
+		// the process from a commit hook) can observe its seal.
+		inner.RegisterCommitHook(rt.jrec.CommitHook())
+	}
 	if opts.SnapshotMode && !opts.Native {
 		every := opts.SnapshotEverySyncs
 		if every == 0 {
@@ -251,6 +308,13 @@ func (r *Runtime) Run(main func(*Thread)) (*Report, error) {
 	if r.live != nil {
 		if cerr := r.live.Close(); cerr != nil && err == nil {
 			err = cerr
+		}
+	}
+	if r.jrec != nil {
+		// A clean close folds the final epoch and seals the journal;
+		// recovery then reads it as complete rather than cut short.
+		if jerr := r.jrec.Close(); jerr != nil && err == nil {
+			err = fmt.Errorf("journal: %w", jerr)
 		}
 	}
 	return rep, err

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	inspector "github.com/repro/inspector"
+	"github.com/repro/inspector/internal/journal"
 )
 
 func TestPublicAPIEndToEnd(t *testing.T) {
@@ -242,5 +243,68 @@ func TestRuntimeQuery(t *testing.T) {
 	// Bad queries surface the provenance package's validation.
 	if _, err := rt.Query(ctx, inspector.Query{Kind: "nope"}); err == nil {
 		t.Error("unknown query kind accepted")
+	}
+}
+
+func TestPublicAPIJournal(t *testing.T) {
+	dir := t.TempDir()
+	rt, err := inspector.New(inspector.Options{
+		AppName:      "journal-test",
+		MaxThreads:   4,
+		Journal:      dir,
+		JournalFsync: "always",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rt.NewMutex("m")
+	if _, err := rt.Run(func(main *inspector.Thread) {
+		out := main.Malloc(8)
+		child := main.Spawn(func(w *inspector.Thread) {
+			m.Lock(w)
+			w.Store64(out, 7)
+			m.Unlock(w)
+		})
+		main.Join(child)
+		m.Lock(main)
+		_ = main.Load64(out)
+		m.Unlock(main)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := journal.Recover(dir, journal.RecoverOptions{})
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if !rep.Sealed || rep.Degraded() {
+		t.Fatalf("clean run's journal: sealed=%v degraded=%v", rep.Sealed, rep.Degraded())
+	}
+	if rep.Header.App != "journal-test" {
+		t.Errorf("journal header app = %q", rep.Header.App)
+	}
+	var want, got bytes.Buffer
+	if err := rt.CPG().EncodeJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Graph.EncodeJSON(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatal("recovered graph diverges from the runtime's CPG")
+	}
+}
+
+func TestJournalOptionsValidation(t *testing.T) {
+	bad := []inspector.Options{
+		{Journal: "x", Native: true},
+		{JournalFsync: "sometimes"},
+		{JournalFsync: "interval:0"},
+		{JournalEverySeals: -1},
+	}
+	for _, opts := range bad {
+		if _, err := inspector.New(opts); !errors.Is(err, inspector.ErrBadOptions) {
+			t.Errorf("New(%+v) error %v does not wrap ErrBadOptions", opts, err)
+		}
 	}
 }

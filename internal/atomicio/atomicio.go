@@ -1,0 +1,55 @@
+// Package atomicio writes artifact files crash-atomically: content goes
+// to a temp file in the destination directory, is fsynced, and only
+// then renamed over the target. A crash at any point leaves either the
+// old file or the new one — never a half-written artifact. Provenance
+// exports are trust anchors (PR 6's failure model marks everything else
+// degraded rather than guessing), so a torn CPG or analysis JSON on
+// disk must be impossible, not merely unlikely.
+package atomicio
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile streams enc's output to path atomically. The temp file
+// lives in path's directory so the final rename never crosses a
+// filesystem boundary. On any error the temp file is removed and the
+// existing target, if any, is left untouched.
+func WriteFile(path string, enc func(w io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = enc(f); err != nil {
+		return err
+	}
+	// CreateTemp uses 0600; artifacts follow the usual umask-style mode.
+	if err = f.Chmod(0o644); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// WriteFileBytes is WriteFile for pre-rendered content.
+func WriteFileBytes(path string, data []byte) error {
+	return WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}

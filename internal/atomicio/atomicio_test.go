@@ -1,0 +1,70 @@
+package atomicio_test
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/repro/inspector/internal/atomicio"
+)
+
+func TestWriteFileCreatesAndReplaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := atomicio.WriteFileBytes(path, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "v1" {
+		t.Fatalf("content = %q", got)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Mode().Perm() != 0o644 {
+		t.Errorf("mode = %v, want 0644", fi.Mode().Perm())
+	}
+	if err := atomicio.WriteFileBytes(path, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "v2" {
+		t.Fatalf("content after replace = %q", got)
+	}
+}
+
+func TestWriteFileFailedEncoderLeavesTargetUntouched(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := atomicio.WriteFileBytes(path, []byte("stable")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("encoder exploded")
+	err := atomicio.WriteFile(path, func(w io.Writer) error {
+		io.WriteString(w, "partial garbage")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the encoder's error", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "stable" {
+		t.Fatalf("target clobbered: %q", got)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temp file %s left behind", e.Name())
+		}
+	}
+}
+
+func TestWriteFileMissingDirFails(t *testing.T) {
+	err := atomicio.WriteFileBytes(filepath.Join(t.TempDir(), "nope", "out.json"), []byte("x"))
+	if err == nil {
+		t.Fatal("write into a missing directory succeeded")
+	}
+}

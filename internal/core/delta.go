@@ -1,0 +1,129 @@
+package core
+
+import "fmt"
+
+// An EpochDelta is the serializable difference between two consecutive
+// fold epochs: exactly what FoldDelta consumed that the previous
+// FoldDelta had not yet emitted. It is the unit the crash-durability
+// journal appends per epoch, and — by design — the epoch-delta wire
+// format a future distributed fabric would stream: self-contained,
+// order-dependent, and replayable.
+//
+// Interned refs inside Subs and Sync are journal-scoped: they resolve
+// against the symbol table built by interning every delta's Symbols in
+// sequence. SymBase pins each delta to the table length it extends, so
+// replay detects reordered, skipped, or cross-run records instead of
+// silently mis-resolving names.
+type EpochDelta struct {
+	// Epoch is the fold epoch this delta seals (1 for the first fold).
+	Epoch uint64
+	// Lens is the folded prefix after this epoch: thread t's vertices
+	// [0, Lens[t]) are analyzed. On replay the shard lengths must land
+	// exactly here, which cross-checks the vertex payload.
+	Lens []int
+	// SymBase is the interner length the Symbols extend (ref of
+	// Symbols[0]). Ref 0, the empty string every NewGraph pre-interns,
+	// is never carried.
+	SymBase uint32
+	// Symbols are the strings interned since the previous delta, in ref
+	// order.
+	Symbols []string
+	// Subs are the vertices the epoch's cut captured, ordered by
+	// (thread, alpha).
+	Subs []*SubComputation
+	// Sync are the sync-edge log entries first seen by this epoch, in
+	// acquiring-thread order. An entry may reference a vertex a later
+	// epoch captures; the replay fold defers it exactly like the live
+	// fold did.
+	Sync []DeltaSyncEdge
+	// Gaps are the trace-loss intervals first seen by this epoch.
+	Gaps []DeltaGap
+}
+
+// DeltaSyncEdge is the stored form of one schedule-dependency log entry
+// (the exported mirror of syncEdgeRec).
+type DeltaSyncEdge struct {
+	From, To SubID
+	Object   ObjRef
+}
+
+// DeltaGap is one trace-loss interval with its owning thread.
+type DeltaGap struct {
+	Thread int
+	Gap    Gap
+}
+
+// ApplyDelta appends one epoch delta to g — the replay half of
+// FoldDelta. Deltas must be applied in epoch order against a graph
+// built from them alone; following each ApplyDelta with one Fold on a
+// single IncrementalAnalyzer reproduces the recording's per-epoch
+// Analyses byte-for-byte.
+//
+// Every field is validated before it mutates g: symbol continuity,
+// interned-ref range, thread range, per-thread alpha density, and the
+// final shard lengths against Lens. Journal recovery feeds ApplyDelta
+// records that passed a CRC check but may still be forged or stale
+// (fuzzing, mixed runs), so a malformed delta must error, never panic
+// and never half-apply semantic nonsense.
+func ApplyDelta(g *Graph, d *EpochDelta) error {
+	if d == nil {
+		return fmt.Errorf("core: nil epoch delta")
+	}
+	if len(d.Lens) != g.threads {
+		return fmt.Errorf("core: delta lens for %d threads, graph has %d", len(d.Lens), g.threads)
+	}
+	// Symbols first: every ref below resolves against the table as
+	// extended through this delta.
+	if got := g.interner.Len(); int(d.SymBase) != got {
+		return fmt.Errorf("core: delta symbol base %d, graph table has %d (reordered or cross-run delta)", d.SymBase, got)
+	}
+	for i, s := range d.Symbols {
+		want := uint32(int(d.SymBase) + i)
+		if got := g.interner.Intern(s); got != want {
+			return fmt.Errorf("core: delta symbol %d (%q) interned as ref %d, want %d (duplicate in tail)", i, s, got, want)
+		}
+	}
+	nsym := uint32(g.interner.Len())
+	badRef := func(r uint32) bool { return r >= nsym }
+	for _, sc := range d.Subs {
+		if sc == nil {
+			return fmt.Errorf("core: delta contains nil sub-computation")
+		}
+		if badRef(uint32(sc.End.Object)) {
+			return fmt.Errorf("core: sub %v end-object ref %d out of range [0,%d)", sc.ID, sc.End.Object, nsym)
+		}
+		for _, th := range sc.Thunks {
+			if badRef(uint32(th.Site)) || badRef(uint32(th.Target)) {
+				return fmt.Errorf("core: sub %v thunk %d site/target ref out of range [0,%d)", sc.ID, th.Index, nsym)
+			}
+		}
+		// add enforces thread range and per-thread alpha density.
+		if err := g.add(sc); err != nil {
+			return err
+		}
+	}
+	for _, e := range d.Sync {
+		if g.shard(e.To.Thread) == nil {
+			return fmt.Errorf("core: delta sync edge to out-of-range thread %d", e.To.Thread)
+		}
+		if badRef(uint32(e.Object)) {
+			return fmt.Errorf("core: delta sync edge object ref %d out of range [0,%d)", e.Object, nsym)
+		}
+		g.addSyncEdge(e.From, e.To, e.Object)
+	}
+	for _, dg := range d.Gaps {
+		if g.shard(dg.Thread) == nil {
+			return fmt.Errorf("core: delta gap on out-of-range thread %d", dg.Thread)
+		}
+		g.AddGap(dg.Thread, dg.Gap)
+	}
+	for t, want := range d.Lens {
+		if want < 0 {
+			return fmt.Errorf("core: delta lens[%d] = %d is negative", t, want)
+		}
+		if got := g.shardLen(t); got != want {
+			return fmt.Errorf("core: thread %d has %d vertices after delta, lens say %d", t, got, want)
+		}
+	}
+	return nil
+}

@@ -74,6 +74,13 @@ type IncrementalAnalyzer struct {
 	// one run per writing thread with alphas ascending.
 	writers map[uint64][]incRun
 
+	// gapsSeen and symSeen track how much of the gap lists and the
+	// interner the delta capture (FoldDelta) has already emitted. Plain
+	// Fold leaves them untouched, so an analyzer driven by FoldDelta
+	// emits every item exactly once.
+	gapsSeen []int
+	symSeen  int
+
 	// Per-fold scratch, reused across readers.
 	cands    []incCand
 	accFrom  []incCand
@@ -102,6 +109,10 @@ func NewIncrementalAnalyzer(g *Graph) *IncrementalAnalyzer {
 		seqs:     make([][]*SubComputation, n),
 		syncSeen: make([]int, n),
 		writers:  make(map[uint64][]incRun),
+		gapsSeen: make([]int, n),
+		// Ref 0 is the "" every NewGraph interns; deltas never carry it,
+		// so replay against a fresh graph starts aligned.
+		symSeen: 1,
 	}
 }
 
@@ -117,7 +128,39 @@ func (inc *IncrementalAnalyzer) Epoch() uint64 { return inc.epoch }
 // epoch over the unchanged prefix. Fold must not be called concurrently
 // with itself; recording threads may keep appending throughout.
 func (inc *IncrementalAnalyzer) Fold() *Analysis {
+	a, _ := inc.fold(false)
+	return a
+}
+
+// FoldDelta seals one epoch exactly like Fold and additionally captures
+// the epoch's delta: everything the fold consumed that the previous
+// FoldDelta had not yet emitted — the cut's new vertices, the sync-edge
+// log tails, the gap-list tails, and the interner additions. Replaying
+// the delta sequence with ApplyDelta + Fold on a fresh graph rebuilds
+// byte-identical per-epoch Analyses (the journal recovery path). Mixing
+// Fold and FoldDelta on one analyzer would leave the skipped epochs'
+// state out of every delta; drive a journaled analyzer through
+// FoldDelta exclusively.
+func (inc *IncrementalAnalyzer) FoldDelta() (*Analysis, *EpochDelta) {
+	return inc.fold(true)
+}
+
+func (inc *IncrementalAnalyzer) fold(capture bool) (*Analysis, *EpochDelta) {
 	newSubs := inc.captureCut()
+	var d *EpochDelta
+	if capture {
+		d = &EpochDelta{Subs: newSubs}
+		// Gap tails ride in the epoch that first folds after they were
+		// recorded; they carry no interned refs, so order within the
+		// delta does not matter.
+		for t := range inc.gapsSeen {
+			gaps := inc.g.ThreadGapList(t)
+			for _, gp := range gaps[inc.gapsSeen[t]:] {
+				d.Gaps = append(d.Gaps, DeltaGap{Thread: t, Gap: gp})
+			}
+			inc.gapsSeen[t] = len(gaps)
+		}
+	}
 
 	// Extend the writer index with every new vertex before deriving any
 	// reader: a new reader's writers may be new vertices of this same
@@ -156,6 +199,11 @@ func (inc *IncrementalAnalyzer) Fold() *Analysis {
 	for t := range inc.syncSeen {
 		tail := inc.g.syncEdgeTail(t, inc.syncSeen[t])
 		inc.syncSeen[t] += len(tail)
+		if capture {
+			for _, rec := range tail {
+				d.Sync = append(d.Sync, DeltaSyncEdge{From: rec.From, To: rec.To, Object: rec.Object})
+			}
+		}
 		entries = append(entries, tail...)
 	}
 	var newSync []Edge
@@ -184,7 +232,18 @@ func (inc *IncrementalAnalyzer) Fold() *Analysis {
 	edges = append(edges, inc.dataEdges...)
 
 	inc.epoch++
-	return newAnalysis(inc.g, edges, slices.Clone(inc.lens), inc.epoch)
+	a := newAnalysis(inc.g, edges, slices.Clone(inc.lens), inc.epoch)
+	if capture {
+		// The interner tail comes last: every ref the captured vertices
+		// and sync edges use was interned before its user sealed, so
+		// capturing the table after the cut guarantees coverage.
+		d.Symbols = inc.g.interner.Tail(inc.symSeen)
+		d.SymBase = uint32(inc.symSeen)
+		inc.symSeen += len(d.Symbols)
+		d.Epoch = inc.epoch
+		d.Lens = slices.Clone(inc.lens)
+	}
+	return a, d
 }
 
 // captureCut advances inc.lens to a causally closed snapshot of the

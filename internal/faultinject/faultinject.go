@@ -44,11 +44,28 @@ const (
 	GobCorrupt Point = "gob-corrupt"
 	// SlowFold delays a live analysis fold.
 	SlowFold Point = "slow-fold"
+	// Crash SIGKILLs the process at a commit boundary (inspector-run
+	// wires it behind -faults; the kill-recover chaos sweep drives it).
+	Crash Point = "crash"
+	// JournalTorn cuts a journal frame write in half and fails it — the
+	// classic torn record a mid-write crash leaves.
+	JournalTorn Point = "journal-torn"
+	// JournalShortPrefix cuts a journal frame write inside its 8-byte
+	// length/CRC prefix, the smallest possible tear.
+	JournalShortPrefix Point = "journal-short-prefix"
+	// JournalBitFlip flips one byte mid-frame but reports the write as
+	// fully successful — silent media corruption a CRC must catch.
+	JournalBitFlip Point = "journal-bit-flip"
+	// JournalFsyncError fails a journal segment fsync.
+	JournalFsyncError Point = "journal-fsync-error"
 )
 
 // Points lists every defined fault point.
 func Points() []Point {
-	return []Point{AuxLoss, SinkError, WorkloadPanic, GobCorrupt, SlowFold}
+	return []Point{
+		AuxLoss, SinkError, WorkloadPanic, GobCorrupt, SlowFold,
+		Crash, JournalTorn, JournalShortPrefix, JournalBitFlip, JournalFsyncError,
+	}
 }
 
 // ErrInjected tags failures produced by injected faults.
@@ -338,3 +355,61 @@ func (c *corruptReader) Read(b []byte) (int, error) {
 	}
 	return n, err
 }
+
+// WrapJournalFile interposes the journal crash points on a journal
+// segment file. The Writer issues each record as one Write call, so
+// the wrappers model real crash shapes precisely:
+//
+//   - journal-torn: write half the frame, then fail (a crash mid-write
+//     leaves a prefix whose CRC cannot match);
+//   - journal-short-prefix: write at most 3 bytes — the tear lands
+//     inside the frame's own length/CRC prefix;
+//   - journal-bit-flip: flip one byte mid-frame and report full
+//     success (the writer never learns; only recovery's CRC can);
+//   - journal-fsync-error: fail Sync.
+func (in *Injector) WrapJournalFile(inner journalFile) journalFile {
+	return &faultyJournalFile{inner: inner, in: in}
+}
+
+// journalFile mirrors journal.File structurally, so this package stays
+// a leaf (no import of internal/journal) while wrappers still satisfy
+// the journal's Options.OpenFile hook.
+type journalFile interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+type faultyJournalFile struct {
+	inner journalFile
+	in    *Injector
+}
+
+func (f *faultyJournalFile) Write(b []byte) (int, error) {
+	switch {
+	case f.in.Fire(JournalShortPrefix):
+		keep := min(3, len(b))
+		n, _ := f.inner.Write(b[:keep])
+		return n, fmt.Errorf("%w: journal write torn inside frame prefix", ErrInjected)
+	case f.in.Fire(JournalTorn):
+		n, _ := f.inner.Write(b[:len(b)/2])
+		return n, fmt.Errorf("%w: journal write torn mid-record", ErrInjected)
+	case len(b) > 0 && f.in.Fire(JournalBitFlip):
+		flipped := append([]byte(nil), b...)
+		flipped[len(flipped)/2] ^= 0x10
+		if n, err := f.inner.Write(flipped); err != nil {
+			return n, err
+		}
+		return len(b), nil
+	}
+	return f.inner.Write(b)
+}
+
+func (f *faultyJournalFile) Sync() error {
+	if f.in.Fire(JournalFsyncError) {
+		return fmt.Errorf("%w: journal fsync error", ErrInjected)
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultyJournalFile) Close() error { return f.inner.Close() }

@@ -149,3 +149,99 @@ func TestSummary(t *testing.T) {
 		t.Errorf("Summary = %q", got)
 	}
 }
+
+func TestParseJournalPoints(t *testing.T) {
+	s, err := Parse("crash:after=4,count=1;journal-torn;journal-short-prefix;journal-bit-flip:every=3;journal-fsync-error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Point{Crash, JournalTorn, JournalShortPrefix, JournalBitFlip, JournalFsyncError}
+	if len(s.Rules) != len(want) {
+		t.Fatalf("parsed %d rules, want %d", len(s.Rules), len(want))
+	}
+	for i, p := range want {
+		if s.Rules[i].Point != p {
+			t.Errorf("rule %d point = %s, want %s", i, s.Rules[i].Point, p)
+		}
+	}
+}
+
+func TestWrapJournalFileTorn(t *testing.T) {
+	var out bytes.Buffer
+	in := New(Schedule{Rules: []Rule{{Point: JournalTorn, After: 1, Count: 1}}})
+	f := in.WrapJournalFile(nopJournalFile{&out})
+	frame := []byte("0123456789abcdef")
+	if n, err := f.Write(frame); err != nil || n != len(frame) {
+		t.Fatalf("clean write = %d,%v", n, err)
+	}
+	n, err := f.Write(frame)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write error = %v, want ErrInjected", err)
+	}
+	if n != len(frame)/2 {
+		t.Errorf("torn write persisted %d bytes, want %d", n, len(frame)/2)
+	}
+	if out.Len() != len(frame)+len(frame)/2 {
+		t.Errorf("inner file holds %d bytes, want %d", out.Len(), len(frame)+len(frame)/2)
+	}
+}
+
+func TestWrapJournalFileShortPrefix(t *testing.T) {
+	var out bytes.Buffer
+	in := New(Schedule{Rules: []Rule{{Point: JournalShortPrefix, Count: 1}}})
+	f := in.WrapJournalFile(nopJournalFile{&out})
+	n, err := f.Write([]byte("0123456789abcdef"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("short-prefix write error = %v, want ErrInjected", err)
+	}
+	if n != 3 || out.Len() != 3 {
+		t.Errorf("persisted %d bytes (inner %d), want 3", n, out.Len())
+	}
+}
+
+func TestWrapJournalFileBitFlip(t *testing.T) {
+	var out bytes.Buffer
+	in := New(Schedule{Rules: []Rule{{Point: JournalBitFlip, Count: 1}}})
+	f := in.WrapJournalFile(nopJournalFile{&out})
+	frame := []byte("0123456789abcdef")
+	n, err := f.Write(frame)
+	if err != nil || n != len(frame) {
+		t.Fatalf("bit-flip write = %d,%v; the writer must not notice", n, err)
+	}
+	if bytes.Equal(out.Bytes(), frame) {
+		t.Error("no byte was flipped")
+	}
+	diff := 0
+	for i := range frame {
+		if out.Bytes()[i] != frame[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Errorf("%d bytes differ, want exactly 1", diff)
+	}
+	if !bytes.Equal(frame, []byte("0123456789abcdef")) {
+		t.Error("caller's buffer was mutated")
+	}
+}
+
+func TestWrapJournalFileFsyncError(t *testing.T) {
+	in := New(Schedule{Rules: []Rule{{Point: JournalFsyncError, After: 1, Count: 1}}})
+	f := in.WrapJournalFile(nopJournalFile{io.Discard})
+	if err := f.Sync(); err != nil {
+		t.Fatalf("clean sync: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync error = %v, want ErrInjected", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// nopJournalFile adapts a plain io.Writer to the journal file shape.
+type nopJournalFile struct{ w io.Writer }
+
+func (n nopJournalFile) Write(b []byte) (int, error) { return n.w.Write(b) }
+func (n nopJournalFile) Sync() error                 { return nil }
+func (n nopJournalFile) Close() error                { return nil }

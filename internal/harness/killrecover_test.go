@@ -1,0 +1,151 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"syscall"
+	"testing"
+)
+
+// buildTool compiles one command into dir and returns the binary path.
+func buildTool(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "github.com/repro/inspector/cmd/"+name)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+// recoverSummary runs inspector-recover -summary-json and decodes it.
+type recoverSummary struct {
+	RunID    string `json:"run_id"`
+	Epoch    uint64 `json:"epoch"`
+	Sealed   bool   `json:"sealed"`
+	Degraded bool   `json:"degraded"`
+	Torn     string `json:"torn"`
+}
+
+func recoverJSON(t *testing.T, bin, dir string, extra ...string) recoverSummary {
+	t.Helper()
+	args := append([]string{"-journal", dir, "-summary-json"}, extra...)
+	out, err := exec.Command(bin, args...).Output()
+	if err != nil {
+		t.Fatalf("inspector-recover %v: %v", args, err)
+	}
+	var s recoverSummary
+	if err := json.Unmarshal(out, &s); err != nil {
+		t.Fatalf("summary JSON: %v\n%s", err, out)
+	}
+	return s
+}
+
+// TestKillRecoverSweep is the crash-durability acceptance check. A
+// child inspector-run is SIGKILLed at randomized commit boundaries (the
+// deterministic "crash" fault point — a real kill signal, not a panic:
+// no deferred cleanup, no exports, no journal seal). For every kill
+// point, recovering the orphaned journal must reproduce, byte for byte,
+// what the uninterrupted run's journal replays to at the same epoch —
+// and must say it is degraded, never silently short, never a crash.
+//
+// The sweep runs single-threaded: the drift corpus already pins
+// single-thread runs as fully deterministic, which makes "the same
+// epoch of a different process's run" a meaningful byte-level oracle.
+func TestKillRecoverSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and forks children")
+	}
+	binDir := t.TempDir()
+	runBin := buildTool(t, binDir, "inspector-run")
+	recoverBin := buildTool(t, binDir, "inspector-recover")
+
+	// kmeans seals ~50 single-thread commits at the small size — enough
+	// boundaries for a meaningful sweep while each child stays fast.
+	workArgs := []string{"-app", "kmeans", "-threads", "1", "-size", "small", "-seed", "1"}
+
+	// Reference: the same workload, uninterrupted.
+	refDir := filepath.Join(t.TempDir(), "ref")
+	refCmd := exec.Command(runBin, append(workArgs, "-journal", refDir, "-journal-fsync", "none")...)
+	if out, err := refCmd.CombinedOutput(); err != nil {
+		t.Fatalf("reference run: %v\n%s", err, out)
+	}
+	ref := recoverJSON(t, recoverBin, refDir)
+	if !ref.Sealed || ref.Degraded {
+		t.Fatalf("reference journal: %+v", ref)
+	}
+	// The run journals one epoch per commit plus a final fold at close;
+	// a kill at commit K+1 (crash:after=K) therefore recovers exactly
+	// epoch K+1, and K ranges over the commits.
+	commits := int(ref.Epoch) - 1
+	if commits < 2 {
+		t.Fatalf("reference run sealed only %d epochs — too short to sweep", ref.Epoch)
+	}
+
+	points := killPoints()
+	for i := 0; i < points; i++ {
+		// Spread kill points across the run: first commit, last commit,
+		// then evenly between.
+		k := 0
+		switch {
+		case i == 1:
+			k = commits - 1
+		case i > 1:
+			k = (i - 1) * commits / points
+		}
+		t.Run(fmt.Sprintf("crash-after-%d", k), func(t *testing.T) {
+			killDir := filepath.Join(t.TempDir(), "killed")
+			cmd := exec.Command(runBin, append(workArgs,
+				"-journal", killDir, "-journal-fsync", "none",
+				"-faults", "crash:after="+strconv.Itoa(k)+",count=1")...)
+			out, err := cmd.CombinedOutput()
+			var exit *exec.ExitError
+			if !errors.As(err, &exit) {
+				t.Fatalf("killed run exited with %v (SIGKILL expected)\n%s", err, out)
+			}
+			ws, ok := exit.Sys().(syscall.WaitStatus)
+			if !ok || !ws.Signaled() || ws.Signal() != syscall.SIGKILL {
+				t.Fatalf("child died with %v, want SIGKILL\n%s", exit, out)
+			}
+
+			got := recoverJSON(t, recoverBin, killDir)
+			if got.Sealed || !got.Degraded {
+				t.Fatalf("killed journal summary: %+v (want unsealed + degraded)", got)
+			}
+			if got.Epoch != uint64(k+1) {
+				t.Fatalf("recovered epoch %d after a kill at commit %d, want %d", got.Epoch, k+1, k+1)
+			}
+
+			// Byte-level oracle: the killed run's recovery equals the
+			// reference journal replayed to the same epoch.
+			killedOut := filepath.Join(t.TempDir(), "killed.json")
+			refOut := filepath.Join(t.TempDir(), "ref.json")
+			if out, err := exec.Command(recoverBin,
+				"-journal", killDir, "-q", "-analysis", killedOut).CombinedOutput(); err != nil {
+				t.Fatalf("recover killed: %v\n%s", err, out)
+			}
+			if out, err := exec.Command(recoverBin,
+				"-journal", refDir, "-q", "-epoch", strconv.Itoa(k+1), "-analysis", refOut).CombinedOutput(); err != nil {
+				t.Fatalf("recover reference prefix: %v\n%s", err, out)
+			}
+			a, err := os.ReadFile(killedOut)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := os.ReadFile(refOut)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a, b) {
+				t.Fatalf("kill at commit %d: recovered analysis diverges from the uninterrupted run's epoch %d", k+1, k+1)
+			}
+		})
+	}
+}

@@ -66,6 +66,23 @@ func (in *Interner) Len() int {
 	return len(in.strs)
 }
 
+// Tail returns a copy of the table entries with id >= from, in id
+// order. Incremental consumers (the epoch-delta capture) call it with
+// the previous Len to see each interned string exactly once.
+func (in *Interner) Tail(from int) []string {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	if from < 0 {
+		from = 0
+	}
+	if from >= len(in.strs) {
+		return nil
+	}
+	out := make([]string, len(in.strs)-from)
+	copy(out, in.strs[from:])
+	return out
+}
+
 // Snapshot returns a copy of the table in id order.
 func (in *Interner) Snapshot() []string {
 	in.mu.RLock()

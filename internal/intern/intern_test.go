@@ -1,0 +1,85 @@
+package intern
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestInternRoundTrip(t *testing.T) {
+	in := New()
+	a := in.Intern("alpha")
+	b := in.Intern("beta")
+	if a == b {
+		t.Fatalf("distinct strings share id %d", a)
+	}
+	if got := in.Intern("alpha"); got != a {
+		t.Errorf("re-intern alpha: got %d, want %d", got, a)
+	}
+	if got := in.Name(a); got != "alpha" {
+		t.Errorf("Name(%d) = %q, want alpha", a, got)
+	}
+	if got := in.Name(99); got != "" {
+		t.Errorf("Name(unassigned) = %q, want empty", got)
+	}
+	if id, ok := in.Find("beta"); !ok || id != b {
+		t.Errorf("Find(beta) = %d,%v, want %d,true", id, ok, b)
+	}
+	if _, ok := in.Find("gamma"); ok {
+		t.Error("Find(gamma) found an uninterned string")
+	}
+}
+
+func TestTail(t *testing.T) {
+	in := New()
+	for i := 0; i < 5; i++ {
+		in.Intern(fmt.Sprintf("s%d", i))
+	}
+	if got := in.Tail(0); !reflect.DeepEqual(got, in.Snapshot()) {
+		t.Errorf("Tail(0) = %v, want full snapshot", got)
+	}
+	if got := in.Tail(3); !reflect.DeepEqual(got, []string{"s3", "s4"}) {
+		t.Errorf("Tail(3) = %v, want [s3 s4]", got)
+	}
+	if got := in.Tail(5); got != nil {
+		t.Errorf("Tail(Len) = %v, want nil", got)
+	}
+	if got := in.Tail(99); got != nil {
+		t.Errorf("Tail(beyond) = %v, want nil", got)
+	}
+	if got := in.Tail(-1); !reflect.DeepEqual(got, in.Snapshot()) {
+		t.Errorf("Tail(-1) = %v, want full snapshot", got)
+	}
+	// Tail(prev Len) chunks reassemble the full table.
+	var all []string
+	for from := 0; from < in.Len(); from += 2 {
+		chunk := in.Tail(from)
+		if len(chunk) > 2 {
+			chunk = chunk[:2]
+		}
+		all = append(all, chunk...)
+	}
+	if !reflect.DeepEqual(all, in.Snapshot()) {
+		t.Errorf("chunked tails = %v, want %v", all, in.Snapshot())
+	}
+}
+
+func TestTailConcurrent(t *testing.T) {
+	in := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				in.Intern(fmt.Sprintf("w%d-%d", w, i%50))
+				in.Tail(i % 10)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if in.Len() != 200 {
+		t.Errorf("Len = %d, want 200", in.Len())
+	}
+}

@@ -1,0 +1,393 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+
+	"github.com/repro/inspector/internal/core"
+)
+
+// Recovery semantics: replay everything durable, stop at the first
+// frame that fails its CRC, decodes badly, or breaks the epoch/segment
+// chain, and *truncate* there — every frame after a bad one is
+// unreachable by design, because a tear means the writer latched an
+// error and stopped, while a mid-file flip means the medium lied and
+// nothing later can be trusted against this run's sequence. The
+// recovered graph is never silently short: unless the journal carries
+// its seal record (clean close) the result is marked degraded with a
+// core.GapTruncated interval, so PR 6's completeness machinery — wire
+// fields included — reports the cut to every downstream consumer.
+
+// TornInfo describes where and why replay stopped early.
+type TornInfo struct {
+	// Segment is the path of the offending segment file.
+	Segment string
+	// Offset is the byte offset of the first unusable frame (the
+	// physical truncation point).
+	Offset int64
+	// Reason says what failed ("bad CRC", "short frame", ...).
+	Reason string
+	// Epoch is the last epoch recovered before the tear.
+	Epoch uint64
+}
+
+// String renders like "journal-000002.isj+0x1a4: bad CRC (after epoch 17)".
+func (ti *TornInfo) String() string {
+	return fmt.Sprintf("%s+0x%x: %s (after epoch %d)", ti.Segment, ti.Offset, ti.Reason, ti.Epoch)
+}
+
+// RecoverOptions configures Recover.
+type RecoverOptions struct {
+	// MaxEpoch stops replay after this epoch (0 = replay everything
+	// durable). A deliberate prefix replay is not marked truncated.
+	MaxEpoch uint64
+	// Truncate physically removes the torn tail: the first bad frame
+	// and everything after it in its segment, plus any later segments.
+	// A subsequent Recover sees a clean (if unsealed) journal.
+	Truncate bool
+}
+
+// Recovery is the result of replaying a journal.
+type Recovery struct {
+	// Header is segment 1's header (run identity).
+	Header Header
+	// Graph and Analysis are the rebuilt CPG and its last epoch's
+	// analysis (Analysis is the batch analysis when no epoch was
+	// recovered).
+	Graph    *core.Graph
+	Analysis *core.Analysis
+	// Epoch is the last recovered epoch (0 when none).
+	Epoch uint64
+	// Records counts replayed delta records.
+	Records int
+	// Sealed reports a clean close: the journal ends with a seal
+	// record matching the final epoch.
+	Sealed bool
+	// Stopped reports that replay hit RecoverOptions.MaxEpoch.
+	Stopped bool
+	// Torn is non-nil when replay cut a corrupt or half-written tail.
+	Torn *TornInfo
+	// Segments lists the segment files read, in order.
+	Segments []string
+}
+
+// Degraded reports whether the recovered graph is marked incomplete —
+// true for any unsealed journal that recovered at least one vertex.
+func (r *Recovery) Degraded() bool { return r.Graph.Degraded() }
+
+var segmentRE = regexp.MustCompile(`^journal-(\d{6})\.isj$`)
+
+// listSegments returns dir's segment paths in sequence order.
+func listSegments(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && segmentRE.MatchString(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = filepath.Join(dir, n)
+	}
+	return out, nil
+}
+
+// segSeq parses a segment path's sequence number (0 when malformed,
+// which never matches an expected sequence).
+func segSeq(path string) uint64 {
+	m := segmentRE.FindStringSubmatch(filepath.Base(path))
+	if m == nil {
+		return 0
+	}
+	var seq uint64
+	fmt.Sscanf(m[1], "%d", &seq)
+	return seq
+}
+
+// rawRecord is one parsed delta record with its physical location.
+type rawRecord struct {
+	delta *core.EpochDelta
+	seg   string
+	off   int64
+}
+
+// Recover replays the journal in dir. It returns an error only when
+// there is nothing to recover (no directory, no segments, segment 1
+// unreadable as a journal); any corruption past that point is reported
+// through Recovery.Torn, never as a failure — a torn journal is the
+// expected input after a crash.
+func Recover(dir string, opts RecoverOptions) (*Recovery, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("journal: no segments in %s", dir)
+	}
+
+	rep := &Recovery{}
+	var recs []rawRecord
+	nextEpoch := uint64(1)
+	nextSeg := uint64(1)
+
+	torn := func(seg string, off int64, reason string) {
+		rep.Torn = &TornInfo{Segment: seg, Offset: off, Reason: reason, Epoch: nextEpoch - 1}
+	}
+
+scan:
+	for i, path := range segs {
+		if seq := segSeq(path); seq != nextSeg {
+			torn(path, 0, fmt.Sprintf("missing segment %d", nextSeg))
+			break
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			if i == 0 {
+				return nil, fmt.Errorf("journal: %w", err)
+			}
+			torn(path, 0, fmt.Sprintf("unreadable segment: %v", err))
+			break
+		}
+		rep.Segments = append(rep.Segments, path)
+		if len(data) < 12 || string(data[:8]) != magic {
+			if i == 0 {
+				return nil, fmt.Errorf("journal: %s is not a journal segment (bad magic)", path)
+			}
+			torn(path, 0, "bad magic")
+			break
+		}
+		if v := binary.LittleEndian.Uint32(data[8:]); v != version {
+			if i == 0 {
+				return nil, fmt.Errorf("journal: %s has format version %d, want %d", path, v, version)
+			}
+			torn(path, 8, fmt.Sprintf("format version %d", v))
+			break
+		}
+		off := int64(12)
+		sawHeader := false
+		for off < int64(len(data)) {
+			rest := data[off:]
+			// A failure before the segment's header record leaves nothing
+			// of the segment usable; report offset 0 so physical
+			// truncation drops the whole file.
+			foff := off
+			if !sawHeader {
+				foff = 0
+			}
+			if len(rest) < frameOverhead {
+				torn(path, foff, "short frame header")
+				break scan
+			}
+			plen := binary.LittleEndian.Uint32(rest)
+			wantCRC := binary.LittleEndian.Uint32(rest[4:])
+			if plen == 0 {
+				torn(path, foff, "empty frame")
+				break scan
+			}
+			if int64(plen) > int64(len(rest)-frameOverhead) {
+				torn(path, foff, "short frame")
+				break scan
+			}
+			payload := rest[frameOverhead : frameOverhead+int64(plen)]
+			if crc32.Checksum(payload, crcTable) != wantCRC {
+				torn(path, foff, "bad CRC")
+				break scan
+			}
+			kind, body := payload[0], payload[1:]
+			switch {
+			case !sawHeader:
+				if kind != recHeader {
+					if i == 0 {
+						return nil, fmt.Errorf("journal: %s does not start with a header record", path)
+					}
+					torn(path, 0, "segment missing header record")
+					break scan
+				}
+				var h Header
+				if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&h); err != nil {
+					if i == 0 {
+						return nil, fmt.Errorf("journal: %s header: %w", path, err)
+					}
+					torn(path, 0, fmt.Sprintf("header decode: %v", err))
+					break scan
+				}
+				if i == 0 {
+					if h.Threads < 1 {
+						return nil, fmt.Errorf("journal: %s header has %d threads", path, h.Threads)
+					}
+					rep.Header = h
+				} else if h.RunID != rep.Header.RunID || h.Threads != rep.Header.Threads ||
+					h.Segment != nextSeg || h.BaseEpoch != nextEpoch {
+					torn(path, 0, fmt.Sprintf("header mismatch (run %s seg %d base %d, want run %s seg %d base %d)",
+						h.RunID, h.Segment, h.BaseEpoch, rep.Header.RunID, nextSeg, nextEpoch))
+					break scan
+				}
+				sawHeader = true
+			case kind == recDelta:
+				d := new(core.EpochDelta)
+				if err := gob.NewDecoder(bytes.NewReader(body)).Decode(d); err != nil {
+					torn(path, off, fmt.Sprintf("record decode: %v", err))
+					break scan
+				}
+				if d.Epoch != nextEpoch {
+					torn(path, off, fmt.Sprintf("epoch %d out of sequence (want %d)", d.Epoch, nextEpoch))
+					break scan
+				}
+				recs = append(recs, rawRecord{delta: d, seg: path, off: off})
+				nextEpoch++
+				if opts.MaxEpoch > 0 && d.Epoch == opts.MaxEpoch {
+					rep.Stopped = true
+					break scan
+				}
+			case kind == recSeal:
+				var s sealRecord
+				if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&s); err != nil {
+					torn(path, off, fmt.Sprintf("seal decode: %v", err))
+					break scan
+				}
+				if s.FinalEpoch != nextEpoch-1 {
+					torn(path, off, fmt.Sprintf("seal names epoch %d, journal ends at %d", s.FinalEpoch, nextEpoch-1))
+					break scan
+				}
+				rep.Sealed = true
+				// The seal must be the journal's last byte; anything
+				// after it was never supposed to be written.
+				if end := off + frameOverhead + int64(plen); end != int64(len(data)) {
+					torn(path, end, "trailing data after seal")
+				} else if i != len(segs)-1 {
+					torn(segs[i+1], 0, "segment after seal")
+				}
+				break scan
+			default:
+				torn(path, off, fmt.Sprintf("unknown record kind %d", kind))
+				break scan
+			}
+			off += frameOverhead + int64(plen)
+		}
+		if !sawHeader {
+			if i == 0 {
+				return nil, fmt.Errorf("journal: %s carries no header record", path)
+			}
+			torn(path, 0, "no header record")
+			break
+		}
+		nextSeg++
+	}
+	if rep.Header.Threads < 1 {
+		// Segment 1 tore inside its own header frame: there is no run
+		// identity to recover under.
+		reason := "empty journal"
+		if rep.Torn != nil {
+			reason = rep.Torn.Reason
+		}
+		return nil, fmt.Errorf("journal: %s has no usable header: %s", dir, reason)
+	}
+
+	// Semantic validation pass on a throwaway graph: a record that
+	// passed its CRC can still be forged or stale; finding the first
+	// bad one here lets the real replay below mark the truncation gap
+	// *before* its final fold, so the last Analysis carries the
+	// degraded completeness.
+	probe := core.NewGraph(rep.Header.Threads)
+	for i, r := range recs {
+		if err := core.ApplyDelta(probe, r.delta); err != nil {
+			rep.Torn = &TornInfo{
+				Segment: r.seg,
+				Offset:  r.off,
+				Reason:  fmt.Sprintf("invalid delta: %v", err),
+				Epoch:   r.delta.Epoch - 1,
+			}
+			rep.Sealed = false
+			recs = recs[:i]
+			break
+		}
+	}
+
+	if opts.Truncate && rep.Torn != nil {
+		if err := truncateTail(segs, rep.Torn); err != nil {
+			return nil, err
+		}
+	}
+
+	// Replay for real: apply + fold per record, so the Analysis epoch
+	// counter lands exactly on the recovered epoch. An unsealed or torn
+	// journal gets its truncated gap *before* the final fold.
+	g := core.NewGraph(rep.Header.Threads)
+	inc := core.NewIncrementalAnalyzer(g)
+	mark := !rep.Sealed && (rep.Torn != nil || !rep.Stopped)
+	for i, r := range recs {
+		if err := core.ApplyDelta(g, r.delta); err != nil {
+			// The probe pass vetted every record; failing here is a bug.
+			return nil, fmt.Errorf("journal: replay diverged from validation: %w", err)
+		}
+		if i == len(recs)-1 && mark {
+			markTruncated(g, r.delta.Lens)
+		}
+		rep.Analysis = inc.Fold()
+	}
+	rep.Graph = g
+	rep.Records = len(recs)
+	rep.Epoch = inc.Epoch()
+	if rep.Analysis == nil {
+		rep.Analysis = g.Analyze()
+	}
+	return rep, nil
+}
+
+// markTruncated records the everything-after-here uncertainty on every
+// thread that has vertices: the run continued past the last durable
+// epoch (or would have), so each thread's recording may be missing an
+// arbitrary suffix. The interval is anchored on the last recovered
+// vertex so prefix-scoped completeness (gapsForPrefix) retains it.
+func markTruncated(g *core.Graph, lens []int) {
+	for t, n := range lens {
+		if n > 0 {
+			g.AddGap(t, core.Gap{
+				FromAlpha: uint64(n - 1),
+				ToAlpha:   uint64(n),
+				Kind:      core.GapTruncated,
+			})
+		}
+	}
+}
+
+// truncateTail physically removes the torn tail identified by ti: later
+// segments entirely, the torn segment from the bad frame on (the whole
+// file when the tear is in its preamble or header).
+func truncateTail(segs []string, ti *TornInfo) error {
+	drop := false
+	for _, path := range segs {
+		switch {
+		case path == ti.Segment:
+			drop = true
+			// A tear before the first post-header frame means the
+			// segment never carried a usable record.
+			if ti.Offset == 0 {
+				if err := os.Remove(path); err != nil {
+					return fmt.Errorf("journal: truncate: %w", err)
+				}
+				continue
+			}
+			if err := os.Truncate(path, ti.Offset); err != nil {
+				return fmt.Errorf("journal: truncate: %w", err)
+			}
+		case drop:
+			if err := os.Remove(path); err != nil {
+				return fmt.Errorf("journal: truncate: %w", err)
+			}
+		}
+	}
+	return nil
+}

@@ -377,3 +377,39 @@ func TestLiveEngineFoldPanic(t *testing.T) {
 		t.Errorf("final epoch saw %d subs, want 1 (fold after panic must recover)", res.Stats.SubComputations)
 	}
 }
+
+// TestClientBackoffHonorsCancel pins the select in Client.do: a context
+// canceled while the client sleeps between retries ends the wait
+// immediately with ctx's error — the backoff timer cannot hold a caller
+// hostage for the duration of a long Retry-After hint.
+func TestClientBackoffHonorsCancel(t *testing.T) {
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Always shed, steering every attempt into the backoff sleep,
+		// and stretch it: without cancellation the test would sit here
+		// for minutes.
+		w.Header().Set("Retry-After", "120")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Client{BaseURL: ts.URL, MaxRetries: 5, RetryBase: time.Millisecond}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Stats(ctx, "fig1")
+		done <- err
+	}()
+	// Let the first attempt fail and the client enter its backoff wait,
+	// then cancel mid-sleep.
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("client still sleeping 5s after cancellation (Retry-After hint won over ctx.Done)")
+	}
+}
