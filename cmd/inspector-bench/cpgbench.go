@@ -33,10 +33,17 @@ func runCPGBench(w io.Writer, outPath, baselinePath string) error {
 		cases = append(cases, benchCase{name: c.Name, bytes: c.Bytes, fn: c.Fn})
 	}
 	// The live-pipeline rows (IncrementalAnalyze vs ReAnalyze at a
-	// 1/8/64-epoch cadence) have no baseline counterpart: before the
-	// incremental fold existed, serving queries mid-run was impossible —
-	// ReAnalyze *is* the naive alternative, snapshotted alongside.
+	// 1/8/64-epoch cadence, plus the 8-worker Parallel variants) have no
+	// baseline counterpart: before the incremental fold existed, serving
+	// queries mid-run was impossible — ReAnalyze *is* the naive
+	// alternative, snapshotted alongside. The Large rows scale the same
+	// comparison to a >=10^6-vertex execution, where
+	// IncrementalAnalyzeLarge/serial is the retained full-rebuild
+	// reference fold the delta-overlay store replaces.
 	for _, c := range cpgbench.LiveCases() {
+		cases = append(cases, benchCase{name: c.Name, bytes: c.Bytes, fn: c.Fn})
+	}
+	for _, c := range cpgbench.LargeCases() {
 		cases = append(cases, benchCase{name: c.Name, bytes: c.Bytes, fn: c.Fn})
 	}
 	for _, c := range enginebench.Cases() {

@@ -14,6 +14,8 @@
 //	-seed 1                      input-generation seed
 //	-out path                    mem/pt/cpg output path ("-" = stdout)
 //	-baseline path               prior BENCH_{mem,pt,cpg}.json whose baseline carries forward
+//	-cpuprofile path             write a CPU profile of the whole run
+//	-memprofile path             write a post-GC heap profile at exit
 //
 // The mem experiment benchmarks the tracked-memory substrate hot path
 // (diff, commit, read/write fast path) and writes the BENCH_mem.json
@@ -33,6 +35,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -47,7 +51,7 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("inspector-bench", flag.ContinueOnError)
 	experiment := fs.String("experiment", "all", "experiment to run: all|fig5|work|fig6|table7|fig8|table9|mem|pt|cpg")
 	sizeFlag := fs.String("size", "medium", "input size: small|medium|large")
@@ -57,8 +61,34 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "input generation seed")
 	outPath := fs.String("out", "", `mem/pt/cpg experiment output path ("-" = stdout; default BENCH_<experiment>.json)`)
 	baseline := fs.String("baseline", "", "prior BENCH_{mem,pt,cpg}.json whose baseline section carries forward")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file (inspect with `go tool pprof`)")
+	memProfile := fs.String("memprofile", "", "write a heap profile (post-GC, at exit) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("cpuprofile: %w", cerr)
+			}
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if werr := writeHeapProfile(*memProfile); werr != nil && err == nil {
+				err = werr
+			}
+		}()
 	}
 
 	if *experiment == "mem" || *experiment == "pt" || *experiment == "cpg" {
@@ -150,6 +180,24 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown experiment %q", *experiment)
 	}
+}
+
+// writeHeapProfile snapshots the live heap after a forced GC so the
+// profile reflects retained allocations, not transient garbage.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	return nil
 }
 
 func parseSize(s string) (workloads.Size, error) {

@@ -22,7 +22,8 @@
 // -faults executes the run under a deterministic fault-injection
 // schedule (internal/faultinject): "aux-loss" truncates PT sink writes
 // like an overrunning AUX ring, "panic" crashes the workload at a commit
-// boundary, "slow-fold" delays live analysis folds. The run completes
+// boundary, "slow-fold" delays live analysis folds from inside the fold
+// workers (-fold-workers sets the fan-out). The run completes
 // (artifacts are still exported), the report names the faults that
 // fired, and the recorded CPG carries its trace gaps and completeness —
 // the same schedule reproduces the same faults run after run. The
@@ -77,6 +78,7 @@ func run(args []string) error {
 	decode := fs.Bool("decode", false, "decode all PT traces and report event counts")
 	verify := fs.Bool("verify", false, "check the recorded CPG's structural invariants before exporting")
 	liveStats := fs.Bool("live-stats", false, "fold the CPG incrementally during the run and stream per-epoch stats")
+	foldWorkers := fs.Int("fold-workers", 0, "worker cap for live/journal fold derivation (0 = GOMAXPROCS, 1 = serial)")
 	faults := fs.String("faults", "", `deterministic fault-injection schedule, e.g. "aux-loss:after=20,every=7;panic:count=1"`)
 	journalDir := fs.String("journal", "", "write-ahead journal directory: every sealed epoch is appended crash-durably; recover with inspector-recover")
 	journalFsync := fs.String("journal-fsync", "always", `journal fsync policy: always|interval[:N]|none`)
@@ -93,6 +95,9 @@ func run(args []string) error {
 	}
 	if *app == "" {
 		return fmt.Errorf("missing -app (use -list to see workloads)")
+	}
+	if *foldWorkers < 0 {
+		return fmt.Errorf("-fold-workers %d is negative (0 means GOMAXPROCS)", *foldWorkers)
 	}
 	w, err := workloads.Get(*app)
 	if err != nil {
@@ -155,6 +160,7 @@ func run(args []string) error {
 			return err
 		}
 		jrec = journal.NewRecorder(rt.Graph(), w, *journalEvery)
+		jrec.SetFoldWorkers(*foldWorkers)
 		// Registered before the fault hooks on purpose: commit hooks run
 		// in registration order, so by the time an injected crash kills
 		// the process, the epoch sealed by this very commit is already
@@ -178,15 +184,18 @@ func run(args []string) error {
 	var live *provenance.LiveEngine
 	stopWatch := func() {}
 	if *liveStats && mode == threading.ModeInspector {
-		var foldHooks []func()
+		eopts := provenance.EngineOptions{FoldWorkers: *foldWorkers}
 		if injector != nil {
-			foldHooks = append(foldHooks, func() {
+			// The slow-fold point fires inside the fold's derivation
+			// workers (one hit per worker per fold), so an injected delay
+			// stalls the parallel path itself, not just the fold entry.
+			eopts.FoldWorkerHook = func(int) {
 				if injector.Fire(faultinject.SlowFold) {
 					time.Sleep(time.Millisecond)
 				}
-			})
+			}
 		}
-		live = provenance.NewLiveEngine(rt.Graph(), provenance.EngineOptions{}, foldHooks...)
+		live = provenance.NewLiveEngine(rt.Graph(), eopts)
 		rt.RegisterCommitHook(func(core.SubID) { live.Notify() })
 		ctx, cancel := context.WithCancel(context.Background())
 		defer cancel()

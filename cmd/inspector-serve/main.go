@@ -93,6 +93,7 @@ func run(args []string) error {
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request query deadline (0 = none)")
 	maxResults := fs.Int("max-results", 10000, "result page cap; clients page with cursors (0 = unlimited)")
 	live := fs.Bool("live", false, "with -workload: serve the CPG while it records (epoch-based incremental analysis)")
+	foldWorkers := fs.Int("fold-workers", 0, "with -live: fan the fold's data-edge derivation across this many workers (0 = GOMAXPROCS, 1 = serial)")
 	liveSlowdown := fs.Duration("live-slowdown", 0, "with -live: sleep this long at every commit boundary (stretches short workloads for demos/tests)")
 	lenient := fs.Bool("lenient", false, "skip unreadable -cpg files (log and serve the rest) instead of refusing to start")
 	maxInflight := fs.Int("max-inflight", 0, "max concurrently executing /v1/ requests; excess shed with 503 + Retry-After (0 = unlimited)")
@@ -105,6 +106,9 @@ func run(args []string) error {
 	}
 	if *live && *workload == "" {
 		return fmt.Errorf("-live needs -workload (post-mortem -cpg graphs are already complete)")
+	}
+	if *foldWorkers < 0 {
+		return fmt.Errorf("-fold-workers must be >= 0 (got %d)", *foldWorkers)
 	}
 
 	// Bind before loading anything: /healthz answers (and /readyz says
@@ -121,7 +125,7 @@ func run(args []string) error {
 	build := func() (*provenance.Server, func(), error) {
 		return buildServer(cpgPaths, journalDirs, *workload, *threads, *sizeFlag, *seed, *live, *liveSlowdown, *lenient,
 			provenance.ServerOptions{Timeout: *timeout, MaxInflight: *maxInflight},
-			provenance.EngineOptions{MaxResults: *maxResults})
+			provenance.EngineOptions{MaxResults: *maxResults, FoldWorkers: *foldWorkers})
 	}
 	return serve(ln, build, sig, *drainTimeout, os.Stdout)
 }

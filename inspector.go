@@ -149,6 +149,12 @@ type Options struct {
 	// property. Epoch and WaitEpoch expose the fold progress.
 	// Incompatible with Native (there is no graph to fold).
 	Live bool
+	// FoldWorkers caps the worker goroutines each incremental fold (the
+	// Live pipeline's epochs and the Journal recorder's delta folds)
+	// fans data-edge derivation across. 0 means GOMAXPROCS, 1 forces
+	// serial folds; negative values are rejected. Small epochs use fewer
+	// workers regardless. Meaningless without Live or Journal.
+	FoldWorkers int
 	// Journal, when set, makes recording crash-durable: every sealed
 	// epoch is appended to a write-ahead journal in this directory as a
 	// length-prefixed, CRC-checksummed delta, synchronously at the
@@ -215,6 +221,10 @@ func (o Options) validate() error {
 	if o.Live && o.Native {
 		return fmt.Errorf("%w: Live requires provenance tracking (drop Native)", ErrBadOptions)
 	}
+	if o.FoldWorkers < 0 {
+		return fmt.Errorf("%w: FoldWorkers %d is negative (0 means GOMAXPROCS)",
+			ErrBadOptions, o.FoldWorkers)
+	}
 	if o.Journal != "" && o.Native {
 		return fmt.Errorf("%w: Journal requires provenance tracking (drop Native)", ErrBadOptions)
 	}
@@ -272,6 +282,7 @@ func New(opts Options) (*Runtime, error) {
 			return nil, err
 		}
 		rt.jrec = journal.NewRecorder(inner.Graph(), w, opts.JournalEverySeals)
+		rt.jrec.SetFoldWorkers(opts.FoldWorkers)
 		// The journal hook registers first: an epoch must be durable
 		// before any later hook (fault injection in the harness kills
 		// the process from a commit hook) can observe its seal.
@@ -293,7 +304,9 @@ func New(opts Options) (*Runtime, error) {
 		inner.RegisterSnapshotHook(s.Hook())
 	}
 	if opts.Live && !opts.Native {
-		rt.live = provenance.NewLiveEngine(inner.Graph(), provenance.EngineOptions{})
+		rt.live = provenance.NewLiveEngine(inner.Graph(), provenance.EngineOptions{
+			FoldWorkers: opts.FoldWorkers,
+		})
 		inner.RegisterCommitHook(func(core.SubID) { rt.live.Notify() })
 	}
 	return rt, nil

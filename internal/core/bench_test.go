@@ -21,11 +21,17 @@ var cases = sync.OnceValue(cpgbench.Cases)
 // liveCases memoizes the live-pipeline scenarios the same way.
 var liveCases = sync.OnceValue(cpgbench.LiveCases)
 
+// largeCases memoizes the large-graph live scenarios. The schedule
+// itself is drawn lazily inside cpgbench, so merely listing these costs
+// nothing.
+var largeCases = sync.OnceValue(cpgbench.LargeCases)
+
 // runCase looks a scenario up by name so benchmark names stay stable
 // even if the case list reorders.
 func runCase(b *testing.B, name string) {
 	b.Helper()
-	for _, c := range append(cases(), liveCases()...) {
+	all := append(cases(), liveCases()...)
+	for _, c := range append(all, largeCases()...) {
 		if c.Name == name {
 			b.ReportAllocs()
 			b.ResetTimer()
@@ -86,3 +92,28 @@ func BenchmarkIncrementalAnalyze64(b *testing.B) { runCase(b, "IncrementalAnalyz
 // at every epoch boundary of the same schedule.
 func BenchmarkReAnalyze(b *testing.B)   { runCase(b, "ReAnalyze/epochs8") }
 func BenchmarkReAnalyze64(b *testing.B) { runCase(b, "ReAnalyze/epochs64") }
+
+// BenchmarkIncrementalAnalyzeParallel runs the same fold with the
+// data-edge derivation fanned across 8 workers (the -fold-workers /
+// Options.FoldWorkers path); on a single-core box it measures the
+// fan-out overhead, on a multi-core one the speedup.
+func BenchmarkIncrementalAnalyzeParallel(b *testing.B) {
+	runCase(b, "IncrementalAnalyzeParallel/epochs8")
+}
+func BenchmarkIncrementalAnalyzeParallel64(b *testing.B) {
+	runCase(b, "IncrementalAnalyzeParallel/epochs64")
+}
+
+// BenchmarkIncrementalAnalyzeLarge scales the fold comparison to a
+// 2^20-step (>=10^6-vertex) execution at a 64-epoch cadence: /serial is
+// the retained full-rebuild reference fold, /workers1 and /workers8 the
+// incremental delta-overlay fold at a fixed derivation fan-out.
+func BenchmarkIncrementalAnalyzeLarge(b *testing.B) {
+	runCase(b, "IncrementalAnalyzeLarge/serial")
+}
+func BenchmarkIncrementalAnalyzeLargeWorkers1(b *testing.B) {
+	runCase(b, "IncrementalAnalyzeLarge/workers1")
+}
+func BenchmarkIncrementalAnalyzeLargeWorkers8(b *testing.B) {
+	runCase(b, "IncrementalAnalyzeLarge/workers8")
+}

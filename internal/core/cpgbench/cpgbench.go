@@ -259,14 +259,37 @@ func Cases() []Case {
 	}
 }
 
+// incAnalyzeFn returns a runLive analyze callback that folds each epoch
+// with one analyzer per graph. reference selects the retained serial
+// full-rebuild fold (NewReferenceAnalyzer, the pre-incremental
+// implementation and the equivalence oracle); otherwise workers pins
+// the fold's data-edge derivation fan-out (0 = GOMAXPROCS).
+func incAnalyzeFn(workers int, reference bool) func(g *core.Graph) *core.Analysis {
+	var inc *core.IncrementalAnalyzer
+	var last *core.Graph
+	return func(g *core.Graph) *core.Analysis {
+		if g != last {
+			if reference {
+				inc = core.NewReferenceAnalyzer(g)
+			} else {
+				inc = core.NewIncrementalAnalyzer(g)
+				inc.SetFoldWorkers(workers)
+			}
+			last = g
+		}
+		return inc.Fold()
+	}
+}
+
 // LiveCases returns the live-pipeline scenarios: the same 2000-step
 // 8-thread execution as DataEdges/sparse, recorded off the clock and
 // analyzed at a 1/8/64-epoch cadence. IncrementalAnalyze/* folds each
-// epoch with one shared IncrementalAnalyzer; ReAnalyze/* runs the
-// post-mortem batch Analyze at every epoch boundary instead — the
-// naive way to serve queries mid-run, quadratic in total graph size.
-// The per-op number is the cumulative analysis cost of the whole run
-// at that cadence.
+// epoch with one shared IncrementalAnalyzer (default worker fan-out);
+// IncrementalAnalyzeParallel/* pins the fold's derivation fan-out to 8
+// workers; ReAnalyze/* runs the post-mortem batch Analyze at every
+// epoch boundary instead — the naive way to serve queries mid-run,
+// quadratic in total graph size. The per-op number is the cumulative
+// analysis cost of the whole run at that cadence.
 func LiveCases() []Case {
 	sched := drawSchedule(8, 2000, 64, 1, 42)
 	cases := []Case{}
@@ -274,15 +297,7 @@ func LiveCases() []Case {
 		epochs := epochs
 		cases = append(cases,
 			Case{Name: fmt.Sprintf("IncrementalAnalyze/epochs%d", epochs), Fn: func(b *testing.B) {
-				var inc *core.IncrementalAnalyzer
-				var last *core.Graph
-				sched.runLive(b, epochs, func(g *core.Graph) *core.Analysis {
-					if g != last {
-						inc = core.NewIncrementalAnalyzer(g)
-						last = g
-					}
-					return inc.Fold()
-				})
+				sched.runLive(b, epochs, incAnalyzeFn(0, false))
 			}},
 			Case{Name: fmt.Sprintf("ReAnalyze/epochs%d", epochs), Fn: func(b *testing.B) {
 				sched.runLive(b, epochs, func(g *core.Graph) *core.Analysis {
@@ -290,6 +305,53 @@ func LiveCases() []Case {
 				})
 			}},
 		)
+	}
+	for _, epochs := range []int{8, 64} {
+		epochs := epochs
+		cases = append(cases, Case{
+			Name: fmt.Sprintf("IncrementalAnalyzeParallel/epochs%d", epochs),
+			Fn: func(b *testing.B) {
+				sched.runLive(b, epochs, incAnalyzeFn(8, false))
+			},
+		})
+	}
+	return cases
+}
+
+// largeEpochs is the fold cadence of the large-graph scenarios.
+const largeEpochs = 64
+
+// largeSchedule draws the large-graph execution lazily (and at most
+// once), so benchmark runs that filter the Large rows out never pay the
+// 2^20-step draw or its memory.
+var largeSchedule = sync.OnceValue(func() *liveSchedule {
+	return drawSchedule(8, 1<<20, 4096, 2, 46)
+})
+
+// LargeCases returns the large-graph live scenarios: a 2^20-step
+// 8-thread execution (>=10^6 vertices) folded at a 64-epoch cadence.
+// "serial" is the retained full-rebuild reference fold — per epoch it
+// re-derives nothing but rebuilds the whole CSR from scratch, which is
+// what every fold cost before the incremental store; workers1 and
+// workers8 run the incremental delta-overlay fold with the data-edge
+// derivation fan-out pinned to 1 and 8 workers. The per-op number is
+// the cumulative analysis cost of the whole run.
+func LargeCases() []Case {
+	rows := []struct {
+		name      string
+		workers   int
+		reference bool
+	}{
+		{"IncrementalAnalyzeLarge/serial", 1, true},
+		{"IncrementalAnalyzeLarge/workers1", 1, false},
+		{"IncrementalAnalyzeLarge/workers8", 8, false},
+	}
+	var cases []Case
+	for _, r := range rows {
+		r := r
+		cases = append(cases, Case{Name: r.name, Fn: func(b *testing.B) {
+			largeSchedule().runLive(b, largeEpochs, incAnalyzeFn(r.workers, r.reference))
+		}})
 	}
 	return cases
 }

@@ -1,0 +1,75 @@
+package cpgbench
+
+// The reduced-size cut of the IncrementalAnalyzeLarge scenario, run as
+// a test (and in CI's -race sweep): the benchmark rows compare the
+// retained full-rebuild reference fold against the incremental
+// delta-overlay fold, so this pins that all three produce byte-identical
+// exports at every epoch — the perf comparison is only meaningful if
+// they compute the same thing.
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/repro/inspector/internal/core"
+)
+
+// TestIncrementalLargeScheduleEquivalence replays the large-scenario
+// shape (same threads/pageRange/rw/seed, fewer steps) at a 16-epoch
+// cadence through the reference fold and the incremental fold at 1 and
+// 8 workers, requiring byte-identical ExportJSON output per epoch, and
+// a final export identical to the post-mortem batch Analyze.
+func TestIncrementalLargeScheduleEquivalence(t *testing.T) {
+	steps, epochs := 20000, 16
+	if testing.Short() {
+		steps, epochs = 4000, 8
+	}
+	sched := drawSchedule(8, steps, 4096, 2, 46)
+
+	replayFolds := func(mk func(g *core.Graph) *core.IncrementalAnalyzer,
+		onEpoch func(e int, a *core.Analysis)) *core.Graph {
+		g := core.NewGraph(sched.threads)
+		recs := make([]*core.Recorder, sched.threads)
+		for i := range recs {
+			recs[i] = newRecorder(g, i)
+		}
+		lock := g.NewSyncObject("l", false)
+		inc := mk(g)
+		done := 0
+		for e := 1; e <= epochs; e++ {
+			upto := steps * e / epochs
+			sched.replay(g, recs, lock, done, upto)
+			done = upto
+			onEpoch(e, inc.Fold())
+		}
+		return g
+	}
+	export := func(a *core.Analysis) []byte {
+		var buf bytes.Buffer
+		if err := a.ExportJSON(&buf); err != nil {
+			t.Fatalf("export: %v", err)
+		}
+		return buf.Bytes()
+	}
+
+	want := make([][]byte, 0, epochs)
+	g := replayFolds(core.NewReferenceAnalyzer, func(_ int, a *core.Analysis) {
+		want = append(want, export(a))
+	})
+
+	for _, workers := range []int{1, 8} {
+		replayFolds(func(g *core.Graph) *core.IncrementalAnalyzer {
+			inc := core.NewIncrementalAnalyzer(g)
+			inc.SetFoldWorkers(workers)
+			return inc
+		}, func(e int, a *core.Analysis) {
+			if got := export(a); !bytes.Equal(got, want[e-1]) {
+				t.Fatalf("workers=%d: epoch %d export differs from reference fold", workers, e)
+			}
+		})
+	}
+
+	if got := export(g.Analyze()); !bytes.Equal(got, want[epochs-1]) {
+		t.Fatalf("batch Analyze export differs from final fold")
+	}
+}

@@ -3,6 +3,8 @@ package core
 import (
 	"slices"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // IncrementalAnalyzer folds a still-growing CPG into successive immutable
@@ -14,23 +16,29 @@ import (
 //   - the page → writer-runs index (the structure DataEdges builds from
 //     scratch on every batch run) persists across epochs and only the new
 //     writers are appended to it;
-//   - data edges are derived only for the epoch's new readers, using the
-//     same per-(reader, thread) happens-before thresholds the batch
-//     derivation exploits — a vertex already analyzed can never gain a
-//     new *incoming* edge (see the cut argument below), so earlier
-//     epochs' derivations are final;
-//   - sync edges accumulate as a sorted run that each epoch merges with
-//     the newly sealed entries, deferring entries whose acquiring
-//     sub-computation has not sealed yet;
+//   - data edges are derived only for the epoch's new readers — fanned
+//     out across fold workers with the same work-stealing pattern the
+//     batch DataEdges uses (SetFoldWorkers) — using the same
+//     per-(reader, thread) happens-before thresholds: a vertex already
+//     analyzed can never gain a new *incoming* edge (see the cut
+//     argument below), so earlier epochs' derivations are final;
+//   - sync edges arrive as sorted runs that each epoch merges into the
+//     store, deferring entries whose acquiring sub-computation has not
+//     sealed yet (the deferred backlog stays sorted, so an epoch costs
+//     one linear partition + merge, never a re-sort of the backlog);
+//   - the epoch's Analysis is built by appending the new edges to the
+//     shared arenas and stacking one overlay layer on the adjacency
+//     (csr.go) — per-epoch sealing cost is proportional to the delta,
+//     with geometric compaction bounding lookup fan-in, instead of the
+//     O(graph) flat rebuild the pre-overlay fold paid;
 //   - the interned symbol table is the graph's own append-only interner,
 //     so materialized names never need recomputing.
 //
-// Only the cheap flat structures — the concatenated edge sequence and
-// the CSR offset arrays — are rebuilt per epoch, with pure copies and
-// counting sorts (no re-derivation). The result is constructed by the
-// same newAnalysis the batch path uses, so an epoch's Analysis is
-// structurally identical to what Graph.Analyze would build over the same
-// prefix; the equivalence property tests pin the two byte-identical.
+// The result is observably identical to what Graph.Analyze would build
+// over the same prefix; the equivalence property tests pin the two
+// byte-identical. NewReferenceAnalyzer retains the serial
+// full-rebuild-per-epoch fold as the executable reference those tests
+// (and the benchmarks) compare against.
 //
 // # Why folding is sound: causally consistent cuts
 //
@@ -57,22 +65,35 @@ type IncrementalAnalyzer struct {
 
 	epoch uint64
 	// lens is the folded prefix: thread t's vertices [0, lens[t]) are
-	// analyzed.
-	lens []int
+	// analyzed; prevLens is the previous epoch's prefix, snapshotted at
+	// the top of each fold.
+	lens     []int
+	prevLens []int
 	// seqs mirrors the folded prefix per thread (append-only, so slices
 	// handed to earlier epochs stay valid).
 	seqs [][]*SubComputation
 	// syncSeen counts the consumed entries of each shard's sync-edge log.
 	syncSeen []int
-	// pendingSync holds log entries seen before their endpoints sealed.
-	pendingSync []syncEdgeRec
-	// syncEdges and dataEdges are the accumulated derived edges, each
-	// maintained in the canonical sorted order.
-	syncEdges []Edge
-	dataEdges []Edge
+	// pendingSync holds materialized log entries seen before their
+	// endpoints sealed, in canonical sorted order.
+	pendingSync []Edge
 	// writers is the persistent page → writer-runs index: for each page,
 	// one run per writing thread with alphas ascending.
 	writers map[uint64][]incRun
+
+	// st accumulates the arenas and the adjacency overlay across epochs.
+	// The reference analyzer instead re-merges flat sections per epoch
+	// (syncEdges/dataEdges) and rebuilds everything through newAnalysis.
+	st        *incStore
+	reference bool
+	syncEdges []Edge
+	dataEdges []Edge
+
+	// workers caps the fold's data-edge derivation fan-out (0 =
+	// GOMAXPROCS); workerHook, when set, runs at the start of every
+	// derivation worker (fault injection hooks in, here).
+	workers    int
+	workerHook func(worker int)
 
 	// gapsSeen and symSeen track how much of the gap lists and the
 	// interner the delta capture (FoldDelta) has already emitted. Plain
@@ -81,10 +102,9 @@ type IncrementalAnalyzer struct {
 	gapsSeen []int
 	symSeen  int
 
-	// Per-fold scratch, reused across readers.
-	cands    []incCand
-	accFrom  []incCand
-	accPages [][]uint64
+	// scratch serves the serial derivation path; parallel workers carry
+	// their own.
+	scratch incScratch
 }
 
 // incRun is one thread's writers of one page, alphas ascending.
@@ -99,6 +119,13 @@ type incCand struct {
 	alpha  int32
 }
 
+// incScratch is one derivation worker's reusable per-reader scratch.
+type incScratch struct {
+	cands    []incCand
+	accFrom  []incCand
+	accPages [][]uint64
+}
+
 // NewIncrementalAnalyzer prepares an empty fold state over g. No epoch
 // exists until the first Fold.
 func NewIncrementalAnalyzer(g *Graph) *IncrementalAnalyzer {
@@ -109,11 +136,47 @@ func NewIncrementalAnalyzer(g *Graph) *IncrementalAnalyzer {
 		seqs:     make([][]*SubComputation, n),
 		syncSeen: make([]int, n),
 		writers:  make(map[uint64][]incRun),
+		st:       newIncStore(n),
 		gapsSeen: make([]int, n),
 		// Ref 0 is the "" every NewGraph interns; deltas never carry it,
 		// so replay against a fresh graph starts aligned.
 		symSeen: 1,
 	}
+}
+
+// NewReferenceAnalyzer prepares a fold state that derives serially and
+// rebuilds the full flat Analysis every epoch — the pre-overlay fold,
+// kept as the executable reference the equivalence property tests and
+// the IncrementalAnalyzeLarge benchmarks measure the incremental path
+// against. Its per-epoch cost is O(graph); do not use it live.
+func NewReferenceAnalyzer(g *Graph) *IncrementalAnalyzer {
+	inc := NewIncrementalAnalyzer(g)
+	inc.reference = true
+	inc.st = nil
+	return inc
+}
+
+// SetFoldWorkers caps the number of worker goroutines Fold fans the
+// data-edge derivation across: 0 (the default) means GOMAXPROCS,
+// negative values are treated as 0, 1 forces the serial path. Small
+// epochs use fewer workers regardless (one per foldWorkerGrain new
+// readers). Takes effect at the next Fold; not safe to call
+// concurrently with Fold. Reference analyzers always derive serially.
+func (inc *IncrementalAnalyzer) SetFoldWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	inc.workers = n
+}
+
+// SetWorkerHook installs h to run at the start of every derivation
+// worker of every fold (with the worker's index), including the serial
+// path's worker 0. Fault injection uses it to delay or crash folds
+// inside the workers; a panic escaping h propagates out of Fold on the
+// calling goroutine after the remaining workers drain, never as a
+// goroutine crash. Not safe to call concurrently with Fold.
+func (inc *IncrementalAnalyzer) SetWorkerHook(h func(worker int)) {
+	inc.workerHook = h
 }
 
 // Graph returns the graph being folded.
@@ -146,6 +209,7 @@ func (inc *IncrementalAnalyzer) FoldDelta() (*Analysis, *EpochDelta) {
 }
 
 func (inc *IncrementalAnalyzer) fold(capture bool) (*Analysis, *EpochDelta) {
+	inc.prevLens = append(inc.prevLens[:0], inc.lens...)
 	newSubs := inc.captureCut()
 	var d *EpochDelta
 	if capture {
@@ -185,54 +249,18 @@ func (inc *IncrementalAnalyzer) fold(capture bool) (*Analysis, *EpochDelta) {
 
 	// Derive the new readers' incoming data edges; everything older is
 	// final (closed cut: no new writer can happen-before an old reader).
-	var newData []Edge
-	for _, sc := range newSubs {
-		newData = append(newData, inc.readerEdges(sc)...)
-	}
-	sortEdges(newData)
-	inc.dataEdges = mergeSortedEdges(inc.dataEdges, newData)
-
-	// Fold the sync-edge logs: include entries whose endpoints are both
-	// sealed, defer the rest (an acquire logs its edge before the
-	// acquiring sub-computation seals).
-	entries := inc.pendingSync
-	for t := range inc.syncSeen {
-		tail := inc.g.syncEdgeTail(t, inc.syncSeen[t])
-		inc.syncSeen[t] += len(tail)
-		if capture {
-			for _, rec := range tail {
-				d.Sync = append(d.Sync, DeltaSyncEdge{From: rec.From, To: rec.To, Object: rec.Object})
-			}
-		}
-		entries = append(entries, tail...)
-	}
-	var newSync []Edge
-	inc.pendingSync = nil
-	for _, rec := range entries {
-		if !subInPrefix(rec.From, inc.lens) || !subInPrefix(rec.To, inc.lens) {
-			inc.pendingSync = append(inc.pendingSync, rec)
-			continue
-		}
-		newSync = append(newSync, Edge{
-			From:   rec.From,
-			To:     rec.To,
-			Kind:   EdgeSync,
-			Object: inc.g.ObjectName(rec.Object),
-		})
-	}
-	sortEdges(newSync)
-	inc.syncEdges = mergeSortedEdges(inc.syncEdges, newSync)
-
-	// Assemble the canonical edge sequence (control, sync, data — the
-	// batch prefixEdges order) and rebuild the flat indexes.
-	control := controlEdgesFor(inc.lens)
-	edges := make([]Edge, 0, len(control)+len(inc.syncEdges)+len(inc.dataEdges))
-	edges = append(edges, control...)
-	edges = append(edges, inc.syncEdges...)
-	edges = append(edges, inc.dataEdges...)
+	newData := inc.deriveNewData(newSubs)
+	newSync := inc.consumeSyncLogs(d)
 
 	inc.epoch++
-	a := newAnalysis(inc.g, edges, slices.Clone(inc.lens), inc.epoch)
+	var a *Analysis
+	if inc.reference {
+		inc.dataEdges = mergeSortedEdges(inc.dataEdges, newData)
+		inc.syncEdges = mergeSortedEdges(inc.syncEdges, newSync)
+		a = newAnalysis(inc.g, inc.syncEdges, inc.dataEdges, slices.Clone(inc.lens), inc.epoch)
+	} else {
+		a = inc.st.extend(inc.g, newSync, newData, inc.lens, inc.prevLens, inc.epoch)
+	}
 	if capture {
 		// The interner tail comes last: every ref the captured vertices
 		// and sync edges use was interned before its user sealed, so
@@ -244,6 +272,136 @@ func (inc *IncrementalAnalyzer) fold(capture bool) (*Analysis, *EpochDelta) {
 		d.Lens = slices.Clone(inc.lens)
 	}
 	return a, d
+}
+
+// consumeSyncLogs folds the shards' sync-edge logs: entries whose
+// endpoints are both sealed join the epoch (returned sorted), the rest
+// are deferred (an acquire logs its edge before the acquiring
+// sub-computation seals). Both the fresh tail and the deferred backlog
+// are sorted runs, so one epoch costs a sort of the fresh entries plus
+// linear partitions and merges — the backlog is never re-sorted,
+// however many epochs it survives (the deferred-acquirer regression
+// test pins this path).
+func (inc *IncrementalAnalyzer) consumeSyncLogs(d *EpochDelta) []Edge {
+	var fresh []Edge
+	for t := range inc.syncSeen {
+		tail := inc.g.syncEdgeTail(t, inc.syncSeen[t])
+		inc.syncSeen[t] += len(tail)
+		for _, rec := range tail {
+			if d != nil {
+				d.Sync = append(d.Sync, DeltaSyncEdge{From: rec.From, To: rec.To, Object: rec.Object})
+			}
+			fresh = append(fresh, Edge{
+				From:   rec.From,
+				To:     rec.To,
+				Kind:   EdgeSync,
+				Object: inc.g.ObjectName(rec.Object),
+			})
+		}
+	}
+	sortEdges(fresh)
+	backlogReady, backlogDefer := partitionSyncReady(inc.pendingSync, inc.lens)
+	freshReady, freshDefer := partitionSyncReady(fresh, inc.lens)
+	inc.pendingSync = mergeSortedEdges(backlogDefer, freshDefer)
+	return mergeSortedEdges(backlogReady, freshReady)
+}
+
+// partitionSyncReady splits a sorted entry run into the entries whose
+// endpoints are both inside the prefix and the still-deferred rest,
+// preserving order (so both halves stay sorted).
+func partitionSyncReady(entries []Edge, lens []int) (ready, deferred []Edge) {
+	for _, e := range entries {
+		if subInPrefix(e.From, lens) && subInPrefix(e.To, lens) {
+			ready = append(ready, e)
+		} else {
+			deferred = append(deferred, e)
+		}
+	}
+	return ready, deferred
+}
+
+// foldWorkerGrain is the number of new readers that justifies one fold
+// worker: epochs with fewer than two grains derive serially, and the
+// fan-out never exceeds ceil(new readers / grain) regardless of the
+// configured worker count.
+const foldWorkerGrain = 64
+
+// deriveNewData derives the epoch's new readers' incoming data edges,
+// returned canonically sorted. With more than one effective worker the
+// readers fan out across goroutines on an atomic work counter — the
+// same pattern batch deriveDataEdges uses — with per-worker scratch;
+// per-reader results land in a fixed slot each, so the assembled
+// sequence is deterministic whatever the interleaving. A worker panic
+// (the workload's or an injected one) is re-raised on the calling
+// goroutine after all workers drain.
+func (inc *IncrementalAnalyzer) deriveNewData(newSubs []*SubComputation) []Edge {
+	workers := inc.workers
+	if workers <= 0 {
+		workers = runtimeWorkers()
+	}
+	if inc.reference {
+		workers = 1
+	}
+	if maxw := (len(newSubs) + foldWorkerGrain - 1) / foldWorkerGrain; workers > maxw {
+		workers = maxw
+	}
+	if workers <= 1 {
+		if h := inc.workerHook; h != nil {
+			h(0)
+		}
+		var out []Edge
+		for _, sc := range newSubs {
+			out = append(out, inc.scratch.readerEdges(inc, sc)...)
+		}
+		sortEdges(out)
+		return out
+	}
+	perReader := make([][]Edge, len(newSubs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var panicMu sync.Mutex
+	var panicked any
+	sawPanic := false
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if !sawPanic {
+						sawPanic, panicked = true, r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			if h := inc.workerHook; h != nil {
+				h(wid)
+			}
+			var sc incScratch
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(newSubs) {
+					return
+				}
+				perReader[i] = sc.readerEdges(inc, newSubs[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	if sawPanic {
+		panic(panicked)
+	}
+	total := 0
+	for _, es := range perReader {
+		total += len(es)
+	}
+	out := make([]Edge, 0, total)
+	for _, es := range perReader {
+		out = append(out, es...)
+	}
+	sortEdges(out)
+	return out
 }
 
 // captureCut advances inc.lens to a causally closed snapshot of the
@@ -315,16 +473,18 @@ func (inc *IncrementalAnalyzer) captureCut() []*SubComputation {
 // the identical threshold logic: thread u's candidate writer is the
 // latest one with alpha ≤ n.Clock[u]-1 (program order for n's own
 // thread), and a candidate m is hidden iff another candidate has seen
-// m's tick.
-func (inc *IncrementalAnalyzer) readerEdges(n *SubComputation) []Edge {
-	inc.accFrom = inc.accFrom[:0]
-	inc.accPages = inc.accPages[:0]
+// m's tick. The analyzer state it reads (writers, seqs) is frozen for
+// the duration of the derivation, so any number of workers can share
+// it; all mutable state lives in the scratch.
+func (sc *incScratch) readerEdges(inc *IncrementalAnalyzer, n *SubComputation) []Edge {
+	sc.accFrom = sc.accFrom[:0]
+	sc.accPages = sc.accPages[:0]
 	for _, p := range n.ReadSet.view() {
 		runs := inc.writers[p]
 		if runs == nil {
 			continue
 		}
-		inc.cands = inc.cands[:0]
+		sc.cands = sc.cands[:0]
 		for _, run := range runs {
 			var lim int32
 			if int(run.thread) == n.ID.Thread {
@@ -345,11 +505,11 @@ func (inc *IncrementalAnalyzer) readerEdges(n *SubComputation) []Edge {
 					hi = mid
 				}
 			}
-			inc.cands = append(inc.cands, incCand{thread: run.thread, alpha: seq[lo-1]})
+			sc.cands = append(sc.cands, incCand{thread: run.thread, alpha: seq[lo-1]})
 		}
-		for _, m := range inc.cands {
+		for _, m := range sc.cands {
 			hidden := false
-			for _, m2 := range inc.cands {
+			for _, m2 := range sc.cands {
 				if m2 != m && int32(inc.seqs[m2.thread][m2.alpha].Clock.Get(int(m.thread))) >= m.alpha+1 {
 					hidden = true
 					break
@@ -359,32 +519,32 @@ func (inc *IncrementalAnalyzer) readerEdges(n *SubComputation) []Edge {
 				continue
 			}
 			slot := -1
-			for k, f := range inc.accFrom {
+			for k, f := range sc.accFrom {
 				if f == m {
 					slot = k
 					break
 				}
 			}
 			if slot < 0 {
-				inc.accFrom = append(inc.accFrom, m)
-				inc.accPages = append(inc.accPages, nil)
-				slot = len(inc.accFrom) - 1
+				sc.accFrom = append(sc.accFrom, m)
+				sc.accPages = append(sc.accPages, nil)
+				slot = len(sc.accFrom) - 1
 			}
 			// Pages arrive ascending from the read-set view, so each
 			// list comes out sorted without a final sort.
-			inc.accPages[slot] = append(inc.accPages[slot], p)
+			sc.accPages[slot] = append(sc.accPages[slot], p)
 		}
 	}
-	if len(inc.accFrom) == 0 {
+	if len(sc.accFrom) == 0 {
 		return nil
 	}
-	out := make([]Edge, len(inc.accFrom))
-	for k, m := range inc.accFrom {
+	out := make([]Edge, len(sc.accFrom))
+	for k, m := range sc.accFrom {
 		out[k] = Edge{
 			From:  SubID{Thread: int(m.thread), Alpha: uint64(m.alpha)},
 			To:    n.ID,
 			Kind:  EdgeData,
-			Pages: inc.accPages[k],
+			Pages: sc.accPages[k],
 		}
 	}
 	return out

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"slices"
+	"sync"
 
 	"github.com/repro/inspector/internal/vclock"
 )
@@ -23,29 +24,28 @@ var ErrUnverifiable = errors.New("core: unverifiable across a trace gap")
 // overhead and the latency of honoring a cancellation.
 const cancelCheckEvery = 64
 
-// Analysis is a queryable view of a CPG prefix with precomputed edges
-// and adjacency. Build one with Graph.Analyze after recording finishes,
-// or fold successive ones during recording with an IncrementalAnalyzer.
-// Either way the Analysis itself is immutable: it covers exactly the
-// per-thread vertex prefix captured at construction and never observes
-// later appends, which is what lets one Analysis serve any number of
-// concurrent readers (and lets cursors stay valid within one epoch).
+// Analysis is a queryable view of a CPG prefix. Build one with
+// Graph.Analyze after recording finishes, or fold successive ones during
+// recording with an IncrementalAnalyzer. Either way the Analysis itself
+// is immutable: it covers exactly the per-thread vertex prefix captured
+// at construction and never observes later appends, which is what lets
+// one Analysis serve any number of concurrent readers.
 //
 // Vertices are densely indexed in (thread, alpha) order — index(id) =
-// base[thread] + alpha — and adjacency is stored in compressed sparse row
-// form over that indexing: predecessor/successor lists are slices of
-// indices into the sorted edge slice, grouped per vertex by one offset
-// array. Traversals touch flat arrays and a []bool visited set instead of
-// the map-of-slices adjacency the pre-columnar core used.
+// base[thread] + alpha. Derived edges live in two shared append-only
+// arenas (csr.go); adjacency is a sealed CSR base plus small per-epoch
+// overlay layers, so an incremental fold publishes a new epoch in time
+// proportional to the delta while batch analyses seal everything into
+// the base outright. Control edges are never stored: they are fully
+// determined by the prefix lens and synthesized during traversal and
+// export.
 type Analysis struct {
-	g     *Graph
-	edges []Edge
+	g *Graph
 	// epoch numbers the fold that produced this Analysis: 0 for a batch
 	// Analyze, 1.. for successive IncrementalAnalyzer folds.
 	epoch uint64
-	// ids[i] is the SubID at dense index i; base[t] is thread t's first
-	// dense index; lens[t] its sequence length.
-	ids  []SubID
+	// base[t] is thread t's first dense index; lens[t] its sequence
+	// length.
 	base []int32
 	lens []int
 	// comp snapshots the trace-loss gaps visible inside the analyzed
@@ -53,12 +53,22 @@ type Analysis struct {
 	// consistent with the epoch even while the graph keeps recording.
 	comp Completeness
 
-	succOff, predOff   []int32
-	succEdge, predEdge []int32
+	// Edge storage and adjacency (csr.go): arena views, per-thread
+	// predecessor arrays, sealed successor base + overlay layers.
+	ar      arenaPair
+	predOff [][]int32
+	predRef [][]edgeRef
+	succ    *succIndex
+	layers  []succLayer
+
+	// flat is the lazily materialized canonical edge sequence (control,
+	// sync, data) — built on first Edges() call, shared by all readers.
+	flatOnce sync.Once
+	flat     []Edge
 }
 
 // Analyze derives all edges over the graph's current vertex prefix and
-// builds the CSR adjacency indexes. Sync-edge log entries whose endpoints
+// builds the adjacency indexes. Sync-edge log entries whose endpoints
 // are not yet recorded vertices (an acquire logs its edge before the
 // acquiring sub-computation seals, so mid-run graphs contain such
 // entries) are left out: the analysis covers exactly the recorded prefix,
@@ -67,24 +77,24 @@ type Analysis struct {
 // logged edge.
 func (g *Graph) Analyze() *Analysis {
 	lens := g.threadLens()
-	return newAnalysis(g, g.prefixEdges(lens), lens, 0)
+	syncEdges, dataEdges := g.prefixSections(lens)
+	return newAnalysis(g, syncEdges, dataEdges, lens, 0)
 }
 
-// prefixEdges derives the canonical edge sequence of the vertex prefix
-// bounded by lens: control edges in (thread, alpha) order, then sync
-// edges with both endpoints inside the prefix (sorted), then data edges
-// derived over the prefix vertices (sorted). The incremental fold
-// produces the identical sequence by extension; the equivalence property
-// tests hold the two byte-identical.
-func (g *Graph) prefixEdges(lens []int) []Edge {
-	control := controlEdgesFor(lens)
-	var sync []Edge
+// prefixSections derives the canonical sync and data edge sections of
+// the vertex prefix bounded by lens: sync edges with both endpoints
+// inside the prefix (sorted), and data edges derived over the prefix
+// vertices (sorted). Together with the synthesized control edges these
+// form the canonical edge sequence; the incremental fold produces the
+// identical sequence by extension, and the equivalence property tests
+// hold the two byte-identical.
+func (g *Graph) prefixSections(lens []int) (syncEdges, dataEdges []Edge) {
 	for t := range lens {
 		for _, rec := range g.syncEdgeTail(t, 0) {
 			if !subInPrefix(rec.From, lens) || !subInPrefix(rec.To, lens) {
 				continue
 			}
-			sync = append(sync, Edge{
+			syncEdges = append(syncEdges, Edge{
 				From:   rec.From,
 				To:     rec.To,
 				Kind:   EdgeSync,
@@ -92,13 +102,9 @@ func (g *Graph) prefixEdges(lens []int) []Edge {
 			})
 		}
 	}
-	sortEdges(sync)
-	data := deriveDataEdges(g.prefixSubs(lens), runtimeWorkers())
-	out := make([]Edge, 0, len(control)+len(sync)+len(data))
-	out = append(out, control...)
-	out = append(out, sync...)
-	out = append(out, data...)
-	return out
+	sortEdges(syncEdges)
+	dataEdges = deriveDataEdges(g.prefixSubs(lens), runtimeWorkers())
+	return syncEdges, dataEdges
 }
 
 // controlEdgesFor generates the program-order edges of a vertex prefix.
@@ -121,56 +127,24 @@ func subInPrefix(id SubID, lens []int) bool {
 	return id.Thread >= 0 && id.Thread < len(lens) && id.Alpha < uint64(lens[id.Thread])
 }
 
-// newAnalysis builds the dense vertex indexing and CSR adjacency over an
-// already-derived edge sequence. Both the batch Analyze and the
-// incremental fold land here, so the two produce structurally identical
-// analyses for the same prefix.
-func newAnalysis(g *Graph, edges []Edge, lens []int, epoch uint64) *Analysis {
-	a := &Analysis{g: g, edges: edges, lens: lens, epoch: epoch}
+// newAnalysis builds a fully sealed analysis over already-derived sync
+// and data sections (each canonically sorted): the whole edge set goes
+// into one sealed successor base with no overlay. The batch Analyze and
+// the incremental reference fold land here; the live incremental fold
+// builds structurally equivalent analyses through incStore.view, and
+// the equivalence property tests pin the two byte-identical.
+func newAnalysis(g *Graph, syncEdges, dataEdges []Edge, lens []int, epoch uint64) *Analysis {
+	a := &Analysis{g: g, epoch: epoch, lens: lens}
 	a.comp = summarizeGaps(g.gapsForPrefix(lens))
 	a.base = make([]int32, len(a.lens)+1)
 	for t, n := range a.lens {
 		a.base[t+1] = a.base[t] + int32(n)
 	}
-	n := int(a.base[len(a.lens)])
-	a.ids = make([]SubID, n)
-	for t, ln := range a.lens {
-		for i := 0; i < ln; i++ {
-			a.ids[a.base[t]+int32(i)] = SubID{Thread: t, Alpha: uint64(i)}
-		}
-	}
-	// Counting sort of edge indices by From (successors) and To
-	// (predecessors). Edges whose endpoints are not recorded vertices
-	// (possible only in hand-built graphs; Verify reports them) are left
-	// out of the adjacency.
-	a.succOff = make([]int32, n+1)
-	a.predOff = make([]int32, n+1)
-	for _, e := range a.edges {
-		if vi, ok := a.vertexIndex(e.From); ok {
-			a.succOff[vi+1]++
-		}
-		if vi, ok := a.vertexIndex(e.To); ok {
-			a.predOff[vi+1]++
-		}
-	}
-	for i := 0; i < n; i++ {
-		a.succOff[i+1] += a.succOff[i]
-		a.predOff[i+1] += a.predOff[i]
-	}
-	a.succEdge = make([]int32, a.succOff[n])
-	a.predEdge = make([]int32, a.predOff[n])
-	sFill := make([]int32, n)
-	pFill := make([]int32, n)
-	for ei, e := range a.edges {
-		if vi, ok := a.vertexIndex(e.From); ok {
-			a.succEdge[a.succOff[vi]+sFill[vi]] = int32(ei)
-			sFill[vi]++
-		}
-		if vi, ok := a.vertexIndex(e.To); ok {
-			a.predEdge[a.predOff[vi]+pFill[vi]] = int32(ei)
-			pFill[vi]++
-		}
-	}
+	a.ar = arenaPair{sync: syncEdges, data: dataEdges}
+	syncSeq := refSeq(0, len(syncEdges), false)
+	dataSeq := refSeq(0, len(dataEdges), true)
+	a.succ = buildSuccIndex(a.ar, syncSeq, dataSeq, lens)
+	a.predOff, a.predRef = buildPredIndex(a.ar, syncSeq, dataSeq, lens)
 	return a
 }
 
@@ -182,17 +156,41 @@ func (a *Analysis) vertexIndex(id SubID) (int32, bool) {
 	return a.base[id.Thread] + int32(id.Alpha), true
 }
 
-// succs returns the edge indices leaving dense vertex vi.
-func (a *Analysis) succs(vi int32) []int32 { return a.succEdge[a.succOff[vi]:a.succOff[vi+1]] }
-
-// preds returns the edge indices entering dense vertex vi.
-func (a *Analysis) preds(vi int32) []int32 { return a.predEdge[a.predOff[vi]:a.predOff[vi+1]] }
+// idAt is vertexIndex's inverse: the SubID at dense index vi.
+func (a *Analysis) idAt(vi int32) SubID {
+	t, _ := slices.BinarySearchFunc(a.base[1:], vi, func(b, v int32) int {
+		return int(b) - int(v)
+	})
+	// BinarySearch finds the first t with base[t+1] >= vi; an exact hit
+	// means vi starts the next thread's range.
+	for a.base[t+1] == vi {
+		t++
+	}
+	return SubID{Thread: t, Alpha: uint64(vi - a.base[t])}
+}
 
 // Graph returns the underlying CPG.
 func (a *Analysis) Graph() *Graph { return a.g }
 
-// Edges returns all derived edges.
-func (a *Analysis) Edges() []Edge { return a.edges }
+// Edges returns all derived edges in the canonical order (control, then
+// sync, then data, each section sorted). The flat sequence is
+// materialized lazily on first call and cached; traversals never touch
+// it — only exports and full-sweep consumers pay for it.
+func (a *Analysis) Edges() []Edge {
+	a.flatOnce.Do(func() {
+		syncSeq, dataSeq := canonicalRefSeqs(a.ar, a.succ, a.layers)
+		out := controlEdgesFor(a.lens)
+		out = slices.Grow(out, len(syncSeq)+len(dataSeq))
+		for _, r := range syncSeq {
+			out = append(out, *a.ar.edge(r))
+		}
+		for _, r := range dataSeq {
+			out = append(out, *a.ar.edge(r))
+		}
+		a.flat = out
+	})
+	return a.flat
+}
 
 // Epoch returns the fold number that produced this Analysis: 0 for a
 // batch Analyze, 1.. for successive IncrementalAnalyzer folds. Query
@@ -201,7 +199,7 @@ func (a *Analysis) Edges() []Edge { return a.edges }
 func (a *Analysis) Epoch() uint64 { return a.epoch }
 
 // NumVertices returns the vertex count of the analyzed prefix.
-func (a *Analysis) NumVertices() int { return len(a.ids) }
+func (a *Analysis) NumVertices() int { return int(a.base[len(a.lens)]) }
 
 // Completeness returns the trace-loss summary of the analyzed prefix,
 // snapshotted at construction. Complete=true is the common case.
@@ -245,9 +243,12 @@ func (a *Analysis) gapVerdict(err error, ids ...SubID) error {
 // consumers that must stay consistent with the analysis (stats, exports)
 // read the prefix through it.
 func (a *Analysis) Subs() []*SubComputation {
-	out := make([]*SubComputation, len(a.ids))
-	for i, id := range a.ids {
-		out[i], _ = a.g.Sub(id)
+	out := make([]*SubComputation, 0, a.NumVertices())
+	for t, n := range a.lens {
+		for i := 0; i < n; i++ {
+			sc, _ := a.g.Sub(SubID{Thread: t, Alpha: uint64(i)})
+			out = append(out, sc)
+		}
 	}
 	return out
 }
@@ -263,7 +264,7 @@ func (a *Analysis) ExportJSON(w io.Writer) error {
 	doc := struct {
 		ThreadLens []int  `json:"thread_lens"`
 		Edges      []Edge `json:"edges"`
-	}{ThreadLens: a.lens, Edges: a.edges}
+	}{ThreadLens: a.lens, Edges: a.Edges()}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
@@ -295,11 +296,29 @@ func (a *Analysis) closure(ctx context.Context, id SubID, kinds []EdgeKind, forw
 	if !ok {
 		return nil, nil
 	}
-	seen := make([]bool, len(a.ids))
+	seen := make([]bool, a.NumVertices())
 	seen[start] = true
-	stack := []int32{start}
+	stack := []SubID{id}
 	var out []SubID
+	var runs [][]edgeRef
 	popped := 0
+	visit := func(_ edgeRef, e *Edge) bool {
+		if !kindIn(e.Kind, kinds) {
+			return true
+		}
+		next := e.From
+		if forward {
+			next = e.To
+		}
+		ni, ok := a.vertexIndex(next)
+		if !ok || seen[ni] {
+			return true
+		}
+		seen[ni] = true
+		out = append(out, next)
+		stack = append(stack, next)
+		return true
+	}
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -308,26 +327,10 @@ func (a *Analysis) closure(ctx context.Context, id SubID, kinds []EdgeKind, forw
 				return nil, err
 			}
 		}
-		edgeIdxs := a.preds(cur)
 		if forward {
-			edgeIdxs = a.succs(cur)
-		}
-		for _, ei := range edgeIdxs {
-			e := &a.edges[ei]
-			if !kindIn(e.Kind, kinds) {
-				continue
-			}
-			next := e.From
-			if forward {
-				next = e.To
-			}
-			ni, ok := a.vertexIndex(next)
-			if !ok || seen[ni] {
-				continue
-			}
-			seen[ni] = true
-			out = append(out, next)
-			stack = append(stack, ni)
+			a.visitSuccs(cur, &runs, visit)
+		} else {
+			a.visitPreds(cur, visit)
 		}
 	}
 	sortSubIDs(out)
@@ -383,21 +386,21 @@ func (a *Analysis) PageLineage(p uint64, at SubID) []Lineage {
 // PageLineageCtx is PageLineage with cancellation: the upstream-closure
 // walks stop once the context is done.
 func (a *Analysis) PageLineageCtx(ctx context.Context, p uint64, at SubID) ([]Lineage, error) {
-	vi, ok := a.vertexIndex(at)
-	if !ok {
+	if _, ok := a.vertexIndex(at); !ok {
 		return nil, nil
 	}
 	var out []Lineage
-	for _, ei := range a.preds(vi) {
-		e := &a.edges[ei]
+	var walkErr error
+	a.visitPreds(at, func(_ edgeRef, e *Edge) bool {
 		if e.Kind != EdgeData {
-			continue
+			return true
 		}
 		for _, page := range e.Pages {
 			if page == p {
 				up, err := a.AncestorsCtx(ctx, e.From, EdgeData)
 				if err != nil {
-					return nil, err
+					walkErr = err
+					return false
 				}
 				out = append(out, Lineage{
 					Writer:    e.From,
@@ -408,6 +411,10 @@ func (a *Analysis) PageLineageCtx(ctx context.Context, p uint64, at SubID) ([]Li
 				break
 			}
 		}
+		return true
+	})
+	if walkErr != nil {
+		return nil, walkErr
 	}
 	return out, nil
 }
@@ -445,6 +452,10 @@ func (a *Analysis) Path(from, to SubID, kinds ...EdgeKind) []Edge {
 	return out
 }
 
+// pathUnset marks a vertex BFS has not reached; any other parent value
+// is the edgeRef that first reached it (ctrlRef for a control edge).
+const pathUnset edgeRef = -1
+
 // PathCtx is Path with cancellation: the BFS stops and returns ctx's
 // error once the context is done.
 func (a *Analysis) PathCtx(ctx context.Context, from, to SubID, kinds ...EdgeKind) ([]Edge, error) {
@@ -459,13 +470,14 @@ func (a *Analysis) PathCtx(ctx context.Context, from, to SubID, kinds ...EdgeKin
 	if src == dst {
 		return nil, nil
 	}
-	// BFS forward from src; parentEdge remembers the edge that first
-	// reached each vertex.
-	parentEdge := make([]int32, len(a.ids))
-	for i := range parentEdge {
-		parentEdge[i] = -1
+	// BFS forward from src; parent remembers the edge that first reached
+	// each vertex.
+	parent := make([]edgeRef, a.NumVertices())
+	for i := range parent {
+		parent[i] = pathUnset
 	}
-	queue := []int32{src}
+	queue := []SubID{from}
+	var runs [][]edgeRef
 	found := false
 	popped := 0
 	for len(queue) > 0 && !found {
@@ -476,31 +488,37 @@ func (a *Analysis) PathCtx(ctx context.Context, from, to SubID, kinds ...EdgeKin
 				return nil, err
 			}
 		}
-		for _, ei := range a.succs(cur) {
-			e := &a.edges[ei]
+		a.visitSuccs(cur, &runs, func(ref edgeRef, e *Edge) bool {
 			if !kindIn(e.Kind, kinds) {
-				continue
+				return true
 			}
 			ni, ok := a.vertexIndex(e.To)
-			if !ok || ni == src || parentEdge[ni] >= 0 {
-				continue
+			if !ok || ni == src || parent[ni] != pathUnset {
+				return true
 			}
-			parentEdge[ni] = ei
+			parent[ni] = ref
 			if ni == dst {
 				found = true
-				break
+				return false
 			}
-			queue = append(queue, ni)
-		}
+			queue = append(queue, e.To)
+			return true
+		})
 	}
 	if !found {
 		return nil, nil
 	}
 	var chain []Edge
-	for cur := dst; cur != src; {
-		e := a.edges[parentEdge[cur]]
+	for cur := to; cur != from; {
+		vi, _ := a.vertexIndex(cur)
+		var e Edge
+		if r := parent[vi]; r == ctrlRef {
+			e = Edge{From: SubID{Thread: cur.Thread, Alpha: cur.Alpha - 1}, To: cur, Kind: EdgeControl}
+		} else {
+			e = *a.ar.edge(r)
+		}
 		chain = append(chain, e)
-		cur, _ = a.vertexIndex(e.From)
+		cur = e.From
 	}
 	slices.Reverse(chain)
 	return chain, nil
@@ -542,7 +560,7 @@ func (a *Analysis) VerifyCtx(ctx context.Context) error {
 			}
 		}
 	}
-	for ei, e := range a.edges {
+	for ei, e := range a.Edges() {
 		if ei%cancelCheckEvery == cancelCheckEvery-1 {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -596,12 +614,24 @@ func (a *Analysis) VerifyCtx(ctx context.Context) error {
 	return a.checkAcyclic(ctx)
 }
 
-// checkAcyclic runs Kahn's algorithm over the explicit edge set.
+// checkAcyclic runs Kahn's algorithm over the edge relation: control
+// in-degrees come from the prefix lens, sync and data in-degrees from a
+// direct arena sweep, and the removal wave walks the overlay adjacency.
 func (a *Analysis) checkAcyclic(ctx context.Context) error {
-	n := len(a.ids)
+	n := a.NumVertices()
 	indeg := make([]int32, n)
-	for _, e := range a.edges {
-		if vi, ok := a.vertexIndex(e.To); ok {
+	for t, ln := range a.lens {
+		for i := 1; i < ln; i++ {
+			indeg[a.base[t]+int32(i)]++
+		}
+	}
+	for i := range a.ar.sync {
+		if vi, ok := a.vertexIndex(a.ar.sync[i].To); ok {
+			indeg[vi]++
+		}
+	}
+	for i := range a.ar.data {
+		if vi, ok := a.vertexIndex(a.ar.data[i].To); ok {
 			indeg[vi]++
 		}
 	}
@@ -611,26 +641,29 @@ func (a *Analysis) checkAcyclic(ctx context.Context) error {
 			queue = append(queue, int32(i))
 		}
 	}
+	var runs [][]edgeRef
 	removed := 0
+	var ctxErr error
 	for len(queue) > 0 {
 		cur := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 		removed++
 		if removed%cancelCheckEvery == 0 {
-			if err := ctx.Err(); err != nil {
-				return err
+			if ctxErr = ctx.Err(); ctxErr != nil {
+				return ctxErr
 			}
 		}
-		for _, ei := range a.succs(cur) {
-			vi, ok := a.vertexIndex(a.edges[ei].To)
+		a.visitSuccs(a.idAt(cur), &runs, func(_ edgeRef, e *Edge) bool {
+			vi, ok := a.vertexIndex(e.To)
 			if !ok {
-				continue
+				return true
 			}
 			indeg[vi]--
 			if indeg[vi] == 0 {
 				queue = append(queue, vi)
 			}
-		}
+			return true
+		})
 	}
 	if removed != n {
 		err := fmt.Errorf("core: CPG contains a cycle (%d of %d vertices sorted)", removed, n)

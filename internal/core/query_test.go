@@ -61,9 +61,10 @@ func TestVerifyChecksDataEdgePages(t *testing.T) {
 		t.Fatalf("untampered graph: %v", err)
 	}
 	tampered := false
-	for i := range a.edges {
-		if a.edges[i].Kind == EdgeData {
-			a.edges[i].Pages = append(a.edges[i].Pages, 999)
+	edges := a.Edges()
+	for i := range edges {
+		if edges[i].Kind == EdgeData {
+			edges[i].Pages = append(edges[i].Pages, 999)
 			tampered = true
 			break
 		}
@@ -93,9 +94,10 @@ func TestVerifyChecksVertexSlots(t *testing.T) {
 func TestVerifyRejectsEmptyDataEdge(t *testing.T) {
 	g, _ := buildFigure1(t)
 	a := g.Analyze()
-	for i := range a.edges {
-		if a.edges[i].Kind == EdgeData {
-			a.edges[i].Pages = nil
+	edges := a.Edges()
+	for i := range edges {
+		if edges[i].Kind == EdgeData {
+			edges[i].Pages = nil
 			break
 		}
 	}

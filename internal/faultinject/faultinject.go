@@ -42,7 +42,9 @@ const (
 	WorkloadPanic Point = "panic"
 	// GobCorrupt flips a byte on a wrapped reader (CPG load paths).
 	GobCorrupt Point = "gob-corrupt"
-	// SlowFold delays a live analysis fold.
+	// SlowFold delays a live analysis fold. It fires inside the fold's
+	// data-edge derivation workers (one hit per worker per fold), so a
+	// parallel fold can stall on any subset of its workers.
 	SlowFold Point = "slow-fold"
 	// Crash SIGKILLs the process at a commit boundary (inspector-run
 	// wires it behind -faults; the kill-recover chaos sweep drives it).

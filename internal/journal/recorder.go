@@ -41,6 +41,15 @@ func NewRecorder(g *core.Graph, w *Writer, every int) *Recorder {
 	return &Recorder{inc: core.NewIncrementalAnalyzer(g), w: w, every: uint64(every)}
 }
 
+// SetFoldWorkers caps the fold's data-edge derivation fan-out (0 =
+// GOMAXPROCS, 1 = serial; see core.IncrementalAnalyzer.SetFoldWorkers).
+// Call it before recording starts.
+func (r *Recorder) SetFoldWorkers(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.inc.SetFoldWorkers(n)
+}
+
 // CommitHook returns the callback to pass to RegisterCommitHook.
 func (r *Recorder) CommitHook() func(core.SubID) {
 	return func(core.SubID) {

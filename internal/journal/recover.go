@@ -52,6 +52,10 @@ type RecoverOptions struct {
 	// and everything after it in its segment, plus any later segments.
 	// A subsequent Recover sees a clean (if unsealed) journal.
 	Truncate bool
+	// FoldWorkers caps the replay folds' data-edge derivation fan-out
+	// (0 = GOMAXPROCS, 1 = serial). Replay is equivalent either way; the
+	// knob only trades recovery latency against CPU.
+	FoldWorkers int
 }
 
 // Recovery is the result of replaying a journal.
@@ -326,6 +330,7 @@ scan:
 	// journal gets its truncated gap *before* the final fold.
 	g := core.NewGraph(rep.Header.Threads)
 	inc := core.NewIncrementalAnalyzer(g)
+	inc.SetFoldWorkers(opts.FoldWorkers)
 	mark := !rep.Sealed && (rep.Torn != nil || !rep.Stopped)
 	for i, r := range recs {
 		if err := core.ApplyDelta(g, r.delta); err != nil {

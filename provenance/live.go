@@ -73,8 +73,13 @@ type LiveEngine struct {
 // queryable. The optional foldHooks run before every fold (fault
 // injection; tests).
 func NewLiveEngine(g *core.Graph, opts EngineOptions, foldHooks ...func()) *LiveEngine {
+	inc := core.NewIncrementalAnalyzer(g)
+	inc.SetFoldWorkers(opts.FoldWorkers)
+	if opts.FoldWorkerHook != nil {
+		inc.SetWorkerHook(opts.FoldWorkerHook)
+	}
 	l := &LiveEngine{
-		inc:    core.NewIncrementalAnalyzer(g),
+		inc:    inc,
 		opts:   opts,
 		hooks:  foldHooks,
 		notify: make(chan struct{}, 1),
