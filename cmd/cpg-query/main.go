@@ -1,6 +1,7 @@
 // Command cpg-query runs provenance queries against a Concurrent
-// Provenance Graph saved by inspector-run (gob format), or against a
-// running inspector-serve daemon.
+// Provenance Graph saved by inspector-run (gob format or the columnar
+// on-disk .cpg format, detected by magic), or against a running
+// inspector-serve daemon.
 //
 // Usage:
 //
@@ -11,7 +12,12 @@
 //	cpg-query -cpg run.gob lineage <page> T1.3
 //	cpg-query -cpg run.gob [-format json] edges [control|sync|data]
 //	cpg-query -cpg run.gob [-format json] path T0.0 T1.3
+//	cpg-query -cpg run.gob export run.cpg
 //	cpg-query -remote http://localhost:7070 [-id run] slice T1.3
+//
+// export converts a CPG to the columnar on-disk format that
+// inspector-serve -cpgdir serves with bounded memory; the other
+// subcommands accept either format transparently.
 //
 // path prints one dependency chain between two sub-computations — the
 // "why does B depend on A" debugging query of the paper's §VIII case
@@ -36,10 +42,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
 	"github.com/repro/inspector/internal/core"
+	"github.com/repro/inspector/internal/cpgfile"
 	"github.com/repro/inspector/provenance"
 )
 
@@ -141,7 +149,7 @@ func run(args []string, w io.Writer) error {
 		return &usageError{err: err}
 	}
 	if (*cpgPath == "" && *remote == "") || fs.NArg() < 1 {
-		return usagef("usage: cpg-query {-cpg file.gob | -remote url [-id cpg]} [-format json] <stats|verify|slice|taint|lineage|edges|path> [args]")
+		return usagef("usage: cpg-query {-cpg file.{gob|cpg} | -remote url [-id cpg]} [-format json] <stats|verify|slice|taint|lineage|edges|path|export> [args]")
 	}
 	asJSON := false
 	switch *format {
@@ -150,6 +158,16 @@ func run(args []string, w io.Writer) error {
 		asJSON = true
 	default:
 		return usagef("unknown format %q (want text or json)", *format)
+	}
+
+	if fs.Arg(0) == "export" {
+		if *remote != "" {
+			return usagef("export converts a local file; use -cpg, not -remote")
+		}
+		if fs.NArg() != 2 {
+			return usagef("usage: cpg-query -cpg in.gob export <out.cpg>")
+		}
+		return runExport(*cpgPath, fs.Arg(1), w)
 	}
 
 	q, err := buildQuery(fs.Arg(0), fs.Args()[1:])
@@ -227,19 +245,56 @@ func buildQuery(cmd string, args []string) (provenance.Query, error) {
 	}
 }
 
-// runLocal executes the query in process over a gob file.
+// runLocal executes the query in process over a local CPG file of
+// either format.
 func runLocal(ctx context.Context, cpgPath string, q provenance.Query) (*provenance.Result, error) {
+	a, err := loadLocalAnalysis(cpgPath)
+	if err != nil {
+		return nil, err
+	}
+	eng := provenance.NewEngine(a, provenance.EngineOptions{})
+	return eng.Execute(ctx, q)
+}
+
+// loadLocalAnalysis opens a local CPG of either format, sniffing the
+// 8-byte magic: the columnar on-disk format decodes directly, anything
+// else is treated as an inspector-run gob.
+func loadLocalAnalysis(cpgPath string) (*core.Analysis, error) {
 	f, err := os.Open(cpgPath)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
+	magic := make([]byte, len(cpgfile.Magic))
+	if n, _ := io.ReadFull(f, magic); n == len(magic) && string(magic) == cpgfile.Magic {
+		a, _, err := cpgfile.Load(cpgPath)
+		return a, err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
 	g, err := core.DecodeGob(f)
 	if err != nil {
 		return nil, err
 	}
-	eng := provenance.NewEngine(g.Analyze(), provenance.EngineOptions{})
-	return eng.Execute(ctx, q)
+	return g.Analyze(), nil
+}
+
+// runExport converts a local CPG (gob or columnar) to the columnar
+// on-disk format — the archival step between inspector-run -cpg and
+// inspector-serve -cpgdir.
+func runExport(cpgPath, outPath string, w io.Writer) error {
+	a, err := loadLocalAnalysis(cpgPath)
+	if err != nil {
+		return err
+	}
+	base := filepath.Base(cpgPath)
+	meta := cpgfile.Meta{RunID: strings.TrimSuffix(base, filepath.Ext(base))}
+	if err := cpgfile.Write(outPath, a, meta); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote CPG file: %s\n", outPath)
+	return nil
 }
 
 // runRemote sends the query to an inspector-serve daemon, following the

@@ -22,13 +22,20 @@ type benchCase struct {
 	fn    func(b *testing.B)
 }
 
-// benchResult is one benchmark row of a BENCH_*.json snapshot.
+// benchResult is one benchmark row of a BENCH_*.json snapshot. The
+// latency-distribution fields are present only on rows whose scenario
+// reports them (the Store/* rows via b.ReportMetric).
 type benchResult struct {
 	Name        string  `json:"name"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	MBPerSec    float64 `json:"mb_per_s,omitempty"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	P50Ns       float64 `json:"p50_ns,omitempty"`
+	P99Ns       float64 `json:"p99_ns,omitempty"`
+	// ResidentBytes is the store's decoded-graph estimate at the end of
+	// the run — the number the resident budget bounds.
+	ResidentBytes int64 `json:"resident_bytes,omitempty"`
 }
 
 // benchSnapshot is the BENCH_*.json document. Baseline carries the
@@ -82,6 +89,9 @@ func runBenchSnapshot(w io.Writer, outPath, baselinePath, schema string, pageSiz
 		if c.bytes > 0 && res.T > 0 {
 			row.MBPerSec = float64(c.bytes) * float64(res.N) / 1e6 / res.T.Seconds()
 		}
+		row.P50Ns = res.Extra["p50_ns"]
+		row.P99Ns = res.Extra["p99_ns"]
+		row.ResidentBytes = int64(res.Extra["resident_B"])
 		snap.Benchmarks = append(snap.Benchmarks, row)
 		fmt.Fprintf(w, "%-20s %12.1f ns/op %8d B/op %6d allocs/op\n",
 			c.name, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp)

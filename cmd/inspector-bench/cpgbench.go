@@ -4,9 +4,11 @@ package main
 // Provenance Graph core — the EndSub append path (serial and contended),
 // the indexed data-edge derivation, analysis construction, wide slices,
 // invariant checking, and the page-set hot path — plus the provenance
-// query engine (slice and taint, serial and 8-way parallel). The
-// scenario bodies live in internal/core/cpgbench and
-// provenance/enginebench — shared verbatim with those packages' go-test
+// query engine (slice and taint, serial and 8-way parallel) and the
+// bounded-memory CPG store (cold decode-under-eviction vs warm
+// result-cache hits over 16- and 256-file fleets). The scenario bodies
+// live in internal/core/cpgbench, provenance/enginebench, and
+// provenance/storebench — shared verbatim with those packages' go-test
 // suites — and the snapshot goes through the same baseline-carrying
 // plumbing as the mem and pt experiments (benchsnap.go). The committed
 // baseline is the pre-columnar core (global RWMutex, map page sets,
@@ -20,6 +22,7 @@ import (
 
 	"github.com/repro/inspector/internal/core/cpgbench"
 	"github.com/repro/inspector/provenance/enginebench"
+	"github.com/repro/inspector/provenance/storebench"
 )
 
 // cpgBenchSchema versions the BENCH_cpg.json format.
@@ -47,6 +50,13 @@ func runCPGBench(w io.Writer, outPath, baselinePath string) error {
 		cases = append(cases, benchCase{name: c.Name, bytes: c.Bytes, fn: c.Fn})
 	}
 	for _, c := range enginebench.Cases() {
+		cases = append(cases, benchCase{name: c.Name, bytes: c.Bytes, fn: c.Fn})
+	}
+	// The Store rows (cold decode-under-eviction vs warm result-cache
+	// hit over 16- and 256-file fleets) likewise have no baseline
+	// counterpart: before the on-disk columnar format existed, serving a
+	// directory of CPGs meant eagerly decoding every gob up front.
+	for _, c := range storebench.Cases() {
 		cases = append(cases, benchCase{name: c.Name, bytes: c.Bytes, fn: c.Fn})
 	}
 	return runBenchSnapshot(w, outPath, baselinePath, cpgBenchSchema, 0, cases)

@@ -10,8 +10,9 @@
 // Usage:
 //
 //	inspector-run -app histogram [-native] [-threads 4] [-size medium]
-//	              [-cpg out.gob] [-dot out.dot] [-json out.json]
-//	              [-decode] [-verify] [-live-stats] [-seed 1]
+//	              [-cpg out.gob] [-cpgfile out.cpg] [-dot out.dot]
+//	              [-json out.json] [-decode] [-verify] [-live-stats]
+//	              [-seed 1]
 //
 // -live-stats turns on the live analysis pipeline for the run: the CPG
 // is folded into queryable epochs while the workload executes, progress
@@ -48,6 +49,7 @@ import (
 
 	"github.com/repro/inspector/internal/atomicio"
 	"github.com/repro/inspector/internal/core"
+	"github.com/repro/inspector/internal/cpgfile"
 	"github.com/repro/inspector/internal/faultinject"
 	"github.com/repro/inspector/internal/journal"
 	"github.com/repro/inspector/internal/threading"
@@ -71,6 +73,7 @@ func run(args []string) error {
 	sizeFlag := fs.String("size", "medium", "input size: small|medium|large")
 	seed := fs.Int64("seed", 1, "input generation seed")
 	cpgOut := fs.String("cpg", "", "write the CPG (gob) to this file")
+	cpgfileOut := fs.String("cpgfile", "", "write the CPG in the columnar on-disk format (inspector-serve -cpgdir, cpg-query) to this file")
 	dotOut := fs.String("dot", "", "write the CPG (Graphviz DOT) to this file")
 	jsonOut := fs.String("json", "", "write the CPG (JSON) to this file")
 	perfOut := fs.String("perfdata", "", "write the perf session (for pt-dump) to this file")
@@ -301,6 +304,20 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("wrote CPG:        %s\n", *cpgOut)
+	}
+	if *cpgfileOut != "" {
+		meta := cpgfile.Meta{
+			RunID: fmt.Sprintf("%s-t%d-s%d", *app, *threads, *seed),
+			App:   *app,
+		}
+		analysis := rt.Graph().Analyze()
+		err := writeFile(*cpgfileOut, func(w io.Writer) error {
+			return cpgfile.Encode(w, analysis, meta)
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote CPG file:   %s\n", *cpgfileOut)
 	}
 	if *dotOut != "" {
 		if err := writeFile(*dotOut, rt.Graph().WriteDOT); err != nil {

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	inspector-serve -cpg run.gob [-cpg other.gob] [-addr :7070]
+//	inspector-serve -cpgdir cpgs/ [-resident-budget 67108864] [-result-cache 1024]
 //	inspector-serve -workload histogram [-threads 4] [-size small] [-seed 1]
 //	inspector-serve -workload histogram -live [-live-slowdown 10ms]
 //
@@ -16,7 +17,15 @@
 //
 // Each -cpg file is served under the id of its base name without the
 // extension (run.gob -> "run"); -workload serves under the workload
-// name. -timeout bounds each request's graph traversal (the deadline
+// name. -cpgdir serves every *.cpg file in a directory (the columnar
+// format written by inspector-run -cpgfile or cpg-query export) without
+// loading them up front: files are mmapped, listed from their stats
+// sections, decoded only when queried, and evicted LRU once the decoded
+// graphs exceed -resident-budget bytes — thousands of CPGs serve under
+// a fixed memory ceiling. Repeated queries are answered from a
+// content-addressed result cache (-result-cache entries); GET /v1/store
+// reports hit/miss/eviction counters. -timeout bounds each request's
+// graph traversal (the deadline
 // cancels the traversal inside the engine, not just the response), and
 // -max-results caps any single result page — clients follow the
 // next_cursor contract for the rest.
@@ -85,6 +94,9 @@ func run(args []string) error {
 	fs.Var(&cpgPaths, "cpg", "CPG gob file to serve (repeatable)")
 	var journalDirs multiFlag
 	fs.Var(&journalDirs, "journal", "write-ahead journal directory to recover and serve (repeatable; id = directory basename)")
+	cpgDir := fs.String("cpgdir", "", "directory of columnar .cpg files to serve lazily with bounded memory (id = file basename)")
+	residentBudget := fs.Int64("resident-budget", 64<<20, "with -cpgdir: max estimated bytes of decoded graphs resident at once (0 = unlimited)")
+	resultCache := fs.Int("result-cache", 0, "with -cpgdir: query result cache capacity in entries (0 = default 1024, negative = disabled)")
 	workload := fs.String("workload", "", "record this workload at startup and serve its CPG")
 	threads := fs.Int("threads", 4, "worker thread count for -workload")
 	sizeFlag := fs.String("size", "small", "input size for -workload: small|medium|large")
@@ -123,7 +135,8 @@ func run(args []string) error {
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
 	defer signal.Stop(sig)
 	build := func() (*provenance.Server, func(), error) {
-		return buildServer(cpgPaths, journalDirs, *workload, *threads, *sizeFlag, *seed, *live, *liveSlowdown, *lenient,
+		return buildServer(cpgPaths, journalDirs, *cpgDir, *residentBudget, *resultCache,
+			*workload, *threads, *sizeFlag, *seed, *live, *liveSlowdown, *lenient,
 			provenance.ServerOptions{Timeout: *timeout, MaxInflight: *maxInflight},
 			provenance.EngineOptions{MaxResults: *maxResults, FoldWorkers: *foldWorkers})
 	}
@@ -208,10 +221,34 @@ func serve(ln net.Listener, build func() (*provenance.Server, func(), error),
 // A corrupt or truncated gob file fails startup with the offending path
 // named; with lenient it is logged and skipped so the healthy graphs
 // still serve.
-func buildServer(cpgPaths, journalDirs []string, workload string, threads int, sizeFlag string, seed int64,
+func buildServer(cpgPaths, journalDirs []string, cpgDir string, residentBudget int64, resultCache int,
+	workload string, threads int, sizeFlag string, seed int64,
 	live bool, liveSlowdown time.Duration, lenient bool,
 	sopts provenance.ServerOptions, eopts provenance.EngineOptions) (*provenance.Server, func(), error) {
 	sources := map[string]provenance.EngineSource{}
+	if cpgDir != "" {
+		store, err := provenance.OpenDir(cpgDir, provenance.StoreOptions{
+			ResidentBudget:      residentBudget,
+			ResultCacheCapacity: resultCache,
+			Engine:              eopts,
+			Lenient:             lenient,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "inspector-serve: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		for id, src := range store.Sources() {
+			if _, dup := sources[id]; dup {
+				return nil, nil, fmt.Errorf("duplicate cpg id %q (from %s)", id, cpgDir)
+			}
+			sources[id] = src
+		}
+		sopts.Store = store
+		fmt.Fprintf(os.Stderr, "inspector-serve: cpgdir %s: serving %d CPG files lazily (resident budget %d bytes)\n",
+			cpgDir, store.Len(), residentBudget)
+	}
 	for _, dir := range journalDirs {
 		id := filepath.Base(filepath.Clean(dir))
 		if _, dup := sources[id]; dup {
@@ -290,7 +327,7 @@ func buildServer(cpgPaths, journalDirs []string, workload string, threads int, s
 		}
 	}
 	if len(sources) == 0 {
-		return nil, nil, fmt.Errorf("nothing to serve (need -cpg or -workload)")
+		return nil, nil, fmt.Errorf("nothing to serve (need -cpg, -cpgdir, -journal, or -workload)")
 	}
 	return provenance.NewServerSources(sources, sopts), start, nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"github.com/repro/inspector/internal/core"
+	"github.com/repro/inspector/internal/cpgfile"
 	"github.com/repro/inspector/internal/journal"
 	"github.com/repro/inspector/provenance"
 )
@@ -69,7 +71,7 @@ func TestBuildServerFromGobs(t *testing.T) {
 	writeGob(t, a)
 	writeGob(t, b)
 
-	srv, _, err := buildServer([]string{a, b}, nil, "", 0, "", 0, false, 0, false,
+	srv, _, err := buildServer([]string{a, b}, nil, "", 0, 0, "", 0, "", 0, false, 0, false,
 		provenance.ServerOptions{}, provenance.EngineOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -93,12 +95,64 @@ func TestBuildServerFromGobs(t *testing.T) {
 	}
 }
 
+// TestBuildServerFromCPGDir pins the -cpgdir path: columnar files served
+// lazily through the Store, with /v1/store reporting cache counters and
+// query answers matching the eager gob path.
+func TestBuildServerFromCPGDir(t *testing.T) {
+	dir := t.TempDir()
+	a := buildGraph(t).Analyze()
+	for _, id := range []string{"alpha", "beta"} {
+		if err := cpgfile.Write(filepath.Join(dir, id+".cpg"), a, cpgfile.Meta{RunID: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv, _, err := buildServer(nil, nil, dir, 1<<20, 0, "", 0, "", 0, false, 0, false,
+		provenance.ServerOptions{}, provenance.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := srv.IDs()
+	if len(ids) != 2 || ids[0] != "alpha" || ids[1] != "beta" {
+		t.Fatalf("ids = %v", ids)
+	}
+
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := &provenance.Client{BaseURL: ts.URL}
+	for i := 0; i < 2; i++ { // second round hits the result cache
+		res, err := c.Query(context.Background(), "alpha", provenance.Query{
+			Kind: provenance.KindTaint, Target: "T0.0",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.IDs) == 0 {
+			t.Error("no taint flow served from cpgdir-loaded graph")
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st provenance.StoreStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.CPGs != 2 {
+		t.Errorf("/v1/store cpgs = %d, want 2", st.CPGs)
+	}
+	if st.ResultCache.Hits == 0 {
+		t.Errorf("repeated query did not hit the result cache: %+v", st.ResultCache)
+	}
+}
+
 func TestBuildServerErrors(t *testing.T) {
 	dir := t.TempDir()
 	a := filepath.Join(dir, "x.gob")
 	writeGob(t, a)
 
-	if _, _, err := buildServer(nil, nil, "", 0, "", 0, false, 0, false,
+	if _, _, err := buildServer(nil, nil, "", 0, 0, "", 0, "", 0, false, 0, false,
 		provenance.ServerOptions{}, provenance.EngineOptions{}); err == nil {
 		t.Error("empty server accepted")
 	}
@@ -109,21 +163,21 @@ func TestBuildServerErrors(t *testing.T) {
 	}
 	b := filepath.Join(sub, "x.gob")
 	writeGob(t, b)
-	if _, _, err := buildServer([]string{a, b}, nil, "", 0, "", 0, false, 0, false,
+	if _, _, err := buildServer([]string{a, b}, nil, "", 0, 0, "", 0, "", 0, false, 0, false,
 		provenance.ServerOptions{}, provenance.EngineOptions{}); err == nil {
 		t.Error("duplicate ids accepted")
 	}
 	// Missing file.
-	if _, _, err := buildServer([]string{filepath.Join(dir, "absent.gob")}, nil, "", 0, "", 0, false, 0, false,
+	if _, _, err := buildServer([]string{filepath.Join(dir, "absent.gob")}, nil, "", 0, 0, "", 0, "", 0, false, 0, false,
 		provenance.ServerOptions{}, provenance.EngineOptions{}); err == nil {
 		t.Error("missing file accepted")
 	}
 	// Unknown workload and size.
-	if _, _, err := buildServer(nil, nil, "not-a-workload", 1, "small", 1, false, 0, false,
+	if _, _, err := buildServer(nil, nil, "", 0, 0, "not-a-workload", 1, "small", 1, false, 0, false,
 		provenance.ServerOptions{}, provenance.EngineOptions{}); err == nil {
 		t.Error("unknown workload accepted")
 	}
-	if _, _, err := buildServer(nil, nil, "histogram", 1, "gigantic", 1, false, 0, false,
+	if _, _, err := buildServer(nil, nil, "", 0, 0, "histogram", 1, "gigantic", 1, false, 0, false,
 		provenance.ServerOptions{}, provenance.EngineOptions{}); err == nil {
 		t.Error("unknown size accepted")
 	}
@@ -133,7 +187,7 @@ func TestBuildServerFromWorkload(t *testing.T) {
 	if testing.Short() {
 		t.Skip("records a workload")
 	}
-	srv, start, err := buildServer(nil, nil, "histogram", 2, "small", 1, false, 0, false,
+	srv, start, err := buildServer(nil, nil, "", 0, 0, "histogram", 2, "small", 1, false, 0, false,
 		provenance.ServerOptions{Timeout: 10 * time.Second},
 		provenance.EngineOptions{MaxResults: 100})
 	if err != nil {
@@ -182,7 +236,7 @@ func TestBuildServerLiveWorkload(t *testing.T) {
 	if testing.Short() {
 		t.Skip("records a workload")
 	}
-	srv, start, err := buildServer(nil, nil, "histogram", 2, "small", 1, true, 500*time.Microsecond, false,
+	srv, start, err := buildServer(nil, nil, "", 0, 0, "histogram", 2, "small", 1, true, 500*time.Microsecond, false,
 		provenance.ServerOptions{Timeout: 10 * time.Second},
 		provenance.EngineOptions{})
 	if err != nil {
@@ -238,7 +292,7 @@ func TestBuildServerLiveWorkload(t *testing.T) {
 	}
 	// The final epoch must agree with a post-mortem rebuild of the same
 	// deterministic workload.
-	post, _, err := buildServer(nil, nil, "histogram", 2, "small", 1, false, 0, false,
+	post, _, err := buildServer(nil, nil, "", 0, 0, "histogram", 2, "small", 1, false, 0, false,
 		provenance.ServerOptions{}, provenance.EngineOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -271,7 +325,7 @@ func TestCorruptGobRefused(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	_, _, err = buildServer([]string{good, bad}, nil, "", 0, "", 0, false, 0, false,
+	_, _, err = buildServer([]string{good, bad}, nil, "", 0, 0, "", 0, "", 0, false, 0, false,
 		provenance.ServerOptions{}, provenance.EngineOptions{})
 	if err == nil {
 		t.Fatal("truncated gob accepted")
@@ -280,7 +334,7 @@ func TestCorruptGobRefused(t *testing.T) {
 		t.Errorf("error does not name the broken file: %v", err)
 	}
 
-	srv, _, err := buildServer([]string{good, bad}, nil, "", 0, "", 0, false, 0, true,
+	srv, _, err := buildServer([]string{good, bad}, nil, "", 0, 0, "", 0, "", 0, false, 0, true,
 		provenance.ServerOptions{}, provenance.EngineOptions{})
 	if err != nil {
 		t.Fatalf("-lenient still refused: %v", err)
@@ -472,7 +526,7 @@ func TestBuildServerFromJournal(t *testing.T) {
 	jdir := filepath.Join(dir, "crashed-run")
 	writeJournalDir(t, jdir)
 
-	srv, _, err := buildServer(nil, []string{jdir}, "", 0, "", 0, false, 0, false,
+	srv, _, err := buildServer(nil, []string{jdir}, "", 0, 0, "", 0, "", 0, false, 0, false,
 		provenance.ServerOptions{}, provenance.EngineOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -494,11 +548,11 @@ func TestBuildServerFromJournal(t *testing.T) {
 	}
 
 	// A bad journal dir fails startup strictly, and is skipped leniently.
-	if _, _, err := buildServer(nil, []string{jdir, t.TempDir()}, "", 0, "", 0, false, 0, false,
+	if _, _, err := buildServer(nil, []string{jdir, t.TempDir()}, "", 0, 0, "", 0, "", 0, false, 0, false,
 		provenance.ServerOptions{}, provenance.EngineOptions{}); err == nil {
 		t.Error("unrecoverable journal accepted without -lenient")
 	}
-	if srv2, _, err := buildServer(nil, []string{jdir, t.TempDir()}, "", 0, "", 0, false, 0, true,
+	if srv2, _, err := buildServer(nil, []string{jdir, t.TempDir()}, "", 0, 0, "", 0, "", 0, false, 0, true,
 		provenance.ServerOptions{}, provenance.EngineOptions{}); err != nil {
 		t.Errorf("-lenient did not skip the bad journal: %v", err)
 	} else if len(srv2.IDs()) != 1 {

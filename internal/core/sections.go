@@ -1,0 +1,116 @@
+package core
+
+// The on-disk CPG format (internal/cpgfile) serializes an Analysis as
+// columnar sections — vertices, sync/data adjacency, gaps — and loads
+// them back without re-deriving anything. This file is the exported
+// surface that makes the round trip possible from outside the package:
+// extracting the canonical sections of an Analysis, appending restored
+// vertices and sync-edge log entries to a Graph, and assembling an
+// Analysis directly over pre-derived sections (the load-side mirror of
+// newAnalysis, which batch Analyze and the incremental fold share).
+
+import "fmt"
+
+// ThreadLens returns the per-thread vertex counts of the analyzed
+// prefix — the dense-index layout serializers persist alongside the
+// edge sections.
+func (a *Analysis) ThreadLens() []int {
+	out := make([]int, len(a.lens))
+	copy(out, a.lens)
+	return out
+}
+
+// EdgeSections returns the canonical sync and data edge sections of the
+// analysis, each in the canonical sorted order. Together with the
+// control edges (fully determined by ThreadLens and never stored) they
+// reproduce exactly the sequence Edges returns. Both slices are fresh
+// copies the caller may keep.
+func (a *Analysis) EdgeSections() (syncEdges, dataEdges []Edge) {
+	syncSeq, dataSeq := canonicalRefSeqs(a.ar, a.succ, a.layers)
+	syncEdges = make([]Edge, 0, len(syncSeq))
+	for _, r := range syncSeq {
+		syncEdges = append(syncEdges, *a.ar.edge(r))
+	}
+	dataEdges = make([]Edge, 0, len(dataSeq))
+	for _, r := range dataSeq {
+		dataEdges = append(dataEdges, *a.ar.edge(r))
+	}
+	return syncEdges, dataEdges
+}
+
+// AppendSub appends a restored sub-computation to its thread's shard —
+// the deserialization mirror of the EndSub append path. Alphas must
+// arrive dense and in order per thread, exactly as FromDump feeds them.
+func (g *Graph) AppendSub(sc *SubComputation) error { return g.add(sc) }
+
+// RestoreSyncEdge re-records a release -> acquire schedule dependency in
+// the acquiring thread's edge log (deserialization path; the object ref
+// must come from this graph's interner).
+func (g *Graph) RestoreSyncEdge(from, to SubID, object ObjRef) {
+	g.addSyncEdge(from, to, object)
+}
+
+// PageSetFromSorted builds a PageSet from pages in strictly ascending
+// order — the deserialization fast path, exported for section decoders.
+// Non-ascending input is rejected rather than repaired: on-disk sections
+// are canonical by construction, so disorder means corruption.
+func PageSetFromSorted(pages []uint64) (PageSet, error) {
+	for i := 1; i < len(pages); i++ {
+		if pages[i] <= pages[i-1] {
+			return PageSet{}, fmt.Errorf("core: pages not strictly ascending at index %d", i)
+		}
+	}
+	return pageSetFromSorted(pages), nil
+}
+
+// EdgeCanonicalLess reports the canonical edge order — (From, To,
+// Kind, Object) — exported so section decoders can validate stored
+// order themselves and name the offending section in their errors.
+func EdgeCanonicalLess(a, b Edge) bool { return edgeLess(a, b) }
+
+// NewAnalysisFromSections assembles a sealed Analysis over pre-derived
+// canonical edge sections, skipping derivation entirely — the load path
+// for on-disk CPGs, whose data edges were derived once at write time.
+// lens must cover exactly the graph's recorded prefix, and both edge
+// sections must be canonically sorted with every endpoint inside the
+// prefix; violations are corruption and fail loudly rather than
+// producing an index that silently mis-answers queries. Completeness
+// comes from the graph's recorded gaps, as in every other construction
+// path.
+func NewAnalysisFromSections(g *Graph, lens []int, epoch uint64, syncEdges, dataEdges []Edge) (*Analysis, error) {
+	if len(lens) != g.Threads() {
+		return nil, fmt.Errorf("core: section lens cover %d threads, graph has %d", len(lens), g.Threads())
+	}
+	for t, n := range lens {
+		if n < 0 || n != g.shardLen(t) {
+			return nil, fmt.Errorf("core: section len %d for thread %d, graph holds %d vertices",
+				n, t, g.shardLen(t))
+		}
+	}
+	if err := checkSection("sync", syncEdges, EdgeSync, lens); err != nil {
+		return nil, err
+	}
+	if err := checkSection("data", dataEdges, EdgeData, lens); err != nil {
+		return nil, err
+	}
+	return newAnalysis(g, syncEdges, dataEdges, lens, epoch), nil
+}
+
+// checkSection validates one stored edge section: uniform kind,
+// canonical order, endpoints inside the prefix.
+func checkSection(name string, edges []Edge, kind EdgeKind, lens []int) error {
+	for i := range edges {
+		e := &edges[i]
+		if e.Kind != kind {
+			return fmt.Errorf("core: %s section edge %d has kind %v", name, i, e.Kind)
+		}
+		if !subInPrefix(e.From, lens) || !subInPrefix(e.To, lens) {
+			return fmt.Errorf("core: %s section edge %d (%v -> %v) outside the vertex prefix",
+				name, i, e.From, e.To)
+		}
+		if i > 0 && edgeLess(*e, edges[i-1]) {
+			return fmt.Errorf("core: %s section out of canonical order at edge %d", name, i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,312 @@
+package cpgfile
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/repro/inspector/internal/core"
+	"github.com/repro/inspector/internal/core/cpgbench"
+)
+
+// buildAnalysis produces a deterministic analysis to serialize,
+// optionally degraded by recorded gaps.
+func buildAnalysis(t *testing.T, seed int64, degraded bool) *core.Analysis {
+	t.Helper()
+	g := cpgbench.BuildRandomGraph(4, 200, 64, 8, seed)
+	if degraded {
+		g.AddGap(1, core.Gap{FromAlpha: 2, ToAlpha: 5, Kind: core.GapAuxLoss, Bytes: 128})
+		g.AddGap(3, core.Gap{FromAlpha: 0, ToAlpha: 1, Kind: core.GapTruncated})
+	}
+	return g.Analyze()
+}
+
+// exportJSON renders the canonical analysis document.
+func exportJSON(t *testing.T, a *core.Analysis) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := a.ExportJSON(&buf); err != nil {
+		t.Fatalf("ExportJSON: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// writeTemp serializes the analysis to a temp file and returns its path.
+func writeTemp(t *testing.T, a *core.Analysis, meta Meta) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.cpg")
+	if err := Write(path, a, meta); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	return path
+}
+
+func TestRoundTripLoad(t *testing.T) {
+	for _, degraded := range []bool{false, true} {
+		a := buildAnalysis(t, 1, degraded)
+		meta := Meta{RunID: "run-1", App: "histogram"}
+		path := writeTemp(t, a, meta)
+
+		got, hdr, err := Load(path)
+		if err != nil {
+			t.Fatalf("Load (degraded=%v): %v", degraded, err)
+		}
+		if hdr.RunID != meta.RunID || hdr.App != meta.App {
+			t.Fatalf("header meta = %q/%q, want %q/%q", hdr.RunID, hdr.App, meta.RunID, meta.App)
+		}
+		if hdr.Threads != 4 || hdr.Epoch != a.Epoch() || hdr.Degraded != degraded {
+			t.Fatalf("header = %+v", hdr)
+		}
+		if want, have := exportJSON(t, a), exportJSON(t, got); !bytes.Equal(want, have) {
+			t.Fatalf("degraded=%v: loaded analysis exports different document", degraded)
+		}
+		if got.Degraded() != degraded {
+			t.Fatalf("loaded Degraded = %v, want %v", got.Degraded(), degraded)
+		}
+		if degraded {
+			if c := got.Completeness(); c.GapIntervals != 2 || c.LostBytes != 128 {
+				t.Fatalf("loaded completeness = %+v", c)
+			}
+		}
+		if err := got.Verify(); err != nil {
+			t.Fatalf("loaded analysis fails verification: %v", err)
+		}
+	}
+}
+
+func TestMappedLazyAndDrop(t *testing.T) {
+	a := buildAnalysis(t, 2, true)
+	path := writeTemp(t, a, Meta{RunID: "r", App: "a"})
+
+	m, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer m.Close()
+	if err := m.VerifyChecksums(); err != nil {
+		t.Fatalf("VerifyChecksums: %v", err)
+	}
+	st, err := m.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.SubComputations == 0 || st.GapIntervals != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	got, n, err := m.Analysis()
+	if err != nil {
+		t.Fatalf("Analysis: %v", err)
+	}
+	if n <= 0 {
+		t.Fatalf("footprint = %d, want > 0", n)
+	}
+	if got2, n2, _ := m.Analysis(); got2 != got || n2 != n {
+		t.Fatal("second Analysis call did not return the cached value")
+	}
+	want := exportJSON(t, a)
+	if !bytes.Equal(want, exportJSON(t, got)) {
+		t.Fatal("mapped analysis exports different document")
+	}
+	// Stats section must agree with the engine-visible counts.
+	if st.SubComputations != got.NumVertices() {
+		t.Fatalf("stats subs = %d, analysis has %d", st.SubComputations, got.NumVertices())
+	}
+
+	if freed := m.Drop(); freed != n {
+		t.Fatalf("Drop freed %d, footprint was %d", freed, n)
+	}
+	// The old analysis stays valid after Drop and Close; the next
+	// Analysis call re-materializes an equal one.
+	got3, _, err := m.Analysis()
+	if err != nil {
+		t.Fatalf("Analysis after Drop: %v", err)
+	}
+	if got3 == got {
+		t.Fatal("Drop did not discard the cached analysis")
+	}
+	if !bytes.Equal(want, exportJSON(t, got3)) {
+		t.Fatal("re-materialized analysis exports different document")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if !bytes.Equal(want, exportJSON(t, got)) {
+		t.Fatal("analysis invalidated by Close")
+	}
+}
+
+// TestMappedConcurrentReaders shares one Mapped across goroutines that
+// materialize, export, and drop concurrently (meaningful under -race).
+// Every reader must see a complete, correct analysis no matter how Drop
+// interleaves with Analysis.
+func TestMappedConcurrentReaders(t *testing.T) {
+	a := buildAnalysis(t, 5, true)
+	want := exportJSON(t, a)
+	path := writeTemp(t, a, Meta{RunID: "r"})
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 16)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				got, n, err := m.Analysis()
+				if err != nil {
+					errc <- err
+					return
+				}
+				if n <= 0 {
+					errc <- fmt.Errorf("footprint = %d", n)
+					return
+				}
+				var buf bytes.Buffer
+				if err := got.ExportJSON(&buf); err != nil {
+					errc <- err
+					return
+				}
+				if !bytes.Equal(want, buf.Bytes()) {
+					errc <- fmt.Errorf("worker %d iter %d: export drifted", w, i)
+					return
+				}
+				if i%3 == w%3 {
+					m.Drop()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+func TestContentHashStable(t *testing.T) {
+	a := buildAnalysis(t, 3, false)
+	var one, two bytes.Buffer
+	if err := Encode(&one, a, Meta{RunID: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Encode(&two, a, Meta{RunID: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one.Bytes(), two.Bytes()) {
+		t.Fatal("encoding is not deterministic")
+	}
+	if err := Encode(&two, a, Meta{RunID: "y"}); err != nil {
+		t.Fatal(err)
+	}
+	p1 := filepath.Join(t.TempDir(), "a.cpg")
+	if err := os.WriteFile(p1, one.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.ContentHash() != m.ContentHash() {
+		t.Fatal("hash not stable")
+	}
+}
+
+func TestCorruptionIsTypedAndNamed(t *testing.T) {
+	a := buildAnalysis(t, 4, true)
+	var buf bytes.Buffer
+	if err := Encode(&buf, a, Meta{RunID: "r"}); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	dir := t.TempDir()
+
+	load := func(t *testing.T, b []byte) error {
+		path := filepath.Join(dir, "c.cpg")
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, _, err := Load(path)
+		return err
+	}
+
+	t.Run("bad magic", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[0] ^= 0xFF
+		if err := load(t, b); !errors.Is(err, ErrBadMagic) {
+			t.Fatalf("err = %v, want ErrBadMagic", err)
+		}
+	})
+	t.Run("future version", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[len(Magic)] = 99
+		if err := load(t, b); !errors.Is(err, ErrBadVersion) {
+			t.Fatalf("err = %v, want ErrBadVersion", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for _, cut := range []int{1, preambleLen, len(good) / 2, len(good) - 1} {
+			err := load(t, good[:cut])
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("cut=%d: err = %v, want *CorruptError", cut, err)
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("cut=%d: not ErrCorrupt", cut)
+			}
+		}
+	})
+	t.Run("bit flips name a section", func(t *testing.T) {
+		flipped := 0
+		for off := preambleLen; off < len(good); off += 31 {
+			b := append([]byte(nil), good...)
+			b[off] ^= 0x40
+			err := load(t, b)
+			if err == nil {
+				// A flip inside a section must fail its CRC; only a
+				// flip that CRC-compensates could pass, and single-bit
+				// flips cannot.
+				t.Fatalf("flip at %d: corruption not detected", off)
+			}
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("flip at %d: err = %v, want *CorruptError", off, err)
+			}
+			if ce.Section == "" {
+				t.Fatalf("flip at %d: error does not name a section", off)
+			}
+			flipped++
+		}
+		if flipped == 0 {
+			t.Fatal("no offsets exercised")
+		}
+	})
+	t.Run("verify checksums catches section damage", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[len(b)-2] ^= 0x10
+		path := filepath.Join(dir, "v.cpg")
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		m, err := Open(path)
+		if err != nil {
+			t.Fatalf("Open should defer section checks, got %v", err)
+		}
+		defer m.Close()
+		err = m.VerifyChecksums()
+		var ce *CorruptError
+		if !errors.As(err, &ce) || !strings.Contains(ce.Section, "stats") {
+			t.Fatalf("VerifyChecksums = %v, want corrupt stats section", err)
+		}
+	})
+}

@@ -1,0 +1,252 @@
+package cpgfile
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+
+	"github.com/repro/inspector/internal/atomicio"
+	"github.com/repro/inspector/internal/core"
+)
+
+// preambleLen is the fixed prefix before the header payload: magic,
+// version, header length, header CRC.
+const preambleLen = len(Magic) + 4 + 4 + 4
+
+// tableEntryLen is the fixed width of one section-table entry: u32
+// kind, u64 offset, u64 length, u32 CRC. Fixed width breaks the
+// circularity between section offsets and header length — the header's
+// size is known before any offset is.
+const tableEntryLen = 4 + 8 + 8 + 4
+
+// Write serializes the analysis to path in CPG file format, through
+// the crash-safe temp+fsync+rename path every durable artifact in this
+// repo uses: a reader never observes a half-written file.
+func Write(path string, a *core.Analysis, meta Meta) error {
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		return Encode(w, a, meta)
+	})
+}
+
+// Encode serializes the analysis to w. The output is deterministic:
+// the same analysis prefix and meta always produce the same bytes
+// (sections serialize the canonical in-memory forms), which is what
+// makes the file's content hash a sound cache key.
+func Encode(w io.Writer, a *core.Analysis, meta Meta) error {
+	g := a.Graph()
+	lens := a.ThreadLens()
+	subs := a.Subs()
+	syncEdges, dataEdges := a.EdgeSections()
+	comp := a.Completeness()
+
+	// Resolve sync-edge object refs before snapshotting the symbol
+	// table, so a ref can never point past the serialized table.
+	syncObjRefs := make([]core.ObjRef, len(syncEdges))
+	for i := range syncEdges {
+		syncObjRefs[i] = g.InternObject(syncEdges[i].Object)
+	}
+
+	sections := make([][]byte, 0, numSections)
+
+	// Section 1: symbols — the interner snapshot in ref order, so a
+	// serialized ref r names the r'th string of this table.
+	var b []byte
+	syms := g.Symbols()
+	b = binary.AppendUvarint(b, uint64(len(syms)))
+	for _, s := range syms {
+		b = binary.AppendUvarint(b, uint64(len(s)))
+		b = append(b, s...)
+	}
+	sections = append(sections, b)
+
+	// Section 2: vertices — the per-thread layout, then each vertex's
+	// scalar columns in (thread, alpha) order.
+	b = nil
+	b = binary.AppendUvarint(b, uint64(len(lens)))
+	for _, n := range lens {
+		b = binary.AppendUvarint(b, uint64(n))
+	}
+	for _, sc := range subs {
+		b = binary.AppendUvarint(b, uint64(len(sc.Clock)))
+		for _, v := range sc.Clock {
+			b = binary.AppendUvarint(b, v)
+		}
+		b = append(b, byte(sc.End.Kind))
+		b = binary.AppendUvarint(b, uint64(sc.End.Object))
+		b = binary.AppendUvarint(b, uint64(sc.Start))
+		b = binary.AppendUvarint(b, uint64(sc.Finish))
+		b = binary.AppendUvarint(b, sc.Instructions)
+	}
+	sections = append(sections, b)
+
+	// Sections 3 and 4: read and write sets, one canonical
+	// uvarint-delta PageSet per vertex in the same order.
+	b = nil
+	for _, sc := range subs {
+		b = appendPages(b, sc.ReadSet.Sorted())
+	}
+	sections = append(sections, b)
+	b = nil
+	for _, sc := range subs {
+		b = appendPages(b, sc.WriteSet.Sorted())
+	}
+	sections = append(sections, b)
+
+	// Section 5: thunks — the control-path column.
+	b = nil
+	for _, sc := range subs {
+		b = binary.AppendUvarint(b, uint64(len(sc.Thunks)))
+		for _, th := range sc.Thunks {
+			b = binary.AppendUvarint(b, th.Index)
+			b = binary.AppendUvarint(b, uint64(th.Site))
+			var flags byte
+			if th.Taken {
+				flags |= 1
+			}
+			if th.Indirect {
+				flags |= 2
+			}
+			b = append(b, flags)
+			b = binary.AppendUvarint(b, uint64(th.Target))
+			b = binary.AppendUvarint(b, th.Instructions)
+		}
+	}
+	sections = append(sections, b)
+
+	// Section 6: sync edges, already in canonical order.
+	b = nil
+	b = binary.AppendUvarint(b, uint64(len(syncEdges)))
+	for i := range syncEdges {
+		b = appendSubID(b, syncEdges[i].From)
+		b = appendSubID(b, syncEdges[i].To)
+		b = binary.AppendUvarint(b, uint64(syncObjRefs[i]))
+	}
+	sections = append(sections, b)
+
+	// Section 7: data edges — the derived adjacency, stored so the
+	// load path never re-runs derivation.
+	b = nil
+	b = binary.AppendUvarint(b, uint64(len(dataEdges)))
+	for i := range dataEdges {
+		b = appendSubID(b, dataEdges[i].From)
+		b = appendSubID(b, dataEdges[i].To)
+		b = appendPages(b, dataEdges[i].Pages)
+	}
+	sections = append(sections, b)
+
+	// Section 8: gap intervals, per thread.
+	b = nil
+	b = binary.AppendUvarint(b, uint64(len(comp.Gaps)))
+	for _, tg := range comp.Gaps {
+		b = binary.AppendUvarint(b, uint64(tg.Thread))
+		b = binary.AppendUvarint(b, uint64(len(tg.Gaps)))
+		for _, gp := range tg.Gaps {
+			b = binary.AppendUvarint(b, gp.FromAlpha)
+			b = binary.AppendUvarint(b, gp.ToAlpha)
+			b = append(b, byte(gp.Kind))
+			b = binary.AppendUvarint(b, gp.Bytes)
+		}
+	}
+	sections = append(sections, b)
+
+	// Section 9: precomputed stats, so listing a CPG never costs a
+	// decode. Definitions match the query engine's stats exactly.
+	st := statsOf(subs, lens, len(syncEdges), len(dataEdges), comp)
+	b = nil
+	for _, v := range []uint64{
+		uint64(st.SubComputations), uint64(st.Threads), uint64(st.Thunks),
+		uint64(st.ReadSetPages), uint64(st.WriteSetPages),
+		uint64(st.ControlEdges), uint64(st.SyncEdges), uint64(st.DataEdges),
+		uint64(st.GapThreads), uint64(st.GapIntervals), st.LostTraceBytes,
+	} {
+		b = binary.AppendUvarint(b, v)
+	}
+	sections = append(sections, b)
+
+	// Header payload: identity fields, then the fixed-width section
+	// table with absolute offsets.
+	var hdr []byte
+	hdr = binary.AppendUvarint(hdr, uint64(len(meta.RunID)))
+	hdr = append(hdr, meta.RunID...)
+	hdr = binary.AppendUvarint(hdr, uint64(len(meta.App)))
+	hdr = append(hdr, meta.App...)
+	hdr = binary.AppendUvarint(hdr, uint64(g.Threads()))
+	hdr = binary.AppendUvarint(hdr, a.Epoch())
+	if a.Degraded() {
+		hdr = append(hdr, 1)
+	} else {
+		hdr = append(hdr, 0)
+	}
+	hdr = binary.AppendUvarint(hdr, numSections)
+	offset := uint64(preambleLen + len(hdr) + numSections*tableEntryLen)
+	for i, sec := range sections {
+		hdr = binary.LittleEndian.AppendUint32(hdr, uint32(i+1))
+		hdr = binary.LittleEndian.AppendUint64(hdr, offset)
+		hdr = binary.LittleEndian.AppendUint64(hdr, uint64(len(sec)))
+		hdr = binary.LittleEndian.AppendUint32(hdr, crc32.Checksum(sec, castagnoli))
+		offset += uint64(len(sec))
+	}
+
+	var pre []byte
+	pre = append(pre, Magic...)
+	pre = binary.LittleEndian.AppendUint32(pre, Version)
+	pre = binary.LittleEndian.AppendUint32(pre, uint32(len(hdr)))
+	pre = binary.LittleEndian.AppendUint32(pre, crc32.Checksum(hdr, castagnoli))
+	if _, err := w.Write(pre); err != nil {
+		return err
+	}
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	for _, sec := range sections {
+		if _, err := w.Write(sec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appendPages appends a page list in the canonical PageSet wire form:
+// count, first page, then strictly-positive deltas.
+func appendPages(b []byte, pages []uint64) []byte {
+	b = binary.AppendUvarint(b, uint64(len(pages)))
+	for i, p := range pages {
+		if i == 0 {
+			b = binary.AppendUvarint(b, p)
+		} else {
+			b = binary.AppendUvarint(b, p-pages[i-1])
+		}
+	}
+	return b
+}
+
+// appendSubID appends a vertex id as thread, alpha.
+func appendSubID(b []byte, id core.SubID) []byte {
+	b = binary.AppendUvarint(b, uint64(id.Thread))
+	return binary.AppendUvarint(b, id.Alpha)
+}
+
+// statsOf computes the stats section's numbers with the query engine's
+// definitions: prefix vertices, distinct threads, and derived-edge
+// counts (control edges are Σ max(0, len−1), never stored).
+func statsOf(subs []*core.SubComputation, lens []int, syncEdges, dataEdges int, comp core.Completeness) Stats {
+	st := Stats{SyncEdges: syncEdges, DataEdges: dataEdges}
+	threads := map[int]bool{}
+	for _, sc := range subs {
+		st.SubComputations++
+		threads[sc.ID.Thread] = true
+		st.Thunks += len(sc.Thunks)
+		st.ReadSetPages += sc.ReadSet.Len()
+		st.WriteSetPages += sc.WriteSet.Len()
+	}
+	st.Threads = len(threads)
+	for _, n := range lens {
+		if n > 1 {
+			st.ControlEdges += n - 1
+		}
+	}
+	st.GapThreads = comp.GapThreads
+	st.GapIntervals = comp.GapIntervals
+	st.LostTraceBytes = comp.LostBytes
+	return st
+}

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package cpgfile
+
+import "os"
+
+// mmapFile on platforms without a usable mmap reads the whole file.
+// The lazy-decode contract still holds — only decoding is deferred —
+// but resident memory includes the raw file bytes.
+func mmapFile(path string) ([]byte, func() error, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, nil, nil
+}

@@ -1,0 +1,33 @@
+//go:build unix
+
+package cpgfile
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps path read-only and returns the bytes plus the unmap
+// function. The descriptor is closed immediately — the mapping
+// outlives it. Stdlib syscall only: the no-new-dependencies rule
+// holds even for the platform layer.
+func mmapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := fi.Size()
+	if size == 0 {
+		return nil, nil, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, &os.PathError{Op: "mmap", Path: path, Err: err}
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

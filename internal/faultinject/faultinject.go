@@ -60,6 +60,12 @@ const (
 	JournalBitFlip Point = "journal-bit-flip"
 	// JournalFsyncError fails a journal segment fsync.
 	JournalFsyncError Point = "journal-fsync-error"
+	// CPGFileTorn cuts a columnar CPG file write in half and fails it —
+	// the truncated artifact a crash mid-export leaves behind.
+	CPGFileTorn Point = "cpgfile-torn"
+	// CPGFileBitFlip flips one byte mid-write but reports full success —
+	// silent media corruption the section CRCs must catch on read.
+	CPGFileBitFlip Point = "cpgfile-bit-flip"
 )
 
 // Points lists every defined fault point.
@@ -67,6 +73,7 @@ func Points() []Point {
 	return []Point{
 		AuxLoss, SinkError, WorkloadPanic, GobCorrupt, SlowFold,
 		Crash, JournalTorn, JournalShortPrefix, JournalBitFlip, JournalFsyncError,
+		CPGFileTorn, CPGFileBitFlip,
 	}
 }
 
@@ -415,3 +422,36 @@ func (f *faultyJournalFile) Sync() error {
 }
 
 func (f *faultyJournalFile) Close() error { return f.inner.Close() }
+
+// WrapCPGFile interposes the columnar-CPG crash points on an export
+// writer:
+//
+//   - cpgfile-torn: write half the chunk, then fail (a crash mid-export;
+//     with atomicio the temp file is discarded, without it a truncated
+//     artifact survives and the header/section parse must reject it);
+//   - cpgfile-bit-flip: flip one byte mid-chunk and report full success
+//     (the writer never learns; only a section CRC can).
+func (in *Injector) WrapCPGFile(w io.Writer) io.Writer {
+	return &faultyCPGWriter{inner: w, in: in}
+}
+
+type faultyCPGWriter struct {
+	inner io.Writer
+	in    *Injector
+}
+
+func (f *faultyCPGWriter) Write(b []byte) (int, error) {
+	switch {
+	case f.in.Fire(CPGFileTorn):
+		n, _ := f.inner.Write(b[:len(b)/2])
+		return n, fmt.Errorf("%w: cpg file write torn mid-chunk", ErrInjected)
+	case len(b) > 0 && f.in.Fire(CPGFileBitFlip):
+		flipped := append([]byte(nil), b...)
+		flipped[len(flipped)/2] ^= 0x04
+		if n, err := f.inner.Write(flipped); err != nil {
+			return n, err
+		}
+		return len(b), nil
+	}
+	return f.inner.Write(b)
+}

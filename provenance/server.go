@@ -64,7 +64,33 @@ type ServerOptions struct {
 	RetryAfter time.Duration
 	// Logf receives panic-recovery log lines (nil = log.Printf).
 	Logf func(format string, args ...any)
+	// Store, when the server fronts a directory-backed CPG store,
+	// additionally exposes GET /v1/store with the store's resident-set
+	// and result-cache counters. The store's sources still register
+	// through NewServerSources like any others.
+	Store *Store
 }
+
+// The server consults richer source surfaces when a source offers
+// them, so directory-backed (lazy) CPGs are never decoded just to be
+// listed or probed. All three are optional per source; EngineSource
+// alone remains sufficient.
+type (
+	// queryRunner executes a query itself — e.g. through a result
+	// cache — instead of handing out an engine.
+	queryRunner interface {
+		RunQuery(ctx context.Context, q Query) (*Result, error)
+	}
+	// infoProvider describes its CPG for the listing without
+	// materializing it.
+	infoProvider interface {
+		Info() CPGInfo
+	}
+	// epochHinter reports its current epoch without materializing.
+	epochHinter interface {
+		EpochHint() uint64
+	}
+)
 
 // Server is the provenance/v1 HTTP API over a set of graphs:
 //
@@ -120,6 +146,11 @@ func NewServerSources(sources map[string]EngineSource, opts ServerOptions) *Serv
 	s.mux.HandleFunc("POST /v1/cpgs/{id}/query", s.handleQuery)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	if opts.Store != nil {
+		s.mux.HandleFunc("GET /v1/store", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, opts.Store.Stats())
+		})
+	}
 	return s
 }
 
@@ -201,7 +232,14 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	}
 	st := ReadyStatus{Ready: true}
 	for _, id := range s.ids {
-		if e := s.sources[id].Engine().Epoch(); e > 0 {
+		src := s.sources[id]
+		var e uint64
+		if eh, ok := src.(epochHinter); ok {
+			e = eh.EpochHint()
+		} else {
+			e = src.Engine().Epoch()
+		}
+		if e > 0 {
 			if st.Epochs == nil {
 				st.Epochs = make(map[string]uint64)
 			}
@@ -225,6 +263,12 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	// graphs stay O(1) per graph.
 	infos := make([]CPGInfo, 0, len(s.ids))
 	for _, id := range s.ids {
+		// Lazy (directory-backed) sources describe themselves from
+		// their stats section; listing never decodes a graph.
+		if ip, ok := s.sources[id].(infoProvider); ok {
+			infos = append(infos, ip.Info())
+			continue
+		}
 		eng := s.sources[id].Engine()
 		st := eng.stats()
 		infos = append(infos, CPGInfo{
@@ -239,26 +283,28 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, CPGList{Version: Version, CPGs: infos})
 }
 
-// resolve pins one epoch's engine for a request.
-func (s *Server) resolve(w http.ResponseWriter, r *http.Request) (*Engine, bool) {
+// resolve finds the request's source. Engine resolution (which pins
+// one epoch, and for lazy sources may decode) is deferred to execute,
+// so sources that answer without an engine never materialize one.
+func (s *Server) resolve(w http.ResponseWriter, r *http.Request) (EngineSource, bool) {
 	src, ok := s.sources[r.PathValue("id")]
 	if !ok {
 		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown cpg " + r.PathValue("id")})
 		return nil, false
 	}
-	return src.Engine(), true
+	return src, true
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	eng, ok := s.resolve(w, r)
+	src, ok := s.resolve(w, r)
 	if !ok {
 		return
 	}
-	s.execute(w, r, eng, Query{Kind: KindStats})
+	s.execute(w, r, src, Query{Kind: KindStats})
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	eng, ok := s.resolve(w, r)
+	src, ok := s.resolve(w, r)
 	if !ok {
 		return
 	}
@@ -268,19 +314,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad query body: " + err.Error()})
 		return
 	}
-	s.execute(w, r, eng, q)
+	s.execute(w, r, src, q)
 }
 
 // execute runs one query under the request context (plus the
-// server-imposed deadline) and writes the wire result.
-func (s *Server) execute(w http.ResponseWriter, r *http.Request, eng *Engine, q Query) {
+// server-imposed deadline) and writes the wire result. A source that
+// runs queries itself (the store's cached path) is preferred over
+// resolving an engine.
+func (s *Server) execute(w http.ResponseWriter, r *http.Request, src EngineSource, q Query) {
 	ctx := r.Context()
 	if s.opts.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.opts.Timeout)
 		defer cancel()
 	}
-	res, err := eng.Execute(ctx, q)
+	var res *Result
+	var err error
+	if qr, ok := src.(queryRunner); ok {
+		res, err = qr.RunQuery(ctx, q)
+	} else {
+		res, err = src.Engine().Execute(ctx, q)
+	}
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusOK, res)

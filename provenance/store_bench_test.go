@@ -1,0 +1,28 @@
+package provenance_test
+
+// The bounded-memory store benchmark suite. Scenario bodies live in
+// provenance/storebench — shared verbatim with `inspector-bench
+// -experiment cpg`, which snapshots them into the committed
+// BENCH_cpg.json. This file is an external test package because
+// storebench imports provenance.
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/repro/inspector/provenance/storebench"
+)
+
+// BenchmarkStore runs every store scenario as a subtest
+// (BenchmarkStore/n16/cold, .../warm, n256 likewise). Cold rounds pay
+// mmap-backed decode under LRU eviction; warm rounds hit the
+// content-addressed result cache. Each reports p50_ns/p99_ns/resident_B
+// alongside ns/op.
+func BenchmarkStore(b *testing.B) {
+	for _, c := range storebench.Cases() {
+		b.Run(strings.TrimPrefix(c.Name, "Store/"), func(b *testing.B) {
+			b.ReportAllocs()
+			c.Fn(b)
+		})
+	}
+}

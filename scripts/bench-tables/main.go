@@ -27,11 +27,14 @@ const (
 // benchRow mirrors the row shape of the BENCH_*.json snapshots
 // (cmd/inspector-bench's benchResult).
 type benchRow struct {
-	Name        string  `json:"name"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	MBPerSec    float64 `json:"mb_per_s,omitempty"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Name          string  `json:"name"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	MBPerSec      float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	P50Ns         float64 `json:"p50_ns,omitempty"`
+	P99Ns         float64 `json:"p99_ns,omitempty"`
+	ResidentBytes int64   `json:"resident_bytes,omitempty"`
 }
 
 // benchFile mirrors the snapshot document.
@@ -68,12 +71,16 @@ var experiments = []experiment{
 		file:  "BENCH_cpg.json",
 		note: "Vertex appends, edge derivation, analysis, traversals, and the live " +
 			"pipeline's epoch folds; the baseline is the pre-columnar core. Rows without a " +
-			"baseline entry (`QueryEngine/*`, `IncrementalAnalyze*/*`, `ReAnalyze/*`) measure " +
-			"machinery that did not exist in the seed — compare `IncrementalAnalyze` to " +
-			"`ReAnalyze` at the same epoch cadence, and the `IncrementalAnalyzeLarge` " +
-			"delta-overlay rows (`workers1`, `workers8`) to `IncrementalAnalyzeLarge/serial`, " +
-			"the retained full-rebuild reference fold, on the 2^20-vertex 64-epoch run " +
-			"(see DESIGN.md, \"The live pipeline\").",
+			"baseline entry (`QueryEngine/*`, `IncrementalAnalyze*/*`, `ReAnalyze/*`, " +
+			"`Store/*`) measure machinery that did not exist in the seed — compare " +
+			"`IncrementalAnalyze` to `ReAnalyze` at the same epoch cadence, and the " +
+			"`IncrementalAnalyzeLarge` delta-overlay rows (`workers1`, `workers8`) to " +
+			"`IncrementalAnalyzeLarge/serial`, the retained full-rebuild reference fold, on " +
+			"the 2^20-vertex 64-epoch run (see DESIGN.md, \"The live pipeline\"). The " +
+			"`Store/*` rows serve a 16- or 256-file fleet of on-disk columnar CPGs under a " +
+			"256 KiB resident budget: `cold` pays mmap-backed decode under LRU eviction " +
+			"every op, `warm` hits the content-addressed result cache — the p50/p99 and " +
+			"resident columns come from these rows (see DESIGN.md, \"The on-disk CPG\").",
 	},
 }
 
@@ -145,8 +152,22 @@ func renderSection() (string, error) {
 		}
 		b.WriteString("\n### " + exp.title + "\n\n")
 		b.WriteString(exp.note + "\n\n")
-		b.WriteString("| benchmark | baseline ns/op | current ns/op | speedup | B/op | allocs/op |\n")
-		b.WriteString("|---|---:|---:|---:|---:|---:|\n")
+		// Latency-distribution columns appear only when some row in the
+		// snapshot reports them (the Store/* scenarios).
+		hasDist := false
+		for _, row := range f.Benchmarks {
+			if row.P50Ns > 0 || row.ResidentBytes > 0 {
+				hasDist = true
+				break
+			}
+		}
+		if hasDist {
+			b.WriteString("| benchmark | baseline ns/op | current ns/op | speedup | B/op | allocs/op | p50 | p99 | resident |\n")
+			b.WriteString("|---|---:|---:|---:|---:|---:|---:|---:|---:|\n")
+		} else {
+			b.WriteString("| benchmark | baseline ns/op | current ns/op | speedup | B/op | allocs/op |\n")
+			b.WriteString("|---|---:|---:|---:|---:|---:|\n")
+		}
 		base := map[string]benchRow{}
 		for _, row := range f.Baseline {
 			base[row.Name] = row
@@ -158,11 +179,34 @@ func renderSection() (string, error) {
 				baseNs = formatNs(bl.NsPerOp)
 				speedup = fmt.Sprintf("%.1fx", bl.NsPerOp/row.NsPerOp)
 			}
-			fmt.Fprintf(&b, "| `%s` | %s | %s | %s | %d | %d |\n",
+			fmt.Fprintf(&b, "| `%s` | %s | %s | %s | %d | %d |",
 				row.Name, baseNs, formatNs(row.NsPerOp), speedup, row.BytesPerOp, row.AllocsPerOp)
+			if hasDist {
+				p50, p99, res := "—", "—", "—"
+				if row.P50Ns > 0 {
+					p50, p99 = formatNs(row.P50Ns), formatNs(row.P99Ns)
+				}
+				if row.ResidentBytes > 0 {
+					res = formatBytes(row.ResidentBytes)
+				}
+				fmt.Fprintf(&b, " %s | %s | %s |", p50, p99, res)
+			}
+			b.WriteString("\n")
 		}
 	}
 	return b.String(), nil
+}
+
+// formatBytes renders a byte figure with magnitude-appropriate units.
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
 }
 
 // formatNs renders a nanosecond figure with magnitude-appropriate
