@@ -14,10 +14,16 @@
 //	cpg-query -cpg run.gob [-format json] path T0.0 T1.3
 //	cpg-query -cpg run.gob export run.cpg
 //	cpg-query -remote http://localhost:7070 [-id run] slice T1.3
+//	cpg-query -remote http://localhost:7070 [-id run] watch
 //
 // export converts a CPG to the columnar on-disk format that
 // inspector-serve -cpgdir serves with bounded memory; the other
 // subcommands accept either format transparently.
+//
+// watch follows a live or ingested CPG's epoch push: it long-polls
+// GET /v1/cpgs/{id}/epochs, prints one line per epoch advance, and
+// exits when the source closes (the run finished or the stream was
+// sealed). Remote only — a local file has no epochs to push.
 //
 // path prints one dependency chain between two sub-computations — the
 // "why does B depend on A" debugging query of the paper's §VIII case
@@ -45,6 +51,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/repro/inspector/internal/core"
 	"github.com/repro/inspector/internal/cpgfile"
@@ -160,6 +167,15 @@ func run(args []string, w io.Writer) error {
 		return usagef("unknown format %q (want text or json)", *format)
 	}
 
+	if fs.Arg(0) == "watch" {
+		if *remote == "" {
+			return usagef("watch follows a live server; use -remote, not -cpg")
+		}
+		if fs.NArg() != 1 {
+			return usagef("usage: cpg-query -remote url [-id cpg] watch")
+		}
+		return runWatch(context.Background(), *remote, *cpgID, w, asJSON)
+	}
 	if fs.Arg(0) == "export" {
 		if *remote != "" {
 			return usagef("export converts a local file; use -cpg, not -remote")
@@ -304,19 +320,9 @@ func runRemote(ctx context.Context, baseURL, id string, q provenance.Query) (*pr
 	// A few retries ride out a daemon that is draining or shedding load
 	// (503 + Retry-After) without the caller scripting a retry loop.
 	c := &provenance.Client{BaseURL: baseURL, MaxRetries: 3}
-	if id == "" {
-		cpgs, err := c.List(ctx)
-		if err != nil {
-			return nil, err
-		}
-		if len(cpgs) != 1 {
-			ids := make([]string, len(cpgs))
-			for i, info := range cpgs {
-				ids[i] = info.ID
-			}
-			return nil, fmt.Errorf("server hosts %d CPGs %v; pick one with -id", len(cpgs), ids)
-		}
-		id = cpgs[0].ID
+	id, err := resolveID(ctx, c, id)
+	if err != nil {
+		return nil, err
 	}
 	res, err := c.Query(ctx, id, q)
 	if err != nil {
@@ -334,6 +340,71 @@ func runRemote(ctx context.Context, baseURL, id string, q provenance.Query) (*pr
 		res.NextCursor = next.NextCursor
 	}
 	return res, nil
+}
+
+// resolveID picks the served CPG when the daemon hosts exactly one and
+// the caller named none.
+func resolveID(ctx context.Context, c *provenance.Client, id string) (string, error) {
+	if id != "" {
+		return id, nil
+	}
+	cpgs, err := c.List(ctx)
+	if err != nil {
+		return "", err
+	}
+	if len(cpgs) != 1 {
+		ids := make([]string, len(cpgs))
+		for i, info := range cpgs {
+			ids[i] = info.ID
+		}
+		return "", fmt.Errorf("server hosts %d CPGs %v; pick one with -id", len(cpgs), ids)
+	}
+	return cpgs[0].ID, nil
+}
+
+// runWatch follows one CPG's epoch push until the source closes: one
+// line per advance, so a shell pipeline can react to new epochs as the
+// remote run records them.
+func runWatch(ctx context.Context, baseURL, id string, w io.Writer, asJSON bool) error {
+	c := &provenance.Client{BaseURL: baseURL, MaxRetries: 3}
+	id, err := resolveID(ctx, c, id)
+	if err != nil {
+		return err
+	}
+	report := func(st *provenance.EpochStatus) error {
+		if asJSON {
+			return writeJSON(w, st)
+		}
+		if st.Closed {
+			fmt.Fprintf(w, "closed (final epoch %d)\n", st.Epoch)
+		} else {
+			fmt.Fprintf(w, "epoch %d\n", st.Epoch)
+		}
+		return nil
+	}
+	st, err := c.WaitEpoch(ctx, id, 0, 0)
+	if err != nil {
+		return err
+	}
+	if err := report(st); err != nil {
+		return err
+	}
+	for !st.Closed {
+		// 25s keeps each poll under the server's 30s watch cap, so a
+		// quiet source answers with its current epoch instead of a
+		// proxy-killed connection.
+		next, err := c.WaitEpoch(ctx, id, st.Epoch+1, 25*time.Second)
+		if err != nil {
+			return err
+		}
+		if next.Epoch > st.Epoch || next.Closed {
+			if err := report(next); err != nil {
+				return err
+			}
+		}
+		st = next
+	}
+	return nil
 }
 
 // render writes one result in the exact shapes the subcommands have

@@ -33,6 +33,8 @@ type benchResult struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	P50Ns       float64 `json:"p50_ns,omitempty"`
 	P99Ns       float64 `json:"p99_ns,omitempty"`
+	// FramesPerSec is the fabric soak's ingest throughput.
+	FramesPerSec float64 `json:"frames_per_s,omitempty"`
 	// ResidentBytes is the store's decoded-graph estimate at the end of
 	// the run — the number the resident budget bounds.
 	ResidentBytes int64 `json:"resident_bytes,omitempty"`
@@ -91,6 +93,7 @@ func runBenchSnapshot(w io.Writer, outPath, baselinePath, schema string, pageSiz
 		}
 		row.P50Ns = res.Extra["p50_ns"]
 		row.P99Ns = res.Extra["p99_ns"]
+		row.FramesPerSec = res.Extra["frames/s"]
 		row.ResidentBytes = int64(res.Extra["resident_B"])
 		snap.Benchmarks = append(snap.Benchmarks, row)
 		fmt.Fprintf(w, "%-20s %12.1f ns/op %8d B/op %6d allocs/op\n",

@@ -1,0 +1,53 @@
+package main
+
+// The fabric experiment: load/soak scenarios of the distributed
+// provenance fabric (internal/harness/loadtest) — M streaming recorders
+// uploading epoch-delta frames to one aggregator while N clients query
+// and watch it. Every iteration enforces the fabric contract (zero
+// dropped epochs, byte-identical exports), so the numbers in
+// BENCH_fabric.json are throughput/latency of *correct* runs only.
+// There is no pre-fabric baseline: before the ingest wire existed, the
+// aggregator had nothing to aggregate.
+
+import (
+	"io"
+	"testing"
+
+	"github.com/repro/inspector/internal/harness/loadtest"
+)
+
+// fabricBenchSchema versions the BENCH_fabric.json format.
+const fabricBenchSchema = "inspector-fabricbench/v1"
+
+// fabricCase wraps one soak configuration as a self-timed scenario,
+// reporting ingest throughput and query latency quantiles.
+func fabricCase(name string, opts loadtest.Options) benchCase {
+	return benchCase{name: name, fn: func(b *testing.B) {
+		var frames, p50, p99 float64
+		for i := 0; i < b.N; i++ {
+			opts.Seed = int64(i + 1)
+			rep, err := loadtest.Run(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			frames += rep.FramesPerSec
+			p50 += float64(rep.QueryP50Ns)
+			p99 += float64(rep.QueryP99Ns)
+		}
+		n := float64(b.N)
+		b.ReportMetric(frames/n, "frames/s")
+		b.ReportMetric(p50/n, "p50_ns")
+		b.ReportMetric(p99/n, "p99_ns")
+	}}
+}
+
+// runFabricBench measures the soak scenarios and writes the
+// BENCH_fabric.json snapshot.
+func runFabricBench(w io.Writer, outPath, baselinePath string) error {
+	cases := []benchCase{
+		fabricCase("Fabric/2rec-8cli", loadtest.Options{Recorders: 2, Clients: 8, Steps: 200}),
+		fabricCase("Fabric/4rec-16cli", loadtest.Options{Recorders: 4, Clients: 16, Steps: 200}),
+		fabricCase("Fabric/1rec-32cli", loadtest.Options{Recorders: 1, Clients: 32, Steps: 300}),
+	}
+	return runBenchSnapshot(w, outPath, baselinePath, fabricBenchSchema, 0, cases)
+}

@@ -6,14 +6,14 @@
 //
 //	inspector-bench [flags]
 //
-//	-experiment all|fig5|fig6|table7|fig8|table9|mem|pt|cpg
+//	-experiment all|fig5|fig6|table7|fig8|table9|mem|pt|cpg|fabric
 //	-size small|medium|large     input scale for fig5/fig6/tables
 //	-threads 2,4,8,16            thread sweep for fig5
 //	-breakdown 16                thread count for fig6/tables
 //	-apps a,b,c                  restrict to a subset of the 12 apps
 //	-seed 1                      input-generation seed
-//	-out path                    mem/pt/cpg output path ("-" = stdout)
-//	-baseline path               prior BENCH_{mem,pt,cpg}.json whose baseline carries forward
+//	-out path                    mem/pt/cpg/fabric output path ("-" = stdout)
+//	-baseline path               prior BENCH_{mem,pt,cpg,fabric}.json whose baseline carries forward
 //	-cpuprofile path             write a CPU profile of the whole run
 //	-memprofile path             write a post-GC heap profile at exit
 //
@@ -21,9 +21,11 @@
 // (diff, commit, read/write fast path) and writes the BENCH_mem.json
 // snapshot that records the repo's perf trajectory; the pt experiment
 // does the same for the branch-trace pipeline (encode, decode, round
-// trip) into BENCH_pt.json, and the cpg experiment for the provenance
+// trip) into BENCH_pt.json, the cpg experiment for the provenance
 // graph core (vertex append, data-edge derivation, analysis, queries)
-// into BENCH_cpg.json.
+// into BENCH_cpg.json, and the fabric experiment soaks the distributed
+// ingest wire (M streaming recorders × N query/watch clients) into
+// BENCH_fabric.json with ingest frames/s and query latency quantiles.
 //
 // Absolute numbers come from the deterministic virtual-time model, not
 // the authors' Xeon D-1540; the claims to compare are relative (who is
@@ -53,14 +55,14 @@ func main() {
 
 func run(args []string) (err error) {
 	fs := flag.NewFlagSet("inspector-bench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "experiment to run: all|fig5|work|fig6|table7|fig8|table9|mem|pt|cpg")
+	experiment := fs.String("experiment", "all", "experiment to run: all|fig5|work|fig6|table7|fig8|table9|mem|pt|cpg|fabric")
 	sizeFlag := fs.String("size", "medium", "input size: small|medium|large")
 	threadsFlag := fs.String("threads", "2,4,8,16", "comma-separated thread sweep for fig5")
 	breakdown := fs.Int("breakdown", 16, "thread count for fig6/table7/fig8/table9")
 	appsFlag := fs.String("apps", "", "comma-separated subset of applications (default all)")
 	seed := fs.Int64("seed", 1, "input generation seed")
-	outPath := fs.String("out", "", `mem/pt/cpg experiment output path ("-" = stdout; default BENCH_<experiment>.json)`)
-	baseline := fs.String("baseline", "", "prior BENCH_{mem,pt,cpg}.json whose baseline section carries forward")
+	outPath := fs.String("out", "", `mem/pt/cpg/fabric experiment output path ("-" = stdout; default BENCH_<experiment>.json)`)
+	baseline := fs.String("baseline", "", "prior BENCH_{mem,pt,cpg,fabric}.json whose baseline section carries forward")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file (inspect with `go tool pprof`)")
 	memProfile := fs.String("memprofile", "", "write a heap profile (post-GC, at exit) to this file")
 	if err := fs.Parse(args); err != nil {
@@ -91,7 +93,7 @@ func run(args []string) (err error) {
 		}()
 	}
 
-	if *experiment == "mem" || *experiment == "pt" || *experiment == "cpg" {
+	if *experiment == "mem" || *experiment == "pt" || *experiment == "cpg" || *experiment == "fabric" {
 		out := *outPath
 		if out == "" {
 			out = "BENCH_" + *experiment + ".json"
@@ -107,6 +109,8 @@ func run(args []string) (err error) {
 			return runPTBench(progress, out, *baseline)
 		case "cpg":
 			return runCPGBench(progress, out, *baseline)
+		case "fabric":
+			return runFabricBench(progress, out, *baseline)
 		default:
 			return runMemBench(progress, out, *baseline)
 		}

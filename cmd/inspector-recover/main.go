@@ -22,18 +22,28 @@
 // cleanly. Exit status is 0 even when a tear was found — a recovered
 // prefix is a success; only an unusable journal (no readable header,
 // no directory) fails.
+//
+// -stream URL re-feeds the recovered epochs to a provenance aggregator
+// (inspector-serve -ingest) under the journal's own run identity — the
+// resume path after a streaming recorder died. The aggregator's dedup
+// skips epochs it already holds, so replaying from epoch 1 is always
+// safe; if the journal was sealed the stream is sealed too.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"github.com/repro/inspector/internal/atomicio"
 	"github.com/repro/inspector/internal/cpgfile"
 	"github.com/repro/inspector/internal/journal"
+	"github.com/repro/inspector/internal/wire"
+	"github.com/repro/inspector/provenance"
 )
 
 func main() {
@@ -55,6 +65,8 @@ func run(args []string, out io.Writer) error {
 	analysisOut := fs.String("analysis", "", "write the recovered analysis (JSON: thread lens + edges) to this file")
 	quiet := fs.Bool("q", false, "suppress the recovery summary")
 	sumJSON := fs.Bool("summary-json", false, "print the recovery summary as one JSON object instead of human lines")
+	streamURL := fs.String("stream", "", "re-feed the recovered epochs to a provenance aggregator (inspector-serve -ingest) at this base URL")
+	streamID := fs.String("stream-id", "", "aggregator source name for -stream (default: the journal's run id)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -63,8 +75,9 @@ func run(args []string, out io.Writer) error {
 	}
 
 	rep, err := journal.Recover(*dir, journal.RecoverOptions{
-		MaxEpoch: *epoch,
-		Truncate: *truncate,
+		MaxEpoch:   *epoch,
+		Truncate:   *truncate,
+		KeepDeltas: *streamURL != "",
 	})
 	if err != nil {
 		return err
@@ -142,7 +155,37 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
+	if *streamURL != "" {
+		st, err := restream(rep, *streamURL, *streamID)
+		if err != nil {
+			return fmt.Errorf("stream: %w", err)
+		}
+		if !*quiet {
+			fmt.Fprintf(out, "stream:           aggregator at epoch %d (%d replayed, %d already held, sealed=%v)\n",
+				st.NextEpoch-1, st.Accepted, st.Duplicates, st.Sealed)
+		}
+	}
 	return nil
+}
+
+// restream re-feeds the recovered delta sequence under the journal's
+// run identity. Replaying from epoch 1 is deliberate: the aggregator's
+// dedup acknowledges everything it already applied, so the upload is
+// correct whether the earlier stream died at epoch 0 or one short of
+// the end.
+func restream(rep *journal.Recovery, url, source string) (*provenance.IngestStatus, error) {
+	if source == "" {
+		source = rep.Header.RunID
+	}
+	c := &provenance.Client{BaseURL: url, MaxRetries: 8}
+	hello := wire.Hello{RunID: rep.Header.RunID, App: rep.Header.App, Threads: rep.Header.Threads}
+	var seal *wire.Seal
+	if rep.Sealed && !rep.Stopped {
+		seal = &wire.Seal{FinalEpoch: rep.Epoch}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	return provenance.UploadDeltas(ctx, c, source, hello, rep.Deltas, 64, seal)
 }
 
 func appOrUnknown(app string) string {

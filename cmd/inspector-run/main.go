@@ -35,6 +35,14 @@
 // appended to a write-ahead journal, synchronously at the commit
 // boundary, under the fsync policy of -journal-fsync. After a crash,
 // inspector-recover replays the journal up to the last durable epoch.
+//
+// -stream URL attaches the run to a provenance aggregator
+// (inspector-serve -ingest): sealed epochs fold into deltas on the
+// commit path and upload asynchronously, so the aggregator serves the
+// run's live CPG remotely while it executes. The run id is
+// deterministic (app-tN-sSEED) and shared with -journal, so after a
+// recorder crash `inspector-recover -stream URL` re-feeds the journal
+// and the aggregator converges on the identical graph.
 package main
 
 import (
@@ -86,6 +94,9 @@ func run(args []string) error {
 	journalDir := fs.String("journal", "", "write-ahead journal directory: every sealed epoch is appended crash-durably; recover with inspector-recover")
 	journalFsync := fs.String("journal-fsync", "always", `journal fsync policy: always|interval[:N]|none`)
 	journalEvery := fs.Int("journal-every", 1, "journal one epoch each N sealed sub-computations")
+	streamURL := fs.String("stream", "", "stream sealed epochs to a provenance aggregator (inspector-serve -ingest) at this base URL")
+	streamID := fs.String("stream-id", "", "aggregator source name (default: the run id, app-tN-sSEED)")
+	streamEvery := fs.Int("stream-every", 1, "stream one epoch each N sealed sub-computations")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -143,6 +154,10 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	// The run identity is deterministic so a SIGKILLed streaming run can
+	// be resumed: the journal header and the aggregator's source binding
+	// name the same run, and inspector-recover -stream re-feeds under it.
+	runID := fmt.Sprintf("%s-t%d-s%d", *app, *threads, *seed)
 	var jrec *journal.Recorder
 	if *journalDir != "" {
 		if mode != threading.ModeInspector {
@@ -152,13 +167,17 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		w, err := journal.Create(journal.Options{
+		jopts := journal.Options{
 			Dir:       *journalDir,
 			Threads:   rt.Graph().Threads(),
 			App:       *app,
 			Fsync:     policy,
 			SyncEvery: syncEvery,
-		})
+		}
+		if *streamURL != "" {
+			jopts.RunID = runID
+		}
+		w, err := journal.Create(jopts)
 		if err != nil {
 			return err
 		}
@@ -169,6 +188,34 @@ func run(args []string) error {
 		// the process, the epoch sealed by this very commit is already
 		// on the journal — the kill-recover sweep's determinism anchor.
 		rt.RegisterCommitHook(jrec.CommitHook())
+	}
+	var srec *provenance.StreamRecorder
+	streamSource := *streamID
+	if *streamURL != "" {
+		if mode != threading.ModeInspector {
+			return fmt.Errorf("-stream uploads the provenance pipeline; it needs INSPECTOR mode (drop -native)")
+		}
+		if streamSource == "" {
+			streamSource = runID
+		}
+		var err error
+		srec, err = provenance.NewStreamRecorder(rt.Graph(), &provenance.Client{
+			BaseURL:    *streamURL,
+			MaxRetries: 8,
+		}, provenance.StreamOptions{
+			Source: streamSource,
+			RunID:  runID,
+			App:    *app,
+			Every:  uint64(*streamEvery),
+		})
+		if err != nil {
+			return err
+		}
+		// Like the journal hook: registered before the fault hooks so the
+		// epoch sealed by a crashing commit is already folded and queued.
+		// The upload itself is asynchronous — the journal, not the wire,
+		// is the durability anchor.
+		rt.RegisterCommitHook(srec.CommitHook())
 	}
 	if injector != nil {
 		rt.RegisterCommitHook(func(id core.SubID) {
@@ -240,6 +287,24 @@ func run(args []string) error {
 			return fmt.Errorf("journal: %w", err)
 		}
 		fmt.Printf("journal:          %d epochs sealed in %s\n", jrec.Epoch(), *journalDir)
+	}
+	if srec != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		serr := srec.Close(ctx)
+		cancel()
+		switch {
+		case serr == nil:
+			fmt.Printf("stream:           %d epochs shipped to %s (source %s)\n",
+				srec.Epoch(), *streamURL, streamSource)
+		case jrec != nil:
+			// The journal holds every epoch; the aggregator catches up via
+			// inspector-recover -stream. A dead sink degrades the stream,
+			// not the run.
+			fmt.Printf("stream:           %v (journal %s holds every epoch; re-feed with inspector-recover -stream)\n",
+				serr, *journalDir)
+		default:
+			return fmt.Errorf("stream: %w", serr)
+		}
 	}
 	rep := rt.LastReport()
 

@@ -40,6 +40,16 @@
 // at every commit boundary, which keeps short demo workloads alive long
 // enough to watch epochs advance.
 //
+// With -ingest the daemon is the fabric's aggregator: recorders running
+// elsewhere (inspector-run -stream URL) POST their CRC-checksummed
+// epoch-delta frames to /v1/ingest/{source}. Each source folds into its
+// own live CPG served under the same query API; GET /v1/ingest/{source}
+// reports the resume offset a reconnecting recorder continues from, and
+// GET /v1/cpgs/{id}/epochs?min=N&wait=30s long-polls the epoch push
+// (cpg-query watch consumes it). A source that sends a malformed delta
+// is latched degraded: the forged epoch is refused atomically and the
+// last good epoch keeps serving, gap-marked.
+//
 // The daemon is hardened for unattended operation: GET /healthz answers
 // as soon as the listener is up, GET /readyz answers 503 until every CPG
 // is loaded (and reports live epoch progress once ready), -max-inflight
@@ -110,6 +120,9 @@ func run(args []string) error {
 	lenient := fs.Bool("lenient", false, "skip unreadable -cpg files (log and serve the rest) instead of refusing to start")
 	maxInflight := fs.Int("max-inflight", 0, "max concurrently executing /v1/ requests; excess shed with 503 + Retry-After (0 = unlimited)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "on SIGTERM/SIGINT, wait this long for in-flight requests before exiting (0 = wait forever)")
+	ingest := fs.Bool("ingest", false, "aggregator mode: accept streamed epoch deltas on POST /v1/ingest/{source} (from inspector-run -stream) and serve each source's live CPG")
+	ingestSources := fs.Int("ingest-sources", 0, "with -ingest: max distinct sources (0 = default 256)")
+	watchTimeout := fs.Duration("watch-timeout", 0, "cap on the epochs long-poll wait (0 = default 30s)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -134,11 +147,18 @@ func run(args []string) error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
 	defer signal.Stop(sig)
+	sopts := provenance.ServerOptions{Timeout: *timeout, MaxInflight: *maxInflight, WatchTimeout: *watchTimeout}
+	eopts := provenance.EngineOptions{MaxResults: *maxResults, FoldWorkers: *foldWorkers}
+	if *ingest {
+		sopts.Ingest = provenance.NewIngestHub(provenance.IngestOptions{
+			Engine:     eopts,
+			MaxSources: *ingestSources,
+		})
+	}
 	build := func() (*provenance.Server, func(), error) {
 		return buildServer(cpgPaths, journalDirs, *cpgDir, *residentBudget, *resultCache,
 			*workload, *threads, *sizeFlag, *seed, *live, *liveSlowdown, *lenient,
-			provenance.ServerOptions{Timeout: *timeout, MaxInflight: *maxInflight},
-			provenance.EngineOptions{MaxResults: *maxResults, FoldWorkers: *foldWorkers})
+			sopts, eopts)
 	}
 	return serve(ln, build, sig, *drainTimeout, os.Stdout)
 }
@@ -326,8 +346,8 @@ func buildServer(cpgPaths, journalDirs []string, cpgDir string, residentBudget i
 			sources[workload] = provenance.StaticSource(provenance.NewEngine(rt.Graph().Analyze(), eopts))
 		}
 	}
-	if len(sources) == 0 {
-		return nil, nil, fmt.Errorf("nothing to serve (need -cpg, -cpgdir, -journal, or -workload)")
+	if len(sources) == 0 && sopts.Ingest == nil {
+		return nil, nil, fmt.Errorf("nothing to serve (need -cpg, -cpgdir, -journal, -workload, or -ingest)")
 	}
 	return provenance.NewServerSources(sources, sopts), start, nil
 }

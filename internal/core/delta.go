@@ -53,19 +53,12 @@ type DeltaGap struct {
 	Gap    Gap
 }
 
-// ApplyDelta appends one epoch delta to g — the replay half of
-// FoldDelta. Deltas must be applied in epoch order against a graph
-// built from them alone; following each ApplyDelta with one Fold on a
-// single IncrementalAnalyzer reproduces the recording's per-epoch
-// Analyses byte-for-byte.
-//
-// Every field is validated before it mutates g: symbol continuity,
-// interned-ref range, thread range, per-thread alpha density, and the
-// final shard lengths against Lens. Journal recovery feeds ApplyDelta
-// records that passed a CRC check but may still be forged or stale
-// (fuzzing, mixed runs), so a malformed delta must error, never panic
-// and never half-apply semantic nonsense.
-func ApplyDelta(g *Graph, d *EpochDelta) error {
+// ValidateDelta checks that d is a well-formed extension of g without
+// mutating either: symbol continuity against the interner, interned-ref
+// range, thread range, per-thread alpha density, and the final shard
+// lengths against Lens. A nil error means ApplyDelta on the same graph
+// state cannot fail.
+func ValidateDelta(g *Graph, d *EpochDelta) error {
 	if d == nil {
 		return fmt.Errorf("core: nil epoch delta")
 	}
@@ -77,14 +70,29 @@ func ApplyDelta(g *Graph, d *EpochDelta) error {
 	if got := g.interner.Len(); int(d.SymBase) != got {
 		return fmt.Errorf("core: delta symbol base %d, graph table has %d (reordered or cross-run delta)", d.SymBase, got)
 	}
+	var tail map[string]uint32
+	if len(d.Symbols) > 0 {
+		tail = make(map[string]uint32, len(d.Symbols))
+	}
 	for i, s := range d.Symbols {
 		want := uint32(int(d.SymBase) + i)
-		if got := g.interner.Intern(s); got != want {
+		got, present := g.interner.Find(s)
+		if !present {
+			got, present = tail[s]
+		}
+		if present {
 			return fmt.Errorf("core: delta symbol %d (%q) interned as ref %d, want %d (duplicate in tail)", i, s, got, want)
 		}
+		tail[s] = want
 	}
-	nsym := uint32(g.interner.Len())
+	nsym := uint32(int(d.SymBase) + len(d.Symbols))
 	badRef := func(r uint32) bool { return r >= nsym }
+	// next tracks where each thread's shard would end up, so density
+	// and the Lens cross-check run against the delta alone.
+	next := make([]uint64, g.threads)
+	for t := range next {
+		next[t] = uint64(g.shardLen(t))
+	}
 	for _, sc := range d.Subs {
 		if sc == nil {
 			return fmt.Errorf("core: delta contains nil sub-computation")
@@ -97,10 +105,14 @@ func ApplyDelta(g *Graph, d *EpochDelta) error {
 				return fmt.Errorf("core: sub %v thunk %d site/target ref out of range [0,%d)", sc.ID, th.Index, nsym)
 			}
 		}
-		// add enforces thread range and per-thread alpha density.
-		if err := g.add(sc); err != nil {
-			return err
+		t := sc.ID.Thread
+		if t < 0 || t >= g.threads {
+			return fmt.Errorf("core: thread slot %d out of range [0,%d)", t, g.threads)
 		}
+		if sc.ID.Alpha != next[t] {
+			return fmt.Errorf("core: thread %d alpha %d out of order (have %d)", t, sc.ID.Alpha, next[t])
+		}
+		next[t]++
 	}
 	for _, e := range d.Sync {
 		if g.shard(e.To.Thread) == nil {
@@ -109,21 +121,55 @@ func ApplyDelta(g *Graph, d *EpochDelta) error {
 		if badRef(uint32(e.Object)) {
 			return fmt.Errorf("core: delta sync edge object ref %d out of range [0,%d)", e.Object, nsym)
 		}
-		g.addSyncEdge(e.From, e.To, e.Object)
 	}
 	for _, dg := range d.Gaps {
 		if g.shard(dg.Thread) == nil {
 			return fmt.Errorf("core: delta gap on out-of-range thread %d", dg.Thread)
 		}
-		g.AddGap(dg.Thread, dg.Gap)
 	}
 	for t, want := range d.Lens {
 		if want < 0 {
 			return fmt.Errorf("core: delta lens[%d] = %d is negative", t, want)
 		}
-		if got := g.shardLen(t); got != want {
-			return fmt.Errorf("core: thread %d has %d vertices after delta, lens say %d", t, got, want)
+		if next[t] != uint64(want) {
+			return fmt.Errorf("core: thread %d has %d vertices after delta, lens say %d", t, next[t], want)
 		}
+	}
+	return nil
+}
+
+// ApplyDelta appends one epoch delta to g — the replay half of
+// FoldDelta. Deltas must be applied in epoch order against a graph
+// built from them alone; following each ApplyDelta with one Fold on a
+// single IncrementalAnalyzer reproduces the recording's per-epoch
+// Analyses byte-for-byte.
+//
+// The apply is atomic: ValidateDelta runs to completion before the
+// first mutation, so a rejected delta leaves g byte-for-byte untouched.
+// That matters on trust boundaries — journal recovery and the network
+// ingest path both feed ApplyDelta records that passed a CRC check but
+// may still be forged or stale (fuzzing, mixed runs), and a rejecting
+// aggregator keeps serving the last good epoch from the same graph. The
+// caller serializes ApplyDelta against other mutators of g.
+func ApplyDelta(g *Graph, d *EpochDelta) error {
+	if err := ValidateDelta(g, d); err != nil {
+		return err
+	}
+	for _, s := range d.Symbols {
+		g.interner.Intern(s)
+	}
+	for _, sc := range d.Subs {
+		// add re-checks thread range and alpha density; validation makes
+		// failure impossible, so an error here is a bug, not bad input.
+		if err := g.add(sc); err != nil {
+			return err
+		}
+	}
+	for _, e := range d.Sync {
+		g.addSyncEdge(e.From, e.To, e.Object)
+	}
+	for _, dg := range d.Gaps {
+		g.AddGap(dg.Thread, dg.Gap)
 	}
 	return nil
 }

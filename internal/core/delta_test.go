@@ -221,3 +221,80 @@ func TestApplyDeltaRejectsMalformed(t *testing.T) {
 		t.Error("gap on out-of-range thread accepted")
 	}
 }
+
+// TestApplyDeltaAtomic pins the trust-boundary guarantee the network
+// ingest path leans on: a rejected delta leaves the graph byte-for-byte
+// untouched — no interned symbols, no appended vertices, no gaps — no
+// matter how late in the delta the defect sits, and the graph still
+// accepts the genuine delta afterwards.
+func TestApplyDeltaAtomic(t *testing.T) {
+	lr := newLiveRecording(t, 2, 16, 11)
+	inc := core.NewIncrementalAnalyzer(lr.g)
+	var deltas []*core.EpochDelta
+	for s := 0; s < 6; s++ {
+		lr.step(t, 16)
+		_, d := inc.FoldDelta()
+		deltas = append(deltas, d)
+	}
+	lr.finish(t)
+	_, d := inc.FoldDelta()
+	deltas = append(deltas, d)
+
+	g := core.NewGraph(2)
+	for _, d := range deltas[:3] {
+		if err := core.ApplyDelta(g, gobRoundTrip(t, d)); err != nil {
+			t.Fatalf("ApplyDelta prefix: %v", err)
+		}
+	}
+	before := dumpJSON(t, g)
+	symsBefore := len(g.Symbols())
+
+	// Each mutation trips validation at a different (and deliberately
+	// late) stage, after earlier fields would already have been applied
+	// under a validate-as-you-go scheme.
+	next := deltas[3]
+	mutations := map[string]func(*core.EpochDelta){
+		"inflated lens (last check)": func(d *core.EpochDelta) { d.Lens[len(d.Lens)-1] += 3 },
+		"gap on bad thread":          func(d *core.EpochDelta) { d.Gaps = append(d.Gaps, core.DeltaGap{Thread: 9}) },
+		"sync edge to bad thread": func(d *core.EpochDelta) {
+			d.Sync = append(d.Sync, core.DeltaSyncEdge{To: core.SubID{Thread: 5}})
+		},
+		"alpha out of order": func(d *core.EpochDelta) {
+			if len(d.Subs) > 0 {
+				d.Subs[len(d.Subs)-1].ID.Alpha += 7
+			} else {
+				d.Lens[0]++
+			}
+		},
+		"duplicate symbol tail": func(d *core.EpochDelta) {
+			if len(d.Symbols) > 0 {
+				d.Symbols = append(d.Symbols, d.Symbols[0])
+			} else {
+				d.Symbols = append(d.Symbols, "", "")
+			}
+		},
+	}
+	for name, mutate := range mutations {
+		bad := gobRoundTrip(t, next)
+		mutate(bad)
+		if err := core.ApplyDelta(g, bad); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+		if got := dumpJSON(t, g); !bytes.Equal(got, before) {
+			t.Fatalf("%s: rejected delta mutated the graph", name)
+		}
+		if got := len(g.Symbols()); got != symsBefore {
+			t.Fatalf("%s: rejected delta grew the symbol table (%d -> %d)", name, symsBefore, got)
+		}
+	}
+
+	// The untouched graph must still take the genuine continuation.
+	for _, d := range deltas[3:] {
+		if err := core.ApplyDelta(g, gobRoundTrip(t, d)); err != nil {
+			t.Fatalf("ApplyDelta after rejections: %v", err)
+		}
+	}
+	if got, want := dumpJSON(t, g), dumpJSON(t, lr.g); !bytes.Equal(got, want) {
+		t.Fatal("final dump diverges after rejected-delta interleaving")
+	}
+}

@@ -68,12 +68,15 @@ const (
 	CPGFileBitFlip Point = "cpgfile-bit-flip"
 )
 
-// Points lists every defined fault point.
+// Points lists every defined fault point. The network points stay at
+// the end: Randomized draws per point in this order, so appending keeps
+// every existing seed's schedule for the older points unchanged.
 func Points() []Point {
 	return []Point{
 		AuxLoss, SinkError, WorkloadPanic, GobCorrupt, SlowFold,
 		Crash, JournalTorn, JournalShortPrefix, JournalBitFlip, JournalFsyncError,
 		CPGFileTorn, CPGFileBitFlip,
+		NetDisconnect, NetDuplicate, NetReorder, NetSlow,
 	}
 }
 

@@ -1,0 +1,152 @@
+package faultinject
+
+// Network fault points for the distributed fabric: an
+// http.RoundTripper wrapper that cuts uploads mid-body, duplicates
+// deliveries, reorders them, or slows them — the loss modes a recorder
+// streaming epoch deltas over a real network sees. Like every other
+// point, firing is schedule-driven and deterministic; the wrapper adds
+// no randomness of its own.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Network fault points (WrapRoundTripper wires them).
+const (
+	// NetDisconnect cuts the connection mid-request: roughly half the
+	// body reaches the server, then the transport reports an injected
+	// error. The server keeps whatever frames arrived whole.
+	NetDisconnect Point = "net-disconnect"
+	// NetDuplicate delivers the request twice; the caller sees the
+	// second (duplicate) delivery's response.
+	NetDuplicate Point = "net-duplicate"
+	// NetReorder stashes the request and reports a transport error; the
+	// stale request is delivered after the next request succeeds —
+	// frames arriving out of order.
+	NetReorder Point = "net-reorder"
+	// NetSlow delays the request a few milliseconds before sending.
+	NetSlow Point = "net-slow"
+)
+
+// WrapRoundTripper interposes the network fault points on an HTTP
+// transport (nil inner = http.DefaultTransport). Request bodies are
+// buffered so faulted deliveries can replay them; responses to
+// duplicate and reordered deliveries are drained and discarded.
+func (in *Injector) WrapRoundTripper(inner http.RoundTripper) http.RoundTripper {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &faultyTransport{inner: inner, in: in}
+}
+
+type faultyTransport struct {
+	inner http.RoundTripper
+	in    *Injector
+
+	mu          sync.Mutex
+	stashed     *http.Request
+	stashedBody []byte
+}
+
+// cutReader feeds through n bytes, then fails — the read error aborts
+// the transport's body upload partway, like a connection reset.
+type cutReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *cutReader) Read(p []byte) (int, error) {
+	if c.n <= 0 {
+		return 0, fmt.Errorf("%w: net-disconnect mid-frame", ErrInjected)
+	}
+	if int64(len(p)) > c.n {
+		p = p[:c.n]
+	}
+	n, err := c.r.Read(p)
+	c.n -= int64(n)
+	return n, err
+}
+
+// bufferBody drains and returns a request's body (nil body = nil).
+func bufferBody(req *http.Request) ([]byte, error) {
+	if req.Body == nil {
+		return nil, nil
+	}
+	defer req.Body.Close()
+	return io.ReadAll(req.Body)
+}
+
+// withBody clones the request around a replayable in-memory body.
+func withBody(req *http.Request, body []byte) *http.Request {
+	r := req.Clone(req.Context())
+	if body == nil {
+		r.Body = nil
+		return r
+	}
+	r.Body = io.NopCloser(bytes.NewReader(body))
+	r.ContentLength = int64(len(body))
+	r.GetBody = func() (io.ReadCloser, error) {
+		return io.NopCloser(bytes.NewReader(body)), nil
+	}
+	return r
+}
+
+// discard drains and closes a response nobody will read.
+func discard(resp *http.Response) {
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// RoundTrip implements http.RoundTripper with the four network points.
+func (t *faultyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	body, err := bufferBody(req)
+	if err != nil {
+		return nil, err
+	}
+	if t.in.Fire(NetSlow) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if t.in.Fire(NetDisconnect) {
+		if len(body) > 0 {
+			// Deliver a truncated body so the server really sees a
+			// mid-frame cut, then surface the injected transport error.
+			r := req.Clone(req.Context())
+			r.Body = io.NopCloser(&cutReader{r: bytes.NewReader(body), n: int64(len(body) / 2)})
+			r.ContentLength = int64(len(body))
+			if resp, err := t.inner.RoundTrip(r); err == nil {
+				discard(resp)
+			}
+		}
+		return nil, fmt.Errorf("%w: net-disconnect", ErrInjected)
+	}
+	if t.in.Fire(NetReorder) {
+		t.mu.Lock()
+		t.stashed, t.stashedBody = req.Clone(req.Context()), body
+		t.mu.Unlock()
+		return nil, fmt.Errorf("%w: net-reorder delayed the request", ErrInjected)
+	}
+	resp, err := t.inner.RoundTrip(withBody(req, body))
+	if err == nil && t.in.Fire(NetDuplicate) {
+		discard(resp)
+		resp, err = t.inner.RoundTrip(withBody(req, body))
+	}
+	if err == nil {
+		// A stashed (reordered) request arrives late, after this newer
+		// delivery succeeded. Its response is stale; drop it.
+		t.mu.Lock()
+		stale, staleBody := t.stashed, t.stashedBody
+		t.stashed, t.stashedBody = nil, nil
+		t.mu.Unlock()
+		if stale != nil {
+			if r2, e2 := t.inner.RoundTrip(withBody(stale, staleBody)); e2 == nil {
+				discard(r2)
+			}
+		}
+	}
+	return resp, err
+}

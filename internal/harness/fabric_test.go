@@ -1,0 +1,187 @@
+package harness
+
+// Cross-workload fabric conformance sweep — the tentpole's correctness
+// anchor. Every workload, single- and multi-thread, is recorded once
+// with its epoch-delta stream captured; the stream is then fed to an
+// aggregator (inspector-serve -ingest machinery) three ways — clean,
+// through a fault-injected network (disconnects mid-body, duplicate
+// deliveries, reordering, slow sinks), and as a kill+resume (a prefix
+// upload, then a full journal-style resend from epoch 1) — and the
+// aggregator's export must be byte-identical to the recorder's own
+// incremental fold at the same epoch in all three.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/repro/inspector/internal/core"
+	"github.com/repro/inspector/internal/faultinject"
+	"github.com/repro/inspector/internal/threading"
+	"github.com/repro/inspector/internal/wire"
+	"github.com/repro/inspector/internal/workloads"
+	"github.com/repro/inspector/provenance"
+)
+
+// fabricCapture is one recorded run: its stream identity, delta
+// sequence, and the recorder-side reference export.
+type fabricCapture struct {
+	hello  wire.Hello
+	deltas []*core.EpochDelta
+	export []byte
+}
+
+func (fc *fabricCapture) finalEpoch() uint64 {
+	return fc.deltas[len(fc.deltas)-1].Epoch
+}
+
+// captureFabricRun executes one workload with a fold-every-few-seals
+// commit hook — the exact discipline provenance.StreamRecorder uses —
+// and keeps the delta stream plus the final fold's export bytes.
+func captureFabricRun(t *testing.T, app string, threads int) *fabricCapture {
+	t.Helper()
+	w, err := workloads.Get(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := workloads.Config{Size: workloads.Small, Threads: threads, Seed: 1}
+	rt, err := threading.NewRuntime(threading.Options{
+		AppName:    app,
+		Mode:       threading.ModeInspector,
+		MaxThreads: w.MaxThreads(cfg),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := &fabricCapture{hello: wire.Hello{
+		RunID:   fmt.Sprintf("%s-t%d-s1", app, threads),
+		App:     app,
+		Threads: rt.Graph().Threads(),
+	}}
+	inc := core.NewIncrementalAnalyzer(rt.Graph())
+	var mu sync.Mutex
+	seals := 0
+	rt.RegisterCommitHook(func(core.SubID) {
+		mu.Lock()
+		defer mu.Unlock()
+		seals++
+		if seals%4 == 0 {
+			_, d := inc.FoldDelta()
+			fc.deltas = append(fc.deltas, d)
+		}
+	})
+	if err := w.Run(rt, cfg); err != nil {
+		t.Fatalf("%s: %v", app, err)
+	}
+	a, d := inc.FoldDelta()
+	fc.deltas = append(fc.deltas, d)
+	var buf bytes.Buffer
+	if err := a.ExportJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fc.export = buf.Bytes()
+	return fc
+}
+
+// newAggregator stands up an ingest-mode server.
+func newAggregator(t *testing.T) *httptest.Server {
+	t.Helper()
+	hub := provenance.NewIngestHub(provenance.IngestOptions{})
+	ts := httptest.NewServer(provenance.NewServer(nil, provenance.ServerOptions{Ingest: hub}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// aggregatorExport uploads with the given client and fetches the final
+// export bytes.
+func aggregatorExport(t *testing.T, c *provenance.Client, fc *fabricCapture, batch int) []byte {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	st, err := provenance.UploadDeltas(ctx, c, "w", fc.hello, fc.deltas, batch,
+		&wire.Seal{FinalEpoch: fc.finalEpoch()})
+	if err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	if !st.Sealed || st.NextEpoch != fc.finalEpoch()+1 {
+		t.Fatalf("final status = %+v, want sealed at next=%d", st, fc.finalEpoch()+1)
+	}
+	got, err := c.Export(ctx, "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// TestFabricAggregatorMatchesLocalFold is the sweep: every workload at
+// 1 and 4 threads, three delivery scenarios, zero byte drift allowed.
+func TestFabricAggregatorMatchesLocalFold(t *testing.T) {
+	for _, app := range workloads.Names() {
+		for _, threads := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s-t%d", app, threads), func(t *testing.T) {
+				fc := captureFabricRun(t, app, threads)
+
+				// Clean delivery.
+				ts := newAggregator(t)
+				got := aggregatorExport(t, &provenance.Client{BaseURL: ts.URL}, fc, 7)
+				if !bytes.Equal(got, fc.export) {
+					t.Fatal("clean: aggregator export != local fold")
+				}
+
+				// Through a faulted network: the client's retry loop plus
+				// the server's dedup must absorb disconnects, duplicates,
+				// reordering, and slowness with zero drift.
+				in := faultinject.New(faultinject.Schedule{Rules: []faultinject.Rule{
+					{Point: faultinject.NetDisconnect, After: 1, Every: 3, Count: 4},
+					{Point: faultinject.NetDuplicate, Every: 2},
+					{Point: faultinject.NetReorder, After: 2, Every: 5, Count: 2},
+					{Point: faultinject.NetSlow, Every: 4},
+				}})
+				ts = newAggregator(t)
+				fc2 := &provenance.Client{
+					BaseURL:    ts.URL,
+					HTTPClient: &http.Client{Transport: in.WrapRoundTripper(nil)},
+					MaxRetries: 12,
+					RetryBase:  time.Millisecond,
+				}
+				got = aggregatorExport(t, fc2, fc, 3)
+				if !bytes.Equal(got, fc.export) {
+					t.Fatalf("faulted (%s): aggregator export != local fold", in.Summary())
+				}
+
+				// Kill + resume: a prefix lands, the recorder dies, and the
+				// journal-replay path resends everything from epoch 1. The
+				// prefix dedups, the tail applies, the bytes match.
+				ts = newAggregator(t)
+				c := &provenance.Client{BaseURL: ts.URL}
+				ctx := context.Background()
+				prefix := len(fc.deltas) / 2
+				if prefix > 0 {
+					if _, err := provenance.UploadDeltas(ctx, c, "w", fc.hello, fc.deltas[:prefix], 5, nil); err != nil {
+						t.Fatal(err)
+					}
+				}
+				st, err := provenance.UploadDeltas(ctx, &provenance.Client{BaseURL: ts.URL}, "w",
+					fc.hello, fc.deltas, 5, &wire.Seal{FinalEpoch: fc.finalEpoch()})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if st.Duplicates != prefix {
+					t.Fatalf("resume acknowledged %d duplicates, want %d", st.Duplicates, prefix)
+				}
+				got, err = c.Export(ctx, "w")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, fc.export) {
+					t.Fatal("kill+resume: aggregator export != local fold")
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package loadtest
+
+import "testing"
+
+// TestLoadSmoke is the CI soak: M=2 recorders × N=8 clients, run under
+// -race. The contract is Run's own pass criterion — zero dropped
+// epochs, byte-identical exports — plus evidence the load actually
+// happened.
+func TestLoadSmoke(t *testing.T) {
+	rep, err := Run(Options{Recorders: 2, Clients: 8, Steps: 120, Seed: 42})
+	if err != nil {
+		t.Fatalf("soak failed: %v (report %+v)", err, rep)
+	}
+	if rep.DroppedEpochs != 0 || rep.Mismatched != 0 {
+		t.Fatalf("contract: %d dropped epochs, %d mismatched exports", rep.DroppedEpochs, rep.Mismatched)
+	}
+	if rep.Epochs == 0 {
+		t.Fatal("no epochs ingested; the soak recorded nothing")
+	}
+	if rep.Queries == 0 {
+		t.Fatal("no queries completed; the clients never ran")
+	}
+	t.Logf("soak: %d epochs @ %.0f frames/s, %d queries (p50 %dns, p99 %dns)",
+		rep.Epochs, rep.FramesPerSec, rep.Queries, rep.QueryP50Ns, rep.QueryP99Ns)
+}

@@ -31,42 +31,31 @@ package journal
 
 import (
 	"crypto/rand"
-	"encoding/binary"
-	"encoding/gob"
 	"encoding/hex"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
 
 	"github.com/repro/inspector/internal/core"
+	"github.com/repro/inspector/internal/wire"
 )
 
+// The frame codec (length/CRC framing, record kinds, segment preamble)
+// lives in internal/wire, shared with the network ingest stream. The
+// journal keeps local aliases for readability.
 const (
-	// magic opens every segment file. "ISJ" = inspector journal.
-	magic = "INSPISJ1"
-	// version is the record format version; recovery rejects others.
-	version = 1
+	recHeader = wire.KindHeader
+	recDelta  = wire.KindDelta
+	recSeal   = wire.KindSeal
 
-	// Record kinds (first payload byte).
-	recHeader byte = 0
-	recDelta  byte = 1
-	recSeal   byte = 2
-
-	// frameOverhead is the per-frame framing cost: length + CRC.
-	frameOverhead = 8
+	frameOverhead = wire.FrameOverhead
 
 	// DefaultSegmentBytes is the segment roll threshold.
 	DefaultSegmentBytes = 64 << 20
 	// DefaultSyncEvery is PolicyInterval's records-per-fsync.
 	DefaultSyncEvery = 32
 )
-
-// crcTable is the Castagnoli polynomial (CRC-32C, the iSCSI/ext4
-// checksum), chosen over IEEE for its error-detection properties on
-// storage payloads.
-var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // Policy selects when appended records are fsynced to stable storage.
 type Policy uint8
@@ -247,10 +236,8 @@ func (w *Writer) openSegment(seq, baseEpoch uint64) error {
 		return w.err
 	}
 	w.f, w.seg, w.segBytes, w.sinceSync = f, seq, 0, 0
-	var pre [12]byte
-	copy(pre[:], magic)
-	binary.LittleEndian.PutUint32(pre[8:], version)
-	if _, err := f.Write(pre[:]); err != nil {
+	pre := wire.Preamble()
+	if _, err := f.Write(pre); err != nil {
 		w.err = fmt.Errorf("journal: segment %d preamble: %w", seq, err)
 		return w.err
 	}
@@ -264,39 +251,25 @@ func (w *Writer) openSegment(seq, baseEpoch uint64) error {
 	})
 }
 
-// appendRecord frames and writes one record: gob-encode the payload
-// behind the kind byte, checksum it, and issue the whole frame as a
-// single Write (so an injected short write models a torn record, not
-// interleaved garbage).
+// appendRecord frames and writes one record via the shared codec, then
+// issues the whole frame as a single Write (so an injected short write
+// models a torn record, not interleaved garbage).
 func (w *Writer) appendRecord(kind byte, payload any) error {
 	if w.err != nil {
 		return w.err
 	}
-	w.buf = w.buf[:0]
-	w.buf = append(w.buf, 0, 0, 0, 0, 0, 0, 0, 0) // frame header placeholder
-	w.buf = append(w.buf, kind)
-	enc := gob.NewEncoder((*sliceWriter)(&w.buf))
-	if err := enc.Encode(payload); err != nil {
-		w.err = fmt.Errorf("journal: encode record: %w", err)
+	buf, err := wire.AppendFrame(w.buf[:0], kind, payload)
+	if err != nil {
+		w.err = fmt.Errorf("journal: %w", err)
 		return w.err
 	}
-	body := w.buf[frameOverhead:]
-	binary.LittleEndian.PutUint32(w.buf[0:], uint32(len(body)))
-	binary.LittleEndian.PutUint32(w.buf[4:], crc32.Checksum(body, crcTable))
+	w.buf = buf
 	if _, err := w.f.Write(w.buf); err != nil {
 		w.err = fmt.Errorf("journal: segment %d append: %w", w.seg, err)
 		return w.err
 	}
 	w.segBytes += int64(len(w.buf))
 	return nil
-}
-
-// sliceWriter lets gob append directly to the frame buffer.
-type sliceWriter []byte
-
-func (s *sliceWriter) Write(p []byte) (int, error) {
-	*s = append(*s, p...)
-	return len(p), nil
 }
 
 // Append journals one epoch delta, rolling the segment and applying the

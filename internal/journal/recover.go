@@ -1,17 +1,15 @@
 package journal
 
 import (
-	"bytes"
 	"encoding/binary"
-	"encoding/gob"
 	"fmt"
-	"hash/crc32"
 	"os"
 	"path/filepath"
 	"regexp"
 	"sort"
 
 	"github.com/repro/inspector/internal/core"
+	"github.com/repro/inspector/internal/wire"
 )
 
 // Recovery semantics: replay everything durable, stop at the first
@@ -56,6 +54,10 @@ type RecoverOptions struct {
 	// (0 = GOMAXPROCS, 1 = serial). Replay is equivalent either way; the
 	// knob only trades recovery latency against CPU.
 	FoldWorkers int
+	// KeepDeltas retains the replayed delta records on Recovery.Deltas,
+	// in epoch order — the re-streaming path: feeding a recovered
+	// journal back to an aggregator after the recorder died.
+	KeepDeltas bool
 }
 
 // Recovery is the result of replaying a journal.
@@ -80,6 +82,9 @@ type Recovery struct {
 	Torn *TornInfo
 	// Segments lists the segment files read, in order.
 	Segments []string
+	// Deltas holds the replayed records when RecoverOptions.KeepDeltas
+	// was set (nil otherwise).
+	Deltas []*core.EpochDelta
 }
 
 // Degraded reports whether the recovered graph is marked incomplete —
@@ -165,24 +170,23 @@ scan:
 			break
 		}
 		rep.Segments = append(rep.Segments, path)
-		if len(data) < 12 || string(data[:8]) != magic {
+		if len(data) < wire.PreambleLen || string(data[:8]) != wire.Magic {
 			if i == 0 {
 				return nil, fmt.Errorf("journal: %s is not a journal segment (bad magic)", path)
 			}
 			torn(path, 0, "bad magic")
 			break
 		}
-		if v := binary.LittleEndian.Uint32(data[8:]); v != version {
+		if v := binary.LittleEndian.Uint32(data[8:]); v != wire.Version {
 			if i == 0 {
-				return nil, fmt.Errorf("journal: %s has format version %d, want %d", path, v, version)
+				return nil, fmt.Errorf("journal: %s has format version %d, want %d", path, v, wire.Version)
 			}
 			torn(path, 8, fmt.Sprintf("format version %d", v))
 			break
 		}
-		off := int64(12)
+		off := int64(wire.PreambleLen)
 		sawHeader := false
 		for off < int64(len(data)) {
-			rest := data[off:]
 			// A failure before the segment's header record leaves nothing
 			// of the segment usable; report offset 0 so physical
 			// truncation drops the whole file.
@@ -190,26 +194,11 @@ scan:
 			if !sawHeader {
 				foff = 0
 			}
-			if len(rest) < frameOverhead {
-				torn(path, foff, "short frame header")
+			kind, body, flen, ferr := wire.ParseFrame(data[off:], 0)
+			if ferr != nil {
+				torn(path, foff, ferr.Error())
 				break scan
 			}
-			plen := binary.LittleEndian.Uint32(rest)
-			wantCRC := binary.LittleEndian.Uint32(rest[4:])
-			if plen == 0 {
-				torn(path, foff, "empty frame")
-				break scan
-			}
-			if int64(plen) > int64(len(rest)-frameOverhead) {
-				torn(path, foff, "short frame")
-				break scan
-			}
-			payload := rest[frameOverhead : frameOverhead+int64(plen)]
-			if crc32.Checksum(payload, crcTable) != wantCRC {
-				torn(path, foff, "bad CRC")
-				break scan
-			}
-			kind, body := payload[0], payload[1:]
 			switch {
 			case !sawHeader:
 				if kind != recHeader {
@@ -220,7 +209,7 @@ scan:
 					break scan
 				}
 				var h Header
-				if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&h); err != nil {
+				if err := wire.Decode(body, &h); err != nil {
 					if i == 0 {
 						return nil, fmt.Errorf("journal: %s header: %w", path, err)
 					}
@@ -241,7 +230,7 @@ scan:
 				sawHeader = true
 			case kind == recDelta:
 				d := new(core.EpochDelta)
-				if err := gob.NewDecoder(bytes.NewReader(body)).Decode(d); err != nil {
+				if err := wire.Decode(body, d); err != nil {
 					torn(path, off, fmt.Sprintf("record decode: %v", err))
 					break scan
 				}
@@ -257,7 +246,7 @@ scan:
 				}
 			case kind == recSeal:
 				var s sealRecord
-				if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&s); err != nil {
+				if err := wire.Decode(body, &s); err != nil {
 					torn(path, off, fmt.Sprintf("seal decode: %v", err))
 					break scan
 				}
@@ -268,7 +257,7 @@ scan:
 				rep.Sealed = true
 				// The seal must be the journal's last byte; anything
 				// after it was never supposed to be written.
-				if end := off + frameOverhead + int64(plen); end != int64(len(data)) {
+				if end := off + flen; end != int64(len(data)) {
 					torn(path, end, "trailing data after seal")
 				} else if i != len(segs)-1 {
 					torn(segs[i+1], 0, "segment after seal")
@@ -278,7 +267,7 @@ scan:
 				torn(path, off, fmt.Sprintf("unknown record kind %d", kind))
 				break scan
 			}
-			off += frameOverhead + int64(plen)
+			off += flen
 		}
 		if !sawHeader {
 			if i == 0 {
@@ -341,6 +330,9 @@ scan:
 			markTruncated(g, r.delta.Lens)
 		}
 		rep.Analysis = inc.Fold()
+		if opts.KeepDeltas {
+			rep.Deltas = append(rep.Deltas, r.delta)
+		}
 	}
 	rep.Graph = g
 	rep.Records = len(recs)

@@ -1,0 +1,216 @@
+// Package wire is the frame codec shared by the on-disk journal and the
+// network ingest stream. A frame is
+//
+//	[uint32 payload length | uint32 CRC-32C of payload | payload]
+//
+// little-endian, where the payload's first byte is the record kind and
+// the rest is a self-contained gob stream. Every record carries its own
+// gob type definitions on purpose: records stay independently decodable,
+// so a torn tail (disk) or a cut connection (network) never poisons the
+// frames before it.
+//
+// The package is a leaf (stdlib only). The journal writes frames into
+// segment files behind a magic/version preamble; the ingest path writes
+// the same frames into an HTTP request body with no preamble — the URL
+// names the source, and every body restates its run identity in a
+// header frame, so a reconnecting recorder's next POST is
+// self-describing.
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+const (
+	// Magic opens every journal segment file. "ISJ" = inspector
+	// journal. Network streams do not carry it; HTTP already frames the
+	// conversation.
+	Magic = "INSPISJ1"
+	// Version is the frame format version.
+	Version = 1
+	// PreambleLen is the segment preamble size: magic + LE uint32
+	// version.
+	PreambleLen = 12
+
+	// Record kinds (first payload byte).
+	KindHeader byte = 0
+	KindDelta  byte = 1
+	KindSeal   byte = 2
+
+	// FrameOverhead is the per-frame framing cost: length + CRC.
+	FrameOverhead = 8
+
+	// DefaultMaxFrameBytes bounds a single frame's payload when reading
+	// from an untrusted stream. The length prefix is attacker-
+	// controlled; without a cap a 4-byte header could demand a 4 GiB
+	// allocation.
+	DefaultMaxFrameBytes = 64 << 20
+)
+
+// crcTable is the Castagnoli polynomial (CRC-32C, the iSCSI/ext4
+// checksum), chosen over IEEE for its error-detection properties on
+// storage payloads.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// CRC checksums a frame payload.
+func CRC(payload []byte) uint32 { return crc32.Checksum(payload, crcTable) }
+
+// Preamble returns the segment file preamble: magic plus version.
+func Preamble() []byte {
+	pre := make([]byte, PreambleLen)
+	copy(pre, Magic)
+	binary.LittleEndian.PutUint32(pre[8:], Version)
+	return pre
+}
+
+// Parse errors. Their Error strings double as the journal recovery
+// reason strings, so both consumers of the codec report tears
+// identically.
+var (
+	ErrShortHeader   = errors.New("short frame header")
+	ErrEmptyFrame    = errors.New("empty frame")
+	ErrShortFrame    = errors.New("short frame")
+	ErrBadCRC        = errors.New("bad CRC")
+	ErrFrameTooLarge = errors.New("frame exceeds size limit")
+)
+
+// AppendFrame frames one record onto buf: gob-encode the payload behind
+// the kind byte, checksum, and prepend the length/CRC header. The frame
+// is appended as a contiguous region so callers can issue it as a
+// single write.
+func AppendFrame(buf []byte, kind byte, payload any) ([]byte, error) {
+	base := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // frame header placeholder
+	buf = append(buf, kind)
+	sw := sliceWriter(buf)
+	if err := gob.NewEncoder(&sw).Encode(payload); err != nil {
+		return buf[:base], fmt.Errorf("wire: encode record: %w", err)
+	}
+	buf = []byte(sw)
+	body := buf[base+FrameOverhead:]
+	binary.LittleEndian.PutUint32(buf[base:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(buf[base+4:], CRC(body))
+	return buf, nil
+}
+
+// sliceWriter lets gob append directly to the frame buffer.
+type sliceWriter []byte
+
+func (s *sliceWriter) Write(p []byte) (int, error) {
+	*s = append(*s, p...)
+	return len(p), nil
+}
+
+// ParseFrame parses the first frame in data. It returns the record kind,
+// the gob body (payload minus the kind byte, aliasing data), and the
+// total frame length. maxPayload, when non-zero, bounds the payload
+// length before any allocation or checksum work.
+func ParseFrame(data []byte, maxPayload uint32) (kind byte, body []byte, frameLen int64, err error) {
+	if len(data) < FrameOverhead {
+		return 0, nil, 0, ErrShortHeader
+	}
+	plen := binary.LittleEndian.Uint32(data)
+	wantCRC := binary.LittleEndian.Uint32(data[4:])
+	if plen == 0 {
+		return 0, nil, 0, ErrEmptyFrame
+	}
+	if maxPayload > 0 && plen > maxPayload {
+		return 0, nil, 0, ErrFrameTooLarge
+	}
+	if int64(plen) > int64(len(data)-FrameOverhead) {
+		return 0, nil, 0, ErrShortFrame
+	}
+	payload := data[FrameOverhead : FrameOverhead+int64(plen)]
+	if CRC(payload) != wantCRC {
+		return 0, nil, 0, ErrBadCRC
+	}
+	return payload[0], payload[1:], FrameOverhead + int64(plen), nil
+}
+
+// Decode gob-decodes a frame body (as returned by ParseFrame or
+// Reader.Next) into v.
+func Decode(body []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(body)).Decode(v)
+}
+
+// Reader reads a sequence of frames from an untrusted stream (an HTTP
+// request body). Frame payloads are bounded by maxPayload; the returned
+// body is only valid until the next call to Next.
+type Reader struct {
+	r   *bufio.Reader
+	max uint32
+	buf []byte
+}
+
+// NewReader wraps r. maxPayload 0 means DefaultMaxFrameBytes.
+func NewReader(r io.Reader, maxPayload uint32) *Reader {
+	if maxPayload == 0 {
+		maxPayload = DefaultMaxFrameBytes
+	}
+	return &Reader{r: bufio.NewReader(r), max: maxPayload}
+}
+
+// Next reads one frame. It returns io.EOF when the stream ends exactly
+// on a frame boundary; a stream cut inside a frame yields ErrShortHeader
+// or ErrShortFrame, and a corrupt frame yields ErrEmptyFrame, ErrBadCRC,
+// or ErrFrameTooLarge.
+func (fr *Reader) Next() (kind byte, body []byte, err error) {
+	var hdr [FrameOverhead]byte
+	if _, err := io.ReadFull(fr.r, hdr[:1]); err != nil {
+		return 0, nil, io.EOF // clean boundary (covers empty stream)
+	}
+	if _, err := io.ReadFull(fr.r, hdr[1:]); err != nil {
+		return 0, nil, ErrShortHeader
+	}
+	plen := binary.LittleEndian.Uint32(hdr[:])
+	wantCRC := binary.LittleEndian.Uint32(hdr[4:])
+	if plen == 0 {
+		return 0, nil, ErrEmptyFrame
+	}
+	if plen > fr.max {
+		return 0, nil, ErrFrameTooLarge
+	}
+	if uint32(cap(fr.buf)) < plen {
+		fr.buf = make([]byte, plen)
+	}
+	payload := fr.buf[:plen]
+	if _, err := io.ReadFull(fr.r, payload); err != nil {
+		return 0, nil, ErrShortFrame
+	}
+	if CRC(payload) != wantCRC {
+		return 0, nil, ErrBadCRC
+	}
+	return payload[0], payload[1:], nil
+}
+
+// Hello is the first frame of every ingest request body: the stream
+// analogue of the journal segment header. It binds the request to a run
+// identity so the aggregator detects a different run re-using a source
+// name instead of splicing unrelated runs together.
+type Hello struct {
+	// RunID ties a run's uploads together. The aggregator rejects a
+	// hello whose RunID differs from the source's bound identity.
+	RunID string
+	// App names the recorded workload (informational).
+	App string
+	// Threads is the graph's thread-slot capacity; the aggregator
+	// rebuilds the per-source graph with it.
+	Threads int
+	// BaseEpoch is the first epoch this request carries (informational;
+	// the server's dedup keys on each delta's own epoch).
+	BaseEpoch uint64
+}
+
+// Seal is the clean-close marker: the recorder finished and no further
+// epochs will arrive for the source.
+type Seal struct {
+	// FinalEpoch must match the last streamed delta's epoch.
+	FinalEpoch uint64
+}

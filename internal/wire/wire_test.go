@@ -1,0 +1,135 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+type testRec struct {
+	Name string
+	N    uint64
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf []byte
+	var err error
+	recs := []testRec{{"alpha", 1}, {"beta", 2}, {"gamma", 3}}
+	for i, r := range recs {
+		buf, err = AppendFrame(buf, byte(i), &r)
+		if err != nil {
+			t.Fatalf("AppendFrame: %v", err)
+		}
+	}
+
+	// Slice-based parse.
+	rest := buf
+	for i, want := range recs {
+		kind, body, flen, err := ParseFrame(rest, 0)
+		if err != nil {
+			t.Fatalf("ParseFrame %d: %v", i, err)
+		}
+		if kind != byte(i) {
+			t.Fatalf("frame %d kind = %d", i, kind)
+		}
+		var got testRec
+		if err := Decode(body, &got); err != nil {
+			t.Fatalf("Decode %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("frame %d = %+v, want %+v", i, got, want)
+		}
+		rest = rest[flen:]
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d bytes left after parsing all frames", len(rest))
+	}
+
+	// Stream-based parse.
+	fr := NewReader(bytes.NewReader(buf), 0)
+	for i, want := range recs {
+		kind, body, err := fr.Next()
+		if err != nil {
+			t.Fatalf("Next %d: %v", i, err)
+		}
+		if kind != byte(i) {
+			t.Fatalf("stream frame %d kind = %d", i, kind)
+		}
+		var got testRec
+		if err := Decode(body, &got); err != nil {
+			t.Fatalf("stream Decode %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("stream frame %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("Next at end = %v, want io.EOF", err)
+	}
+}
+
+func TestParseFrameErrors(t *testing.T) {
+	frame, err := AppendFrame(nil, KindDelta, &testRec{"x", 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, data []byte, max uint32, want error) {
+		t.Helper()
+		if _, _, _, err := ParseFrame(data, max); !errors.Is(err, want) {
+			t.Errorf("%s: err = %v, want %v", name, err, want)
+		}
+	}
+	check("short header", frame[:FrameOverhead-1], 0, ErrShortHeader)
+	check("short body", frame[:len(frame)-1], 0, ErrShortFrame)
+	check("too large", frame, 1, ErrFrameTooLarge)
+
+	empty := make([]byte, FrameOverhead)
+	check("empty", empty, 0, ErrEmptyFrame)
+
+	flipped := append([]byte(nil), frame...)
+	flipped[len(flipped)-1] ^= 0x40
+	check("bad crc", flipped, 0, ErrBadCRC)
+}
+
+func TestReaderErrors(t *testing.T) {
+	frame, err := AppendFrame(nil, KindDelta, &testRec{"x", 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, data []byte, max uint32, want error) {
+		t.Helper()
+		fr := NewReader(bytes.NewReader(data), max)
+		if _, _, err := fr.Next(); !errors.Is(err, want) {
+			t.Errorf("%s: err = %v, want %v", name, err, want)
+		}
+	}
+	check("cut in header", frame[:3], 0, ErrShortHeader)
+	check("cut in body", frame[:len(frame)-2], 0, ErrShortFrame)
+	check("over cap", frame, 4, ErrFrameTooLarge)
+
+	flipped := append([]byte(nil), frame...)
+	flipped[FrameOverhead+2] ^= 0x01
+	check("bad crc", flipped, 0, ErrBadCRC)
+
+	// A hostile length prefix must be rejected before allocation.
+	huge := make([]byte, FrameOverhead)
+	binary.LittleEndian.PutUint32(huge, 1<<31)
+	check("hostile length", huge, 0, ErrFrameTooLarge)
+}
+
+func TestPreamble(t *testing.T) {
+	pre := Preamble()
+	if len(pre) != PreambleLen {
+		t.Fatalf("preamble length %d, want %d", len(pre), PreambleLen)
+	}
+	if string(pre[:8]) != Magic {
+		t.Fatalf("preamble magic %q", pre[:8])
+	}
+	if v := binary.LittleEndian.Uint32(pre[8:]); v != Version {
+		t.Fatalf("preamble version %d", v)
+	}
+}

@@ -1,0 +1,358 @@
+package provenance
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/repro/inspector/internal/core"
+	"github.com/repro/inspector/internal/wire"
+)
+
+// The ingest side of the distributed fabric: recorder processes stream
+// CRC-checksummed epoch-delta frames (the journal's record format, see
+// internal/wire) over HTTP, and the aggregator folds each source's
+// deltas through the same IncrementalAnalyzer path a local recording
+// uses. The correctness anchor is replay equivalence: the per-source
+// CPG served here is byte-for-byte the one the recorder's own fold
+// produced at the same epoch.
+//
+// The resume contract, pinned by the conformance tests:
+//
+//   - Deltas are strictly sequential, so "next expected epoch" is the
+//     whole resume offset. GET /v1/ingest/{source} returns it; an
+//     unknown source is 404 (start at epoch 1).
+//   - A delta whose epoch is already applied is acknowledged and
+//     skipped (first write wins); re-sending a prefix is always safe.
+//   - A delta that skips ahead is rejected with 409 and applies
+//     nothing; the client re-reads the offset and resumes.
+//   - A delta that fails validation poisons the source: the last good
+//     epoch stays served, marked degraded, and every later ingest is
+//     refused. Malformed input is never silently wrong.
+
+// Ingest error classes, surfaced as typed errors so the HTTP layer maps
+// them to distinct statuses (and clients can tell retryable from
+// fatal).
+var (
+	// ErrEpochGap reports a delta beyond the next expected epoch.
+	ErrEpochGap = errors.New("provenance: delta skips ahead of the next expected epoch")
+	// ErrSourceSealed reports ingest after a seal frame.
+	ErrSourceSealed = errors.New("provenance: source is sealed")
+	// ErrSourceDegraded reports ingest after a poisoning delta.
+	ErrSourceDegraded = errors.New("provenance: source is degraded")
+	// ErrRunConflict reports a hello whose run identity does not match
+	// the source's bound run.
+	ErrRunConflict = errors.New("provenance: run identity conflict")
+)
+
+// IngestStatus is the ingest wire status: the GET /v1/ingest/{source}
+// offset document and the POST response. NextEpoch is the whole resume
+// contract — the only epoch the aggregator will accept next.
+type IngestStatus struct {
+	Version string `json:"version"`
+	Source  string `json:"source"`
+	RunID   string `json:"run_id,omitempty"`
+	// NextEpoch is the next epoch the source will apply (last applied
+	// epoch + 1; 1 for a fresh source).
+	NextEpoch uint64 `json:"next_epoch"`
+	// Accepted and Duplicates count this POST's applied and
+	// acknowledged-but-already-durable deltas (POST responses only).
+	Accepted   int  `json:"accepted,omitempty"`
+	Duplicates int  `json:"duplicates,omitempty"`
+	Sealed     bool `json:"sealed,omitempty"`
+	Degraded   bool `json:"degraded,omitempty"`
+}
+
+// EpochStatus is the GET /v1/cpgs/{id}/epochs response body: the
+// newest published epoch, and whether the source can still advance.
+// Closed=true means no epoch beyond Epoch will ever be published (the
+// source is post-mortem, sealed, or degraded).
+type EpochStatus struct {
+	Version string `json:"version"`
+	ID      string `json:"id"`
+	Epoch   uint64 `json:"epoch"`
+	Closed  bool   `json:"closed,omitempty"`
+}
+
+// IngestOptions configure an IngestHub.
+type IngestOptions struct {
+	// Engine configures the per-source query engines (result caps, fold
+	// worker fan-out).
+	Engine EngineOptions
+	// MaxSources bounds concurrently tracked sources (default 256).
+	MaxSources int
+	// MaxFrameBytes bounds one frame's payload (default
+	// wire.DefaultMaxFrameBytes). The length prefix is untrusted.
+	MaxFrameBytes int64
+	// MaxBodyBytes bounds one ingest request body (default 1 GiB).
+	MaxBodyBytes int64
+	// MaxThreads bounds a hello's thread-slot capacity (default 1024);
+	// the aggregator allocates a graph that wide per source.
+	MaxThreads int
+}
+
+func (o IngestOptions) maxSources() int {
+	if o.MaxSources > 0 {
+		return o.MaxSources
+	}
+	return 256
+}
+
+func (o IngestOptions) maxFrame() uint32 {
+	if o.MaxFrameBytes > 0 {
+		return uint32(o.MaxFrameBytes)
+	}
+	return wire.DefaultMaxFrameBytes
+}
+
+func (o IngestOptions) maxBody() int64 {
+	if o.MaxBodyBytes > 0 {
+		return o.MaxBodyBytes
+	}
+	return 1 << 30
+}
+
+func (o IngestOptions) maxThreads() int {
+	if o.MaxThreads > 0 {
+		return o.MaxThreads
+	}
+	return 1024
+}
+
+// IngestHub tracks the sources an aggregating Server has accepted
+// streams for. Sources appear dynamically (the first hello creates
+// one) and are served by the same Server alongside its static and live
+// sources.
+type IngestHub struct {
+	opts IngestOptions
+
+	mu      sync.Mutex
+	sources map[string]*IngestSource
+}
+
+// NewIngestHub builds an empty hub.
+func NewIngestHub(opts IngestOptions) *IngestHub {
+	return &IngestHub{opts: opts, sources: make(map[string]*IngestSource)}
+}
+
+// Source returns the named ingest source.
+func (h *IngestHub) Source(name string) (*IngestSource, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	src, ok := h.sources[name]
+	return src, ok
+}
+
+// IDs returns the tracked source names, sorted.
+func (h *IngestHub) IDs() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.sources))
+	for name := range h.sources {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// bind resolves a hello against the hub: it returns the existing source
+// when the run identity matches, creates one when the name is new, and
+// rejects conflicts.
+func (h *IngestHub) bind(name string, hello wire.Hello) (*IngestSource, error) {
+	if hello.RunID == "" {
+		return nil, fmt.Errorf("provenance: hello carries no run id")
+	}
+	if hello.Threads < 1 || hello.Threads > h.opts.maxThreads() {
+		return nil, fmt.Errorf("provenance: hello thread capacity %d out of range [1,%d]", hello.Threads, h.opts.maxThreads())
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if src, ok := h.sources[name]; ok {
+		if src.hello.RunID != hello.RunID || src.hello.Threads != hello.Threads {
+			return nil, fmt.Errorf("%w: source %q is bound to run %s (%d threads), hello names run %s (%d threads)",
+				ErrRunConflict, name, src.hello.RunID, src.hello.Threads, hello.RunID, hello.Threads)
+		}
+		return src, nil
+	}
+	if len(h.sources) >= h.opts.maxSources() {
+		return nil, fmt.Errorf("provenance: ingest source limit reached (%d)", h.opts.maxSources())
+	}
+	src := newIngestSource(name, hello, h.opts.Engine)
+	h.sources[name] = src
+	return src, nil
+}
+
+// IngestSource is one recorder's CPG as the aggregator rebuilds it:
+// a graph plus an IncrementalAnalyzer fed by ApplyDelta, folded once
+// per applied delta so analyzer epochs and delta epochs coincide — the
+// invariant behind byte-identical exports.
+type IngestSource struct {
+	name  string
+	hello wire.Hello
+	eopts EngineOptions
+
+	// cur is the newest published epoch's engine; epoch mirrors the
+	// last applied delta epoch for lock-free hinting.
+	cur   atomic.Pointer[Engine]
+	epoch atomic.Uint64
+
+	mu       sync.Mutex
+	g        *core.Graph
+	inc      *core.IncrementalAnalyzer
+	lastLens []int
+	sealed   bool
+	poison   error
+	// watch is replaced (and the old one closed) on every publish;
+	// closed is closed once no further epochs can arrive (seal or
+	// poison). Mirrors LiveEngine's subscription machinery.
+	watch     chan struct{}
+	closedCh  chan struct{}
+	closeOnce sync.Once
+}
+
+func newIngestSource(name string, hello wire.Hello, eopts EngineOptions) *IngestSource {
+	g := core.NewGraph(hello.Threads)
+	inc := core.NewIncrementalAnalyzer(g)
+	inc.SetFoldWorkers(eopts.FoldWorkers)
+	s := &IngestSource{
+		name:     name,
+		hello:    hello,
+		eopts:    eopts,
+		g:        g,
+		inc:      inc,
+		watch:    make(chan struct{}),
+		closedCh: make(chan struct{}),
+	}
+	// Serve an empty epoch-0 analysis until the first delta arrives, so
+	// Engine never returns nil. The analyzer itself stays at epoch 0:
+	// its first fold must land on delta epoch 1.
+	s.cur.Store(NewEngine(core.NewGraph(hello.Threads).Analyze(), eopts))
+	return s
+}
+
+// Engine returns the newest published epoch's engine (EngineSource).
+func (s *IngestSource) Engine() *Engine { return s.cur.Load() }
+
+// EpochHint returns the last applied delta epoch without materializing
+// anything (epochHinter).
+func (s *IngestSource) EpochHint() uint64 { return s.epoch.Load() }
+
+// RunID returns the run identity the source is bound to.
+func (s *IngestSource) RunID() string { return s.hello.RunID }
+
+// Status summarizes the source for the offset endpoint.
+func (s *IngestSource) Status() IngestStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return IngestStatus{
+		Version:   Version,
+		Source:    s.name,
+		RunID:     s.hello.RunID,
+		NextEpoch: s.epoch.Load() + 1,
+		Sealed:    s.sealed,
+		Degraded:  s.poison != nil,
+	}
+}
+
+// apply ingests one delta under the resume contract. It reports whether
+// the delta advanced the source (false = duplicate, acknowledged and
+// skipped). A validation failure poisons the source and is returned.
+func (s *IngestSource) apply(d *core.EpochDelta) (applied bool, err error) {
+	if d == nil {
+		return false, fmt.Errorf("core: nil epoch delta")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.poison != nil {
+		return false, fmt.Errorf("%w: %v", ErrSourceDegraded, s.poison)
+	}
+	cur := s.epoch.Load()
+	if d.Epoch <= cur {
+		// Duplicate delivery (a replayed prefix, a retried batch): the
+		// epoch is already durable here; first write wins.
+		return false, nil
+	}
+	if s.sealed {
+		return false, fmt.Errorf("%w: source %q sealed at epoch %d", ErrSourceSealed, s.name, cur)
+	}
+	if d.Epoch != cur+1 {
+		return false, fmt.Errorf("%w: got epoch %d, want %d", ErrEpochGap, d.Epoch, cur+1)
+	}
+	if err := core.ApplyDelta(s.g, d); err != nil {
+		// ApplyDelta is atomic, so the graph still holds exactly the
+		// last good epoch. Latch the poison, mark the loss the way
+		// journal recovery marks a torn tail, and publish the degraded
+		// epoch so queries stop claiming completeness.
+		s.poison = err
+		for t, n := range s.lastLens {
+			if n > 0 {
+				s.g.AddGap(t, core.Gap{FromAlpha: uint64(n - 1), ToAlpha: uint64(n), Kind: core.GapTruncated})
+			}
+		}
+		s.publishLocked(s.inc.Fold())
+		s.closeOnce.Do(func() { close(s.closedCh) })
+		return false, err
+	}
+	a := s.inc.Fold()
+	s.lastLens = d.Lens
+	s.epoch.Store(d.Epoch)
+	s.publishLocked(a)
+	return true, nil
+}
+
+// seal records the clean end of the stream. Sealing is idempotent for a
+// matching final epoch.
+func (s *IngestSource) seal(finalEpoch uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.poison != nil {
+		return fmt.Errorf("%w: %v", ErrSourceDegraded, s.poison)
+	}
+	cur := s.epoch.Load()
+	if finalEpoch != cur {
+		return fmt.Errorf("%w: seal names epoch %d, source is at %d", ErrEpochGap, finalEpoch, cur)
+	}
+	if s.sealed {
+		return nil
+	}
+	s.sealed = true
+	s.closeOnce.Do(func() { close(s.closedCh) })
+	return nil
+}
+
+// publishLocked installs the engine for a freshly folded epoch and
+// wakes WaitEpoch callers. Callers hold s.mu.
+func (s *IngestSource) publishLocked(a *core.Analysis) {
+	s.cur.Store(NewEngine(a, s.eopts))
+	close(s.watch)
+	s.watch = make(chan struct{})
+}
+
+// WaitEpoch blocks until the published epoch reaches min (returning the
+// epoch that satisfied it) or ctx is done (returning the newest epoch
+// alongside ctx's error). Once the source is sealed or poisoned it
+// returns ErrLiveClosed for epochs that will never arrive — the same
+// contract as LiveEngine.WaitEpoch, so the push wire serves both.
+func (s *IngestSource) WaitEpoch(ctx context.Context, min uint64) (uint64, error) {
+	for {
+		s.mu.Lock()
+		w := s.watch
+		s.mu.Unlock()
+		if e := s.epoch.Load(); e >= min {
+			return e, nil
+		}
+		select {
+		case <-w:
+		case <-ctx.Done():
+			return s.epoch.Load(), ctx.Err()
+		case <-s.closedCh:
+			if e := s.epoch.Load(); e >= min {
+				return e, nil
+			}
+			return s.epoch.Load(), ErrLiveClosed
+		}
+	}
+}

@@ -69,6 +69,16 @@ type ServerOptions struct {
 	// and result-cache counters. The store's sources still register
 	// through NewServerSources like any others.
 	Store *Store
+	// Ingest, when set, turns the server into an aggregator: recorders
+	// stream epoch-delta frames to POST /v1/ingest/{source}, and the
+	// resulting per-source live CPGs are served alongside the static
+	// sources (listing, stats, queries, epochs, export).
+	Ingest *IngestHub
+	// WatchTimeout caps how long GET /v1/cpgs/{id}/epochs may hold a
+	// long-poll open, whatever the client asked for (default 30s). A
+	// timed-out poll answers 200 with the current epoch, so re-polling
+	// is idempotent.
+	WatchTimeout time.Duration
 }
 
 // The server consults richer source surfaces when a source offers
@@ -89,6 +99,14 @@ type (
 	// epochHinter reports its current epoch without materializing.
 	epochHinter interface {
 		EpochHint() uint64
+	}
+	// epochWaiter blocks until a minimum epoch is published —
+	// LiveEngine and IngestSource both satisfy it, so the push wire
+	// (GET /v1/cpgs/{id}/epochs) serves local live folds and ingested
+	// streams identically. ErrLiveClosed means the awaited epoch will
+	// never arrive.
+	epochWaiter interface {
+		WaitEpoch(ctx context.Context, min uint64) (uint64, error)
 	}
 )
 
@@ -144,8 +162,14 @@ func NewServerSources(sources map[string]EngineSource, opts ServerOptions) *Serv
 	s.mux.HandleFunc("GET /v1/cpgs", s.handleList)
 	s.mux.HandleFunc("GET /v1/cpgs/{id}/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/cpgs/{id}/query", s.handleQuery)
+	s.mux.HandleFunc("GET /v1/cpgs/{id}/epochs", s.handleEpochs)
+	s.mux.HandleFunc("GET /v1/cpgs/{id}/export", s.handleExport)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	if opts.Ingest != nil {
+		s.mux.HandleFunc("POST /v1/ingest/{source}", s.handleIngest)
+		s.mux.HandleFunc("GET /v1/ingest/{source}", s.handleIngestOffset)
+	}
 	if opts.Store != nil {
 		s.mux.HandleFunc("GET /v1/store", func(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusOK, opts.Store.Stats())
@@ -231,8 +255,11 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := ReadyStatus{Ready: true}
-	for _, id := range s.ids {
-		src := s.sources[id]
+	for _, id := range s.IDs() {
+		src, ok := s.source(id)
+		if !ok {
+			continue
+		}
 		var e uint64
 		if eh, ok := src.(epochHinter); ok {
 			e = eh.EpochHint()
@@ -249,10 +276,20 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
-// IDs returns the served CPG ids, sorted.
+// IDs returns the served CPG ids, sorted. With an ingest hub attached
+// the listing is dynamic: sources a recorder has streamed since the
+// server started are included.
 func (s *Server) IDs() []string {
 	out := make([]string, len(s.ids))
 	copy(out, s.ids)
+	if s.opts.Ingest != nil {
+		for _, id := range s.opts.Ingest.IDs() {
+			if _, clash := s.sources[id]; !clash {
+				out = append(out, id)
+			}
+		}
+		sort.Strings(out)
+	}
 	return out
 }
 
@@ -261,15 +298,20 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	// requests, and each entry must describe one pinned epoch. Static
 	// engines cache their stats, so repeated listings of post-mortem
 	// graphs stay O(1) per graph.
-	infos := make([]CPGInfo, 0, len(s.ids))
-	for _, id := range s.ids {
+	ids := s.IDs()
+	infos := make([]CPGInfo, 0, len(ids))
+	for _, id := range ids {
+		src, ok := s.source(id)
+		if !ok {
+			continue
+		}
 		// Lazy (directory-backed) sources describe themselves from
 		// their stats section; listing never decodes a graph.
-		if ip, ok := s.sources[id].(infoProvider); ok {
+		if ip, ok := src.(infoProvider); ok {
 			infos = append(infos, ip.Info())
 			continue
 		}
-		eng := s.sources[id].Engine()
+		eng := src.Engine()
 		st := eng.stats()
 		infos = append(infos, CPGInfo{
 			ID:              id,
@@ -283,11 +325,26 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, CPGList{Version: Version, CPGs: infos})
 }
 
+// source looks an id up across the static sources and (when
+// aggregating) the ingest hub. Static registrations win name clashes;
+// the ingest path refuses to bind a statically served name.
+func (s *Server) source(id string) (EngineSource, bool) {
+	if src, ok := s.sources[id]; ok {
+		return src, true
+	}
+	if s.opts.Ingest != nil {
+		if src, ok := s.opts.Ingest.Source(id); ok {
+			return src, true
+		}
+	}
+	return nil, false
+}
+
 // resolve finds the request's source. Engine resolution (which pins
 // one epoch, and for lazy sources may decode) is deferred to execute,
 // so sources that answer without an engine never materialize one.
 func (s *Server) resolve(w http.ResponseWriter, r *http.Request) (EngineSource, bool) {
-	src, ok := s.sources[r.PathValue("id")]
+	src, ok := s.source(r.PathValue("id"))
 	if !ok {
 		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown cpg " + r.PathValue("id")})
 		return nil, false

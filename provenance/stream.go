@@ -1,0 +1,440 @@
+package provenance
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/repro/inspector/internal/core"
+	"github.com/repro/inspector/internal/wire"
+)
+
+// The recorder side of the fabric: a StreamRecorder hangs off the
+// threading runtime's commit hook exactly like journal.Recorder — fold
+// an epoch delta every N seals — but ships the deltas to an aggregator
+// instead of (or alongside) a local journal. Recording never blocks on
+// the network: folds enqueue, a sender goroutine batches uploads, and a
+// dead aggregator costs queue memory, not workload progress. The
+// journal stays the durability anchor — after a recorder SIGKILL,
+// inspector-recover -stream replays the journal's deltas and the
+// aggregator's dedup makes the resend converge.
+
+// EncodeFrames builds one ingest request body: the hello, then the
+// deltas in epoch order, then the optional seal. BaseEpoch is stamped
+// from the first delta.
+func EncodeFrames(hello wire.Hello, deltas []*core.EpochDelta, seal *wire.Seal) ([]byte, error) {
+	if len(deltas) > 0 {
+		hello.BaseEpoch = deltas[0].Epoch
+	}
+	buf, err := wire.AppendFrame(nil, wire.KindHeader, &hello)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range deltas {
+		if buf, err = wire.AppendFrame(buf, wire.KindDelta, d); err != nil {
+			return nil, err
+		}
+	}
+	if seal != nil {
+		if buf, err = wire.AppendFrame(buf, wire.KindSeal, seal); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// UploadDeltas streams a recorded delta sequence to an aggregator in
+// batches — the journal-replay resume path. The server's dedup skips
+// epochs it already holds, so uploading from epoch 1 after a partial
+// earlier stream is safe and cheap. The returned status is the final
+// batch's, with Accepted and Duplicates accumulated across the whole
+// upload.
+func UploadDeltas(ctx context.Context, c *Client, source string, hello wire.Hello, deltas []*core.EpochDelta, batch int, seal *wire.Seal) (*IngestStatus, error) {
+	if batch <= 0 {
+		batch = 64
+	}
+	if len(deltas) == 0 {
+		frames, err := EncodeFrames(hello, nil, seal)
+		if err != nil {
+			return nil, err
+		}
+		return c.Ingest(ctx, source, frames)
+	}
+	var last *IngestStatus
+	var accepted, dups int
+	for start := 0; start < len(deltas); start += batch {
+		end := start + batch
+		if end > len(deltas) {
+			end = len(deltas)
+		}
+		var s *wire.Seal
+		if end == len(deltas) {
+			s = seal
+		}
+		frames, err := EncodeFrames(hello, deltas[start:end], s)
+		if err != nil {
+			return nil, err
+		}
+		if last, err = c.Ingest(ctx, source, frames); err != nil {
+			return nil, err
+		}
+		accepted += last.Accepted
+		dups += last.Duplicates
+	}
+	last.Accepted, last.Duplicates = accepted, dups
+	return last, nil
+}
+
+// StreamOptions configure a StreamRecorder.
+type StreamOptions struct {
+	// Source names the per-source CPG on the aggregator (required;
+	// [A-Za-z0-9._-]{1,128}).
+	Source string
+	// RunID binds the stream to a run identity (required). Use the same
+	// id for the journal when both are active, so a journal-based
+	// resume matches the aggregator's binding.
+	RunID string
+	// App names the workload (informational).
+	App string
+	// Every folds an epoch delta every N commit seals (default 1).
+	Every uint64
+	// Batch bounds deltas per POST (default 64).
+	Batch int
+	// MaxResyncs bounds consecutive offset re-reads after upload
+	// failures before the sender latches a terminal error (default 8).
+	// A successful upload resets the count.
+	MaxResyncs int
+	// RequestTimeout bounds one upload attempt including the client's
+	// internal retries (default 60s).
+	RequestTimeout time.Duration
+	// OnEpoch observes every folded epoch (analysis + delta), before it
+	// is queued for upload. Runs on the recording goroutine.
+	OnEpoch func(*core.Analysis, *core.EpochDelta)
+}
+
+func (o StreamOptions) every() uint64 {
+	if o.Every > 0 {
+		return o.Every
+	}
+	return 1
+}
+
+func (o StreamOptions) batch() int {
+	if o.Batch > 0 {
+		return o.Batch
+	}
+	return 64
+}
+
+func (o StreamOptions) maxResyncs() int {
+	if o.MaxResyncs > 0 {
+		return o.MaxResyncs
+	}
+	return 8
+}
+
+func (o StreamOptions) requestTimeout() time.Duration {
+	if o.RequestTimeout > 0 {
+		return o.RequestTimeout
+	}
+	return 60 * time.Second
+}
+
+// StreamRecorder folds the live graph into epoch deltas on the commit
+// path and uploads them asynchronously. Its own IncrementalAnalyzer
+// makes it the in-process reference for the aggregator's folds: after
+// Close, Analysis() is byte-for-byte what the aggregator serves at the
+// same epoch.
+type StreamRecorder struct {
+	c     *Client
+	opts  StreamOptions
+	hello wire.Hello
+
+	mu      sync.Mutex
+	inc     *core.IncrementalAnalyzer
+	seals   uint64
+	epoch   uint64
+	lastA   *core.Analysis
+	pending []*core.EpochDelta
+	sendErr error
+	closed  bool
+
+	notify     chan struct{}
+	done       chan struct{}
+	senderDone chan struct{}
+	ctx        context.Context
+	cancel     context.CancelFunc
+}
+
+// NewStreamRecorder builds a recorder streaming g's epoch deltas to c's
+// aggregator and starts its sender goroutine.
+func NewStreamRecorder(g *core.Graph, c *Client, opts StreamOptions) (*StreamRecorder, error) {
+	if !validSourceName(opts.Source) {
+		return nil, fmt.Errorf("provenance: bad stream source name %q", opts.Source)
+	}
+	if opts.RunID == "" {
+		return nil, fmt.Errorf("provenance: stream needs a run id")
+	}
+	r := &StreamRecorder{
+		c:    c,
+		opts: opts,
+		hello: wire.Hello{
+			RunID:   opts.RunID,
+			App:     opts.App,
+			Threads: g.Threads(),
+		},
+		inc:        core.NewIncrementalAnalyzer(g),
+		notify:     make(chan struct{}, 1),
+		done:       make(chan struct{}),
+		senderDone: make(chan struct{}),
+	}
+	r.ctx, r.cancel = context.WithCancel(context.Background())
+	go r.sender()
+	return r, nil
+}
+
+// CommitHook returns the function to register with
+// threading.Runtime.RegisterCommitHook: every opts.Every seals it folds
+// one epoch delta and queues it for upload.
+func (r *StreamRecorder) CommitHook() func(core.SubID) {
+	every := r.opts.every()
+	return func(core.SubID) {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if r.closed {
+			return
+		}
+		r.seals++
+		if r.seals%every == 0 {
+			r.foldLocked()
+		}
+	}
+}
+
+// foldLocked captures one epoch and wakes the sender. Callers hold r.mu.
+func (r *StreamRecorder) foldLocked() {
+	a, d := r.inc.FoldDelta()
+	r.lastA, r.epoch = a, d.Epoch
+	r.pending = append(r.pending, d)
+	if r.opts.OnEpoch != nil {
+		r.opts.OnEpoch(a, d)
+	}
+	select {
+	case r.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Analysis returns the newest folded epoch's analysis (nil before the
+// first fold) — the byte-identity reference for the aggregator.
+func (r *StreamRecorder) Analysis() *core.Analysis {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastA
+}
+
+// Epoch returns the newest folded epoch.
+func (r *StreamRecorder) Epoch() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.epoch
+}
+
+// Err returns the sender's latched terminal error, if any. Recording
+// itself never fails on upload errors; the journal (when present)
+// still holds every epoch.
+func (r *StreamRecorder) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sendErr
+}
+
+// Pending returns the count of folded-but-unacknowledged epochs.
+func (r *StreamRecorder) Pending() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.pending)
+}
+
+// sender is the upload goroutine: batch, POST, prune acknowledged.
+func (r *StreamRecorder) sender() {
+	defer close(r.senderDone)
+	for {
+		select {
+		case <-r.notify:
+			r.drain(false)
+		case <-r.done:
+			r.drain(true)
+			return
+		}
+	}
+}
+
+// latch records the first terminal sender error.
+func (r *StreamRecorder) latch(err error) {
+	r.mu.Lock()
+	if r.sendErr == nil {
+		r.sendErr = err
+	}
+	r.mu.Unlock()
+}
+
+// snapshot copies up to one batch of pending deltas.
+func (r *StreamRecorder) snapshot() []*core.EpochDelta {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.pending)
+	if max := r.opts.batch(); n > max {
+		n = max
+	}
+	out := make([]*core.EpochDelta, n)
+	copy(out, r.pending[:n])
+	return out
+}
+
+// ack drops pending deltas the aggregator acknowledged (epoch <
+// nextEpoch).
+func (r *StreamRecorder) ack(nextEpoch uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	keep := 0
+	for keep < len(r.pending) && r.pending[keep].Epoch < nextEpoch {
+		keep++
+	}
+	r.pending = r.pending[keep:]
+}
+
+// drain ships pending batches until the queue is empty (then, when
+// final, the seal) or a terminal error latches. Upload failures trigger
+// an offset resync: re-read the aggregator's next expected epoch, drop
+// what it already holds, and try again — a reconnecting recorder never
+// re-sends an acknowledged epoch and never skips one.
+func (r *StreamRecorder) drain(final bool) {
+	resyncs := 0
+	for {
+		if r.Err() != nil {
+			return
+		}
+		batch := r.snapshot()
+		if len(batch) == 0 {
+			if final {
+				r.sendSeal()
+			}
+			return
+		}
+		st, err := r.ship(batch, nil)
+		if err == nil {
+			resyncs = 0
+			r.ack(st.NextEpoch)
+			continue
+		}
+		if r.ctx.Err() != nil {
+			r.latch(err)
+			return
+		}
+		// Conflicts (the aggregator is ahead, or bound to another run)
+		// and transport-class failures resync against the offset; bad
+		// input (400) is terminal — re-sending it cannot help.
+		if code := serverStatus(err); code != 0 && code != http.StatusConflict &&
+			code != http.StatusBadGateway && code != http.StatusServiceUnavailable && code != http.StatusGatewayTimeout {
+			r.latch(err)
+			return
+		}
+		if resyncs++; resyncs > r.opts.maxResyncs() {
+			r.latch(fmt.Errorf("provenance: stream upload failed after %d resyncs: %w", resyncs-1, err))
+			return
+		}
+		if rerr := r.resync(); rerr != nil {
+			r.latch(rerr)
+			return
+		}
+	}
+}
+
+// resync re-reads the resume offset and reconciles the queue with it.
+func (r *StreamRecorder) resync() error {
+	ctx, cancel := context.WithTimeout(r.ctx, r.opts.requestTimeout())
+	defer cancel()
+	st, found, err := r.c.IngestOffset(ctx, r.opts.Source)
+	if err != nil {
+		return nil // transient: the retry loop will come back around
+	}
+	if !found {
+		// The aggregator has no state for the source. Everything still
+		// queued uploads from its own epoch; that only works if nothing
+		// acknowledged-and-pruned is missing.
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if len(r.pending) > 0 && r.pending[0].Epoch > 1 {
+			return fmt.Errorf("provenance: aggregator lost source %s (wants epoch 1, oldest queued is %d); re-feed from the journal",
+				r.opts.Source, r.pending[0].Epoch)
+		}
+		return nil
+	}
+	if st.RunID != r.hello.RunID {
+		return fmt.Errorf("%w: source %s bound to run %s, this recorder is run %s",
+			ErrRunConflict, r.opts.Source, st.RunID, r.hello.RunID)
+	}
+	r.ack(st.NextEpoch)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.pending) > 0 && r.pending[0].Epoch > st.NextEpoch {
+		return fmt.Errorf("provenance: aggregator lost epochs [%d,%d) of source %s; re-feed from the journal",
+			st.NextEpoch, r.pending[0].Epoch, r.opts.Source)
+	}
+	return nil
+}
+
+// ship uploads one batch (and/or seal) under the per-request timeout.
+func (r *StreamRecorder) ship(batch []*core.EpochDelta, seal *wire.Seal) (*IngestStatus, error) {
+	frames, err := EncodeFrames(r.hello, batch, seal)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(r.ctx, r.opts.requestTimeout())
+	defer cancel()
+	return r.c.Ingest(ctx, r.opts.Source, frames)
+}
+
+// sendSeal marks the stream cleanly finished.
+func (r *StreamRecorder) sendSeal() {
+	r.mu.Lock()
+	final := r.epoch
+	r.mu.Unlock()
+	if _, err := r.ship(nil, &wire.Seal{FinalEpoch: final}); err != nil {
+		r.latch(fmt.Errorf("provenance: seal upload: %w", err))
+	}
+}
+
+// Close folds the final epoch, flushes the queue (seal included), and
+// stops the sender. ctx bounds the flush: on expiry the in-flight
+// upload is aborted and Close returns with the queue possibly
+// non-empty — the journal, when present, still has everything. Close
+// returns the sender's first terminal error, if any.
+func (r *StreamRecorder) Close(ctx context.Context) error {
+	r.mu.Lock()
+	if !r.closed {
+		r.closed = true
+		r.foldLocked()
+		close(r.done)
+	}
+	r.mu.Unlock()
+	select {
+	case <-r.senderDone:
+	case <-ctx.Done():
+		r.cancel()
+		<-r.senderDone
+	}
+	r.cancel()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sendErr != nil {
+		return r.sendErr
+	}
+	if n := len(r.pending); n > 0 {
+		return fmt.Errorf("provenance: stream closed with %d epochs unshipped", n)
+	}
+	return nil
+}

@@ -1,6 +1,6 @@
 // Command bench-tables renders the committed benchmark snapshots
-// (BENCH_mem.json, BENCH_pt.json, BENCH_cpg.json) as the markdown
-// performance tables embedded in README.md, between the
+// (BENCH_mem.json, BENCH_pt.json, BENCH_cpg.json, BENCH_fabric.json)
+// as the markdown performance tables embedded in README.md, between the
 // `<!-- bench-tables:begin -->` / `<!-- bench-tables:end -->` markers.
 //
 //	go run ./scripts/bench-tables            # rewrite README.md in place
@@ -34,6 +34,7 @@ type benchRow struct {
 	AllocsPerOp   int64   `json:"allocs_per_op"`
 	P50Ns         float64 `json:"p50_ns,omitempty"`
 	P99Ns         float64 `json:"p99_ns,omitempty"`
+	FramesPerSec  float64 `json:"frames_per_s,omitempty"`
 	ResidentBytes int64   `json:"resident_bytes,omitempty"`
 }
 
@@ -81,6 +82,17 @@ var experiments = []experiment{
 			"256 KiB resident budget: `cold` pays mmap-backed decode under LRU eviction " +
 			"every op, `warm` hits the content-addressed result cache — the p50/p99 and " +
 			"resident columns come from these rows (see DESIGN.md, \"The on-disk CPG\").",
+	},
+	{
+		title: "Distributed fabric soak (`BENCH_fabric.json`)",
+		file:  "BENCH_fabric.json",
+		note: "Each `Fabric/MrecNcli` row runs the full loadtest soak: M streaming " +
+			"recorders push epoch-delta frames at one aggregator while N clients query " +
+			"and long-poll it, and every iteration must end with zero dropped epochs and " +
+			"byte-identical exports before its numbers count. ns/op is one whole soak; " +
+			"frames/s is ingest throughput, p50/p99 are client query latencies. No " +
+			"baseline: the ingest wire did not exist before this snapshot (see " +
+			"DESIGN.md, \"The distributed fabric\").",
 	},
 }
 
@@ -152,21 +164,28 @@ func renderSection() (string, error) {
 		}
 		b.WriteString("\n### " + exp.title + "\n\n")
 		b.WriteString(exp.note + "\n\n")
-		// Latency-distribution columns appear only when some row in the
-		// snapshot reports them (the Store/* scenarios).
-		hasDist := false
+		// Latency-distribution and throughput columns appear only when
+		// some row in the snapshot reports them (the Store/* and
+		// Fabric/* scenarios).
+		hasDist, hasFrames := false, false
 		for _, row := range f.Benchmarks {
 			if row.P50Ns > 0 || row.ResidentBytes > 0 {
 				hasDist = true
-				break
+			}
+			if row.FramesPerSec > 0 {
+				hasFrames = true
 			}
 		}
+		frameHead, frameSep := "", ""
+		if hasFrames {
+			frameHead, frameSep = " frames/s |", "---:|"
+		}
 		if hasDist {
-			b.WriteString("| benchmark | baseline ns/op | current ns/op | speedup | B/op | allocs/op | p50 | p99 | resident |\n")
-			b.WriteString("|---|---:|---:|---:|---:|---:|---:|---:|---:|\n")
+			b.WriteString("| benchmark | baseline ns/op | current ns/op | speedup | B/op | allocs/op |" + frameHead + " p50 | p99 | resident |\n")
+			b.WriteString("|---|---:|---:|---:|---:|---:|" + frameSep + "---:|---:|---:|\n")
 		} else {
-			b.WriteString("| benchmark | baseline ns/op | current ns/op | speedup | B/op | allocs/op |\n")
-			b.WriteString("|---|---:|---:|---:|---:|---:|\n")
+			b.WriteString("| benchmark | baseline ns/op | current ns/op | speedup | B/op | allocs/op |" + frameHead + "\n")
+			b.WriteString("|---|---:|---:|---:|---:|---:|" + frameSep + "\n")
 		}
 		base := map[string]benchRow{}
 		for _, row := range f.Baseline {
@@ -181,6 +200,13 @@ func renderSection() (string, error) {
 			}
 			fmt.Fprintf(&b, "| `%s` | %s | %s | %s | %d | %d |",
 				row.Name, baseNs, formatNs(row.NsPerOp), speedup, row.BytesPerOp, row.AllocsPerOp)
+			if hasFrames {
+				fps := "—"
+				if row.FramesPerSec > 0 {
+					fps = fmt.Sprintf("%.0f", row.FramesPerSec)
+				}
+				fmt.Fprintf(&b, " %s |", fps)
+			}
 			if hasDist {
 				p50, p99, res := "—", "—", "—"
 				if row.P50Ns > 0 {

@@ -326,3 +326,80 @@ echo "serve-smoke: cpgdir round passed (lazy store byte-identical, $hits cache h
 kill "$serve_pid" 2>/dev/null || true
 wait "$serve_pid" 2>/dev/null || true
 serve_pid=""
+
+# Ingest round: the distributed fabric. An aggregator accepts streamed
+# epoch-delta frames; a clean streaming run must leave it holding the
+# byte-identical analysis of the same recording's journal, and a
+# SIGKILLed streaming run resumed via inspector-recover -stream must
+# converge on the reference bytes at the killed run's durable epoch.
+"$workdir/inspector-serve" -ingest -addr 127.0.0.1:0 >"$workdir/ingest.log" 2>&1 &
+serve_pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's/.* on \(127\.0\.0\.1:[0-9]*\)$/\1/p' "$workdir/ingest.log" | head -n 1)
+  if [ -n "$addr" ] && curl -fsS "http://$addr/readyz" >/dev/null 2>&1; then
+    break
+  fi
+  addr=""
+  sleep 0.1
+done
+[ -n "$addr" ] || { echo "serve-smoke: ingest daemon never became ready" >&2; cat "$workdir/ingest.log" >&2; exit 1; }
+
+# Clean streaming run under a distinct source name; the reference is the
+# uninterrupted journal (jref) replayed in full — same run, same
+# epoch-per-seal cadence, so the analyses must match byte for byte.
+"$workdir/inspector-run" -app histogram -threads 1 -size small -seed 1 \
+  -stream "http://$addr" -stream-id clean >"$workdir/stream-clean.out"
+grep -q 'epochs shipped' "$workdir/stream-clean.out" || {
+  echo "serve-smoke: clean streaming run never shipped" >&2
+  cat "$workdir/stream-clean.out" >&2
+  exit 1
+}
+"$workdir/inspector-recover" -journal "$jref" -q -analysis "$workdir/ref-full.json"
+curl -fsS "http://$addr/v1/cpgs/clean/export" >"$workdir/agg-clean.json"
+diff -u "$workdir/ref-full.json" "$workdir/agg-clean.json" || {
+  echo "serve-smoke: clean stream's aggregator export diverges from the journal replay" >&2
+  exit 1
+}
+
+# SIGKILL a streaming recorder mid-run (crash fires at a commit
+# boundary, after the stream hook queued that very epoch), then re-feed
+# the journal: dedup absorbs whatever prefix made it onto the wire
+# before the kill, and the aggregator lands exactly on the journal's
+# durable epoch.
+jskill="$workdir/jskill"
+rc=0
+( "$workdir/inspector-run" -app histogram -threads 1 -size small -seed 1 \
+  -journal "$jskill" -stream "http://$addr" \
+  -faults "crash:after=1,count=1"; exit $? ) >/dev/null 2>&1 || rc=$?
+[ "$rc" -ne 0 ] || { echo "serve-smoke: crash fault did not kill the streaming run" >&2; exit 1; }
+
+skill_summary=$("$workdir/inspector-recover" -journal "$jskill" -summary-json)
+skill_epoch=$(echo "$skill_summary" | sed -n 's/.*"epoch":\([0-9]*\).*/\1/p')
+skill_source=$(echo "$skill_summary" | sed -n 's/.*"run_id":"\([^"]*\)".*/\1/p')
+[ -n "$skill_epoch" ] && [ "$skill_epoch" -ge 1 ] || {
+  echo "serve-smoke: killed streaming journal has no durable epoch: $skill_summary" >&2; exit 1;
+}
+[ "$skill_source" = "histogram-t1-s1" ] || {
+  echo "serve-smoke: streaming run id not deterministic: $skill_summary" >&2; exit 1;
+}
+
+"$workdir/inspector-recover" -journal "$jskill" -stream "http://$addr" >"$workdir/restream.out"
+grep -q 'aggregator at epoch' "$workdir/restream.out" || {
+  echo "serve-smoke: recover -stream never reported the aggregator offset" >&2
+  cat "$workdir/restream.out" >&2
+  exit 1
+}
+"$workdir/inspector-recover" -journal "$jref" -q -epoch "$skill_epoch" \
+  -analysis "$workdir/ref-at-kill.json"
+curl -fsS "http://$addr/v1/cpgs/$skill_source/export" >"$workdir/agg-resumed.json"
+diff -u "$workdir/ref-at-kill.json" "$workdir/agg-resumed.json" || {
+  echo "serve-smoke: resumed stream diverges from the clean journal at epoch $skill_epoch" >&2
+  exit 1
+}
+echo "serve-smoke: ingest round passed (clean stream byte-identical; SIGKILL at epoch $skill_epoch resumed byte-identical)"
+
+kill "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+serve_pid=""
